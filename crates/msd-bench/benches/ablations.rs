@@ -1,0 +1,43 @@
+//! Criterion ablation benches (DESIGN.md §5): the Birnbaum–Goldman gain
+//! cache vs naive recomputation, and the exact solver's pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msd_bench::naive::greedy_b_naive;
+use msd_core::{exact_max_diversification, greedy_b, BranchAndBound, GreedyBConfig};
+use msd_data::SyntheticConfig;
+use std::hint::black_box;
+
+fn bench_gain_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gain_cache");
+    for &(n, p) in &[(200usize, 20usize), (400, 40)] {
+        let problem = SyntheticConfig::paper(n).generate(6);
+        let name = format!("n{n}_p{p}");
+        group.bench_with_input(BenchmarkId::new("cached", &name), &p, |b, &p| {
+            b.iter(|| greedy_b(black_box(&problem), p, GreedyBConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", &name), &p, |b, &p| {
+            b.iter(|| greedy_b_naive(black_box(&problem), p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_exact_pruning");
+    group.sample_size(10);
+    let problem = SyntheticConfig::paper(24).generate(7);
+    group.bench_function("branch_and_bound_n24_p6", |b| {
+        b.iter(|| exact_max_diversification(black_box(&problem), 6))
+    });
+    group.bench_function("enumeration_n24_p6", |b| {
+        b.iter(|| msd_core::exact::enumerate_exact(black_box(&problem), 6))
+    });
+    // The node limit turns B&B into an anytime algorithm.
+    group.bench_function("bb_node_limited_n24_p6", |b| {
+        b.iter(|| BranchAndBound { node_limit: 1000 }.solve(black_box(&problem), 6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gain_cache, bench_exact_pruning);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks for the dynamic-update machinery (Figure 1's
+//! engine): perturbation application and the oblivious single-swap update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msd_core::{greedy_b, DynamicInstance, GreedyBConfig, Perturbation};
+use msd_data::SyntheticConfig;
+use std::hint::black_box;
+
+fn instance(n: usize, p: usize) -> DynamicInstance {
+    let problem = SyntheticConfig::paper(n).generate(5);
+    let init = greedy_b(&problem, p, GreedyBConfig::default());
+    DynamicInstance::new(problem, &init)
+}
+
+fn bench_perturbation_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_apply");
+    for &n in &[50usize, 200] {
+        let base = instance(n, 10);
+        group.bench_with_input(BenchmarkId::new("weight", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut d| {
+                    d.apply(black_box(Perturbation::SetWeight { u: 3, value: 0.7 }));
+                    d
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("distance", n), &n, |b, _| {
+            b.iter_batched(
+                || base.clone(),
+                |mut d| {
+                    d.apply(black_box(Perturbation::SetDistance {
+                        u: 1,
+                        v: 4,
+                        value: 1.5,
+                    }));
+                    d
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_oblivious_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_oblivious_update");
+    for &(n, p) in &[(50usize, 5usize), (50, 20), (200, 20)] {
+        let base = instance(n, p);
+        let name = format!("n{n}_p{p}");
+        group.bench_function(&name, |b| {
+            b.iter_batched(
+                || {
+                    let mut d = base.clone();
+                    // Force an improving swap to exist.
+                    d.apply(Perturbation::SetWeight {
+                        u: (n - 1) as u32,
+                        value: 10.0,
+                    });
+                    d
+                },
+                |mut d| d.oblivious_update(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_perturbation_apply, bench_oblivious_update);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion microbenchmarks for the greedy algorithms (backs Tables 1–7's
+//! time columns): Greedy A (edge-scan, O(n²p)) vs Greedy B (vertex-scan
+//! with gain cache, O(np)) vs MMR, across ground sizes and cardinalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msd_core::{greedy_a, greedy_b, mmr_select, GreedyAConfig, GreedyBConfig, MmrConfig};
+use msd_data::SyntheticConfig;
+use std::hint::black_box;
+
+fn bench_greedy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_scaling_n");
+    for &n in &[100usize, 250, 500] {
+        let problem = SyntheticConfig::paper(n).generate(1);
+        let p = 20.min(n / 2);
+        group.bench_with_input(BenchmarkId::new("greedy_a", n), &n, |b, _| {
+            b.iter(|| greedy_a(black_box(&problem), p, GreedyAConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_b", n), &n, |b, _| {
+            b.iter(|| greedy_b(black_box(&problem), p, GreedyBConfig::default()))
+        });
+        let relevance: Vec<f64> = problem.quality().weights().to_vec();
+        group.bench_with_input(BenchmarkId::new("mmr", n), &n, |b, _| {
+            b.iter(|| {
+                mmr_select(
+                    black_box(problem.metric()),
+                    &relevance,
+                    p,
+                    MmrConfig::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_scaling_p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_scaling_p");
+    let problem = SyntheticConfig::paper(500).generate(2);
+    for &p in &[5usize, 25, 75] {
+        group.bench_with_input(BenchmarkId::new("greedy_a", p), &p, |b, &p| {
+            b.iter(|| greedy_a(black_box(&problem), p, GreedyAConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_b", p), &p, |b, &p| {
+            b.iter(|| greedy_b(black_box(&problem), p, GreedyBConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy_scaling, bench_greedy_scaling_p);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks for the matroid local search (Theorem 2) and
+//! the budgeted refinement of Section 7 (the LS columns of Tables 2/5/7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msd_core::local_search::PivotRule;
+use msd_core::{
+    greedy_b, local_search_matroid, local_search_refine, GreedyBConfig, LocalSearchConfig,
+};
+use msd_data::SyntheticConfig;
+use msd_matroid::{PartitionMatroid, UniformMatroid};
+use std::hint::black_box;
+
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_search_refine");
+    for &n in &[100usize, 300] {
+        let problem = SyntheticConfig::paper(n).generate(3);
+        let init = greedy_b(&problem, 15, GreedyBConfig::default());
+        for pivot in [PivotRule::BestImprovement, PivotRule::FirstImprovement] {
+            let name = format!("{pivot:?}_{n}");
+            group.bench_with_input(BenchmarkId::new("pivot", name), &n, |b, _| {
+                b.iter(|| {
+                    local_search_refine(
+                        black_box(&problem),
+                        &init,
+                        LocalSearchConfig {
+                            pivot,
+                            ..LocalSearchConfig::default()
+                        },
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_matroid_constraints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_search_matroid");
+    let n = 120usize;
+    let problem = SyntheticConfig::paper(n).generate(4);
+    let uniform = UniformMatroid::new(n, 12);
+    group.bench_function("uniform_rank12", |b| {
+        b.iter(|| local_search_matroid(black_box(&problem), &uniform, LocalSearchConfig::default()))
+    });
+    let blocks: Vec<u32> = (0..n as u32).map(|u| u % 4).collect();
+    let partition = PartitionMatroid::new(blocks, vec![3, 3, 3, 3]);
+    group.bench_function("partition_4x3", |b| {
+        b.iter(|| {
+            local_search_matroid(
+                black_box(&problem),
+                &partition,
+                LocalSearchConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_refine, bench_matroid_constraints);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Runs the DESIGN.md ablations: gain cache, non-oblivious potential,
+//! local-search pivoting, the appendix counterexample and relaxed-metric
+//! analysis.
+
+use msd_bench::experiments::ablations::{run_all, AblationConfig};
+
+fn main() {
+    println!("{}", run_all(&AblationConfig::default()));
+}

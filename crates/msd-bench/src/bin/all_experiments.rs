@@ -1,0 +1,92 @@
+//! Runs every table, the figure and the ablations in order — the one-shot
+//! reproduction entry point referenced by EXPERIMENTS.md.
+
+use msd_bench::experiments::ablations::{run_all, AblationConfig};
+use msd_bench::experiments::fig1::{render_fig1, run_fig1, Fig1Config};
+use msd_bench::experiments::letor_tables::{
+    render_table8, run_table4, run_table5, run_table6, run_table7, run_table8, LetorTableConfig,
+};
+use msd_bench::experiments::synthetic_tables::{
+    render_with_opt, render_with_times, run_table1, run_table2, run_table3, SyntheticTableConfig,
+};
+use msd_bench::fmt::{f3, ms, Table};
+
+fn main() {
+    println!("# Reproduction run: Borodin et al., Max-Sum Diversification (PODS 2012)\n");
+
+    println!("## Table 1 (synthetic, N=50, with OPT)");
+    println!(
+        "{}",
+        render_with_opt(&run_table1(&SyntheticTableConfig::table1()))
+    );
+
+    println!("## Table 2 (synthetic, N=500, with LS and times)");
+    println!(
+        "{}",
+        render_with_times(&run_table2(&SyntheticTableConfig::table2()))
+    );
+
+    println!("## Table 3 (synthetic, N=50, improved variants)");
+    println!(
+        "{}",
+        render_with_opt(&run_table3(&SyntheticTableConfig::table3()))
+    );
+
+    println!("## Table 4 (simulated LETOR, top-50, with OPT)");
+    println!(
+        "{}",
+        render_with_opt(&run_table4(&LetorTableConfig::table4()))
+    );
+
+    println!("## Table 5 (simulated LETOR, top-370, with LS and times)");
+    println!(
+        "{}",
+        render_with_times(&run_table5(&LetorTableConfig::table5()))
+    );
+
+    println!("## Table 6 (simulated LETOR, top-50, average over 5 queries)");
+    let rows = run_table6(&LetorTableConfig::table6());
+    let mut t = Table::new(&["p", "AF_GreedyA", "AF_GreedyB"]);
+    for r in &rows {
+        t.row(vec![
+            r.p.to_string(),
+            f3(r.af_a().unwrap_or(f64::NAN)),
+            f3(r.af_b().unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("## Table 7 (simulated LETOR, full pools, average over 5 queries)");
+    let rows = run_table7(&LetorTableConfig::table7());
+    let mut t = Table::new(&[
+        "p",
+        "AF_B/A",
+        "AF_LS/B",
+        "Time_A(ms)",
+        "Time_B(ms)",
+        "Time_A/B",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.p.to_string(),
+            f3(r.rel_b_over_a()),
+            f3(r.rel_ls_over_b().unwrap_or(f64::NAN)),
+            ms(r.time_a_ms),
+            ms(r.time_b_ms),
+            f3(r.time_ratio()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("## Table 8 (documents returned, simulated LETOR top-50)");
+    println!(
+        "{}",
+        render_table8(&run_table8(&LetorTableConfig::table8()))
+    );
+
+    println!("## Figure 1 (dynamic updates)");
+    println!("{}", render_fig1(&run_fig1(&Fig1Config::paper())));
+
+    println!("## Ablations");
+    println!("{}", run_all(&AblationConfig::default()));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 1: Greedy A vs Greedy B vs OPT on synthetic data
+//! (N = 50, p ∈ {3..7}, λ = 0.2, 5 trials averaged).
+
+use msd_bench::experiments::synthetic_tables::{render_with_opt, run_table1, SyntheticTableConfig};
+
+fn main() {
+    let config = SyntheticTableConfig::table1();
+    println!(
+        "Table 1: Comparison of Greedy A and Greedy B (N = {}, lambda = {}, {} trials)\n",
+        config.n, config.lambda, config.trials
+    );
+    let rows = run_table1(&config);
+    println!("{}", render_with_opt(&rows));
+}

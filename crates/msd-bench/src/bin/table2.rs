@@ -1,0 +1,16 @@
+//! Regenerates Table 2: Greedy A, Greedy B and budgeted LS with wall
+//! times on synthetic data (N = 500, p ∈ {5, 10, …, 75}, λ = 0.2).
+
+use msd_bench::experiments::synthetic_tables::{
+    render_with_times, run_table2, SyntheticTableConfig,
+};
+
+fn main() {
+    let config = SyntheticTableConfig::table2();
+    println!(
+        "Table 2: Comparison of Greedy A, Greedy B and LS (N = {}, lambda = {}, {} trials)\n",
+        config.n, config.lambda, config.trials
+    );
+    let rows = run_table2(&config);
+    println!("{}", render_with_times(&rows));
+}

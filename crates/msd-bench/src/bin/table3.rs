@@ -1,0 +1,14 @@
+//! Regenerates Table 3: *improved* Greedy A (best last vertex) vs
+//! *improved* Greedy B (best-pair start) on synthetic data (N = 50).
+
+use msd_bench::experiments::synthetic_tables::{render_with_opt, run_table3, SyntheticTableConfig};
+
+fn main() {
+    let config = SyntheticTableConfig::table3();
+    println!(
+        "Table 3: Improved Greedy A vs Improved Greedy B (N = {}, lambda = {}, {} trial)\n",
+        config.n, config.lambda, config.trials
+    );
+    let rows = run_table3(&config);
+    println!("{}", render_with_opt(&rows));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 4: Greedy A vs Greedy B vs OPT on the simulated
+//! LETOR corpus (one query, top-50 documents by relevance, p ∈ {3..7}).
+
+use msd_bench::experiments::letor_tables::{run_table4, LetorTableConfig};
+use msd_bench::experiments::synthetic_tables::render_with_opt;
+
+fn main() {
+    let config = LetorTableConfig::table4();
+    println!(
+        "Table 4: Greedy A vs Greedy B on simulated LETOR (top {} docs, lambda = {})\n",
+        config.top_k.unwrap(),
+        config.lambda
+    );
+    let rows = run_table4(&config);
+    println!("{}", render_with_opt(&rows));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 5: Greedy A, Greedy B and budgeted LS on the
+//! simulated LETOR corpus (one query, top-370 documents, p ∈ {5, …, 75}).
+
+use msd_bench::experiments::letor_tables::{run_table5, LetorTableConfig};
+use msd_bench::experiments::synthetic_tables::render_with_times;
+
+fn main() {
+    let config = LetorTableConfig::table5();
+    println!(
+        "Table 5: Greedy A, Greedy B and LS on simulated LETOR (top {} docs, lambda = {})\n",
+        config.top_k.unwrap(),
+        config.lambda
+    );
+    let rows = run_table5(&config);
+    println!("{}", render_with_times(&rows));
+}

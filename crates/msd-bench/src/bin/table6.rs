@@ -1,0 +1,23 @@
+//! Regenerates Table 6: observed approximation factors averaged over 5
+//! simulated-LETOR queries (top-50 pools, p ∈ {3..7}).
+
+use msd_bench::experiments::letor_tables::{run_table6, LetorTableConfig};
+use msd_bench::fmt::{f3, Table};
+
+fn main() {
+    let config = LetorTableConfig::table6();
+    println!(
+        "Table 6: Greedy A vs Greedy B on simulated LETOR (top-50, average over {} queries)\n",
+        config.queries
+    );
+    let rows = run_table6(&config);
+    let mut t = Table::new(&["p", "AF_GreedyA", "AF_GreedyB"]);
+    for r in &rows {
+        t.row(vec![
+            r.p.to_string(),
+            f3(r.af_a().unwrap_or(f64::NAN)),
+            f3(r.af_b().unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table 7: relative approximation factors and times averaged
+//! over 5 simulated-LETOR queries (full pools, p ∈ {5, …, 75}).
+
+use msd_bench::experiments::letor_tables::{run_table7, LetorTableConfig};
+use msd_bench::fmt::{f3, ms, Table};
+
+fn main() {
+    let config = LetorTableConfig::table7();
+    println!(
+        "Table 7: Greedy A, Greedy B and LS on simulated LETOR (full pools, average over {} queries)\n",
+        config.queries
+    );
+    let rows = run_table7(&config);
+    let mut t = Table::new(&[
+        "p",
+        "AF_B/A",
+        "AF_LS/B",
+        "Time_A(ms)",
+        "Time_B(ms)",
+        "Time_A/B",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.p.to_string(),
+            f3(r.rel_b_over_a()),
+            f3(r.rel_ls_over_b().unwrap_or(f64::NAN)),
+            ms(r.time_a_ms),
+            ms(r.time_b_ms),
+            f3(r.time_ratio()),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 8: the document ids returned by Greedy A, Greedy B
+//! and OPT on the simulated-LETOR top-50 pool, p ∈ {3..7}.
+
+use msd_bench::experiments::letor_tables::{render_table8, run_table8, LetorTableConfig};
+
+fn main() {
+    let config = LetorTableConfig::table8();
+    println!(
+        "Table 8: documents returned for the top-{} document data set\n",
+        config.top_k.unwrap()
+    );
+    let rows = run_table8(&config);
+    println!("{}", render_table8(&rows));
+}

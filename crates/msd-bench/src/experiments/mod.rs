@@ -1,0 +1,18 @@
+//! One module per table/figure of the paper's Section 7, plus the
+//! DESIGN.md ablations.
+//!
+//! Every module exposes a `Config` (with `paper()` defaults matching the
+//! published parameters and smaller settings for tests) and a `run`
+//! function returning structured rows; `render` turns rows into the
+//! printable table.
+
+pub mod ablations;
+pub mod fig1;
+pub mod letor_tables;
+pub mod synthetic_tables;
+
+pub use fig1::{run_fig1, Fig1Config, Fig1Point};
+pub use letor_tables::{
+    run_table4, run_table5, run_table6, run_table7, run_table8, LetorTableConfig,
+};
+pub use synthetic_tables::{run_table1, run_table2, run_table3, SyntheticTableConfig};

@@ -1,0 +1,241 @@
+//! The Appendix counterexample: greedy is unboundedly bad under a matroid.
+//!
+//! The paper's Appendix constructs a partition-matroid instance on which the
+//! Section 4 greedy has no constant approximation ratio, motivating local
+//! search for the matroid case:
+//!
+//! * Universe `A ∪ C` with `A = {a, b}` (capacity 1) and
+//!   `C = {c_1, …, c_r}` (unbounded capacity);
+//! * quality `q(a) = ℓ + ε`, `q(x) = 0` otherwise;
+//! * distances `d(b, x) = ℓ` for all `x ≠ b` and `d(u, v) = ε` for all
+//!   other pairs;
+//! * objective `f(S) + Σ_{u,v ∈ S} d(u,v)` (i.e. `λ = 1`).
+//!
+//! Greedy starts with `a` (or the best pair, which also contains `a`),
+//! which exhausts block `A` and locks `b` out, yielding
+//! `φ = ℓ + ε + ε·C(r,2) + r·ε`, while the optimum `C ∪ {b}` has
+//! `φ = r·ℓ + ε·C(r,2)`. With `ε = 1/C(r,2)` the ratio grows without bound
+//! in `r`. Local search (Theorem 2) stays within factor 2 on the same
+//! instance — the integration tests exercise exactly that contrast.
+
+use msd_matroid::PartitionMatroid;
+use msd_metric::DistanceMatrix;
+use msd_submodular::ModularFunction;
+
+use crate::problem::DiversificationProblem;
+use crate::ElementId;
+
+/// The instantiated appendix counterexample.
+#[derive(Debug, Clone)]
+pub struct AppendixInstance {
+    /// The diversification problem (λ = 1).
+    pub problem: DiversificationProblem<DistanceMatrix, ModularFunction>,
+    /// The two-block partition matroid (`{a, b}` capacity 1, `C`
+    /// unbounded).
+    pub matroid: PartitionMatroid,
+    /// Element id of `a` (always 0).
+    pub a: ElementId,
+    /// Element id of `b` (always 1).
+    pub b: ElementId,
+    /// The parameter `ℓ`.
+    pub ell: f64,
+    /// The parameter `ε` (defaults to `1/C(r,2)`).
+    pub epsilon: f64,
+    /// Number of `c_i` elements.
+    pub r: usize,
+}
+
+impl AppendixInstance {
+    /// Builds the instance with the paper's choice `ε = 1/C(r,2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `r < 2` (the construction needs at least one `c`-pair)
+    /// or non-positive `ℓ`.
+    pub fn new(r: usize, ell: f64) -> Self {
+        assert!(r >= 2, "need r >= 2, got {r}");
+        assert!(ell > 0.0, "need ell > 0, got {ell}");
+        let epsilon = 1.0 / (r * (r - 1) / 2) as f64;
+        Self::with_epsilon(r, ell, epsilon)
+    }
+
+    /// Builds the instance with an explicit `ε ∈ (0, ℓ]`.
+    pub fn with_epsilon(r: usize, ell: f64, epsilon: f64) -> Self {
+        assert!(r >= 2, "need r >= 2, got {r}");
+        assert!(ell > 0.0, "need ell > 0, got {ell}");
+        assert!(
+            epsilon > 0.0 && epsilon <= ell,
+            "need 0 < epsilon <= ell for metricity, got {epsilon}"
+        );
+        let n = r + 2;
+        // ids: 0 = a, 1 = b, 2.. = c_i.
+        let metric =
+            DistanceMatrix::from_fn(n, |u, v| if u == 1 || v == 1 { ell } else { epsilon });
+        let mut weights = vec![0.0; n];
+        weights[0] = ell + epsilon;
+        let quality = ModularFunction::new(weights);
+        let problem = DiversificationProblem::new(metric, quality, 1.0);
+
+        // Block 0 = {a, b} with capacity 1; block 1 = C, capacity r.
+        let mut block_of = vec![1u32; n];
+        block_of[0] = 0;
+        block_of[1] = 0;
+        let matroid = PartitionMatroid::new(block_of, vec![1, r as u32]);
+
+        Self {
+            problem,
+            matroid,
+            a: 0,
+            b: 1,
+            ell,
+            epsilon,
+            r,
+        }
+    }
+
+    /// The greedy solution's value `φ(C ∪ {a}) = ℓ + ε + ε·C(r,2) + r·ε`.
+    pub fn greedy_value(&self) -> f64 {
+        let pairs = (self.r * (self.r - 1) / 2) as f64;
+        self.ell + self.epsilon + self.epsilon * pairs + self.r as f64 * self.epsilon
+    }
+
+    /// The optimal value `φ(C ∪ {b}) = r·ℓ + ε·C(r,2)`.
+    pub fn optimal_value(&self) -> f64 {
+        let pairs = (self.r * (self.r - 1) / 2) as f64;
+        self.r as f64 * self.ell + self.epsilon * pairs
+    }
+
+    /// The optimal basis `C ∪ {b}`.
+    pub fn optimal_set(&self) -> Vec<ElementId> {
+        let mut s: Vec<ElementId> = vec![self.b];
+        s.extend(2..(self.r + 2) as ElementId);
+        s
+    }
+
+    /// The greedy trap basis `C ∪ {a}`.
+    pub fn greedy_set(&self) -> Vec<ElementId> {
+        let mut s: Vec<ElementId> = vec![self.a];
+        s.extend(2..(self.r + 2) as ElementId);
+        s
+    }
+
+    /// The approximation ratio the greedy attains: `OPT / greedy`.
+    pub fn greedy_ratio(&self) -> f64 {
+        self.optimal_value() / self.greedy_value()
+    }
+}
+
+/// Simulates the Section 4 greedy constrained to the partition matroid
+/// (add the max-potential element whose addition stays independent). This
+/// is the natural matroid adaptation that the Appendix shows is broken.
+pub fn matroid_constrained_greedy(instance: &AppendixInstance) -> Vec<ElementId> {
+    use msd_matroid::Matroid;
+    use msd_metric::Metric;
+    use msd_submodular::SetFunction;
+
+    let problem = &instance.problem;
+    let matroid = &instance.matroid;
+    let n = problem.ground_size();
+    let mut members: Vec<ElementId> = Vec::new();
+    loop {
+        let mut best: Option<ElementId> = None;
+        let mut best_score = f64::NEG_INFINITY;
+        for u in 0..n as ElementId {
+            if members.contains(&u) || !matroid.can_add(u, &members) {
+                continue;
+            }
+            let score = 0.5 * problem.quality().marginal(u, &members)
+                + problem.lambda() * problem.metric().distance_to_set(u, &members);
+            if score > best_score {
+                best_score = score;
+                best = Some(u);
+            }
+        }
+        match best {
+            Some(u) => members.push(u),
+            None => break,
+        }
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_search::{local_search_matroid, LocalSearchConfig};
+    use msd_matroid::Matroid;
+    use msd_metric::MetricAudit;
+
+    #[test]
+    fn instance_is_metric() {
+        let inst = AppendixInstance::new(6, 2.0);
+        MetricAudit::check(inst.problem.metric()).assert_metric();
+    }
+
+    #[test]
+    fn closed_forms_match_direct_evaluation() {
+        let inst = AppendixInstance::new(8, 3.0);
+        let g = inst.problem.objective(&inst.greedy_set());
+        let o = inst.problem.objective(&inst.optimal_set());
+        assert!((g - inst.greedy_value()).abs() < 1e-9);
+        assert!((o - inst.optimal_value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_walks_into_the_trap() {
+        let inst = AppendixInstance::new(10, 2.0);
+        let mut g = matroid_constrained_greedy(&inst);
+        g.sort_unstable();
+        let mut expected = inst.greedy_set();
+        expected.sort_unstable();
+        assert_eq!(g, expected, "greedy must pick a and never b");
+    }
+
+    #[test]
+    fn greedy_ratio_grows_with_r() {
+        let small = AppendixInstance::new(5, 2.0);
+        let large = AppendixInstance::new(50, 2.0);
+        assert!(large.greedy_ratio() > small.greedy_ratio());
+        assert!(
+            large.greedy_ratio() > 10.0,
+            "ratio at r=50 should be large, got {}",
+            large.greedy_ratio()
+        );
+    }
+
+    #[test]
+    fn local_search_stays_within_factor_two_on_the_same_instance() {
+        let inst = AppendixInstance::new(12, 2.0);
+        let r = local_search_matroid(&inst.problem, &inst.matroid, LocalSearchConfig::default());
+        assert!(inst.matroid.is_independent(&r.set));
+        assert!(
+            2.0 * r.objective >= inst.optimal_value() - 1e-9,
+            "local search {} vs OPT {}",
+            r.objective,
+            inst.optimal_value()
+        );
+        // On this instance local search actually escapes the trap and
+        // finds the optimum (it swaps a for b).
+        assert!(r.set.contains(&inst.b));
+    }
+
+    #[test]
+    fn greedy_and_optimal_sets_are_bases() {
+        let inst = AppendixInstance::new(7, 1.5);
+        assert!(inst.matroid.is_independent(&inst.greedy_set()));
+        assert!(inst.matroid.is_independent(&inst.optimal_set()));
+        assert_eq!(inst.matroid.rank(), inst.r + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "need r >= 2")]
+    fn tiny_r_rejected() {
+        let _ = AppendixInstance::new(1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "metricity")]
+    fn epsilon_above_ell_rejected() {
+        let _ = AppendixInstance::with_epsilon(5, 1.0, 2.0);
+    }
+}

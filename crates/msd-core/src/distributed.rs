@@ -1,0 +1,363 @@
+//! Distributed (partitioned) diversification.
+//!
+//! The paper's conclusion points to follow-on work on "the approximation
+//! ratio and application of diversification maximization in a distributed
+//! setting" (Abbasi-Zadeh, Ghadiri, Mirrokni, Zadimoghaddam — scalable
+//! feature selection via distributed diversity maximization). This module
+//! implements the standard two-round composable scheme adapted to the
+//! max-sum objective:
+//!
+//! 1. **Map**: partition the ground set across `machines`; each machine
+//!    runs Greedy B locally and proposes `p` elements.
+//! 2. **Reduce**: run Greedy B over the union of proposals, and also keep
+//!    the best single machine's proposal; return the better of the two.
+//!
+//! The scheme is deterministic given the partition, needs one round of
+//! communication of `machines · p` element ids, and in the modular-quality
+//! case inherits a constant-factor guarantee from the composability of the
+//! greedy (the dispersion term is the delicate part; see the tests for the
+//! empirical ratio). The partitioner is pluggable so round-robin,
+//! contiguous-shard and random partitions can be compared.
+
+use msd_metric::Metric;
+use msd_submodular::SetFunction;
+
+use crate::greedy::{greedy_b, GreedyBConfig};
+use crate::problem::DiversificationProblem;
+use crate::ElementId;
+
+/// How the ground set is split across machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// Element `u` goes to machine `u mod machines`.
+    RoundRobin,
+    /// Contiguous shards of (almost) equal size.
+    Contiguous,
+}
+
+/// Configuration for the distributed solver.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedConfig {
+    /// Number of simulated machines (≥ 1).
+    pub machines: usize,
+    /// Partitioning scheme.
+    pub scheme: PartitionScheme,
+    /// Greedy settings used in both rounds.
+    pub greedy: GreedyBConfig,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        Self {
+            machines: 4,
+            scheme: PartitionScheme::RoundRobin,
+            greedy: GreedyBConfig::default(),
+        }
+    }
+}
+
+/// Result of a distributed solve.
+#[derive(Debug, Clone)]
+pub struct DistributedResult {
+    /// The final selected set (size `min(p, n)`).
+    pub set: Vec<ElementId>,
+    /// Objective of the final set.
+    pub objective: f64,
+    /// Ids proposed per machine in the map round (diagnostics).
+    pub proposals: Vec<Vec<ElementId>>,
+    /// `true` when the reduce-round greedy beat every single machine.
+    pub reduce_won: bool,
+}
+
+/// Two-round distributed Greedy B over a partitioned ground set.
+///
+/// # Panics
+///
+/// Panics when `machines == 0`.
+pub fn distributed_greedy<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    p: usize,
+    config: DistributedConfig,
+) -> DistributedResult {
+    assert!(config.machines > 0, "need at least one machine");
+    let n = problem.ground_size();
+    let p = p.min(n);
+    if p == 0 {
+        return DistributedResult {
+            set: Vec::new(),
+            objective: 0.0,
+            proposals: vec![Vec::new(); config.machines],
+            reduce_won: false,
+        };
+    }
+
+    // Map round: each machine solves its shard via the restricted-view
+    // sub-problem.
+    let mut shards: Vec<Vec<ElementId>> = vec![Vec::new(); config.machines];
+    match config.scheme {
+        PartitionScheme::RoundRobin => {
+            for u in 0..n as ElementId {
+                shards[u as usize % config.machines].push(u);
+            }
+        }
+        PartitionScheme::Contiguous => {
+            let per = n.div_ceil(config.machines);
+            for u in 0..n as ElementId {
+                shards[(u as usize / per).min(config.machines - 1)].push(u);
+            }
+        }
+    }
+    let proposals: Vec<Vec<ElementId>> = shards
+        .iter()
+        .map(|shard| solve_restricted(problem, shard, p, config.greedy))
+        .collect();
+
+    // Reduce round: greedy over the union of proposals.
+    let union: Vec<ElementId> = {
+        let mut all: Vec<ElementId> = proposals.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    };
+    let reduced = solve_restricted(problem, &union, p, config.greedy);
+    let reduced_val = problem.objective(&reduced);
+
+    // Compare with the best single machine (composability safeguard).
+    let best_machine = proposals
+        .iter()
+        .map(|s| problem.objective(s))
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    if reduced_val >= best_machine {
+        DistributedResult {
+            objective: reduced_val,
+            set: reduced,
+            proposals,
+            reduce_won: true,
+        }
+    } else {
+        let winner = proposals
+            .iter()
+            .max_by(|a, b| {
+                problem
+                    .objective(a)
+                    .partial_cmp(&problem.objective(b))
+                    .expect("objectives must be comparable")
+            })
+            .cloned()
+            .unwrap_or_default();
+        DistributedResult {
+            objective: problem.objective(&winner),
+            set: winner,
+            proposals,
+            reduce_won: false,
+        }
+    }
+}
+
+/// Runs Greedy B on the sub-universe `allowed` (ids stay global).
+fn solve_restricted<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    allowed: &[ElementId],
+    p: usize,
+    config: GreedyBConfig,
+) -> Vec<ElementId> {
+    // View adapters remap the restricted universe 0..k onto global ids.
+    struct MetricView<'a, M> {
+        inner: &'a M,
+        ids: &'a [ElementId],
+    }
+    impl<M: Metric> Metric for MetricView<'_, M> {
+        fn len(&self) -> usize {
+            self.ids.len()
+        }
+        fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+            self.inner
+                .distance(self.ids[u as usize], self.ids[v as usize])
+        }
+    }
+    struct QualityView<'a, F> {
+        inner: &'a F,
+        ids: &'a [ElementId],
+    }
+    impl<F: SetFunction> SetFunction for QualityView<'_, F> {
+        fn ground_size(&self) -> usize {
+            self.ids.len()
+        }
+        fn value(&self, set: &[ElementId]) -> f64 {
+            let mapped: Vec<ElementId> = set.iter().map(|&e| self.ids[e as usize]).collect();
+            self.inner.value(&mapped)
+        }
+        fn marginal(&self, u: ElementId, set: &[ElementId]) -> f64 {
+            let mapped: Vec<ElementId> = set.iter().map(|&e| self.ids[e as usize]).collect();
+            self.inner.marginal(self.ids[u as usize], &mapped)
+        }
+    }
+
+    let view = DiversificationProblem::new(
+        MetricView {
+            inner: problem.metric(),
+            ids: allowed,
+        },
+        QualityView {
+            inner: problem.quality(),
+            ids: allowed,
+        },
+        problem.lambda(),
+    );
+    let local = greedy_b(&view, p, config);
+    local.into_iter().map(|e| allowed[e as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::enumerate_exact;
+    use msd_metric::DistanceMatrix;
+    use msd_submodular::ModularFunction;
+
+    fn instance(seed: u64, n: usize) -> DiversificationProblem<DistanceMatrix, ModularFunction> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let weights: Vec<f64> = (0..n).map(|_| next()).collect();
+        let metric = DistanceMatrix::from_fn(n, |_, _| 1.0 + next());
+        DiversificationProblem::new(metric, ModularFunction::new(weights), 0.2)
+    }
+
+    #[test]
+    fn returns_requested_cardinality_and_valid_ids() {
+        let problem = instance(1, 40);
+        for machines in [1usize, 3, 8] {
+            for scheme in [PartitionScheme::RoundRobin, PartitionScheme::Contiguous] {
+                let r = distributed_greedy(
+                    &problem,
+                    6,
+                    DistributedConfig {
+                        machines,
+                        scheme,
+                        ..DistributedConfig::default()
+                    },
+                );
+                assert_eq!(r.set.len(), 6, "machines={machines} scheme={scheme:?}");
+                let mut d = r.set.clone();
+                d.sort_unstable();
+                d.dedup();
+                assert_eq!(d.len(), 6);
+                assert!(d.iter().all(|&u| (u as usize) < 40));
+                assert_eq!(r.proposals.len(), machines);
+            }
+        }
+    }
+
+    #[test]
+    fn one_machine_equals_plain_greedy() {
+        let problem = instance(2, 25);
+        let r = distributed_greedy(
+            &problem,
+            5,
+            DistributedConfig {
+                machines: 1,
+                ..DistributedConfig::default()
+            },
+        );
+        let plain = greedy_b(&problem, 5, GreedyBConfig::default());
+        assert_eq!(r.set, plain);
+        assert!(r.reduce_won);
+    }
+
+    #[test]
+    fn stays_within_constant_factor_of_optimum() {
+        // Empirical distributed ratio on exhaustively-solvable instances.
+        for seed in 0..10u64 {
+            let problem = instance(seed + 10, 12);
+            for machines in [2usize, 4] {
+                let r = distributed_greedy(
+                    &problem,
+                    4,
+                    DistributedConfig {
+                        machines,
+                        ..DistributedConfig::default()
+                    },
+                );
+                let opt = enumerate_exact(&problem, 4);
+                assert!(
+                    3.0 * r.objective >= opt.objective - 1e-9,
+                    "seed {seed}, {machines} machines: {} vs {}",
+                    r.objective,
+                    opt.objective
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_never_below_best_single_machine() {
+        let problem = instance(5, 30);
+        let r = distributed_greedy(&problem, 5, DistributedConfig::default());
+        for proposal in &r.proposals {
+            assert!(r.objective >= problem.objective(proposal) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn proposals_respect_their_shards() {
+        let problem = instance(7, 20);
+        let r = distributed_greedy(
+            &problem,
+            4,
+            DistributedConfig {
+                machines: 4,
+                scheme: PartitionScheme::RoundRobin,
+                ..DistributedConfig::default()
+            },
+        );
+        for (m, proposal) in r.proposals.iter().enumerate() {
+            assert!(
+                proposal.iter().all(|&u| u as usize % 4 == m),
+                "machine {m} proposed foreign elements: {proposal:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn p_zero_returns_empty() {
+        let problem = instance(3, 10);
+        let r = distributed_greedy(&problem, 0, DistributedConfig::default());
+        assert!(r.set.is_empty());
+        assert_eq!(r.objective, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_rejected() {
+        let problem = instance(1, 4);
+        let _ = distributed_greedy(
+            &problem,
+            2,
+            DistributedConfig {
+                machines: 0,
+                ..DistributedConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn shards_smaller_than_p_still_work() {
+        // 10 elements across 8 machines with p = 4: shards of size 1-2.
+        let problem = instance(9, 10);
+        let r = distributed_greedy(
+            &problem,
+            4,
+            DistributedConfig {
+                machines: 8,
+                ..DistributedConfig::default()
+            },
+        );
+        assert_eq!(r.set.len(), 4);
+    }
+}

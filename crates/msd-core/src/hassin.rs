@@ -1,0 +1,279 @@
+//! The Hassin–Rubinstein–Tamir algorithms for max-sum dispersion.
+//!
+//! Hassin, Rubinstein and Tamir (Oper. Res. Lett. 1997) gave two
+//! algorithms for metric max-sum `p`-dispersion (Problem 1 of the paper):
+//!
+//! * [`hassin_edge_greedy`] — greedily add the farthest remaining *edge*
+//!   (pair of vertices) ⌊p/2⌋ times; approximation ratio 2. This is the
+//!   engine inside Greedy A.
+//! * [`hassin_matching`] — pick a maximum-weight matching of ⌊p/2⌋ edges
+//!   and take its endpoints; approximation ratio `2 − 1/⌈p/2⌉`. Our
+//!   implementation finds the maximum-weight `⌊p/2⌋`-edge matching exactly
+//!   by branch-and-bound over edges (exponential in the worst case, fine
+//!   for the experiment sizes; the ratio claim is about the matching, not
+//!   about how it is found).
+//!
+//! Both return one extra arbitrary vertex when `p` is odd, as in the
+//! original paper.
+
+use msd_metric::Metric;
+
+use crate::ElementId;
+
+/// Edge-greedy dispersion: ratio 2.
+pub fn hassin_edge_greedy<M: Metric>(metric: &M, p: usize) -> Vec<ElementId> {
+    let n = metric.len();
+    let p = p.min(n);
+    if p == 0 {
+        return Vec::new();
+    }
+    let mut selected: Vec<ElementId> = Vec::with_capacity(p);
+    let mut available = vec![true; n];
+    for _ in 0..p / 2 {
+        let mut best: Option<(ElementId, ElementId)> = None;
+        let mut best_d = f64::NEG_INFINITY;
+        for u in 0..n as ElementId {
+            if !available[u as usize] {
+                continue;
+            }
+            for v in (u + 1)..n as ElementId {
+                if !available[v as usize] {
+                    continue;
+                }
+                let d = metric.distance(u, v);
+                if d > best_d {
+                    best_d = d;
+                    best = Some((u, v));
+                }
+            }
+        }
+        let (u, v) = best.expect("p <= n guarantees an available pair");
+        available[u as usize] = false;
+        available[v as usize] = false;
+        selected.push(u);
+        selected.push(v);
+    }
+    if p % 2 == 1 {
+        let last = (0..n as ElementId)
+            .find(|&u| available[u as usize])
+            .expect("p <= n guarantees an available vertex");
+        selected.push(last);
+    }
+    selected
+}
+
+/// Matching-based dispersion: ratio `2 − 1/⌈p/2⌉`.
+///
+/// Finds a maximum-weight matching with exactly `⌊p/2⌋` edges (by exact
+/// search with pruning) and returns its endpoints, plus one arbitrary
+/// vertex when `p` is odd.
+pub fn hassin_matching<M: Metric>(metric: &M, p: usize) -> Vec<ElementId> {
+    let n = metric.len();
+    let p = p.min(n);
+    if p == 0 {
+        return Vec::new();
+    }
+    let k = p / 2;
+
+    // All edges sorted by weight descending; DFS picks disjoint edges.
+    let mut edges: Vec<(f64, ElementId, ElementId)> = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as ElementId {
+        for v in (u + 1)..n as ElementId {
+            edges.push((metric.distance(u, v), u, v));
+        }
+    }
+    edges.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("distances must be comparable"));
+
+    /// DFS state for the exact `k`-edge matching search. The completion
+    /// bound uses the next `need` edges' weights regardless of
+    /// disjointness (edges are sorted descending, so this is optimistic).
+    struct MatchSearch<'a> {
+        edges: &'a [(f64, ElementId, ElementId)],
+        k: usize,
+        used: Vec<bool>,
+        current: Vec<(ElementId, ElementId)>,
+        best_weight: f64,
+        best_matching: Vec<(ElementId, ElementId)>,
+    }
+
+    impl MatchSearch<'_> {
+        fn dfs(&mut self, start: usize, weight: f64) {
+            if self.current.len() == self.k {
+                if weight > self.best_weight {
+                    self.best_weight = weight;
+                    self.best_matching = self.current.clone();
+                }
+                return;
+            }
+            let need = self.k - self.current.len();
+            if self.edges.len() - start < need {
+                return;
+            }
+            let optimistic: f64 = self.edges[start..start + need].iter().map(|e| e.0).sum();
+            if weight + optimistic <= self.best_weight + 1e-15 {
+                return;
+            }
+            let (w, u, v) = self.edges[start];
+            if !self.used[u as usize] && !self.used[v as usize] {
+                self.used[u as usize] = true;
+                self.used[v as usize] = true;
+                self.current.push((u, v));
+                self.dfs(start + 1, weight + w);
+                self.current.pop();
+                self.used[u as usize] = false;
+                self.used[v as usize] = false;
+            }
+            self.dfs(start + 1, weight);
+        }
+    }
+
+    let mut search = MatchSearch {
+        edges: &edges,
+        k,
+        used: vec![false; n],
+        current: Vec::with_capacity(k),
+        best_weight: f64::NEG_INFINITY,
+        best_matching: Vec::new(),
+    };
+    if k > 0 {
+        search.dfs(0, 0.0);
+    }
+    let best_matching = search.best_matching;
+
+    let mut selected: Vec<ElementId> = Vec::with_capacity(p);
+    let mut in_sel = vec![false; n];
+    for (u, v) in best_matching {
+        selected.push(u);
+        selected.push(v);
+        in_sel[u as usize] = true;
+        in_sel[v as usize] = true;
+    }
+    if p % 2 == 1 {
+        let last = (0..n as ElementId)
+            .find(|&u| !in_sel[u as usize])
+            .expect("p <= n guarantees an available vertex");
+        selected.push(last);
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_metric::DistanceMatrix;
+
+    fn pseudo_random_metric(seed: u64, n: usize) -> DistanceMatrix {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        DistanceMatrix::from_fn(n, |_, _| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            1.0 + (x >> 11) as f64 / (1u64 << 53) as f64
+        })
+    }
+
+    /// Brute-force max-sum dispersion for ground truth.
+    fn opt_dispersion(metric: &DistanceMatrix, p: usize) -> f64 {
+        let n = metric.len();
+        let mut best = f64::NEG_INFINITY;
+        let masks = 1u32 << n;
+        for mask in 0..masks {
+            if mask.count_ones() as usize != p {
+                continue;
+            }
+            let set: Vec<ElementId> = (0..n as ElementId)
+                .filter(|&i| mask >> i & 1 == 1)
+                .collect();
+            best = best.max(metric.dispersion(&set));
+        }
+        best
+    }
+
+    #[test]
+    fn edge_greedy_picks_farthest_pairs() {
+        let pos = [0.0_f64, 1.0, 10.0, 11.0];
+        let m = DistanceMatrix::from_points(&pos, |a, b| (a - b).abs());
+        let mut s = hassin_edge_greedy(&m, 2);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 3]);
+        // p = 4 takes both pairs.
+        assert_eq!(hassin_edge_greedy(&m, 4).len(), 4);
+    }
+
+    #[test]
+    fn edge_greedy_within_factor_two() {
+        for seed in 0..10u64 {
+            let m = pseudo_random_metric(seed, 10);
+            for p in [2usize, 4, 6] {
+                let s = hassin_edge_greedy(&m, p);
+                let val = m.dispersion(&s);
+                let opt = opt_dispersion(&m, p);
+                assert!(2.0 * val >= opt - 1e-9, "seed {seed} p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn matching_within_its_tighter_ratio() {
+        // 2 − 1/⌈p/2⌉ approximation for even p.
+        for seed in 0..10u64 {
+            let m = pseudo_random_metric(seed + 100, 10);
+            for p in [2usize, 4, 6] {
+                let s = hassin_matching(&m, p);
+                assert_eq!(s.len(), p);
+                let val = m.dispersion(&s);
+                let opt = opt_dispersion(&m, p);
+                let ratio = 2.0 - 1.0 / p.div_ceil(2) as f64;
+                assert!(
+                    ratio * val >= opt - 1e-9,
+                    "seed {seed} p {p}: {val} vs opt {opt} (ratio {ratio})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matching_beats_or_matches_edge_greedy_weight() {
+        // The exact matching's total matched weight is >= the greedy
+        // matching's.
+        for seed in 0..5u64 {
+            let m = pseudo_random_metric(seed + 7, 9);
+            let p = 6;
+            let greedy = hassin_edge_greedy(&m, p);
+            let matching = hassin_matching(&m, p);
+            let pair_weight =
+                |s: &[ElementId]| -> f64 { s.chunks(2).map(|c| m.distance(c[0], c[1])).sum() };
+            assert!(pair_weight(&matching) >= pair_weight(&greedy) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn p_one_returns_single_vertex() {
+        let m = pseudo_random_metric(3, 5);
+        assert_eq!(hassin_edge_greedy(&m, 1).len(), 1);
+        assert_eq!(hassin_matching(&m, 1).len(), 1);
+    }
+
+    #[test]
+    fn odd_p_adds_extra_vertex() {
+        let m = pseudo_random_metric(4, 7);
+        let s = hassin_edge_greedy(&m, 5);
+        assert_eq!(s.len(), 5);
+        let s = hassin_matching(&m, 5);
+        assert_eq!(s.len(), 5);
+        // no duplicates
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let m = pseudo_random_metric(9, 4);
+        assert!(hassin_edge_greedy(&m, 0).is_empty());
+        assert!(hassin_matching(&m, 0).is_empty());
+        assert_eq!(hassin_edge_greedy(&m, 99).len(), 4);
+        assert_eq!(hassin_matching(&m, 99).len(), 4);
+    }
+}

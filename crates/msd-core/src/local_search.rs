@@ -1,0 +1,463 @@
+//! Single-swap local search over matroid bases (Section 5, Theorem 2).
+//!
+//! ```text
+//! {x, y} = argmax_{ {x,y} ∈ F } [ f({x,y}) + λ·d(x,y) ]
+//! let S be a basis containing x and y
+//! while ∃ u ∈ U−S, v ∈ S with S − v + u ∈ F and φ(S − v + u) > φ(S)
+//!     S = S − v + u
+//! return S
+//! ```
+//!
+//! Theorem 2: the result is a 2-approximation for max-sum diversification
+//! with a monotone submodular quality function under any matroid
+//! constraint — the regime where the Section 4 greedy provably fails (see
+//! [`crate::counterexample`]).
+//!
+//! As the paper notes after Theorem 2, requiring at least an
+//! ε-improvement per swap makes the algorithm polynomial at a small cost
+//! in the ratio; [`LocalSearchConfig::epsilon`] exposes that knob
+//! (`epsilon = 0` reproduces the plain rule).
+//!
+//! [`local_search_refine`] is the *budgeted* variant of Section 7's
+//! experiments: it starts from a given solution (there, Greedy B's output)
+//! and performs best-improvement 1-swaps under a uniform matroid until a
+//! local optimum or a wall-clock budget is hit ("terminated … when the
+//! algorithm runs for ten times the time of the Greedy B initialization").
+
+use std::time::{Duration, Instant};
+
+use msd_matroid::Matroid;
+use msd_metric::Metric;
+use msd_submodular::SetFunction;
+
+use crate::problem::DiversificationProblem;
+use crate::solution::SolutionState;
+use crate::ElementId;
+
+/// Pivoting rule for choosing among improving swaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PivotRule {
+    /// Scan all `(u, v)` pairs and apply the best improving swap.
+    #[default]
+    BestImprovement,
+    /// Apply the first improving swap found (cheaper per iteration, more
+    /// iterations; same guarantee).
+    FirstImprovement,
+}
+
+/// Configuration for the local search.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearchConfig {
+    /// Relative improvement threshold: a swap is taken only if it improves
+    /// `φ` by more than `epsilon · max(|φ(S)|, 1)`. `0` is the paper's
+    /// plain rule; any `ε > 0` bounds the number of swaps polynomially at
+    /// a `(1+ε)` factor in the ratio.
+    pub epsilon: f64,
+    /// Hard cap on the number of swaps.
+    pub max_swaps: usize,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+    /// Pivoting rule.
+    pub pivot: PivotRule,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-12,
+            max_swaps: usize::MAX,
+            time_budget: None,
+            pivot: PivotRule::BestImprovement,
+        }
+    }
+}
+
+/// Outcome of a local-search run.
+#[derive(Debug, Clone)]
+pub struct LocalSearchResult {
+    /// The final solution.
+    pub set: Vec<ElementId>,
+    /// Its objective value.
+    pub objective: f64,
+    /// Number of swaps performed.
+    pub swaps: usize,
+    /// `true` if the run ended at a local optimum (rather than on a
+    /// budget/cap).
+    pub converged: bool,
+}
+
+/// The paper's Theorem 2 algorithm: local search over bases of `matroid`.
+///
+/// # Panics
+///
+/// Panics if the matroid's ground size disagrees with the problem's.
+pub fn local_search_matroid<M: Metric, F: SetFunction, Mat: Matroid>(
+    problem: &DiversificationProblem<M, F>,
+    matroid: &Mat,
+    config: LocalSearchConfig,
+) -> LocalSearchResult {
+    assert_eq!(
+        matroid.ground_size(),
+        problem.ground_size(),
+        "matroid and problem must share a ground set"
+    );
+    let n = problem.ground_size();
+    let rank = matroid.rank();
+    if rank == 0 || n == 0 {
+        return LocalSearchResult {
+            set: Vec::new(),
+            objective: 0.0,
+            swaps: 0,
+            converged: true,
+        };
+    }
+
+    // Initialization: the best independent pair {x, y}, extended to a
+    // basis. (If the rank is 1 no pair exists; fall back to the best
+    // singleton.)
+    let seed: Vec<ElementId> = if rank >= 2 {
+        let mut best: Option<(ElementId, ElementId)> = None;
+        let mut best_score = f64::NEG_INFINITY;
+        for x in 0..n as ElementId {
+            for y in (x + 1)..n as ElementId {
+                if !matroid.is_independent(&[x, y]) {
+                    continue;
+                }
+                let score = problem.quality().value(&[x, y])
+                    + problem.lambda() * problem.metric().distance(x, y);
+                if score > best_score {
+                    best_score = score;
+                    best = Some((x, y));
+                }
+            }
+        }
+        match best {
+            Some((x, y)) => vec![x, y],
+            None => Vec::new(),
+        }
+    } else {
+        let best = (0..n as ElementId)
+            .filter(|&x| matroid.is_independent(&[x]))
+            .max_by(|&a, &b| {
+                problem
+                    .quality()
+                    .singleton(a)
+                    .partial_cmp(&problem.quality().singleton(b))
+                    .expect("quality values must be comparable")
+            });
+        best.map(|x| vec![x]).unwrap_or_default()
+    };
+    let basis = matroid.extend_to_basis(&seed);
+    refine(problem, matroid, basis, config)
+}
+
+/// Budgeted refinement from an explicit starting set (Section 7's "LS").
+///
+/// The constraint is the uniform matroid of rank `|initial|` — i.e. plain
+/// 1-swap local search preserving the cardinality.
+pub fn local_search_refine<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    initial: &[ElementId],
+    config: LocalSearchConfig,
+) -> LocalSearchResult {
+    let matroid = msd_matroid::UniformMatroid::new(problem.ground_size(), initial.len());
+    refine(problem, &matroid, initial.to_vec(), config)
+}
+
+/// Core swap loop shared by both entry points.
+fn refine<M: Metric, F: SetFunction, Mat: Matroid>(
+    problem: &DiversificationProblem<M, F>,
+    matroid: &Mat,
+    initial: Vec<ElementId>,
+    config: LocalSearchConfig,
+) -> LocalSearchResult {
+    let start = Instant::now();
+    let n = problem.ground_size();
+    let metric = problem.metric();
+    let quality = problem.quality();
+    let lambda = problem.lambda();
+
+    let mut state = SolutionState::from_set(metric, &initial);
+    let mut objective = problem.objective(state.members());
+    let mut swaps = 0usize;
+    let mut converged = false;
+
+    'outer: loop {
+        if swaps >= config.max_swaps {
+            break;
+        }
+        if let Some(budget) = config.time_budget {
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        let threshold = config.epsilon * objective.abs().max(1.0);
+        let members = state.members().to_vec();
+        let mut best_swap: Option<(ElementId, ElementId, f64)> = None;
+
+        for u in 0..n as ElementId {
+            if state.contains(u) {
+                continue;
+            }
+            for &v in &members {
+                if !matroid.can_swap(u, v, &members) {
+                    continue;
+                }
+                // Δφ = f-swap-gain + λ·(d_u(S) − d(u,v) − d_v(S)), with the
+                // distance part O(1) from the gain cache.
+                let gain = quality.swap_gain(u, v, &members)
+                    + lambda * state.swap_dispersion_delta(metric, u, v);
+                if gain <= threshold {
+                    continue;
+                }
+                match config.pivot {
+                    PivotRule::FirstImprovement => {
+                        state.swap(metric, u, v);
+                        objective += gain;
+                        swaps += 1;
+                        continue 'outer;
+                    }
+                    PivotRule::BestImprovement => {
+                        if best_swap.is_none_or(|(_, _, g)| gain > g) {
+                            best_swap = Some((u, v, gain));
+                        }
+                    }
+                }
+            }
+        }
+        match best_swap {
+            Some((u, v, gain)) => {
+                state.swap(metric, u, v);
+                objective += gain;
+                swaps += 1;
+            }
+            None => {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    // Recompute the objective exactly to shed accumulated float drift.
+    let set = state.into_members();
+    let objective = problem.objective(&set);
+    LocalSearchResult {
+        set,
+        objective,
+        swaps,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::enumerate_exact;
+    use msd_matroid::{PartitionMatroid, UniformMatroid};
+    use msd_metric::DistanceMatrix;
+    use msd_submodular::{CoverageFunction, ModularFunction};
+
+    fn pseudo_random_instance(
+        seed: u64,
+        n: usize,
+    ) -> DiversificationProblem<DistanceMatrix, ModularFunction> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let weights: Vec<f64> = (0..n).map(|_| next()).collect();
+        let metric = DistanceMatrix::from_fn(n, |_, _| 1.0 + next());
+        DiversificationProblem::new(metric, ModularFunction::new(weights), 0.2)
+    }
+
+    #[test]
+    fn returns_a_basis_of_the_matroid() {
+        let problem = pseudo_random_instance(1, 8);
+        let matroid = PartitionMatroid::new(vec![0, 0, 0, 0, 1, 1, 1, 1], vec![2, 2]);
+        let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+        assert_eq!(r.set.len(), 4);
+        assert!(matroid.is_independent(&r.set));
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn local_optimum_has_no_improving_swap() {
+        let problem = pseudo_random_instance(2, 8);
+        let matroid = UniformMatroid::new(8, 3);
+        let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+        for u in 0..8u32 {
+            if r.set.contains(&u) {
+                continue;
+            }
+            for &v in &r.set {
+                let gain = problem.swap_gain(u, v, &r.set);
+                assert!(gain <= 1e-9, "improving swap {u}<->{v} left: {gain}");
+            }
+        }
+    }
+
+    #[test]
+    fn achieves_half_of_optimum_under_uniform_matroid() {
+        for seed in 0..10u64 {
+            let problem = pseudo_random_instance(seed, 9);
+            for p in 2..=4usize {
+                let matroid = UniformMatroid::new(9, p);
+                let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+                let opt = enumerate_exact(&problem, p);
+                assert!(
+                    2.0 * r.objective >= opt.objective - 1e-9,
+                    "seed {seed} p {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn achieves_half_of_optimum_under_partition_matroid() {
+        // Exhaustive optimum over the partition matroid's bases.
+        for seed in 0..8u64 {
+            let problem = pseudo_random_instance(seed + 50, 8);
+            let matroid = PartitionMatroid::new(vec![0, 0, 0, 0, 1, 1, 1, 1], vec![1, 2]);
+            let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+            // Brute force over all subsets.
+            let mut opt = f64::NEG_INFINITY;
+            for mask in 0u32..256 {
+                let set: Vec<ElementId> = (0..8).filter(|&i| mask >> i & 1 == 1).collect();
+                if set.len() == 3 && matroid.is_independent(&set) {
+                    opt = opt.max(problem.objective(&set));
+                }
+            }
+            assert!(2.0 * r.objective >= opt - 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn refine_never_decreases_the_objective() {
+        let problem = pseudo_random_instance(11, 12);
+        let initial: Vec<ElementId> = vec![0, 1, 2, 3];
+        let before = problem.objective(&initial);
+        let r = local_search_refine(&problem, &initial, LocalSearchConfig::default());
+        assert!(r.objective >= before - 1e-12);
+        assert_eq!(r.set.len(), 4);
+    }
+
+    #[test]
+    fn max_swaps_zero_returns_initial() {
+        let problem = pseudo_random_instance(4, 6);
+        let initial: Vec<ElementId> = vec![0, 1];
+        let r = local_search_refine(
+            &problem,
+            &initial,
+            LocalSearchConfig {
+                max_swaps: 0,
+                ..LocalSearchConfig::default()
+            },
+        );
+        assert_eq!(r.set, initial);
+        assert_eq!(r.swaps, 0);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn time_budget_zero_stops_immediately() {
+        let problem = pseudo_random_instance(4, 10);
+        let r = local_search_refine(
+            &problem,
+            &[0, 1, 2],
+            LocalSearchConfig {
+                time_budget: Some(Duration::ZERO),
+                ..LocalSearchConfig::default()
+            },
+        );
+        assert_eq!(r.swaps, 0);
+    }
+
+    #[test]
+    fn first_improvement_reaches_a_local_optimum_too() {
+        let problem = pseudo_random_instance(8, 9);
+        let cfg = LocalSearchConfig {
+            pivot: PivotRule::FirstImprovement,
+            ..LocalSearchConfig::default()
+        };
+        let matroid = UniformMatroid::new(9, 3);
+        let r = local_search_matroid(&problem, &matroid, cfg);
+        assert!(r.converged);
+        for u in 0..9u32 {
+            if r.set.contains(&u) {
+                continue;
+            }
+            for &v in &r.set {
+                assert!(problem.swap_gain(u, v, &r.set) <= 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn large_epsilon_stops_early_but_keeps_feasibility() {
+        let problem = pseudo_random_instance(9, 10);
+        let matroid = UniformMatroid::new(10, 4);
+        let r = local_search_matroid(
+            &problem,
+            &matroid,
+            LocalSearchConfig {
+                epsilon: 0.5,
+                ..LocalSearchConfig::default()
+            },
+        );
+        assert_eq!(r.set.len(), 4);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn rank_one_matroid_picks_best_singleton() {
+        let problem = pseudo_random_instance(3, 6);
+        let matroid = UniformMatroid::new(6, 1);
+        let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+        assert_eq!(r.set.len(), 1);
+        // Best singleton by φ = weight (dispersion of a singleton is 0).
+        let best = (0..6u32)
+            .max_by(|&a, &b| {
+                problem
+                    .quality()
+                    .weight(a)
+                    .partial_cmp(&problem.quality().weight(b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(r.set, vec![best]);
+    }
+
+    #[test]
+    fn zero_rank_matroid_returns_empty() {
+        let problem = pseudo_random_instance(3, 4);
+        let matroid = UniformMatroid::new(4, 0);
+        let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+        assert!(r.set.is_empty());
+        assert_eq!(r.objective, 0.0);
+    }
+
+    #[test]
+    fn works_with_submodular_quality_under_matroid() {
+        let cover = CoverageFunction::new(
+            vec![vec![0], vec![0], vec![1], vec![2], vec![3]],
+            vec![4.0, 3.0, 2.0, 1.0],
+        );
+        let metric = DistanceMatrix::from_fn(5, |_, _| 1.0);
+        let problem = DiversificationProblem::new(metric, cover, 0.1);
+        let matroid = UniformMatroid::new(5, 3);
+        let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+        // Optimal coverage picks one of {0,1}, plus 2 and 3 → f = 9.
+        assert!((problem.quality().value(&r.set) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a ground set")]
+    fn ground_size_mismatch_panics() {
+        let problem = pseudo_random_instance(1, 4);
+        let matroid = UniformMatroid::new(7, 2);
+        let _ = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+    }
+}

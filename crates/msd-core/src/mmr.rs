@@ -1,0 +1,215 @@
+//! Maximal Marginal Relevance (MMR) — Carbonell and Goldstein, SIGIR 1998.
+//!
+//! The paper's Related Work (Section 2) presents MMR as the classic
+//! diversification heuristic:
+//!
+//! ```text
+//! MMR = max_{D_i ∈ R−S} [ λ·sim1(D_i, Q) − (1−λ)·max_{D_j ∈ S} sim2(D_i, D_j) ]
+//! ```
+//!
+//! and observes that Greedy B "can be viewed as a natural extension of
+//! MMR" — the paper provides the theoretical justification MMR itself
+//! lacks. MMR is included here as an experimental baseline: it
+//! penalizes the *maximum* similarity to the selected set, whereas the
+//! max-sum objective rewards the *sum* of distances.
+
+use msd_metric::Metric;
+
+use crate::ElementId;
+
+/// Configuration for [`mmr_select`].
+#[derive(Debug, Clone, Copy)]
+pub struct MmrConfig {
+    /// Trade-off between relevance (`trade_off = 1`) and novelty
+    /// (`trade_off = 0`). This is MMR's own λ, unrelated to the
+    /// diversification objective's λ.
+    pub trade_off: f64,
+}
+
+impl Default for MmrConfig {
+    fn default() -> Self {
+        Self { trade_off: 0.5 }
+    }
+}
+
+/// Runs MMR selection.
+///
+/// * `relevance[u]` plays the role of `sim1(D_u, Q)`;
+/// * `sim2(u, v)` is derived from the metric as
+///   `1 − d(u,v)/d_max` (distance-to-similarity inversion; `d_max` is the
+///   maximum pairwise distance, with `sim2 ≡ 0` for a degenerate all-zero
+///   metric);
+/// * the first pick is the most relevant element (the standard MMR
+///   bootstrap, since `S = ∅` leaves the novelty term undefined).
+///
+/// Returns `min(p, n)` elements in selection order.
+///
+/// # Panics
+///
+/// Panics if `relevance.len()` differs from the metric's ground size or
+/// `trade_off ∉ [0, 1]`.
+pub fn mmr_select<M: Metric>(
+    metric: &M,
+    relevance: &[f64],
+    p: usize,
+    config: MmrConfig,
+) -> Vec<ElementId> {
+    let n = metric.len();
+    assert_eq!(
+        relevance.len(),
+        n,
+        "one relevance score per element required"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.trade_off),
+        "trade_off must lie in [0, 1], got {}",
+        config.trade_off
+    );
+    let p = p.min(n);
+    if p == 0 {
+        return Vec::new();
+    }
+    let lambda = config.trade_off;
+
+    let mut d_max = 0.0_f64;
+    for u in 0..n as ElementId {
+        for v in (u + 1)..n as ElementId {
+            d_max = d_max.max(metric.distance(u, v));
+        }
+    }
+    let sim2 = |u: ElementId, v: ElementId| -> f64 {
+        if d_max == 0.0 {
+            0.0
+        } else {
+            1.0 - metric.distance(u, v) / d_max
+        }
+    };
+
+    let mut selected: Vec<ElementId> = Vec::with_capacity(p);
+    let mut in_sel = vec![false; n];
+    // max_sim[u] = max_{j ∈ S} sim2(u, j), maintained incrementally.
+    let mut max_sim = vec![f64::NEG_INFINITY; n];
+
+    // First pick: most relevant.
+    let first = (0..n as ElementId)
+        .max_by(|&a, &b| {
+            relevance[a as usize]
+                .partial_cmp(&relevance[b as usize])
+                .expect("relevance must be comparable")
+        })
+        .expect("non-empty ground set");
+    selected.push(first);
+    in_sel[first as usize] = true;
+    for u in 0..n as ElementId {
+        max_sim[u as usize] = sim2(u, first);
+    }
+
+    while selected.len() < p {
+        let mut best: Option<ElementId> = None;
+        let mut best_score = f64::NEG_INFINITY;
+        for u in 0..n as ElementId {
+            if in_sel[u as usize] {
+                continue;
+            }
+            let score = lambda * relevance[u as usize] - (1.0 - lambda) * max_sim[u as usize];
+            if score > best_score {
+                best_score = score;
+                best = Some(u);
+            }
+        }
+        let u = best.expect("p <= n guarantees a candidate");
+        selected.push(u);
+        in_sel[u as usize] = true;
+        for v in 0..n as ElementId {
+            let s = sim2(v, u);
+            if s > max_sim[v as usize] {
+                max_sim[v as usize] = s;
+            }
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_metric::DistanceMatrix;
+
+    /// Two clusters: {0,1} close together, {2,3} close together, clusters
+    /// far apart. Element 0 most relevant, then 1, 2, 3.
+    fn clustered() -> (DistanceMatrix, Vec<f64>) {
+        let pos = [0.0_f64, 0.5, 10.0, 10.5];
+        let m = DistanceMatrix::from_points(&pos, |a, b| (a - b).abs());
+        (m, vec![1.0, 0.9, 0.8, 0.7])
+    }
+
+    #[test]
+    fn first_pick_is_most_relevant() {
+        let (m, rel) = clustered();
+        let s = mmr_select(&m, &rel, 1, MmrConfig::default());
+        assert_eq!(s, vec![0]);
+    }
+
+    #[test]
+    fn second_pick_jumps_to_the_other_cluster() {
+        let (m, rel) = clustered();
+        let s = mmr_select(&m, &rel, 2, MmrConfig::default());
+        assert_eq!(s[0], 0);
+        // With λ = 0.5, element 1 is heavily penalized (similar to 0);
+        // element 2 wins despite lower relevance.
+        assert_eq!(s[1], 2);
+    }
+
+    #[test]
+    fn pure_relevance_ranks_by_relevance() {
+        let (m, rel) = clustered();
+        let s = mmr_select(&m, &rel, 4, MmrConfig { trade_off: 1.0 });
+        assert_eq!(s, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pure_novelty_maximizes_minimum_distance() {
+        let (m, rel) = clustered();
+        let s = mmr_select(&m, &rel, 2, MmrConfig { trade_off: 0.0 });
+        // After 0, the farthest element is 3.
+        assert_eq!(s, vec![0, 3]);
+    }
+
+    #[test]
+    fn handles_degenerate_all_zero_metric() {
+        let m = DistanceMatrix::zeros(3);
+        let s = mmr_select(&m, &[0.1, 0.9, 0.5], 2, MmrConfig::default());
+        assert_eq!(s[0], 1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn p_clamped_and_zero() {
+        let (m, rel) = clustered();
+        assert!(mmr_select(&m, &rel, 0, MmrConfig::default()).is_empty());
+        assert_eq!(mmr_select(&m, &rel, 10, MmrConfig::default()).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one relevance score per element")]
+    fn relevance_length_mismatch_panics() {
+        let (m, _) = clustered();
+        let _ = mmr_select(&m, &[1.0], 2, MmrConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "trade_off must lie in [0, 1]")]
+    fn out_of_range_trade_off_panics() {
+        let (m, rel) = clustered();
+        let _ = mmr_select(&m, &rel, 2, MmrConfig { trade_off: 1.5 });
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let (m, rel) = clustered();
+        let mut s = mmr_select(&m, &rel, 4, MmrConfig { trade_off: 0.3 });
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 4);
+    }
+}

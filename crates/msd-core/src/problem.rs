@@ -1,0 +1,228 @@
+//! The max-sum diversification problem instance.
+//!
+//! Bundles the three ingredients of the paper's objective — a metric `d`, a
+//! quality function `f` and the trade-off `λ` — and evaluates
+//! `φ(S) = f(S) + λ·d(S)` plus the marginal quantities used by every
+//! algorithm (`φ_u`, the potential `φ'_u` of Theorem 1, and swap gains).
+
+use msd_metric::Metric;
+use msd_submodular::SetFunction;
+
+use crate::ElementId;
+
+/// An instance of Max-Sum `p`-Diversification (Problem 2 of the paper).
+///
+/// The cardinality / matroid constraint is *not* part of the instance; it
+/// is supplied to each algorithm, so one instance can be solved under many
+/// constraints.
+#[derive(Debug, Clone)]
+pub struct DiversificationProblem<M, F> {
+    metric: M,
+    quality: F,
+    lambda: f64,
+}
+
+impl<M: Metric, F: SetFunction> DiversificationProblem<M, F> {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric and quality function disagree on the ground
+    /// size, or `λ` is negative or non-finite.
+    pub fn new(metric: M, quality: F, lambda: f64) -> Self {
+        assert_eq!(
+            metric.len(),
+            quality.ground_size(),
+            "metric ({}) and quality function ({}) must share a ground set",
+            metric.len(),
+            quality.ground_size()
+        );
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be finite and non-negative, got {lambda}"
+        );
+        Self {
+            metric,
+            quality,
+            lambda,
+        }
+    }
+
+    /// Ground-set size `n`.
+    pub fn ground_size(&self) -> usize {
+        self.metric.len()
+    }
+
+    /// The metric `d`.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// The quality function `f`.
+    pub fn quality(&self) -> &F {
+        &self.quality
+    }
+
+    /// Mutable access to the metric (dynamic updates perturb distances).
+    pub fn metric_mut(&mut self) -> &mut M {
+        &mut self.metric
+    }
+
+    /// Mutable access to the quality function (dynamic updates perturb
+    /// weights).
+    pub fn quality_mut(&mut self) -> &mut F {
+        &mut self.quality
+    }
+
+    /// The trade-off parameter `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The objective `φ(S) = f(S) + λ·d(S)`.
+    pub fn objective(&self, set: &[ElementId]) -> f64 {
+        self.quality.value(set) + self.lambda * self.metric.dispersion(set)
+    }
+
+    /// The quality component `f(S)`.
+    pub fn quality_value(&self, set: &[ElementId]) -> f64 {
+        self.quality.value(set)
+    }
+
+    /// The dispersion component `d(S)` (unweighted by `λ`).
+    pub fn dispersion(&self, set: &[ElementId]) -> f64 {
+        self.metric.dispersion(set)
+    }
+
+    /// Total marginal gain `φ_u(S) = f_u(S) + λ·d_u(S)` for `u ∉ S`.
+    pub fn marginal(&self, u: ElementId, set: &[ElementId]) -> f64 {
+        self.quality.marginal(u, set) + self.lambda * self.metric.distance_to_set(u, set)
+    }
+
+    /// The non-oblivious potential of Theorem 1:
+    /// `φ'_u(S) = ½·f_u(S) + λ·d_u(S)`.
+    ///
+    /// Greedy B maximizes this instead of `φ_u`; the ½ factor is what makes
+    /// the telescoping argument in the proof of Theorem 1 close.
+    pub fn potential(&self, u: ElementId, set: &[ElementId]) -> f64 {
+        0.5 * self.quality.marginal(u, set) + self.lambda * self.metric.distance_to_set(u, set)
+    }
+
+    /// Swap gain `φ(S − v + u) − φ(S)` for `v ∈ S`, `u ∉ S`.
+    ///
+    /// Computed incrementally:
+    /// `Δφ = f(S−v+u) − f(S) + λ·(d_u(S) − d(u,v) − d_v(S))`.
+    pub fn swap_gain(&self, u: ElementId, v: ElementId, set: &[ElementId]) -> f64 {
+        let df = self.quality.swap_gain(u, v, set);
+        let dd = self.metric.distance_to_set(u, set)
+            - self.metric.distance(u, v)
+            - self.metric.distance_to_set(v, set);
+        df + self.lambda * dd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_metric::DistanceMatrix;
+    use msd_submodular::ModularFunction;
+
+    /// 4 elements on a line at positions 0, 1, 2, 4; weights 1, 2, 3, 4.
+    fn instance() -> DiversificationProblem<DistanceMatrix, ModularFunction> {
+        let pos = [0.0_f64, 1.0, 2.0, 4.0];
+        let metric = DistanceMatrix::from_points(&pos, |a, b| (a - b).abs());
+        let quality = ModularFunction::new(vec![1.0, 2.0, 3.0, 4.0]);
+        DiversificationProblem::new(metric, quality, 0.5)
+    }
+
+    #[test]
+    fn objective_combines_quality_and_dispersion() {
+        let p = instance();
+        // S = {0, 3}: f = 5, d = 4, φ = 5 + 0.5·4 = 7.
+        assert_eq!(p.objective(&[0, 3]), 7.0);
+        assert_eq!(p.quality_value(&[0, 3]), 5.0);
+        assert_eq!(p.dispersion(&[0, 3]), 4.0);
+        assert_eq!(p.objective(&[]), 0.0);
+    }
+
+    #[test]
+    fn marginal_matches_objective_difference() {
+        let p = instance();
+        let base = &[0u32, 1];
+        for u in 2..4u32 {
+            let mut with = base.to_vec();
+            with.push(u);
+            let expected = p.objective(&with) - p.objective(base);
+            assert!((p.marginal(u, base) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn potential_halves_the_quality_component() {
+        let p = instance();
+        let set = &[0u32];
+        // f_2(S) = 3, d_2(S) = 2 → φ' = 1.5 + 0.5·2 = 2.5
+        assert!((p.potential(2, set) - 2.5).abs() < 1e-12);
+        // φ = 3 + 1 = 4
+        assert!((p.marginal(2, set) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_gain_matches_objective_difference() {
+        let p = instance();
+        let set = &[0u32, 2];
+        for u in [1u32, 3] {
+            for &v in set {
+                let swapped: Vec<ElementId> = set
+                    .iter()
+                    .copied()
+                    .filter(|&x| x != v)
+                    .chain(std::iter::once(u))
+                    .collect();
+                let expected = p.objective(&swapped) - p.objective(set);
+                assert!(
+                    (p.swap_gain(u, v, set) - expected).abs() < 1e-12,
+                    "swap {u}<->{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_zero_reduces_to_pure_quality() {
+        let pos = [0.0_f64, 5.0];
+        let metric = DistanceMatrix::from_points(&pos, |a, b| (a - b).abs());
+        let p = DiversificationProblem::new(metric, ModularFunction::new(vec![1.0, 2.0]), 0.0);
+        assert_eq!(p.objective(&[0, 1]), 3.0);
+    }
+
+    #[test]
+    fn accessors_and_mutators() {
+        let mut p = instance();
+        assert_eq!(p.ground_size(), 4);
+        assert_eq!(p.lambda(), 0.5);
+        assert_eq!(p.quality().weight(3), 4.0);
+        p.quality_mut().set_weight(3, 10.0);
+        assert_eq!(p.quality().weight(3), 10.0);
+        p.metric_mut().set(0, 1, 9.0);
+        assert_eq!(p.metric().distance(1, 0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a ground set")]
+    fn mismatched_sizes_rejected() {
+        let metric = DistanceMatrix::zeros(3);
+        let quality = ModularFunction::new(vec![1.0]);
+        let _ = DiversificationProblem::new(metric, quality, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be finite and non-negative")]
+    fn negative_lambda_rejected() {
+        let _ = DiversificationProblem::new(
+            DistanceMatrix::zeros(1),
+            ModularFunction::new(vec![1.0]),
+            -1.0,
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Incremental (streaming) diversification.
+//!
+//! Minack, Siberski and Nejdl (SIGIR 2011, discussed in the paper's
+//! Section 2) process the input as a *stream*, "maintaining a near-optimal
+//! diverse set at any point in the stream" with one cheap update per
+//! arriving element. The paper positions its dynamic-update results as the
+//! theoretically-grounded counterpart of that approach.
+//!
+//! [`StreamingDiversifier`] implements the natural swap-based streaming
+//! rule over the max-sum objective:
+//!
+//! * while `|S| < p`, accept the arriving element;
+//! * afterwards, swap it with the current member whose replacement most
+//!   improves `φ`, if any improvement exists.
+//!
+//! Each arrival costs `O(p)` oracle marginals plus `O(p²)` distance reads
+//! (no pass over past stream elements), so memory is `O(p)` state over the
+//! already-selected set — the property that makes the approach "applicable
+//! to large data sets". After the stream ends, the result can optionally
+//! be polished with [`crate::local_search_refine`], which restores the
+//! offline 2-approximation guarantee.
+
+use msd_metric::Metric;
+use msd_submodular::SetFunction;
+
+use crate::problem::DiversificationProblem;
+use crate::ElementId;
+
+/// Streaming state: the current solution over a fixed capacity `p`.
+#[derive(Debug, Clone)]
+pub struct StreamingDiversifier {
+    p: usize,
+    members: Vec<ElementId>,
+    /// Arrivals seen so far (for reporting only).
+    seen: usize,
+    /// Swaps performed so far.
+    swaps: usize,
+}
+
+/// What happened to one arriving element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamDecision {
+    /// The solution had spare capacity; the element was added.
+    Accepted,
+    /// The element replaced a current member.
+    Swapped {
+        /// The evicted member.
+        evicted: ElementId,
+    },
+    /// The element did not improve the objective and was discarded.
+    Rejected,
+}
+
+impl StreamingDiversifier {
+    /// An empty stream state with capacity `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p == 0` (an empty solution can never change).
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "capacity must be positive");
+        Self {
+            p,
+            members: Vec::with_capacity(p),
+            seen: 0,
+            swaps: 0,
+        }
+    }
+
+    /// Offers the next stream element; `problem` supplies the oracles
+    /// (only the arriving element and current members are consulted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is already in the solution (streams must not repeat
+    /// selected ids).
+    pub fn offer<M: Metric, F: SetFunction>(
+        &mut self,
+        problem: &DiversificationProblem<M, F>,
+        e: ElementId,
+    ) -> StreamDecision {
+        assert!(
+            !self.members.contains(&e),
+            "element {e} offered twice while selected"
+        );
+        self.seen += 1;
+        if self.members.len() < self.p {
+            self.members.push(e);
+            return StreamDecision::Accepted;
+        }
+        // Best single swap bringing e in.
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, &v) in self.members.iter().enumerate() {
+            let gain = problem.swap_gain(e, v, &self.members);
+            if gain > 1e-12 && best.is_none_or(|(_, g)| gain > g) {
+                best = Some((idx, gain));
+            }
+        }
+        match best {
+            Some((idx, _)) => {
+                let evicted = self.members[idx];
+                self.members[idx] = e;
+                self.swaps += 1;
+                StreamDecision::Swapped { evicted }
+            }
+            None => StreamDecision::Rejected,
+        }
+    }
+
+    /// The current solution (arrival order is not preserved across swaps).
+    pub fn members(&self) -> &[ElementId] {
+        &self.members
+    }
+
+    /// Elements offered so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Swaps performed so far.
+    pub fn swaps(&self) -> usize {
+        self.swaps
+    }
+
+    /// Capacity `p`.
+    pub fn capacity(&self) -> usize {
+        self.p
+    }
+
+    /// Finishes the stream, returning the selected set.
+    pub fn finish(self) -> Vec<ElementId> {
+        self.members
+    }
+}
+
+/// Convenience one-shot driver: streams `order` through a fresh
+/// [`StreamingDiversifier`] and returns the final selection.
+pub fn stream_diversify<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    order: &[ElementId],
+    p: usize,
+) -> Vec<ElementId> {
+    let mut s = StreamingDiversifier::new(p.max(1).min(problem.ground_size().max(1)));
+    for &e in order {
+        s.offer(problem, e);
+    }
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::enumerate_exact;
+    use crate::greedy::{greedy_b, GreedyBConfig};
+    use msd_metric::DistanceMatrix;
+    use msd_submodular::ModularFunction;
+
+    fn instance(seed: u64, n: usize) -> DiversificationProblem<DistanceMatrix, ModularFunction> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let weights: Vec<f64> = (0..n).map(|_| next()).collect();
+        let metric = DistanceMatrix::from_fn(n, |_, _| 1.0 + next());
+        DiversificationProblem::new(metric, ModularFunction::new(weights), 0.2)
+    }
+
+    #[test]
+    fn fills_then_swaps() {
+        let problem = instance(1, 6);
+        let mut s = StreamingDiversifier::new(2);
+        assert_eq!(s.offer(&problem, 0), StreamDecision::Accepted);
+        assert_eq!(s.offer(&problem, 1), StreamDecision::Accepted);
+        assert_eq!(s.capacity(), 2);
+        // From here on, decisions are swaps or rejections, never growth.
+        for e in 2..6u32 {
+            let before = problem.objective(s.members());
+            let decision = s.offer(&problem, e);
+            let after = problem.objective(s.members());
+            match decision {
+                StreamDecision::Accepted => panic!("capacity exceeded"),
+                StreamDecision::Swapped { evicted } => {
+                    assert!(after > before, "swap must improve φ");
+                    assert!(!s.members().contains(&evicted));
+                    assert!(s.members().contains(&e));
+                }
+                StreamDecision::Rejected => {
+                    assert_eq!(after, before);
+                    assert!(!s.members().contains(&e));
+                }
+            }
+            assert_eq!(s.members().len(), 2);
+        }
+        assert_eq!(s.seen(), 6);
+    }
+
+    #[test]
+    fn objective_is_monotone_along_the_stream() {
+        let problem = instance(2, 30);
+        let mut s = StreamingDiversifier::new(5);
+        let mut last = 0.0;
+        for e in 0..30u32 {
+            s.offer(&problem, e);
+            let val = problem.objective(s.members());
+            assert!(val >= last - 1e-12, "objective decreased at {e}");
+            last = val;
+        }
+    }
+
+    #[test]
+    fn stream_result_is_competitive_with_greedy() {
+        // No guarantee is claimed, but on random data the stream should
+        // land within a modest factor of Greedy B.
+        for seed in 0..8u64 {
+            let problem = instance(seed + 5, 40);
+            let order: Vec<ElementId> = (0..40).collect();
+            let streamed = stream_diversify(&problem, &order, 6);
+            let greedy = greedy_b(&problem, 6, GreedyBConfig::default());
+            let sv = problem.objective(&streamed);
+            let gv = problem.objective(&greedy);
+            assert!(
+                sv >= 0.6 * gv,
+                "seed {seed}: stream {sv} too far below greedy {gv}"
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_restores_the_offline_guarantee() {
+        use crate::local_search::{local_search_refine, LocalSearchConfig};
+        for seed in 0..5u64 {
+            let problem = instance(seed + 50, 9);
+            let order: Vec<ElementId> = (0..9).collect();
+            let streamed = stream_diversify(&problem, &order, 3);
+            let polished = local_search_refine(&problem, &streamed, LocalSearchConfig::default());
+            let opt = enumerate_exact(&problem, 3);
+            assert!(
+                2.0 * polished.objective >= opt.objective - 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_stream_returns_what_it_saw() {
+        let problem = instance(3, 10);
+        let streamed = stream_diversify(&problem, &[4, 7], 5);
+        let mut s = streamed.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![4, 7]);
+    }
+
+    #[test]
+    fn swap_counter_tracks_changes() {
+        let problem = instance(9, 20);
+        let mut s = StreamingDiversifier::new(3);
+        for e in 0..20u32 {
+            s.offer(&problem, e);
+        }
+        assert!(s.swaps() > 0, "some arrivals should displace members");
+        assert!(s.swaps() <= 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = StreamingDiversifier::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offered twice")]
+    fn duplicate_selected_offer_panics() {
+        let problem = instance(1, 4);
+        let mut s = StreamingDiversifier::new(3);
+        s.offer(&problem, 2);
+        s.offer(&problem, 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the incremental [`SolutionState`]: random sequences
+//! of insert/remove/swap operations must keep the cached dispersion and
+//! all marginal gains identical to naive recomputation — the invariant
+//! the O(np) greedy (Section 4's closing remark) rests on.
+
+use msd_core::solution::SolutionState;
+use msd_metric::{DistanceMatrix, Metric};
+use proptest::prelude::*;
+
+/// An abstract mutation applied to the state.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u32),
+    Remove(u32),
+    Swap(u32, u32),
+}
+
+fn arb_ops(n: u32) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..n).prop_map(Op::Insert),
+            (0..n).prop_map(Op::Remove),
+            (0..n, 0..n).prop_map(|(a, b)| Op::Swap(a, b)),
+        ],
+        0..40,
+    )
+}
+
+fn check_consistency(metric: &DistanceMatrix, state: &SolutionState) {
+    let members = state.members();
+    assert!(
+        (state.dispersion() - metric.dispersion(members)).abs() < 1e-9,
+        "dispersion drifted"
+    );
+    for u in 0..metric.len() as u32 {
+        let expected: f64 = members
+            .iter()
+            .filter(|&&v| v != u)
+            .map(|&v| metric.distance(u, v))
+            .sum();
+        assert!(
+            (state.distance_gain(u) - expected).abs() < 1e-9,
+            "gain of {u} drifted"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_mutation_sequences_stay_consistent(
+        raw in prop::collection::vec(0.0f64..10.0, 45),
+        ops in arb_ops(10),
+    ) {
+        let n = 10usize;
+        let mut it = raw.into_iter().cycle();
+        let metric = DistanceMatrix::from_fn(n, |_, _| it.next().unwrap());
+        let mut state = SolutionState::empty(n);
+        let mut mirror: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(u) if !mirror.contains(&u) => {
+                    state.insert(&metric, u);
+                    mirror.push(u);
+                }
+                Op::Remove(u) if mirror.contains(&u) => {
+                    state.remove(&metric, u);
+                    mirror.retain(|&x| x != u);
+                }
+                Op::Swap(u, v) if !mirror.contains(&u) && mirror.contains(&v) && u != v => {
+                    state.swap(&metric, u, v);
+                    mirror.retain(|&x| x != v);
+                    mirror.push(u);
+                }
+                _ => continue, // inapplicable op
+            }
+            // Membership agrees with the mirror.
+            prop_assert_eq!(state.len(), mirror.len());
+            for &m in &mirror {
+                prop_assert!(state.contains(m));
+            }
+            check_consistency(&metric, &state);
+        }
+    }
+
+    #[test]
+    fn swap_delta_predicts_actual_swap(
+        raw in prop::collection::vec(0.0f64..10.0, 45),
+        members in prop::collection::vec(0u32..10, 1..6),
+        u in 0u32..10,
+    ) {
+        let n = 10usize;
+        let mut it = raw.into_iter().cycle();
+        let metric = DistanceMatrix::from_fn(n, |_, _| it.next().unwrap());
+        let mut set = members;
+        set.sort_unstable();
+        set.dedup();
+        prop_assume!(!set.contains(&u));
+        let state = SolutionState::from_set(&metric, &set);
+        for &v in &set {
+            let predicted = state.swap_dispersion_delta(&metric, u, v);
+            let mut after = state.clone();
+            after.swap(&metric, u, v);
+            prop_assert!((after.dispersion() - state.dispersion() - predicted).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recompute_is_idempotent_after_metric_mutation(
+        raw in prop::collection::vec(0.0f64..10.0, 45),
+        members in prop::collection::vec(0u32..10, 0..6),
+        edits in prop::collection::vec((0u32..10, 0u32..10, 0.0f64..20.0), 1..8),
+    ) {
+        let n = 10usize;
+        let mut it = raw.into_iter().cycle();
+        let mut metric = DistanceMatrix::from_fn(n, |_, _| it.next().unwrap());
+        let mut set = members;
+        set.sort_unstable();
+        set.dedup();
+        let mut state = SolutionState::from_set(&metric, &set);
+        for (u, v, d) in edits {
+            if u != v {
+                metric.set(u, v, d);
+            }
+        }
+        state.recompute(&metric);
+        check_consistency(&metric, &state);
+    }
+}

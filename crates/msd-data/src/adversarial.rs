@@ -1,0 +1,166 @@
+//! Adversarial and lower-bound instances.
+//!
+//! * [`greedy_lower_bound`] — the classic family on which the dispersion
+//!   vertex greedy approaches its factor-2 bound (Birnbaum–Goldman show
+//!   `2(p−1)/p` is tight): a "star of far twins" where greedy pairs up
+//!   wrong. We construct the standard two-group instance.
+//! * [`planted_pair_metric`] — a `{1, 2}` metric hiding a planted subset at
+//!   mutual distance 2 (everything else at distance 1 to most neighbours),
+//!   echoing the planted-clique hardness story of Section 3.
+//! * Re-exports the appendix counterexample builder from `msd-core` for
+//!   convenience when scripting experiments.
+
+pub use msd_core::counterexample::AppendixInstance;
+
+use msd_metric::DistanceMatrix;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+use crate::ElementId;
+
+/// A dispersion instance where greedy underperforms.
+///
+/// Ground set: `2m` points arranged as `m` "twin pairs". Twins are at
+/// distance `2ε` of each other; any two non-twins are at distance `1`.
+/// For `p = m` the optimum picks one point per pair (all pairwise
+/// distances 1 → `C(p,2)`), while an edge/vertex greedy seeded on an
+/// unlucky far pair can be forced to include both twins of a pair.
+/// All values keep the triangle inequality (`2ε ≤ 1 ≤ 2·…` for
+/// `ε ≤ 0.5`).
+pub fn greedy_lower_bound(m: usize, epsilon: f64) -> DistanceMatrix {
+    assert!(m >= 2, "need at least two pairs");
+    assert!(
+        (0.0..=0.5).contains(&epsilon),
+        "need 0 <= epsilon <= 0.5 for metricity, got {epsilon}"
+    );
+    let n = 2 * m;
+    DistanceMatrix::from_fn(n, |u, v| {
+        // Twins are (2i, 2i+1).
+        if u / 2 == v / 2 {
+            2.0 * epsilon
+        } else {
+            1.0
+        }
+    })
+}
+
+/// A `{1, 2}` metric with a planted subset of size `k` at mutual distance
+/// 2; all other pairs are at distance 1 with probability `1 − q`, 2 with
+/// probability `q`.
+///
+/// Returns the metric and the planted subset (sorted). For small `q` the
+/// planted set is essentially the unique dispersion optimum, so exact and
+/// approximate solvers can be sanity-checked against it.
+pub fn planted_pair_metric(
+    n: usize,
+    k: usize,
+    q: f64,
+    seed: u64,
+) -> (DistanceMatrix, Vec<ElementId>) {
+    assert!(k <= n, "planted set cannot exceed the ground set");
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<ElementId> = (0..n as ElementId).collect();
+    ids.shuffle(&mut rng);
+    let mut planted: Vec<ElementId> = ids.into_iter().take(k).collect();
+    planted.sort_unstable();
+    let in_planted = {
+        let mut flags = vec![false; n];
+        for &u in &planted {
+            flags[u as usize] = true;
+        }
+        flags
+    };
+    let metric = DistanceMatrix::from_fn(n, |u, v| {
+        let far = (in_planted[u as usize] && in_planted[v as usize]) || rng.gen_range(0.0..1.0) < q;
+        if far {
+            2.0
+        } else {
+            1.0
+        }
+    });
+    (metric, planted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_core::max_sum_dispersion_greedy;
+    use msd_metric::{Metric, MetricAudit};
+
+    #[test]
+    fn twin_instance_is_metric() {
+        let m = greedy_lower_bound(4, 0.25);
+        MetricAudit::check(&m).assert_metric();
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.distance(0, 1), 0.5);
+        assert_eq!(m.distance(0, 2), 1.0);
+    }
+
+    #[test]
+    fn optimum_picks_one_twin_per_pair() {
+        let m = greedy_lower_bound(3, 0.1);
+        // One per pair: all distances 1 → C(3,2) = 3.
+        assert_eq!(m.dispersion(&[0, 2, 4]), 3.0);
+        // Both twins of a pair lose value.
+        assert!(m.dispersion(&[0, 1, 2]) < 3.0);
+    }
+
+    #[test]
+    fn greedy_still_within_factor_two_on_twin_instance() {
+        let m = greedy_lower_bound(5, 0.05);
+        let s = max_sum_dispersion_greedy(&m, 5);
+        let greedy_val = m.dispersion(&s);
+        let opt = m.dispersion(&[0, 2, 4, 6, 8]);
+        assert!(2.0 * greedy_val >= opt - 1e-9);
+    }
+
+    #[test]
+    fn planted_metric_is_metric_and_contains_plant() {
+        let (m, planted) = planted_pair_metric(20, 5, 0.05, 7);
+        MetricAudit::check(&m).assert_metric();
+        assert_eq!(planted.len(), 5);
+        for (i, &u) in planted.iter().enumerate() {
+            for &v in &planted[i + 1..] {
+                assert_eq!(m.distance(u, v), 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn planted_set_is_dispersion_optimal_for_q_zero() {
+        let (m, planted) = planted_pair_metric(16, 4, 0.0, 3);
+        let plant_val = m.dispersion(&planted);
+        assert_eq!(plant_val, 2.0 * 6.0); // C(4,2) pairs at distance 2
+                                          // Greedy must recover a set at least half as good; with q = 0 the
+                                          // planted set is the unique maximum.
+        let s = max_sum_dispersion_greedy(&m, 4);
+        assert!(2.0 * m.dispersion(&s) >= plant_val - 1e-9);
+    }
+
+    #[test]
+    fn planted_generator_is_deterministic() {
+        let (m1, p1) = planted_pair_metric(12, 3, 0.2, 9);
+        let (m2, p2) = planted_pair_metric(12, 3, 0.2, 9);
+        assert_eq!(p1, p2);
+        assert_eq!(m1.triangle(), m2.triangle());
+    }
+
+    #[test]
+    #[should_panic(expected = "metricity")]
+    fn oversized_epsilon_rejected() {
+        let _ = greedy_lower_bound(3, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the ground set")]
+    fn oversized_plant_rejected() {
+        let _ = planted_pair_metric(4, 9, 0.1, 1);
+    }
+
+    #[test]
+    fn appendix_reexport_is_usable() {
+        let inst = AppendixInstance::new(5, 2.0);
+        assert!(inst.greedy_ratio() > 1.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Simulated LETOR corpus (Section 7.2's workload).
+//!
+//! The paper's "real data" experiments use the LETOR learning-to-rank
+//! benchmark: for each query, a pool of documents with
+//!
+//! * an integer relevance grade `r(u) ∈ {0, …, 5}` — the modular quality is
+//!   `f(S) = Σ_{u∈S} r(u)`, and
+//! * a ~46-dimensional feature vector — the distance is the cosine
+//!   *distance* between feature vectors ("a metric distance function given
+//!   by the cosine similarity between the feature vectors").
+//!
+//! LETOR itself is an external download we cannot ship, so this module
+//! generates a corpus with the same shape (see DESIGN.md §2):
+//!
+//! * documents belong to latent *topics* (clusters in feature space), so
+//!   similar documents are close — the structure that separates Greedy A
+//!   from Greedy B on real data;
+//! * relevance grades are skewed toward 0–1 (as in LETOR, where most pool
+//!   documents are irrelevant), with relevant documents concentrated in
+//!   query-aligned topics;
+//! * feature vectors are non-negative (LETOR features are normalized
+//!   query-document statistics), so cosine distances land in `[0, 1]`.
+//!
+//! The "top-k by relevance" slices used by Tables 4–8 are provided by
+//! [`LetorQuery::top_k`].
+
+use msd_core::DiversificationProblem;
+use msd_metric::{DistanceMatrix, Point};
+use msd_submodular::ModularFunction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the simulated-LETOR generator.
+#[derive(Debug, Clone, Copy)]
+pub struct LetorConfig {
+    /// Documents per query.
+    pub docs_per_query: usize,
+    /// Feature dimensionality (LETOR 3.0 uses 46).
+    pub feature_dim: usize,
+    /// Number of latent topics per query pool.
+    pub topics: usize,
+    /// Trade-off λ for the built problems.
+    pub lambda: f64,
+}
+
+impl Default for LetorConfig {
+    fn default() -> Self {
+        Self {
+            docs_per_query: 1000,
+            feature_dim: 46,
+            topics: 8,
+            lambda: 0.2,
+        }
+    }
+}
+
+/// One query's document pool.
+#[derive(Debug, Clone)]
+pub struct LetorQuery {
+    /// Query identifier.
+    pub query_id: u32,
+    /// Integer relevance grades in `0..=5`, one per document.
+    pub relevance: Vec<u8>,
+    /// Feature vectors, one per document.
+    pub features: Vec<Point>,
+    /// Latent topic of each document (not visible to algorithms; used by
+    /// tests to assert cluster structure).
+    pub topic: Vec<u32>,
+    lambda: f64,
+}
+
+impl LetorConfig {
+    /// Generates the pool for `query_id` deterministically from
+    /// `seed` + `query_id`.
+    pub fn generate(&self, seed: u64, query_id: u32) -> LetorQuery {
+        assert!(self.topics >= 1, "need at least one topic");
+        assert!(self.feature_dim >= 2, "need at least two features");
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ u64::from(query_id));
+
+        // Topic centroids: non-negative, roughly unit scale.
+        let centroids: Vec<Vec<f64>> = (0..self.topics)
+            .map(|_| {
+                (0..self.feature_dim)
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect()
+            })
+            .collect();
+        // One or two "query-aligned" topics hold most of the relevant
+        // documents.
+        let hot_topic = rng.gen_range(0..self.topics) as u32;
+        let warm_topic = rng.gen_range(0..self.topics) as u32;
+
+        let mut relevance = Vec::with_capacity(self.docs_per_query);
+        let mut features = Vec::with_capacity(self.docs_per_query);
+        let mut topic = Vec::with_capacity(self.docs_per_query);
+        for _ in 0..self.docs_per_query {
+            let t = rng.gen_range(0..self.topics) as u32;
+            topic.push(t);
+            // Feature = centroid + non-negative jitter. The jitter is
+            // wide enough that cosine distances spread over [0, ~0.6] as
+            // they do for real LETOR feature vectors, while the topic
+            // structure keeps same-topic documents closer on average.
+            let feat: Vec<f64> = centroids[t as usize]
+                .iter()
+                .map(|&c| (c + rng.gen_range(-0.4..0.4)).max(0.0))
+                .collect();
+            features.push(Point::new(feat));
+            // Grade distribution: heavily skewed toward 0–2 with rare high
+            // grades, as in LETOR pools (most judged documents are barely
+            // relevant). The resulting top-k slices carry large tie groups,
+            // which is exactly the regime where the dispersion term
+            // discriminates between algorithms.
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            let grade = if t == hot_topic {
+                match roll {
+                    r if r < 0.35 => 0,
+                    r if r < 0.65 => 1,
+                    r if r < 0.85 => 2,
+                    r if r < 0.95 => 3,
+                    r if r < 0.99 => 4,
+                    _ => 5,
+                }
+            } else if t == warm_topic {
+                match roll {
+                    r if r < 0.55 => 0,
+                    r if r < 0.83 => 1,
+                    r if r < 0.95 => 2,
+                    r if r < 0.99 => 3,
+                    _ => 4,
+                }
+            } else {
+                match roll {
+                    r if r < 0.80 => 0,
+                    r if r < 0.97 => 1,
+                    _ => 2,
+                }
+            };
+            relevance.push(grade);
+        }
+        LetorQuery {
+            query_id,
+            relevance,
+            features,
+            topic,
+            lambda: self.lambda,
+        }
+    }
+}
+
+impl LetorQuery {
+    /// Number of documents in the pool.
+    pub fn len(&self) -> usize {
+        self.relevance.len()
+    }
+
+    /// `true` when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relevance.is_empty()
+    }
+
+    /// Indices of the `k` most relevant documents (ties broken by lower
+    /// index, matching a stable "top-k of the ranked list").
+    pub fn top_k_indices(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.sort_by(|&a, &b| self.relevance[b].cmp(&self.relevance[a]).then(a.cmp(&b)));
+        idx.truncate(k);
+        idx
+    }
+
+    /// Builds the diversification problem over the `k` most relevant
+    /// documents: modular quality `f(S) = Σ r(u)` and cosine distance,
+    /// exactly the Section 7.2 setup. Returns the problem and the original
+    /// document indices (position `i` of the returned vec is element `i`).
+    pub fn top_k(
+        &self,
+        k: usize,
+    ) -> (
+        DiversificationProblem<DistanceMatrix, ModularFunction>,
+        Vec<usize>,
+    ) {
+        let idx = self.top_k_indices(k);
+        let points: Vec<&Point> = idx.iter().map(|&i| &self.features[i]).collect();
+        let metric = DistanceMatrix::from_points(&points, |a, b| a.cosine_distance(b));
+        let weights: Vec<f64> = idx.iter().map(|&i| f64::from(self.relevance[i])).collect();
+        let problem =
+            DiversificationProblem::new(metric, ModularFunction::new(weights), self.lambda);
+        (problem, idx)
+    }
+
+    /// Builds the problem over the whole pool.
+    pub fn full(
+        &self,
+    ) -> (
+        DiversificationProblem<DistanceMatrix, ModularFunction>,
+        Vec<usize>,
+    ) {
+        self.top_k(self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_metric::{relaxation_parameter, Metric};
+
+    fn small() -> LetorQuery {
+        LetorConfig {
+            docs_per_query: 60,
+            feature_dim: 12,
+            topics: 4,
+            lambda: 0.2,
+        }
+        .generate(11, 1)
+    }
+
+    #[test]
+    fn generates_requested_pool() {
+        let q = small();
+        assert_eq!(q.len(), 60);
+        assert!(!q.is_empty());
+        assert_eq!(q.features.len(), 60);
+        assert_eq!(q.topic.len(), 60);
+        assert!(q.relevance.iter().all(|&r| r <= 5));
+        assert!(q.features.iter().all(|f| f.dim() == 12));
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_query() {
+        let cfg = LetorConfig {
+            docs_per_query: 40,
+            feature_dim: 8,
+            topics: 3,
+            lambda: 0.2,
+        };
+        let a = cfg.generate(5, 2);
+        let b = cfg.generate(5, 2);
+        assert_eq!(a.relevance, b.relevance);
+        let c = cfg.generate(5, 3);
+        assert_ne!(a.relevance, c.relevance, "different queries must differ");
+    }
+
+    #[test]
+    fn grades_are_skewed_toward_low_relevance() {
+        let q = LetorConfig {
+            docs_per_query: 2000,
+            feature_dim: 8,
+            topics: 8,
+            lambda: 0.2,
+        }
+        .generate(3, 0);
+        let low = q.relevance.iter().filter(|&&r| r <= 1).count();
+        assert!(
+            low * 2 > q.len(),
+            "most documents should have grade <= 1, got {low}/{}",
+            q.len()
+        );
+        let top = q.relevance.iter().filter(|&&r| r >= 4).count();
+        assert!(top > 0, "some documents must be highly relevant");
+    }
+
+    #[test]
+    fn top_k_orders_by_relevance() {
+        let q = small();
+        let idx = q.top_k_indices(10);
+        assert_eq!(idx.len(), 10);
+        for w in idx.windows(2) {
+            assert!(q.relevance[w[0]] >= q.relevance[w[1]]);
+        }
+        // top-k grades dominate the rest
+        let min_top = idx.iter().map(|&i| q.relevance[i]).min().unwrap();
+        let not_top: Vec<usize> = (0..q.len()).filter(|i| !idx.contains(i)).collect();
+        let max_rest = not_top.iter().map(|&i| q.relevance[i]).max().unwrap();
+        assert!(min_top >= max_rest);
+    }
+
+    #[test]
+    fn top_k_problem_uses_cosine_distance_and_grades() {
+        let q = small();
+        let (p, idx) = q.top_k(8);
+        assert_eq!(p.ground_size(), 8);
+        for (e, &i) in idx.iter().enumerate() {
+            assert_eq!(p.quality().weight(e as u32), f64::from(q.relevance[i]));
+        }
+        // Distances are cosine distances in [0, 1].
+        for u in 0..8u32 {
+            for v in (u + 1)..8u32 {
+                let d = p.metric().distance(u, v);
+                assert!((0.0..=1.0).contains(&d), "cosine distance {d}");
+                let expected =
+                    q.features[idx[u as usize]].cosine_distance(&q.features[idx[v as usize]]);
+                assert!((d - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn same_topic_documents_are_closer_on_average() {
+        let q = small();
+        let (p, idx) = q.full();
+        let mut same = (0.0, 0u32);
+        let mut diff = (0.0, 0u32);
+        for u in 0..p.ground_size() as u32 {
+            for v in (u + 1)..p.ground_size() as u32 {
+                let d = p.metric().distance(u, v);
+                if q.topic[idx[u as usize]] == q.topic[idx[v as usize]] {
+                    same = (same.0 + d, same.1 + 1);
+                } else {
+                    diff = (diff.0 + d, diff.1 + 1);
+                }
+            }
+        }
+        let avg_same = same.0 / f64::from(same.1);
+        let avg_diff = diff.0 / f64::from(diff.1);
+        assert!(
+            avg_same < avg_diff,
+            "intra-topic {avg_same} should be below inter-topic {avg_diff}"
+        );
+    }
+
+    #[test]
+    fn cosine_distance_is_close_to_metric() {
+        // Cosine distance is a semi-metric; on this data the relaxation
+        // parameter should stay modest (documented regime for the paper's
+        // algorithms).
+        let q = LetorConfig {
+            docs_per_query: 25,
+            feature_dim: 10,
+            topics: 3,
+            lambda: 0.2,
+        }
+        .generate(9, 4);
+        let (p, _) = q.full();
+        let report = relaxation_parameter(p.metric());
+        assert!(
+            report.alpha < 3.0,
+            "alpha unexpectedly large: {}",
+            report.alpha
+        );
+    }
+
+    #[test]
+    fn full_returns_whole_pool() {
+        let q = small();
+        let (p, idx) = q.full();
+        assert_eq!(p.ground_size(), 60);
+        assert_eq!(idx.len(), 60);
+    }
+}

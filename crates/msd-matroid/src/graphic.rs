@@ -1,0 +1,153 @@
+//! Graphic matroids: ground set = edges of a graph, independent sets =
+//! forests.
+//!
+//! Graphic matroids round out the substrate with a structurally different
+//! oracle (cycle detection via union-find) and power the workspace's
+//! "diverse spanning backbone" integration tests: pick a maximally diverse
+//! set of links subject to forming no cycle.
+
+use crate::unionfind::UnionFind;
+use crate::{ElementId, Matroid};
+
+/// A graphic matroid over the edge set of an undirected multigraph.
+///
+/// Ground-set element `i` is the edge `edges[i] = (a, b)` on vertices
+/// `0..num_vertices`. Self-loops are dependent as singletons (standard
+/// matroid convention: a loop is never independent).
+#[derive(Debug, Clone)]
+pub struct GraphicMatroid {
+    num_vertices: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphicMatroid {
+    /// Builds from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a vertex `≥ num_vertices`.
+    pub fn new(num_vertices: usize, edges: Vec<(u32, u32)>) -> Self {
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            assert!(
+                (a as usize) < num_vertices && (b as usize) < num_vertices,
+                "edge {i} = ({a},{b}) references an out-of-range vertex"
+            );
+        }
+        Self {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Number of vertices in the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The endpoints of a ground-set element.
+    pub fn edge(&self, e: ElementId) -> (u32, u32) {
+        self.edges[e as usize]
+    }
+}
+
+impl Matroid for GraphicMatroid {
+    fn ground_size(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn is_independent(&self, set: &[ElementId]) -> bool {
+        if set.iter().any(|&e| (e as usize) >= self.edges.len()) {
+            return false;
+        }
+        let mut uf = UnionFind::new(self.num_vertices);
+        for &e in set {
+            let (a, b) = self.edges[e as usize];
+            if a == b || !uf.union(a, b) {
+                return false; // self-loop or cycle
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::MatroidAudit;
+
+    /// Triangle on vertices 0,1,2 plus a pendant edge 2-3.
+    fn triangle_plus_tail() -> GraphicMatroid {
+        GraphicMatroid::new(4, vec![(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn forests_are_independent() {
+        let m = triangle_plus_tail();
+        assert!(m.is_independent(&[]));
+        assert!(m.is_independent(&[0]));
+        assert!(m.is_independent(&[0, 1, 3]));
+        assert!(m.is_independent(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn cycles_are_dependent() {
+        let m = triangle_plus_tail();
+        assert!(!m.is_independent(&[0, 1, 2])); // the triangle
+        assert!(!m.is_independent(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn self_loops_are_dependent_singletons() {
+        let m = GraphicMatroid::new(2, vec![(0, 0), (0, 1)]);
+        assert!(!m.is_independent(&[0]));
+        assert!(m.is_independent(&[1]));
+    }
+
+    #[test]
+    fn parallel_edges_are_pairwise_dependent() {
+        let m = GraphicMatroid::new(2, vec![(0, 1), (0, 1)]);
+        assert!(m.is_independent(&[0]));
+        assert!(m.is_independent(&[1]));
+        assert!(!m.is_independent(&[0, 1]));
+    }
+
+    #[test]
+    fn rank_is_spanning_forest_size() {
+        // Connected graph on 4 vertices → rank 3.
+        assert_eq!(triangle_plus_tail().rank(), 3);
+        // Two components: rank = n - #components.
+        let m = GraphicMatroid::new(4, vec![(0, 1), (2, 3)]);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn out_of_range_edges_are_dependent() {
+        let m = triangle_plus_tail();
+        assert!(!m.is_independent(&[17]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range vertex")]
+    fn bad_edge_rejected() {
+        let _ = GraphicMatroid::new(2, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = triangle_plus_tail();
+        assert_eq!(m.num_vertices(), 4);
+        assert_eq!(m.edge(3), (2, 3));
+        assert_eq!(m.ground_size(), 4);
+    }
+
+    #[test]
+    fn axioms_hold_on_triangle_plus_tail() {
+        MatroidAudit::exhaustive(&triangle_plus_tail()).assert_matroid();
+    }
+
+    #[test]
+    fn axioms_hold_with_loops_and_parallels() {
+        let m = GraphicMatroid::new(3, vec![(0, 0), (0, 1), (0, 1), (1, 2)]);
+        MatroidAudit::exhaustive(&m).assert_matroid();
+    }
+}

@@ -1,0 +1,227 @@
+//! Laminar matroids: capacities on a nested (laminar) family of sets.
+//!
+//! A family of sets is *laminar* when any two members are disjoint or
+//! nested. Given capacities `k_A` for each family member `A`, a set `S`
+//! is independent iff `|S ∩ A| ≤ k_A` for every `A`. Laminar matroids
+//! strictly generalize partition matroids (a partition plus a global
+//! cap is the classic example — e.g. "at most 2 results per site, at most
+//! 3 per domain, at most 6 overall") and give the local search of
+//! Theorem 2 a hierarchically-constrained playground.
+
+use crate::{ElementId, Matroid};
+
+/// One capacity constraint of the laminar family.
+#[derive(Debug, Clone)]
+struct Constraint {
+    /// Sorted members of the family set.
+    members: Vec<ElementId>,
+    capacity: u32,
+}
+
+/// A laminar matroid.
+#[derive(Debug, Clone)]
+pub struct LaminarMatroid {
+    n: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl LaminarMatroid {
+    /// Builds from `(set, capacity)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element is out of range or two family sets properly
+    /// intersect (i.e. the family is not laminar).
+    pub fn new(n: usize, family: Vec<(Vec<ElementId>, u32)>) -> Self {
+        let mut constraints = Vec::with_capacity(family.len());
+        for (i, (mut members, capacity)) in family.into_iter().enumerate() {
+            members.sort_unstable();
+            members.dedup();
+            if let Some(&max) = members.last() {
+                assert!(
+                    (max as usize) < n,
+                    "family set {i} references out-of-range element {max}"
+                );
+            }
+            constraints.push(Constraint { members, capacity });
+        }
+        // Laminarity check: every pair is disjoint or nested.
+        for i in 0..constraints.len() {
+            for j in (i + 1)..constraints.len() {
+                let a = &constraints[i].members;
+                let b = &constraints[j].members;
+                let inter = intersection_size(a, b);
+                let nested = inter == a.len() || inter == b.len();
+                let disjoint = inter == 0;
+                assert!(
+                    nested || disjoint,
+                    "family sets {i} and {j} properly intersect — not laminar"
+                );
+            }
+        }
+        Self { n, constraints }
+    }
+
+    /// Convenience: a partition matroid plus a global cardinality cap,
+    /// the canonical laminar example.
+    pub fn partition_with_global_cap(
+        n: usize,
+        blocks: &[Vec<ElementId>],
+        block_caps: &[u32],
+        global_cap: u32,
+    ) -> Self {
+        assert_eq!(blocks.len(), block_caps.len(), "one capacity per block");
+        let mut family: Vec<(Vec<ElementId>, u32)> = blocks
+            .iter()
+            .zip(block_caps)
+            .map(|(b, &c)| (b.clone(), c))
+            .collect();
+        family.push(((0..n as ElementId).collect(), global_cap));
+        Self::new(n, family)
+    }
+
+    /// Number of constraints in the family.
+    pub fn family_size(&self) -> usize {
+        self.constraints.len()
+    }
+}
+
+fn intersection_size(a: &[ElementId], b: &[ElementId]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+impl Matroid for LaminarMatroid {
+    fn ground_size(&self) -> usize {
+        self.n
+    }
+
+    fn is_independent(&self, set: &[ElementId]) -> bool {
+        if set.iter().any(|&u| (u as usize) >= self.n) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let mut occupancy = 0u32;
+            for &u in set {
+                if c.members.binary_search(&u).is_ok() {
+                    occupancy += 1;
+                    if occupancy > c.capacity {
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::MatroidAudit;
+
+    /// Blocks {0,1,2} cap 2, {3,4} cap 2, global cap 3.
+    fn sample() -> LaminarMatroid {
+        LaminarMatroid::partition_with_global_cap(5, &[vec![0, 1, 2], vec![3, 4]], &[2, 2], 3)
+    }
+
+    #[test]
+    fn respects_block_and_global_caps() {
+        let m = sample();
+        assert!(m.is_independent(&[]));
+        assert!(m.is_independent(&[0, 1, 3]));
+        assert!(m.is_independent(&[0, 3, 4]));
+        assert!(!m.is_independent(&[0, 1, 2])); // block 0 over capacity
+        assert!(!m.is_independent(&[0, 1, 3, 4])); // global cap exceeded
+    }
+
+    #[test]
+    fn rank_accounts_for_all_levels() {
+        assert_eq!(sample().rank(), 3);
+        // Without the global cap, rank = 4.
+        let m = LaminarMatroid::new(5, vec![(vec![0, 1, 2], 2), (vec![3, 4], 2)]);
+        assert_eq!(m.rank(), 4);
+    }
+
+    #[test]
+    fn nested_family_is_accepted() {
+        // {0} ⊂ {0,1} ⊂ {0,1,2,3}.
+        let m = LaminarMatroid::new(
+            4,
+            vec![(vec![0], 1), (vec![0, 1], 1), (vec![0, 1, 2, 3], 2)],
+        );
+        assert!(m.is_independent(&[0, 2]));
+        assert!(!m.is_independent(&[0, 1])); // middle constraint
+        assert!(!m.is_independent(&[1, 2, 3])); // outer constraint
+        assert_eq!(m.family_size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not laminar")]
+    fn crossing_family_rejected() {
+        let _ = LaminarMatroid::new(3, vec![(vec![0, 1], 1), (vec![1, 2], 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_member_rejected() {
+        let _ = LaminarMatroid::new(2, vec![(vec![5], 1)]);
+    }
+
+    #[test]
+    fn out_of_range_elements_are_dependent() {
+        assert!(!sample().is_independent(&[9]));
+    }
+
+    #[test]
+    fn zero_capacity_makes_members_loops() {
+        let m = LaminarMatroid::new(3, vec![(vec![0], 0)]);
+        assert!(!m.is_independent(&[0]));
+        assert!(m.is_independent(&[1, 2]));
+    }
+
+    #[test]
+    fn axioms_hold_on_partition_with_cap() {
+        MatroidAudit::exhaustive(&sample()).assert_matroid();
+    }
+
+    #[test]
+    fn axioms_hold_on_nested_chain() {
+        let m = LaminarMatroid::new(
+            5,
+            vec![
+                (vec![0, 1], 1),
+                (vec![0, 1, 2, 3], 2),
+                (vec![0, 1, 2, 3, 4], 3),
+            ],
+        );
+        MatroidAudit::exhaustive(&m).assert_matroid();
+    }
+
+    #[test]
+    fn axioms_hold_with_duplicated_members_in_input() {
+        let m = LaminarMatroid::new(3, vec![(vec![0, 0, 1], 1)]);
+        MatroidAudit::exhaustive(&m).assert_matroid();
+    }
+
+    #[test]
+    fn matches_partition_matroid_without_global_cap() {
+        let laminar = LaminarMatroid::new(4, vec![(vec![0, 1], 1), (vec![2, 3], 1)]);
+        let partition = crate::PartitionMatroid::new(vec![0, 0, 1, 1], vec![1, 1]);
+        for mask in 0u32..16 {
+            let set: Vec<ElementId> = (0..4).filter(|&i| mask >> i & 1 == 1).collect();
+            assert_eq!(laminar.is_independent(&set), partition.is_independent(&set));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Bipartite maximum matching via augmenting paths (Kuhn's algorithm).
+//!
+//! Internal engine for [`crate::TransversalMatroid`]'s independence oracle:
+//! a set `S` is independent iff the bipartite graph between `S` and the set
+//! collection admits a matching saturating `S`. Also used by the core
+//! crate's Hassin-et-al dispersion algorithm tests.
+
+/// A bipartite graph between `left` vertices `0..n_left` and `right`
+/// vertices `0..n_right`, stored as adjacency lists on the left side.
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    n_right: usize,
+    /// `adj[l]` = right-neighbours of left vertex `l`.
+    adj: Vec<Vec<u32>>,
+}
+
+impl BipartiteGraph {
+    /// An empty graph with the given part sizes.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        Self {
+            n_right,
+            adj: vec![Vec::new(); n_left],
+        }
+    }
+
+    /// Adds an edge `(l, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, l: u32, r: u32) {
+        assert!(
+            (l as usize) < self.adj.len(),
+            "left vertex {l} out of range"
+        );
+        assert!((r as usize) < self.n_right, "right vertex {r} out of range");
+        self.adj[l as usize].push(r);
+    }
+
+    /// Number of left vertices.
+    pub fn n_left(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of right vertices.
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Neighbours of a left vertex.
+    pub fn neighbours(&self, l: u32) -> &[u32] {
+        &self.adj[l as usize]
+    }
+
+    /// Computes a maximum matching; returns `match_of_left` where
+    /// `match_of_left[l] == Some(r)` iff `l` is matched to `r`.
+    pub fn maximum_matching(&self) -> Matching {
+        let mut match_of_right: Vec<Option<u32>> = vec![None; self.n_right];
+        let mut match_of_left: Vec<Option<u32>> = vec![None; self.adj.len()];
+        let mut visited = vec![false; self.n_right];
+        let mut size = 0usize;
+        for l in 0..self.adj.len() as u32 {
+            visited.iter_mut().for_each(|v| *v = false);
+            if self.augment(l, &mut match_of_right, &mut visited) {
+                size += 1;
+            }
+        }
+        for (r, &ml) in match_of_right.iter().enumerate() {
+            if let Some(l) = ml {
+                match_of_left[l as usize] = Some(r as u32);
+            }
+        }
+        Matching {
+            match_of_left,
+            match_of_right,
+            size,
+        }
+    }
+
+    /// Tries to find an augmenting path from left vertex `l`.
+    fn augment(&self, l: u32, match_of_right: &mut [Option<u32>], visited: &mut [bool]) -> bool {
+        for &r in &self.adj[l as usize] {
+            let r_us = r as usize;
+            if visited[r_us] {
+                continue;
+            }
+            visited[r_us] = true;
+            if match_of_right[r_us].is_none()
+                || self.augment(match_of_right[r_us].unwrap(), match_of_right, visited)
+            {
+                match_of_right[r_us] = Some(l);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Result of a maximum-matching computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// `match_of_left[l]` = the right vertex matched to `l`, if any.
+    pub match_of_left: Vec<Option<u32>>,
+    /// `match_of_right[r]` = the left vertex matched to `r`, if any.
+    pub match_of_right: Vec<Option<u32>>,
+    /// Matching cardinality.
+    pub size: usize,
+}
+
+impl Matching {
+    /// `true` iff every left vertex is matched.
+    pub fn saturates_left(&self) -> bool {
+        self.size == self.match_of_left.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity_graph() {
+        let mut g = BipartiteGraph::new(3, 3);
+        for i in 0..3 {
+            g.add_edge(i, i);
+        }
+        let m = g.maximum_matching();
+        assert_eq!(m.size, 3);
+        assert!(m.saturates_left());
+        for i in 0..3u32 {
+            assert_eq!(m.match_of_left[i as usize], Some(i));
+        }
+    }
+
+    #[test]
+    fn augmenting_path_reassigns_earlier_match() {
+        // l0 - {r0}, l1 - {r0, r1}: greedy would match l0-r0 then l1 must
+        // take r1 via augmentation... actually give l1 only r0 to force a
+        // conflict, then add r1 to l1.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        let m = g.maximum_matching();
+        assert_eq!(m.size, 2);
+        assert_eq!(m.match_of_left[0], Some(0));
+        assert_eq!(m.match_of_left[1], Some(1));
+    }
+
+    #[test]
+    fn chain_augmentation() {
+        // l0: {r0}; l1: {r0, r1}; l2: {r1, r2} — needs a chain of swaps.
+        let mut g = BipartiteGraph::new(3, 3);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        g.add_edge(2, 1);
+        g.add_edge(2, 2);
+        let m = g.maximum_matching();
+        assert_eq!(m.size, 3);
+        assert!(m.saturates_left());
+    }
+
+    #[test]
+    fn deficient_graph_leaves_left_unsaturated() {
+        // Two left vertices compete for one right vertex.
+        let mut g = BipartiteGraph::new(2, 1);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        let m = g.maximum_matching();
+        assert_eq!(m.size, 1);
+        assert!(!m.saturates_left());
+        // match_of_right consistent with match_of_left
+        let r0 = m.match_of_right[0].unwrap();
+        assert_eq!(m.match_of_left[r0 as usize], Some(0));
+    }
+
+    #[test]
+    fn isolated_left_vertex_is_unmatched() {
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 1);
+        let m = g.maximum_matching();
+        assert_eq!(m.size, 1);
+        assert_eq!(m.match_of_left[1], None);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(0, 0);
+        let m = g.maximum_matching();
+        assert_eq!(m.size, 0);
+        assert!(m.saturates_left()); // vacuously
+    }
+
+    #[test]
+    fn accessors() {
+        let mut g = BipartiteGraph::new(2, 3);
+        g.add_edge(0, 2);
+        assert_eq!(g.n_left(), 2);
+        assert_eq!(g.n_right(), 3);
+        assert_eq!(g.neighbours(0), &[2]);
+        assert!(g.neighbours(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        BipartiteGraph::new(1, 1).add_edge(0, 5);
+    }
+
+    #[test]
+    fn larger_random_like_instance_matches_hall_bound() {
+        // Complete bipartite K_{4,6}: maximum matching is 4.
+        let mut g = BipartiteGraph::new(4, 6);
+        for l in 0..4 {
+            for r in 0..6 {
+                g.add_edge(l, r);
+            }
+        }
+        assert_eq!(g.maximum_matching().size, 4);
+    }
+}

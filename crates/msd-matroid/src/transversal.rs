@@ -1,0 +1,182 @@
+//! Transversal matroids: systems of distinct representatives.
+//!
+//! Given a collection `C = {C_1, …, C_m}` of (possibly overlapping) subsets
+//! of the universe, a set `S` is independent iff its elements can be matched
+//! to *distinct* sets containing them — i.e. `S` is a partial transversal.
+//! The paper's Section 1 uses this to select a set of database tuples that
+//! "form a set of representatives for the collection".
+
+use crate::matching::BipartiteGraph;
+use crate::{ElementId, Matroid};
+
+/// A transversal matroid induced by a set collection.
+#[derive(Debug, Clone)]
+pub struct TransversalMatroid {
+    n: usize,
+    /// `member_of[u]` = sorted indices of the sets containing `u`.
+    member_of: Vec<Vec<u32>>,
+    num_sets: usize,
+}
+
+impl TransversalMatroid {
+    /// Builds from the collection itself: `sets[i]` lists the elements of
+    /// `C_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set references an element `≥ n`.
+    pub fn new(n: usize, sets: &[Vec<ElementId>]) -> Self {
+        let mut member_of = vec![Vec::new(); n];
+        for (i, set) in sets.iter().enumerate() {
+            for &u in set {
+                assert!(
+                    (u as usize) < n,
+                    "set {i} references out-of-range element {u}"
+                );
+                member_of[u as usize].push(i as u32);
+            }
+        }
+        for m in &mut member_of {
+            m.sort_unstable();
+            m.dedup();
+        }
+        Self {
+            n,
+            member_of,
+            num_sets: sets.len(),
+        }
+    }
+
+    /// Number of sets in the collection.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// The sets containing element `u`.
+    pub fn sets_containing(&self, u: ElementId) -> &[u32] {
+        &self.member_of[u as usize]
+    }
+
+    /// Builds the bipartite graph between `set` (left) and the collection
+    /// (right).
+    fn graph_for(&self, set: &[ElementId]) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(set.len(), self.num_sets);
+        for (l, &u) in set.iter().enumerate() {
+            for &c in &self.member_of[u as usize] {
+                g.add_edge(l as u32, c);
+            }
+        }
+        g
+    }
+}
+
+impl Matroid for TransversalMatroid {
+    fn ground_size(&self) -> usize {
+        self.n
+    }
+
+    fn is_independent(&self, set: &[ElementId]) -> bool {
+        if set.iter().any(|&u| (u as usize) >= self.n) {
+            return false;
+        }
+        if set.len() > self.num_sets {
+            return false; // cannot saturate more elements than sets
+        }
+        self.graph_for(set).maximum_matching().saturates_left()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::MatroidAudit;
+
+    /// C_0 = {0, 1}, C_1 = {1, 2}, C_2 = {2, 3}.
+    fn chain() -> TransversalMatroid {
+        TransversalMatroid::new(4, &[vec![0, 1], vec![1, 2], vec![2, 3]])
+    }
+
+    #[test]
+    fn partial_transversals_are_independent() {
+        let m = chain();
+        assert!(m.is_independent(&[]));
+        assert!(m.is_independent(&[1]));
+        assert!(m.is_independent(&[0, 1])); // 0→C0, 1→C1
+        assert!(m.is_independent(&[1, 2])); // 1→C0, 2→C1 (or C2)
+        assert!(m.is_independent(&[0, 1, 2])); // 0→C0, 1→C1, 2→C2
+        assert!(m.is_independent(&[1, 2, 3])); // 1→C0, 2→C1, 3→C2
+    }
+
+    #[test]
+    fn oversubscribed_sets_are_dependent() {
+        let m = chain();
+        // 0 and 1 and 2 and 3 → only 3 sets, 4 elements.
+        assert!(!m.is_independent(&[0, 1, 2, 3]));
+        // Element 0 only belongs to C0, element 1 can move, but {0,1} with
+        // a matroid on a single set:
+        let single = TransversalMatroid::new(2, &[vec![0, 1]]);
+        assert!(!single.is_independent(&[0, 1]));
+        assert!(single.is_independent(&[0]));
+        assert!(single.is_independent(&[1]));
+    }
+
+    #[test]
+    fn element_in_no_set_is_a_loop() {
+        // Element 1 belongs to no set → never independent with anything.
+        let m = TransversalMatroid::new(2, &[vec![0]]);
+        assert!(!m.is_independent(&[1]));
+        assert!(m.is_independent(&[0]));
+    }
+
+    #[test]
+    fn out_of_range_elements_are_dependent() {
+        let m = chain();
+        assert!(!m.is_independent(&[9]));
+    }
+
+    #[test]
+    fn rank_is_maximum_matching_size() {
+        let m = chain();
+        assert_eq!(m.rank(), 3);
+        let deficient = TransversalMatroid::new(3, &[vec![0, 1, 2]]);
+        assert_eq!(deficient.rank(), 1);
+    }
+
+    #[test]
+    fn duplicate_memberships_are_deduplicated() {
+        let m = TransversalMatroid::new(2, &[vec![0, 0, 1]]);
+        assert_eq!(m.sets_containing(0), &[0]);
+        assert!(!m.is_independent(&[0, 1]));
+    }
+
+    #[test]
+    fn accessors() {
+        let m = chain();
+        assert_eq!(m.num_sets(), 3);
+        assert_eq!(m.sets_containing(1), &[0, 1]);
+        assert_eq!(m.ground_size(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range element")]
+    fn out_of_range_set_member_rejected() {
+        let _ = TransversalMatroid::new(2, &[vec![5]]);
+    }
+
+    #[test]
+    fn axioms_hold_on_chain() {
+        MatroidAudit::exhaustive(&chain()).assert_matroid();
+    }
+
+    #[test]
+    fn axioms_hold_on_overlapping_collection() {
+        let m = TransversalMatroid::new(5, &[vec![0, 1, 2], vec![1, 2, 3], vec![0, 4], vec![2]]);
+        MatroidAudit::exhaustive(&m).assert_matroid();
+    }
+
+    #[test]
+    fn axioms_hold_with_loops_and_duplicates() {
+        let m = TransversalMatroid::new(4, &[vec![0, 1], vec![0, 1]]);
+        MatroidAudit::exhaustive(&m).assert_matroid();
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests on matroid rank functions.
+//!
+//! The rank function of any matroid is normalized, monotone and
+//! submodular — the textbook bridge between the two substrates this
+//! workspace builds on. Verifying `rank_of` against that characterization
+//! stress-tests every oracle through a second, independent lens.
+
+use msd_matroid::{
+    GraphicMatroid, LaminarMatroid, Matroid, PartitionMatroid, TransversalMatroid,
+    TruncatedMatroid, UniformMatroid,
+};
+use proptest::prelude::*;
+
+/// Checks the rank axioms exhaustively over all subsets (n ≤ 10):
+/// 0 ≤ r(S) ≤ |S|, monotone, and submodular
+/// (r(A∪B) + r(A∩B) ≤ r(A) + r(B)).
+fn assert_rank_axioms<M: Matroid>(m: &M) {
+    let n = m.ground_size();
+    assert!(n <= 10, "exhaustive rank check limited to 10 elements");
+    let full: u32 = 1 << n;
+    let to_set =
+        |mask: u32| -> Vec<u32> { (0..n as u32).filter(|&i| mask >> i & 1 == 1).collect() };
+    let rank: Vec<usize> = (0..full).map(|mask| m.rank_of(&to_set(mask))).collect();
+
+    for mask in 0..full {
+        let r = rank[mask as usize];
+        assert!(r <= mask.count_ones() as usize, "rank exceeds cardinality");
+        // Monotone: adding one element never decreases the rank, and
+        // increases it by at most 1 (unit-increase property).
+        for i in 0..n {
+            if mask >> i & 1 == 0 {
+                let bigger = rank[(mask | 1 << i) as usize];
+                assert!(bigger >= r, "rank not monotone");
+                assert!(bigger <= r + 1, "rank jumps by more than 1");
+            }
+        }
+    }
+    // Submodularity over all pairs.
+    for a in 0..full {
+        for b in 0..full {
+            let union = rank[(a | b) as usize];
+            let inter = rank[(a & b) as usize];
+            assert!(
+                union + inter <= rank[a as usize] + rank[b as usize],
+                "rank not submodular at ({a:#b}, {b:#b})"
+            );
+        }
+    }
+    // Consistency: independence ⇔ full rank.
+    for mask in 0..full {
+        let set = to_set(mask);
+        assert_eq!(
+            m.is_independent(&set),
+            rank[mask as usize] == set.len(),
+            "independence and rank disagree on {set:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn uniform_rank_axioms(n in 1usize..8, k in 0usize..8) {
+        assert_rank_axioms(&UniformMatroid::new(n, k));
+    }
+
+    #[test]
+    fn partition_rank_axioms(
+        blocks in prop::collection::vec(0u32..3, 3..8),
+        caps in prop::collection::vec(0u32..3, 3),
+    ) {
+        assert_rank_axioms(&PartitionMatroid::new(blocks, caps));
+    }
+
+    #[test]
+    fn transversal_rank_axioms(
+        n in 2usize..7,
+        picks in prop::collection::vec(prop::collection::vec(0usize..8, 1..4), 1..4),
+    ) {
+        let sets: Vec<Vec<u32>> = picks
+            .iter()
+            .map(|s| s.iter().map(|&e| (e % n) as u32).collect())
+            .collect();
+        assert_rank_axioms(&TransversalMatroid::new(n, &sets));
+    }
+
+    #[test]
+    fn graphic_rank_axioms(
+        edges in prop::collection::vec((0u32..4, 0u32..4), 1..7),
+    ) {
+        assert_rank_axioms(&GraphicMatroid::new(4, edges));
+    }
+
+    #[test]
+    fn truncated_rank_axioms(
+        blocks in prop::collection::vec(0u32..2, 3..7),
+        k in 0usize..4,
+    ) {
+        let inner = PartitionMatroid::new(blocks, vec![2, 2]);
+        assert_rank_axioms(&TruncatedMatroid::new(inner, k));
+    }
+
+    #[test]
+    fn laminar_rank_axioms(
+        caps in prop::collection::vec(0u32..3, 2),
+        global in 0u32..5,
+    ) {
+        let m = LaminarMatroid::partition_with_global_cap(
+            6,
+            &[vec![0, 1, 2], vec![3, 4, 5]],
+            &caps,
+            global,
+        );
+        assert_rank_axioms(&m);
+    }
+}

@@ -1,0 +1,231 @@
+//! Derived metrics: transformations of an existing metric that stay
+//! metric.
+//!
+//! * [`ScaledMetric`] — `c·d` for `c > 0`.
+//! * [`StarWeightMetric`] — `d'(u,v) = w(u) + w(v)` for non-negative
+//!   weights (zero diagonal); satisfies the triangle inequality because
+//!   `w(u) + w(v) ≤ (w(u) + w(y)) + (w(y) + w(v))`.
+//! * [`GollapudiSharmaMetric`] — the reduction metric
+//!   `d'(u, v) = w(u) + w(v) + 2λ·d(u, v)` from Section 4's discussion of
+//!   Greedy A: a star-weight metric plus a scaled metric, hence a metric.
+//!   Exposed so the reduction can be inspected, audited and reused — e.g.
+//!   feeding it to any max-sum dispersion algorithm reproduces the
+//!   Gollapudi–Sharma pipeline compositionally.
+
+use crate::{ElementId, Metric};
+
+/// `c · d` for a base metric `d` and constant `c > 0`.
+#[derive(Debug, Clone)]
+pub struct ScaledMetric<M> {
+    base: M,
+    factor: f64,
+}
+
+impl<M: Metric> ScaledMetric<M> {
+    /// Scales `base` by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive.
+    pub fn new(base: M, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be finite and positive"
+        );
+        Self { base, factor }
+    }
+
+    /// The scale factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+}
+
+impl<M: Metric> Metric for ScaledMetric<M> {
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+        self.factor * self.base.distance(u, v)
+    }
+}
+
+/// `d'(u, v) = w(u) + w(v)` for `u ≠ v`, zero on the diagonal.
+#[derive(Debug, Clone)]
+pub struct StarWeightMetric {
+    weights: Vec<f64>,
+}
+
+impl StarWeightMetric {
+    /// Builds from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite weights.
+    pub fn new(weights: Vec<f64>) -> Self {
+        for (u, &w) in weights.iter().enumerate() {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weight of element {u} must be finite and non-negative, got {w}"
+            );
+        }
+        Self { weights }
+    }
+
+    /// The underlying weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Metric for StarWeightMetric {
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+        if u == v {
+            0.0
+        } else {
+            self.weights[u as usize] + self.weights[v as usize]
+        }
+    }
+}
+
+/// The Gollapudi–Sharma reduction metric
+/// `d'(u, v) = w(u) + w(v) + 2λ·d(u, v)`.
+///
+/// Maximizing the dispersion of `d'` over sets of fixed size `p` maximizes
+/// `(p−1)·f(S) + 2λ·d(S)`, which is how Gollapudi and Sharma reduce
+/// modular-quality diversification to pure dispersion. The reduction
+/// breaks for general
+/// submodular `f` — elements have no standalone weights — which is
+/// Theorem 1's motivation.
+#[derive(Debug, Clone)]
+pub struct GollapudiSharmaMetric<M> {
+    base: M,
+    weights: Vec<f64>,
+    lambda: f64,
+}
+
+impl<M: Metric> GollapudiSharmaMetric<M> {
+    /// Builds the reduction metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes mismatch, a weight is negative/non-finite, or `λ`
+    /// is negative/non-finite.
+    pub fn new(base: M, weights: Vec<f64>, lambda: f64) -> Self {
+        assert_eq!(
+            base.len(),
+            weights.len(),
+            "weights must cover the ground set"
+        );
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be finite and non-negative"
+        );
+        for (u, &w) in weights.iter().enumerate() {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weight of element {u} must be finite and non-negative, got {w}"
+            );
+        }
+        Self {
+            base,
+            weights,
+            lambda,
+        }
+    }
+}
+
+impl<M: Metric> Metric for GollapudiSharmaMetric<M> {
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+        if u == v {
+            0.0
+        } else {
+            self.weights[u as usize]
+                + self.weights[v as usize]
+                + 2.0 * self.lambda * self.base.distance(u, v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DistanceMatrix, MetricAudit};
+
+    fn base() -> DistanceMatrix {
+        DistanceMatrix::from_fn(4, |u, v| 1.0 + f64::from(u + v) / 10.0)
+    }
+
+    #[test]
+    fn scaled_metric_scales() {
+        let m = ScaledMetric::new(base(), 2.0);
+        assert_eq!(m.factor(), 2.0);
+        assert_eq!(m.len(), 4);
+        assert!((m.distance(0, 1) - 2.2).abs() < 1e-12);
+        MetricAudit::check(&m).assert_metric();
+    }
+
+    #[test]
+    fn star_weight_metric_is_a_metric() {
+        let m = StarWeightMetric::new(vec![0.0, 1.0, 2.5, 0.3]);
+        assert_eq!(m.distance(1, 2), 3.5);
+        assert_eq!(m.distance(2, 2), 0.0);
+        assert_eq!(m.weights()[2], 2.5);
+        MetricAudit::check(&m).assert_metric();
+    }
+
+    #[test]
+    fn gs_reduction_combines_weights_and_distance() {
+        let m = GollapudiSharmaMetric::new(base(), vec![0.5, 1.0, 0.0, 0.2], 0.2);
+        // d'(0,1) = 0.5 + 1.0 + 0.4·1.1
+        assert!((m.distance(0, 1) - (1.5 + 0.4 * 1.1)).abs() < 1e-12);
+        assert_eq!(m.distance(3, 3), 0.0);
+        MetricAudit::check(&m).assert_metric();
+    }
+
+    #[test]
+    fn gs_dispersion_equals_scaled_objective() {
+        // Σ_{pairs of S} d'(u,v) = (|S|−1)·f(S) + 2λ·d(S).
+        let weights = vec![0.5, 1.0, 0.0, 0.2];
+        let lambda = 0.3;
+        let d = base();
+        let m = GollapudiSharmaMetric::new(d.clone(), weights.clone(), lambda);
+        let set = [0u32, 1, 3];
+        let f: f64 = set.iter().map(|&u| weights[u as usize]).sum();
+        let expected = (set.len() as f64 - 1.0) * f + 2.0 * lambda * d.dispersion(&set);
+        assert!((m.dispersion(&set) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_lambda_degenerates_to_star_weights() {
+        let m = GollapudiSharmaMetric::new(base(), vec![1.0, 2.0, 3.0, 4.0], 0.0);
+        assert_eq!(m.distance(0, 3), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = ScaledMetric::new(base(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the ground set")]
+    fn gs_size_mismatch_rejected() {
+        let _ = GollapudiSharmaMetric::new(base(), vec![1.0], 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn star_negative_weight_rejected() {
+        let _ = StarWeightMetric::new(vec![-0.1]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Graph (shortest-path) metrics.
+//!
+//! Dispersion problems originate in location theory on networks
+//! (Section 3: "the given network is represented by a set V of n vertices
+//! along with a distance function between every pair"). This module builds
+//! that distance function: the all-pairs shortest-path metric of a
+//! weighted undirected graph, materialized into a
+//! [`crate::DistanceMatrix`] via Floyd–Warshall.
+
+use crate::{DistanceMatrix, ElementId};
+
+/// A weighted undirected graph used as a metric source.
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    n: usize,
+    /// `(u, v, w)` edges, `w ≥ 0`.
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl WeightedGraph {
+    /// An empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops, or negative/non-finite
+    /// weights.
+    pub fn add_edge(&mut self, u: u32, v: u32, w: f64) -> &mut Self {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge endpoint out of range"
+        );
+        assert!(u != v, "self-loops have no metric meaning");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "edge weight must be finite and non-negative"
+        );
+        self.edges.push((u, v, w));
+        self
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Computes the all-pairs shortest-path metric (Floyd–Warshall,
+    /// O(n³)).
+    ///
+    /// Returns `Err(DisconnectedGraph)` if some pair is unreachable — a
+    /// disconnected graph induces no finite metric.
+    pub fn shortest_path_metric(&self) -> Result<DistanceMatrix, DisconnectedGraph> {
+        let n = self.n;
+        let mut dist = vec![f64::INFINITY; n * n];
+        for i in 0..n {
+            dist[i * n + i] = 0.0;
+        }
+        for &(u, v, w) in &self.edges {
+            let (u, v) = (u as usize, v as usize);
+            // Parallel edges keep the lightest.
+            if w < dist[u * n + v] {
+                dist[u * n + v] = w;
+                dist[v * n + u] = w;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = dist[i * n + k];
+                if dik.is_infinite() {
+                    continue;
+                }
+                for j in 0..n {
+                    let through = dik + dist[k * n + j];
+                    if through < dist[i * n + j] {
+                        dist[i * n + j] = through;
+                    }
+                }
+            }
+        }
+        // Detect disconnection.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if dist[i * n + j].is_infinite() {
+                    return Err(DisconnectedGraph {
+                        u: i as ElementId,
+                        v: j as ElementId,
+                    });
+                }
+            }
+        }
+        Ok(DistanceMatrix::from_fn(n, |u, v| {
+            dist[u as usize * n + v as usize]
+        }))
+    }
+}
+
+/// Error: the graph has no path between `u` and `v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisconnectedGraph {
+    /// One witness endpoint.
+    pub u: ElementId,
+    /// The other witness endpoint.
+    pub v: ElementId,
+}
+
+impl std::fmt::Display for DisconnectedGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph is disconnected: no path between {} and {}",
+            self.u, self.v
+        )
+    }
+}
+
+impl std::error::Error for DisconnectedGraph {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Metric, MetricAudit};
+
+    /// A path graph 0 -1- 1 -2- 2 -3- 3.
+    fn path() -> WeightedGraph {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 2.0)
+            .add_edge(2, 3, 3.0);
+        g
+    }
+
+    #[test]
+    fn path_distances_accumulate() {
+        let m = path().shortest_path_metric().unwrap();
+        assert_eq!(m.distance(0, 1), 1.0);
+        assert_eq!(m.distance(0, 2), 3.0);
+        assert_eq!(m.distance(0, 3), 6.0);
+        assert_eq!(m.distance(1, 3), 5.0);
+    }
+
+    #[test]
+    fn shortcut_edges_are_used() {
+        let mut g = path();
+        g.add_edge(0, 3, 2.5);
+        let m = g.shortest_path_metric().unwrap();
+        assert_eq!(m.distance(0, 3), 2.5);
+        // 0-3-2 = 2.5 + 3 = 5.5 > direct 0-1-2 = 3.
+        assert_eq!(m.distance(0, 2), 3.0);
+    }
+
+    #[test]
+    fn shortest_path_metric_is_a_metric() {
+        let mut g = WeightedGraph::new(5);
+        g.add_edge(0, 1, 2.0)
+            .add_edge(1, 2, 1.5)
+            .add_edge(2, 3, 4.0)
+            .add_edge(3, 4, 0.5)
+            .add_edge(0, 4, 1.0)
+            .add_edge(1, 3, 2.2);
+        let m = g.shortest_path_metric().unwrap();
+        MetricAudit::check(&m).assert_metric();
+    }
+
+    #[test]
+    fn parallel_edges_keep_the_lightest() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 5.0)
+            .add_edge(0, 1, 2.0)
+            .add_edge(1, 0, 9.0);
+        let m = g.shortest_path_metric().unwrap();
+        assert_eq!(m.distance(0, 1), 2.0);
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0).add_edge(2, 3, 1.0);
+        let err = g.shortest_path_metric().unwrap_err();
+        assert!(err.u < err.v);
+        assert!(err.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn zero_weight_edges_are_allowed() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 0.0).add_edge(1, 2, 1.0);
+        let m = g.shortest_path_metric().unwrap();
+        assert_eq!(m.distance(0, 1), 0.0);
+        assert_eq!(m.distance(0, 2), 1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let g = path();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.is_empty());
+        assert!(WeightedGraph::new(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        WeightedGraph::new(2).add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        WeightedGraph::new(2).add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_rejected() {
+        WeightedGraph::new(2).add_edge(0, 7, 1.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Metric-space substrate for max-sum diversification.
+//!
+//! The algorithms of Borodin et al. (PODS 2012) operate over a finite ground
+//! set `U = {0, 1, ..., n-1}` equipped with a metric distance `d(·,·)`.
+//! This crate provides:
+//!
+//! * [`Metric`] — the distance oracle trait used by every algorithm,
+//! * [`DistanceMatrix`] — a dense, cache-friendly precomputed metric stored
+//!   as a flat upper-triangular buffer,
+//! * [`point`] — dense Euclidean points and the vector kernels used to build
+//!   metrics from feature embeddings,
+//! * [`functions`] — standard metrics (Euclidean, Manhattan, Chebyshev,
+//!   cosine distance, the `{1,2}` metric central to the paper's hardness
+//!   discussion),
+//! * [`graph`] — all-pairs shortest-path metrics of weighted networks,
+//!   the location-theory setting the dispersion literature starts from,
+//! * [`derived`] — metric-preserving transformations, including the
+//!   Gollapudi–Sharma reduction metric `w(u) + w(v) + 2λ·d(u,v)`,
+//! * [`relaxed`] — α-relaxed triangle inequalities (Sydow's `2α` regime,
+//!   discussed in the paper's conclusion), and
+//! * [`validate`] — auditing utilities that verify metric axioms, used
+//!   heavily by the test suites of the downstream crates.
+//!
+//! # Conventions
+//!
+//! Ground-set elements are identified by `u32` indices. Distances are `f64`
+//! and must be non-negative and symmetric; `d(u, u) = 0`. All functions in
+//! this workspace treat the distance oracle as the ground truth — algorithms
+//! never recompute distances from raw features.
+
+pub mod derived;
+pub mod functions;
+pub mod graph;
+pub mod matrix;
+pub mod point;
+pub mod relaxed;
+pub mod validate;
+
+pub use derived::{GollapudiSharmaMetric, ScaledMetric, StarWeightMetric};
+pub use graph::WeightedGraph;
+pub use matrix::{DistanceMatrix, DistanceMatrixBuilder};
+pub use point::Point;
+pub use relaxed::{relaxation_parameter, RelaxedMetricReport};
+pub use validate::{MetricAudit, MetricViolation};
+
+/// Identifier of a ground-set element.
+///
+/// Elements are dense indices `0..n`. Using `u32` keeps per-element state
+/// small (see the type-size guidance in the Rust perf book); ground sets of
+/// more than `u32::MAX` elements are far beyond the quadratic-distance
+/// regime these algorithms target.
+pub type ElementId = u32;
+
+/// A finite metric (or semi-metric) over ground set `{0, .., len-1}`.
+///
+/// Implementations must guarantee:
+///
+/// * `distance(u, u) == 0.0`
+/// * `distance(u, v) == distance(v, u)`
+/// * `distance(u, v) >= 0.0` and finite
+///
+/// The triangle inequality is required by the approximation guarantees of
+/// the paper (Theorems 1 and 2) but not by the code itself; the relaxed
+/// `α`-metric setting of [`relaxed`] is explicitly supported. Use
+/// [`validate::MetricAudit`] to check axioms.
+pub trait Metric {
+    /// Number of elements in the ground set.
+    fn len(&self) -> usize;
+
+    /// `true` when the ground set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance between two elements.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `u` or `v` is out of range.
+    fn distance(&self, u: ElementId, v: ElementId) -> f64;
+
+    /// Sum of distances from `u` to every element of `set`.
+    ///
+    /// This is the marginal dispersion gain `d_u(S)` of the paper. The
+    /// default implementation is a straight sweep over the set.
+    fn distance_to_set(&self, u: ElementId, set: &[ElementId]) -> f64 {
+        set.iter().map(|&v| self.distance(u, v)).sum()
+    }
+
+    /// Total dispersion `d(S) = Σ_{ {u,v} ⊆ S } d(u,v)` of a subset.
+    fn dispersion(&self, set: &[ElementId]) -> f64 {
+        let mut total = 0.0;
+        for (i, &u) in set.iter().enumerate() {
+            for &v in &set[i + 1..] {
+                total += self.distance(u, v);
+            }
+        }
+        total
+    }
+
+    /// Sum of all cross distances `d(X, Y) = Σ_{u ∈ X, v ∈ Y} d(u,v)` between
+    /// two disjoint subsets.
+    fn cross_dispersion(&self, xs: &[ElementId], ys: &[ElementId]) -> f64 {
+        let mut total = 0.0;
+        for &u in xs {
+            for &v in ys {
+                total += self.distance(u, v);
+            }
+        }
+        total
+    }
+}
+
+impl<M: Metric + ?Sized> Metric for &M {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+        (**self).distance(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny hand-rolled metric for exercising the default methods.
+    struct Line(usize);
+
+    impl Metric for Line {
+        fn len(&self) -> usize {
+            self.0
+        }
+
+        fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+            (f64::from(u) - f64::from(v)).abs()
+        }
+    }
+
+    #[test]
+    fn distance_to_set_sums_pairwise_distances() {
+        let m = Line(10);
+        assert_eq!(m.distance_to_set(0, &[1, 2, 3]), 6.0);
+        assert_eq!(m.distance_to_set(5, &[]), 0.0);
+    }
+
+    #[test]
+    fn dispersion_counts_each_unordered_pair_once() {
+        let m = Line(10);
+        // pairs: (0,1)=1, (0,3)=3, (1,3)=2  => 6
+        assert_eq!(m.dispersion(&[0, 1, 3]), 6.0);
+        assert_eq!(m.dispersion(&[4]), 0.0);
+        assert_eq!(m.dispersion(&[]), 0.0);
+    }
+
+    #[test]
+    fn cross_dispersion_is_full_bipartite_sum() {
+        let m = Line(10);
+        // (0,2)=2 (0,4)=4 (1,2)=1 (1,4)=3 => 10
+        assert_eq!(m.cross_dispersion(&[0, 1], &[2, 4]), 10.0);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let m = Line(4);
+        let r: &dyn Metric = &m;
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.distance(0, 3), 3.0);
+    }
+
+    #[test]
+    fn empty_metric_reports_empty() {
+        let m = Line(0);
+        assert!(m.is_empty());
+        let m = Line(1);
+        assert!(!m.is_empty());
+    }
+}

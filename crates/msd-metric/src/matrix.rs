@@ -1,0 +1,287 @@
+//! Dense precomputed distance matrices.
+//!
+//! All of the paper's experiments run on ground sets small enough (N ≤ a few
+//! thousand) that the full `n(n-1)/2` pairwise distances fit comfortably in
+//! memory. [`DistanceMatrix`] stores them in a single flat upper-triangular
+//! `Vec<f64>` — one allocation, O(1) symmetric lookup, and cache-friendly
+//! row sweeps for the greedy algorithms.
+
+use crate::{ElementId, Metric};
+
+/// A symmetric distance matrix over `{0, .., n-1}` with zero diagonal.
+///
+/// Stored as the strict upper triangle in row-major order:
+/// entry `(u, v)` with `u < v` lives at `offset(u) + (v - u - 1)` where
+/// `offset(u) = u·n − u(u+1)/2`.
+///
+/// Mutation is deliberately exposed ([`DistanceMatrix::set`]) because the
+/// dynamic-update experiments (Section 6 / Figure 1) perturb individual
+/// distances in place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Strict upper triangle, `n(n-1)/2` entries.
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Creates an all-zeros matrix for `n` elements.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n.saturating_sub(1) / 2],
+        }
+    }
+
+    /// Builds a matrix by evaluating `dist` on every unordered pair.
+    ///
+    /// `dist` is called exactly once per pair `(u, v)` with `u < v`.
+    pub fn from_fn(n: usize, mut dist: impl FnMut(ElementId, ElementId) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                data.push(dist(u as ElementId, v as ElementId));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Materializes any [`Metric`] into a dense matrix.
+    pub fn from_metric<M: Metric>(metric: &M) -> Self {
+        Self::from_fn(metric.len(), |u, v| metric.distance(u, v))
+    }
+
+    /// Builds a matrix from points and a pairwise kernel.
+    pub fn from_points<T>(points: &[T], mut dist: impl FnMut(&T, &T) -> f64) -> Self {
+        Self::from_fn(points.len(), |u, v| {
+            dist(&points[u as usize], &points[v as usize])
+        })
+    }
+
+    #[inline]
+    fn index(&self, u: ElementId, v: ElementId) -> usize {
+        debug_assert!(u != v);
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let (a, b) = (a as usize, b as usize);
+        // offset of row a in the strict upper triangle + column shift
+        a * self.n - a * (a + 1) / 2 + (b - a - 1)
+    }
+
+    /// Sets the distance between a pair of distinct elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (the diagonal is fixed at zero) or out of range.
+    pub fn set(&mut self, u: ElementId, v: ElementId, d: f64) {
+        assert!(u != v, "cannot set diagonal distance d({u},{u})");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "element out of range"
+        );
+        let idx = self.index(u, v);
+        self.data[idx] = d;
+    }
+
+    /// Scales every distance by `factor` (useful for normalizing workloads).
+    pub fn scale(&mut self, factor: f64) {
+        for d in &mut self.data {
+            *d *= factor;
+        }
+    }
+
+    /// The largest pairwise distance, or 0 for `n < 2`.
+    pub fn max_distance(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The smallest off-diagonal distance, or 0 for `n < 2`.
+    pub fn min_distance(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Mean off-diagonal distance, or 0 for `n < 2`.
+    pub fn mean_distance(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// Raw access to the strict upper triangle (row-major).
+    pub fn triangle(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl Metric for DistanceMatrix {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+        if u == v {
+            0.0
+        } else {
+            self.data[self.index(u, v)]
+        }
+    }
+}
+
+/// Incremental builder that fills the upper triangle pair by pair.
+///
+/// Useful when distances arrive in arbitrary order (e.g. parsed from an
+/// edge list); any unset pair defaults to `0`.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrixBuilder {
+    matrix: DistanceMatrix,
+}
+
+impl DistanceMatrixBuilder {
+    /// Starts a builder for `n` elements with all distances zero.
+    pub fn new(n: usize) -> Self {
+        Self {
+            matrix: DistanceMatrix::zeros(n),
+        }
+    }
+
+    /// Sets `d(u, v) = d(v, u) = d`; returns `self` for chaining.
+    #[must_use]
+    pub fn with(mut self, u: ElementId, v: ElementId, d: f64) -> Self {
+        self.matrix.set(u, v, d);
+        self
+    }
+
+    /// Sets `d(u, v)` in place.
+    pub fn set(&mut self, u: ElementId, v: ElementId, d: f64) -> &mut Self {
+        self.matrix.set(u, v, d);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> DistanceMatrix {
+        self.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_visits_each_pair_once() {
+        let mut calls = 0;
+        let m = DistanceMatrix::from_fn(5, |u, v| {
+            calls += 1;
+            f64::from(u + v)
+        });
+        assert_eq!(calls, 10);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.distance(1, 3), 4.0);
+        assert_eq!(m.distance(3, 1), 4.0);
+        assert_eq!(m.distance(2, 2), 0.0);
+    }
+
+    #[test]
+    fn symmetric_lookup_after_set() {
+        let mut m = DistanceMatrix::zeros(4);
+        m.set(0, 3, 7.5);
+        m.set(2, 1, 1.25);
+        assert_eq!(m.distance(3, 0), 7.5);
+        assert_eq!(m.distance(1, 2), 1.25);
+        assert_eq!(m.distance(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn setting_diagonal_panics() {
+        DistanceMatrix::zeros(3).set(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn setting_out_of_range_panics() {
+        DistanceMatrix::zeros(3).set(0, 5, 1.0);
+    }
+
+    #[test]
+    fn index_layout_is_exhaustive_and_unique() {
+        let n = 17;
+        let m = DistanceMatrix::zeros(n);
+        let mut seen = vec![false; n * (n - 1) / 2];
+        for u in 0..n as ElementId {
+            for v in (u + 1)..n as ElementId {
+                let i = m.index(u, v);
+                assert!(!seen[i], "index collision at ({u},{v})");
+                seen[i] = true;
+                assert_eq!(m.index(v, u), i, "asymmetric index");
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn from_metric_roundtrip() {
+        let a = DistanceMatrix::from_fn(6, |u, v| f64::from(u * 10 + v));
+        let b = DistanceMatrix::from_metric(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_points_uses_kernel() {
+        let pts = [0.0_f64, 3.0, 7.0];
+        let m = DistanceMatrix::from_points(&pts, |a, b| (a - b).abs());
+        assert_eq!(m.distance(0, 2), 7.0);
+        assert_eq!(m.distance(1, 2), 4.0);
+    }
+
+    #[test]
+    fn statistics() {
+        let m = DistanceMatrix::from_fn(3, |u, v| f64::from(u + v)); // 1, 2, 3
+        assert_eq!(m.max_distance(), 3.0);
+        assert_eq!(m.min_distance(), 1.0);
+        assert!((m.mean_distance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistics_on_trivial_matrices() {
+        let m = DistanceMatrix::zeros(1);
+        assert_eq!(m.max_distance(), 0.0);
+        assert_eq!(m.min_distance(), 0.0);
+        assert_eq!(m.mean_distance(), 0.0);
+        assert_eq!(m.triangle().len(), 0);
+    }
+
+    #[test]
+    fn scale_multiplies_all_entries() {
+        let mut m = DistanceMatrix::from_fn(3, |_, _| 2.0);
+        m.scale(0.5);
+        assert_eq!(m.distance(0, 1), 1.0);
+        assert_eq!(m.distance(1, 2), 1.0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let m = DistanceMatrixBuilder::new(3)
+            .with(0, 1, 1.0)
+            .with(1, 2, 2.0)
+            .with(0, 2, 3.0)
+            .build();
+        assert_eq!(m.dispersion(&[0, 1, 2]), 6.0);
+    }
+
+    #[test]
+    fn builder_set_in_place() {
+        let mut b = DistanceMatrixBuilder::new(3);
+        b.set(0, 1, 4.0).set(0, 2, 5.0);
+        let m = b.build();
+        assert_eq!(m.distance(1, 0), 4.0);
+        assert_eq!(m.distance(2, 0), 5.0);
+        assert_eq!(m.distance(1, 2), 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Dense feature points and the vector kernels used to derive metrics.
+//!
+//! Experiments in the paper derive distances from document feature vectors
+//! (cosine similarity over LETOR features) or geometric coordinates. This
+//! module holds the shared vector arithmetic; the metric wrappers live in
+//! [`crate::functions`].
+
+/// A dense point in `ℝ^dim`.
+///
+/// Coordinates are stored in a boxed slice — two words instead of `Vec`'s
+/// three, and the dimension is fixed after construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    coords: Box<[f64]>,
+}
+
+impl Point {
+    /// Creates a point from raw coordinates.
+    pub fn new(coords: impl Into<Vec<f64>>) -> Self {
+        Self {
+            coords: coords.into().into_boxed_slice(),
+        }
+    }
+
+    /// The origin of `ℝ^dim`.
+    pub fn origin(dim: usize) -> Self {
+        Self {
+            coords: vec![0.0; dim].into_boxed_slice(),
+        }
+    }
+
+    /// Dimensionality of the point.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate access.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Mutable coordinate access.
+    pub fn coords_mut(&mut self) -> &mut [f64] {
+        &mut self.coords
+    }
+
+    /// Euclidean (ℓ2) distance to another point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn euclidean(&self, other: &Self) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Manhattan (ℓ1) distance to another point.
+    pub fn manhattan(&self, other: &Self) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+
+    /// Chebyshev (ℓ∞) distance to another point.
+    pub fn chebyshev(&self, other: &Self) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Inner product `⟨self, other⟩`.
+    pub fn dot(&self, other: &Self) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Euclidean norm `‖self‖₂`.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Cosine similarity in `[-1, 1]`.
+    ///
+    /// Zero vectors have similarity 0 with everything (a conventional choice
+    /// that keeps the derived cosine distance well defined on sparse data).
+    pub fn cosine_similarity(&self, other: &Self) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.dot(other) / denom).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// Cosine distance `1 − cos_sim`, the document distance used by the
+    /// paper's LETOR experiments (Section 7.2).
+    pub fn cosine_distance(&self, other: &Self) -> f64 {
+        1.0 - self.cosine_similarity(other)
+    }
+
+    /// Angular distance `arccos(cos_sim) / π ∈ [0, 1]`.
+    ///
+    /// Unlike raw cosine distance, the angular distance is a true metric on
+    /// the unit sphere; it is offered for applications that need exact
+    /// triangle inequalities rather than the paper's cosine distance.
+    pub fn angular_distance(&self, other: &Self) -> f64 {
+        self.cosine_similarity(other).acos() / std::f64::consts::PI
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(v: Vec<f64>) -> Self {
+        Self::new(v)
+    }
+}
+
+impl From<&[f64]> for Point {
+    fn from(v: &[f64]) -> Self {
+        Self::new(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(cs: &[f64]) -> Point {
+        Point::new(cs.to_vec())
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        let a = p(&[0.0, 0.0]);
+        let b = p(&[3.0, 4.0]);
+        assert_eq!(a.euclidean(&b), 5.0);
+        assert_eq!(a.euclidean(&a), 0.0);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        let a = p(&[1.0, 2.0, 3.0]);
+        let b = p(&[4.0, 0.0, 3.5]);
+        assert_eq!(a.manhattan(&b), 3.0 + 2.0 + 0.5);
+        assert_eq!(a.chebyshev(&b), 3.0);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = p(&[1.0, 2.0]);
+        let b = p(&[3.0, -1.0]);
+        assert_eq!(a.dot(&b), 1.0);
+        assert_eq!(p(&[3.0, 4.0]).norm(), 5.0);
+    }
+
+    #[test]
+    fn cosine_similarity_of_parallel_vectors_is_one() {
+        let a = p(&[1.0, 1.0]);
+        let b = p(&[2.0, 2.0]);
+        assert!((a.cosine_similarity(&b) - 1.0).abs() < 1e-12);
+        assert!(a.cosine_distance(&b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_similarity_of_orthogonal_vectors_is_zero() {
+        let a = p(&[1.0, 0.0]);
+        let b = p(&[0.0, 1.0]);
+        assert!(a.cosine_similarity(&b).abs() < 1e-12);
+        assert!((a.cosine_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_with_zero_vector_is_zero_similarity() {
+        let a = p(&[0.0, 0.0]);
+        let b = p(&[1.0, 2.0]);
+        assert_eq!(a.cosine_similarity(&b), 0.0);
+        assert_eq!(a.cosine_distance(&b), 1.0);
+    }
+
+    #[test]
+    fn angular_distance_bounds() {
+        let a = p(&[1.0, 0.0]);
+        let b = p(&[-1.0, 0.0]);
+        assert!((a.angular_distance(&b) - 1.0).abs() < 1e-12);
+        assert!(a.angular_distance(&a).abs() < 1e-7);
+    }
+
+    #[test]
+    fn origin_is_zero() {
+        let o = Point::origin(3);
+        assert_eq!(o.dim(), 3);
+        assert_eq!(o.coords(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn coords_mut_allows_in_place_update() {
+        let mut a = p(&[1.0, 2.0]);
+        a.coords_mut()[0] = 5.0;
+        assert_eq!(a.coords(), &[5.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dimensions_panic() {
+        let _ = p(&[1.0]).euclidean(&p(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Point = vec![1.0, 2.0].into();
+        let b: Point = (&[1.0, 2.0][..]).into();
+        assert_eq!(a, b);
+    }
+}

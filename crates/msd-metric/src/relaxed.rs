@@ -1,0 +1,163 @@
+//! α-relaxed triangle inequalities.
+//!
+//! The paper's conclusion highlights Sydow's result: if the distance only
+//! satisfies the *relaxed* triangle inequality
+//! `d(x, y) + d(y, z) ≥ (1/α) · d(x, z)` for some `α ≥ 1`, the
+//! matching-based algorithm achieves a (tight) `2α` approximation for
+//! cardinality-constrained max-sum dispersion, and Abbasi-Zadeh and Ghadiri
+//! obtain `2α` (cardinality) and `2α²` (matroid) for diversification.
+//!
+//! This module *measures* the relaxation parameter of a given distance
+//! oracle so experiments can report which regime they are in (cosine
+//! distance, for instance, is a semi-metric whose α is finite but > 1 on
+//! real data).
+
+use crate::{ElementId, Metric};
+
+/// Summary of the relaxed-metric analysis of a distance oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelaxedMetricReport {
+    /// The smallest `α ≥ 1` such that `α · (d(x,y) + d(y,z)) ≥ d(x,z)` for
+    /// every audited triple. `1.0` means the distance is a true metric.
+    pub alpha: f64,
+    /// Number of triples audited.
+    pub triples: usize,
+    /// The witness triple attaining `alpha` (if any triple was audited).
+    pub witness: Option<(ElementId, ElementId, ElementId)>,
+}
+
+impl RelaxedMetricReport {
+    /// The approximation ratio `2α` guaranteed for the cardinality
+    /// constraint under this relaxation (Sydow; tight).
+    pub fn cardinality_ratio(&self) -> f64 {
+        2.0 * self.alpha
+    }
+
+    /// The approximation ratio `2α²` guaranteed for an arbitrary matroid
+    /// constraint (Abbasi-Zadeh and Ghadiri).
+    pub fn matroid_ratio(&self) -> f64 {
+        2.0 * self.alpha * self.alpha
+    }
+
+    /// `true` when the audited distance satisfied the exact triangle
+    /// inequality on every triple.
+    pub fn is_exact_metric(&self) -> bool {
+        self.alpha <= 1.0 + 1e-12
+    }
+}
+
+/// Exhaustively computes the relaxation parameter `α` of `metric`.
+///
+/// For every ordered triple `(x, y, z)` of distinct elements with
+/// `d(x,y) + d(y,z) > 0`, the constraint is
+/// `α ≥ d(x,z) / (d(x,y) + d(y,z))`; the report returns the max over all
+/// triples, clamped below at 1. O(n³) — intended for analysis and tests.
+///
+/// Degenerate triples with `d(x,y) + d(y,z) = 0 < d(x,z)` have no finite α;
+/// they yield `alpha = f64::INFINITY`.
+pub fn relaxation_parameter<M: Metric>(metric: &M) -> RelaxedMetricReport {
+    let n = metric.len() as ElementId;
+    let mut alpha = 1.0_f64;
+    let mut witness = None;
+    let mut triples = 0usize;
+    for x in 0..n {
+        for z in (x + 1)..n {
+            let dxz = metric.distance(x, z);
+            for y in 0..n {
+                if y == x || y == z {
+                    continue;
+                }
+                triples += 1;
+                let path = metric.distance(x, y) + metric.distance(y, z);
+                let ratio = if path > 0.0 {
+                    dxz / path
+                } else if dxz > 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0
+                };
+                if ratio > alpha {
+                    alpha = ratio;
+                    witness = Some((x, y, z));
+                }
+            }
+        }
+    }
+    RelaxedMetricReport {
+        alpha,
+        triples,
+        witness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DistanceMatrix, Point};
+
+    #[test]
+    fn exact_metric_has_alpha_one() {
+        let m = DistanceMatrix::from_fn(5, |u, v| f64::from(v.abs_diff(u)));
+        let report = relaxation_parameter(&m);
+        assert!(report.is_exact_metric());
+        assert_eq!(report.alpha, 1.0);
+        assert_eq!(report.cardinality_ratio(), 2.0);
+        assert_eq!(report.matroid_ratio(), 2.0);
+        assert_eq!(report.triples, 5 * 4 * 3 / 2); // unordered (x,z) * middle y
+    }
+
+    #[test]
+    fn violation_yields_alpha_above_one() {
+        let mut m = DistanceMatrix::zeros(3);
+        m.set(0, 1, 1.0);
+        m.set(1, 2, 1.0);
+        m.set(0, 2, 3.0); // ratio 3 / 2
+        let report = relaxation_parameter(&m);
+        assert!((report.alpha - 1.5).abs() < 1e-12);
+        assert_eq!(report.witness, Some((0, 1, 2)));
+        assert!((report.cardinality_ratio() - 3.0).abs() < 1e-12);
+        assert!((report.matroid_ratio() - 4.5).abs() < 1e-12);
+        assert!(!report.is_exact_metric());
+    }
+
+    #[test]
+    fn zero_path_with_positive_direct_distance_is_unbounded() {
+        let mut m = DistanceMatrix::zeros(3);
+        m.set(0, 2, 1.0); // d(0,1) = d(1,2) = 0 but d(0,2) = 1
+        let report = relaxation_parameter(&m);
+        assert!(report.alpha.is_infinite());
+    }
+
+    #[test]
+    fn all_zero_distances_are_a_metric() {
+        let m = DistanceMatrix::zeros(4);
+        let report = relaxation_parameter(&m);
+        assert_eq!(report.alpha, 1.0);
+    }
+
+    #[test]
+    fn cosine_distance_on_spread_vectors_is_relaxed_not_exact() {
+        // Three unit vectors at 0°, 60°, 120°: cosine distance violates the
+        // triangle inequality through the middle vector.
+        let pts: Vec<Point> = [0.0_f64, 60.0, 120.0]
+            .iter()
+            .map(|deg| {
+                let r = deg.to_radians();
+                Point::new(vec![r.cos(), r.sin()])
+            })
+            .collect();
+        let m = DistanceMatrix::from_points(&pts, |a, b| a.cosine_distance(b));
+        let report = relaxation_parameter(&m);
+        // d(0°,120°) = 1.5, path through 60° = 0.5 + 0.5 = 1.0 → α = 1.5
+        assert!((report.alpha - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_ground_sets_have_no_triples() {
+        let m = DistanceMatrix::zeros(2);
+        let report = relaxation_parameter(&m);
+        assert_eq!(report.triples, 0);
+        assert_eq!(report.witness, None);
+        assert_eq!(report.alpha, 1.0);
+    }
+}

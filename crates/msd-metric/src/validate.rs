@@ -1,0 +1,290 @@
+//! Metric-axiom auditing.
+//!
+//! The approximation guarantees of Borodin et al. depend on the triangle
+//! inequality (Lemma 1 and the swap analyses all invoke it). When wiring a
+//! new distance source into the library it is easy to violate an axiom
+//! silently — cosine distance, for example, is only a semi-metric. This
+//! module provides an exhaustive O(n³) audit for test-sized instances plus a
+//! sampled audit for larger ones.
+
+use crate::{ElementId, Metric};
+
+/// A single violated metric axiom, with a witness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricViolation {
+    /// `d(u, u) != 0`.
+    NonzeroDiagonal { u: ElementId, value: f64 },
+    /// `d(u, v) != d(v, u)`.
+    Asymmetry {
+        u: ElementId,
+        v: ElementId,
+        forward: f64,
+        backward: f64,
+    },
+    /// `d(u, v) < 0` or not finite.
+    Invalid {
+        u: ElementId,
+        v: ElementId,
+        value: f64,
+    },
+    /// `d(u, w) > d(u, v) + d(v, w)` beyond tolerance.
+    TriangleInequality {
+        u: ElementId,
+        v: ElementId,
+        w: ElementId,
+        /// `d(u, w) − (d(u, v) + d(v, w))`, positive.
+        excess: f64,
+    },
+}
+
+/// Result of auditing a [`Metric`].
+#[derive(Debug, Clone)]
+pub struct MetricAudit {
+    violations: Vec<MetricViolation>,
+    /// Worst triangle excess found (0 when the triangle inequality holds).
+    worst_triangle_excess: f64,
+}
+
+/// Absolute tolerance used when comparing floating-point distances.
+pub const TOLERANCE: f64 = 1e-9;
+
+impl MetricAudit {
+    /// Exhaustively audits every pair and triple. O(n³); intended for tests
+    /// and small instances.
+    pub fn check<M: Metric>(metric: &M) -> Self {
+        let n = metric.len() as ElementId;
+        let mut violations = Vec::new();
+        let mut worst = 0.0_f64;
+
+        for u in 0..n {
+            let duu = metric.distance(u, u);
+            if duu.abs() > TOLERANCE {
+                violations.push(MetricViolation::NonzeroDiagonal { u, value: duu });
+            }
+        }
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let f = metric.distance(u, v);
+                let b = metric.distance(v, u);
+                if !f.is_finite() || f < -TOLERANCE {
+                    violations.push(MetricViolation::Invalid { u, v, value: f });
+                }
+                if (f - b).abs() > TOLERANCE {
+                    violations.push(MetricViolation::Asymmetry {
+                        u,
+                        v,
+                        forward: f,
+                        backward: b,
+                    });
+                }
+            }
+        }
+        for u in 0..n {
+            for v in 0..n {
+                if v == u {
+                    continue;
+                }
+                for w in (u + 1)..n {
+                    if w == v {
+                        continue;
+                    }
+                    let excess =
+                        metric.distance(u, w) - metric.distance(u, v) - metric.distance(v, w);
+                    if excess > TOLERANCE {
+                        worst = worst.max(excess);
+                        violations.push(MetricViolation::TriangleInequality { u, v, w, excess });
+                    }
+                }
+            }
+        }
+        Self {
+            violations,
+            worst_triangle_excess: worst,
+        }
+    }
+
+    /// Audits a random sample of `samples` triples using a caller-supplied
+    /// index stream (so the crate stays rng-free). `pick(k)` must return a
+    /// value in `0..k`.
+    pub fn check_sampled<M: Metric>(
+        metric: &M,
+        samples: usize,
+        mut pick: impl FnMut(usize) -> usize,
+    ) -> Self {
+        let n = metric.len();
+        let mut violations = Vec::new();
+        let mut worst = 0.0_f64;
+        if n >= 3 {
+            for _ in 0..samples {
+                let u = pick(n) as ElementId;
+                let v = pick(n) as ElementId;
+                let w = pick(n) as ElementId;
+                if u == v || v == w || u == w {
+                    continue;
+                }
+                let excess = metric.distance(u, w) - metric.distance(u, v) - metric.distance(v, w);
+                if excess > TOLERANCE {
+                    worst = worst.max(excess);
+                    violations.push(MetricViolation::TriangleInequality { u, v, w, excess });
+                }
+            }
+        }
+        Self {
+            violations,
+            worst_triangle_excess: worst,
+        }
+    }
+
+    /// `true` when no axiom was violated.
+    pub fn is_metric(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// All violations found, in discovery order.
+    pub fn violations(&self) -> &[MetricViolation] {
+        &self.violations
+    }
+
+    /// Worst observed triangle-inequality excess (0 when none).
+    pub fn worst_triangle_excess(&self) -> f64 {
+        self.worst_triangle_excess
+    }
+
+    /// Panics with a readable report if any axiom fails. For use in tests.
+    #[track_caller]
+    pub fn assert_metric(&self) {
+        assert!(
+            self.is_metric(),
+            "metric axioms violated ({} violations); first: {:?}",
+            self.violations.len(),
+            self.violations.first()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DistanceMatrix;
+
+    #[test]
+    fn valid_metric_passes() {
+        // A path metric 0 - 1 - 2 with unit edges.
+        let m = DistanceMatrix::from_fn(3, |u, v| f64::from(v.abs_diff(u)));
+        let audit = MetricAudit::check(&m);
+        audit.assert_metric();
+        assert_eq!(audit.worst_triangle_excess(), 0.0);
+    }
+
+    #[test]
+    fn triangle_violation_is_detected() {
+        let mut m = DistanceMatrix::zeros(3);
+        m.set(0, 1, 1.0);
+        m.set(1, 2, 1.0);
+        m.set(0, 2, 5.0); // 5 > 1 + 1
+        let audit = MetricAudit::check(&m);
+        assert!(!audit.is_metric());
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| matches!(v, MetricViolation::TriangleInequality { .. })));
+        assert!((audit.worst_triangle_excess() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_distance_is_detected() {
+        let mut m = DistanceMatrix::zeros(2);
+        m.set(0, 1, -1.0);
+        let audit = MetricAudit::check(&m);
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| matches!(v, MetricViolation::Invalid { .. })));
+    }
+
+    #[test]
+    fn nan_distance_is_detected() {
+        let mut m = DistanceMatrix::zeros(2);
+        m.set(0, 1, f64::NAN);
+        let audit = MetricAudit::check(&m);
+        assert!(!audit.is_metric());
+    }
+
+    struct Asym;
+    impl Metric for Asym {
+        fn len(&self) -> usize {
+            2
+        }
+        fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+            if u < v {
+                1.0
+            } else if u > v {
+                2.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetry_is_detected() {
+        let audit = MetricAudit::check(&Asym);
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| matches!(v, MetricViolation::Asymmetry { .. })));
+    }
+
+    struct DirtyDiagonal;
+    impl Metric for DirtyDiagonal {
+        fn len(&self) -> usize {
+            1
+        }
+        fn distance(&self, _: ElementId, _: ElementId) -> f64 {
+            3.0
+        }
+    }
+
+    #[test]
+    fn nonzero_diagonal_is_detected() {
+        let audit = MetricAudit::check(&DirtyDiagonal);
+        assert_eq!(
+            audit.violations(),
+            &[MetricViolation::NonzeroDiagonal { u: 0, value: 3.0 }]
+        );
+    }
+
+    #[test]
+    fn sampled_check_finds_planted_violation() {
+        let mut m = DistanceMatrix::zeros(4);
+        for (u, v) in [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3)] {
+            m.set(u, v, 1.0);
+        }
+        m.set(2, 3, 10.0);
+        // Deterministic "rng"; use the high bits so residues mod small k
+        // do not fall into a short cycle.
+        let mut i = 0u64;
+        let audit = MetricAudit::check_sampled(&m, 256, |k| {
+            i = i
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((i >> 33) % k as u64) as usize
+        });
+        assert!(!audit.is_metric());
+    }
+
+    #[test]
+    fn sampled_check_on_tiny_ground_set_is_vacuous() {
+        let m = DistanceMatrix::zeros(2);
+        let audit = MetricAudit::check_sampled(&m, 100, |k| k / 2);
+        assert!(audit.is_metric());
+    }
+
+    #[test]
+    #[should_panic(expected = "metric axioms violated")]
+    fn assert_metric_panics_on_violation() {
+        let mut m = DistanceMatrix::zeros(2);
+        m.set(0, 1, -2.0);
+        MetricAudit::check(&m).assert_metric();
+    }
+}

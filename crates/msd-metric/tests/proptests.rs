@@ -1,0 +1,133 @@
+//! Property tests for the metric substrate's data-structure invariants.
+
+use msd_metric::{
+    relaxation_parameter, DistanceMatrix, GollapudiSharmaMetric, Metric, MetricAudit, ScaledMetric,
+    StarWeightMetric, WeightedGraph,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The flat upper-triangular layout is a faithful symmetric store.
+    #[test]
+    fn matrix_set_get_roundtrip(
+        n in 2usize..20,
+        writes in prop::collection::vec((0u32..20, 0u32..20, 0.0f64..100.0), 1..40),
+    ) {
+        let mut m = DistanceMatrix::zeros(n);
+        let mut reference = std::collections::HashMap::new();
+        for (u, v, d) in writes {
+            let (u, v) = (u % n as u32, v % n as u32);
+            if u == v {
+                continue;
+            }
+            m.set(u, v, d);
+            reference.insert((u.min(v), u.max(v)), d);
+        }
+        for (&(u, v), &d) in &reference {
+            prop_assert_eq!(m.distance(u, v), d);
+            prop_assert_eq!(m.distance(v, u), d);
+        }
+        for u in 0..n as u32 {
+            prop_assert_eq!(m.distance(u, u), 0.0);
+        }
+    }
+
+    /// Dispersion identities: d(S ∪ T) = d(S) + d(T) + d(S, T) for
+    /// disjoint S, T.
+    #[test]
+    fn dispersion_decomposes_over_disjoint_union(
+        raw in prop::collection::vec(0.0f64..10.0, 45),
+        split in 0usize..10,
+    ) {
+        let n = 10usize;
+        let mut it = raw.into_iter().cycle();
+        let m = DistanceMatrix::from_fn(n, |_, _| it.next().unwrap());
+        let s: Vec<u32> = (0..split as u32).collect();
+        let t: Vec<u32> = (split as u32..n as u32).collect();
+        let all: Vec<u32> = (0..n as u32).collect();
+        let lhs = m.dispersion(&all);
+        let rhs = m.dispersion(&s) + m.dispersion(&t) + m.cross_dispersion(&s, &t);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    /// distance_to_set is additive over set concatenation.
+    #[test]
+    fn distance_to_set_is_additive(
+        raw in prop::collection::vec(0.0f64..5.0, 28),
+        u in 0u32..8,
+    ) {
+        let n = 8usize;
+        let mut it = raw.into_iter().cycle();
+        let m = DistanceMatrix::from_fn(n, |_, _| it.next().unwrap());
+        let a: Vec<u32> = vec![(u + 1) % 8, (u + 2) % 8];
+        let b: Vec<u32> = vec![(u + 3) % 8];
+        let joint: Vec<u32> = a.iter().chain(&b).copied().collect();
+        let lhs = m.distance_to_set(u, &joint);
+        let rhs = m.distance_to_set(u, &a) + m.distance_to_set(u, &b);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    /// Distances in [1, 2] always form a metric; relaxation parameter 1.
+    #[test]
+    fn one_two_band_is_always_metric(
+        raw in prop::collection::vec(0.0f64..1.0, 21),
+    ) {
+        let mut it = raw.into_iter().cycle();
+        let m = DistanceMatrix::from_fn(7, |_, _| 1.0 + it.next().unwrap());
+        MetricAudit::check(&m).assert_metric();
+        let report = relaxation_parameter(&m);
+        prop_assert!(report.is_exact_metric());
+    }
+
+    /// Scaling preserves metricity and scales dispersion linearly.
+    #[test]
+    fn scaling_preserves_metric_and_scales_dispersion(
+        raw in prop::collection::vec(0.0f64..1.0, 21),
+        factor in 0.01f64..50.0,
+    ) {
+        let mut it = raw.into_iter().cycle();
+        let base = DistanceMatrix::from_fn(7, |_, _| 1.0 + it.next().unwrap());
+        let scaled = ScaledMetric::new(base.clone(), factor);
+        MetricAudit::check(&scaled).assert_metric();
+        let set: Vec<u32> = vec![0, 2, 4, 6];
+        prop_assert!((scaled.dispersion(&set) - factor * base.dispersion(&set)).abs() < 1e-9);
+    }
+
+    /// Star-weight metrics and GS reduction metrics are metrics for any
+    /// non-negative inputs.
+    #[test]
+    fn derived_metrics_are_metrics(
+        weights in prop::collection::vec(0.0f64..5.0, 6),
+        raw in prop::collection::vec(0.0f64..1.0, 15),
+        lambda in 0.0f64..2.0,
+    ) {
+        let star = StarWeightMetric::new(weights.clone());
+        MetricAudit::check(&star).assert_metric();
+        let mut it = raw.into_iter().cycle();
+        let base = DistanceMatrix::from_fn(6, |_, _| 1.0 + it.next().unwrap());
+        let gs = GollapudiSharmaMetric::new(base, weights, lambda);
+        MetricAudit::check(&gs).assert_metric();
+    }
+
+    /// Shortest-path metrics of random connected graphs are metrics.
+    #[test]
+    fn shortest_path_metrics_are_metrics(
+        extra in prop::collection::vec((0u32..7, 0u32..7, 0.1f64..5.0), 0..10),
+        spine in prop::collection::vec(0.1f64..5.0, 6),
+    ) {
+        let mut g = WeightedGraph::new(7);
+        // Spine guarantees connectivity.
+        for (i, &w) in spine.iter().enumerate() {
+            g.add_edge(i as u32, i as u32 + 1, w);
+        }
+        for (u, v, w) in extra {
+            if u != v {
+                g.add_edge(u, v, w);
+            }
+        }
+        let m = g.shortest_path_metric().expect("spine keeps the graph connected");
+        MetricAudit::check(&m).assert_metric();
+    }
+}

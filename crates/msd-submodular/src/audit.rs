@@ -1,0 +1,384 @@
+//! Empirical verification of set-function axioms.
+//!
+//! [`FunctionAudit::exhaustive`] checks normalization, monotonicity and
+//! submodularity over *all* subsets of the ground set (so it is only usable
+//! for `|U| ≲ 15`); [`FunctionAudit::sampled`] checks random chains for
+//! larger ground sets. Both are used throughout the workspace's tests to
+//! certify that quality functions fed into Theorem 1 / Theorem 2 actually
+//! satisfy the theorems' hypotheses.
+
+use crate::{ElementId, SetFunction};
+
+/// Floating tolerance for axiom comparisons.
+pub const TOLERANCE: f64 = 1e-9;
+
+/// One violated axiom with a witness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FunctionViolation {
+    /// `f(∅) != 0`.
+    NotNormalized { value: f64 },
+    /// `f(S) > f(T)` for some `S ⊆ T`.
+    NotMonotone {
+        subset: Vec<ElementId>,
+        superset: Vec<ElementId>,
+        gap: f64,
+    },
+    /// `f_u(S) < f_u(T)` for some `S ⊆ T`, `u ∉ T` (diminishing returns
+    /// fails).
+    NotSubmodular {
+        subset: Vec<ElementId>,
+        superset: Vec<ElementId>,
+        u: ElementId,
+        gap: f64,
+    },
+    /// `marginal(u, S)` disagrees with `f(S+u) − f(S)`.
+    InconsistentMarginal {
+        set: Vec<ElementId>,
+        u: ElementId,
+        reported: f64,
+        actual: f64,
+    },
+    /// `swap_gain(u, v, S)` disagrees with `f(S−v+u) − f(S)`.
+    InconsistentSwapGain {
+        set: Vec<ElementId>,
+        u: ElementId,
+        v: ElementId,
+        reported: f64,
+        actual: f64,
+    },
+}
+
+/// Audit report for a set function.
+#[derive(Debug, Clone)]
+pub struct FunctionAudit {
+    violations: Vec<FunctionViolation>,
+}
+
+impl FunctionAudit {
+    /// Exhaustive audit over all `2^n` subsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ground set has more than 20 elements (the audit would
+    /// not terminate in reasonable time).
+    pub fn exhaustive<F: SetFunction>(f: &F) -> Self {
+        let n = f.ground_size();
+        assert!(n <= 20, "exhaustive audit limited to 20 elements, got {n}");
+        let mut violations = Vec::new();
+
+        let empty = f.value(&[]);
+        if empty.abs() > TOLERANCE {
+            violations.push(FunctionViolation::NotNormalized { value: empty });
+        }
+
+        let subsets: Vec<Vec<ElementId>> = (0u32..(1 << n))
+            .map(|mask| {
+                (0..n as ElementId)
+                    .filter(|&i| mask >> i & 1 == 1)
+                    .collect()
+            })
+            .collect();
+        let values: Vec<f64> = subsets.iter().map(|s| f.value(s)).collect();
+
+        for mask in 0u32..(1 << n) {
+            let s = &subsets[mask as usize];
+            let fs = values[mask as usize];
+            for u in 0..n as ElementId {
+                if mask >> u & 1 == 1 {
+                    continue;
+                }
+                let with = mask | (1 << u);
+                let actual = values[with as usize] - fs;
+
+                // Marginal consistency.
+                let reported = f.marginal(u, s);
+                if (reported - actual).abs() > TOLERANCE {
+                    violations.push(FunctionViolation::InconsistentMarginal {
+                        set: s.clone(),
+                        u,
+                        reported,
+                        actual,
+                    });
+                }
+
+                // Monotonicity: marginal must be >= 0.
+                if actual < -TOLERANCE {
+                    violations.push(FunctionViolation::NotMonotone {
+                        subset: s.clone(),
+                        superset: subsets[with as usize].clone(),
+                        gap: -actual,
+                    });
+                }
+
+                // Swap-gain consistency for every v ∈ S.
+                for v in 0..n as ElementId {
+                    if mask >> v & 1 == 0 {
+                        continue;
+                    }
+                    let swapped = (mask & !(1 << v)) | (1 << u);
+                    let actual = values[swapped as usize] - fs;
+                    let reported = f.swap_gain(u, v, s);
+                    if (reported - actual).abs() > TOLERANCE {
+                        violations.push(FunctionViolation::InconsistentSwapGain {
+                            set: s.clone(),
+                            u,
+                            v,
+                            reported,
+                            actual,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Submodularity: for S ⊆ T and u ∉ T, f_u(S) ≥ f_u(T).
+        // Iterate over all pairs (S, T) with S ⊆ T by enumerating T and its
+        // submasks.
+        for t_mask in 0u32..(1 << n) {
+            let mut s_mask = t_mask;
+            loop {
+                // s_mask ⊆ t_mask
+                for u in 0..n as ElementId {
+                    if t_mask >> u & 1 == 1 {
+                        continue;
+                    }
+                    let gain_s = values[(s_mask | 1 << u) as usize] - values[s_mask as usize];
+                    let gain_t = values[(t_mask | 1 << u) as usize] - values[t_mask as usize];
+                    if gain_t - gain_s > TOLERANCE {
+                        violations.push(FunctionViolation::NotSubmodular {
+                            subset: subsets[s_mask as usize].clone(),
+                            superset: subsets[t_mask as usize].clone(),
+                            u,
+                            gap: gain_t - gain_s,
+                        });
+                    }
+                }
+                if s_mask == 0 {
+                    break;
+                }
+                s_mask = (s_mask - 1) & t_mask;
+            }
+        }
+
+        Self { violations }
+    }
+
+    /// Sampled audit: checks `samples` random (S ⊆ T, u) triples using the
+    /// caller-supplied picker (`pick(k)` returns a value in `0..k`).
+    pub fn sampled<F: SetFunction>(
+        f: &F,
+        samples: usize,
+        mut pick: impl FnMut(usize) -> usize,
+    ) -> Self {
+        let n = f.ground_size();
+        let mut violations = Vec::new();
+        let empty = f.value(&[]);
+        if empty.abs() > TOLERANCE {
+            violations.push(FunctionViolation::NotNormalized { value: empty });
+        }
+        if n == 0 {
+            return Self { violations };
+        }
+        for _ in 0..samples {
+            // Random T, random S ⊆ T, random u ∉ T.
+            let mut t: Vec<ElementId> = Vec::new();
+            let mut outside: Vec<ElementId> = Vec::new();
+            for e in 0..n as ElementId {
+                if pick(3) != 0 {
+                    // ~2/3 chance in T
+                    t.push(e);
+                } else {
+                    outside.push(e);
+                }
+            }
+            if outside.is_empty() {
+                continue;
+            }
+            let u = outside[pick(outside.len())];
+            let s: Vec<ElementId> = t.iter().copied().filter(|_| pick(2) == 0).collect();
+
+            let ft = f.value(&t);
+            let fs = f.value(&s);
+            let gain_t = f.marginal(u, &t);
+            let gain_s = f.marginal(u, &s);
+
+            if fs - ft > TOLERANCE {
+                violations.push(FunctionViolation::NotMonotone {
+                    subset: s.clone(),
+                    superset: t.clone(),
+                    gap: fs - ft,
+                });
+            }
+            if gain_t - gain_s > TOLERANCE {
+                violations.push(FunctionViolation::NotSubmodular {
+                    subset: s,
+                    superset: t,
+                    u,
+                    gap: gain_t - gain_s,
+                });
+            }
+        }
+        Self { violations }
+    }
+
+    /// `true` if no axiom was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// All violations found.
+    pub fn violations(&self) -> &[FunctionViolation] {
+        &self.violations
+    }
+
+    /// Panics with a readable report when an axiom fails. For tests.
+    #[track_caller]
+    pub fn assert_monotone_submodular(&self) {
+        assert!(
+            self.is_clean(),
+            "set-function axioms violated ({} violations); first: {:?}",
+            self.violations.len(),
+            self.violations.first()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Card(usize);
+    impl SetFunction for Card {
+        fn ground_size(&self) -> usize {
+            self.0
+        }
+        fn value(&self, set: &[ElementId]) -> f64 {
+            set.len() as f64
+        }
+    }
+
+    #[test]
+    fn cardinality_is_monotone_submodular() {
+        FunctionAudit::exhaustive(&Card(6)).assert_monotone_submodular();
+    }
+
+    /// `f(S) = |S|²` is supermodular (strictly increasing marginals).
+    struct Square(usize);
+    impl SetFunction for Square {
+        fn ground_size(&self) -> usize {
+            self.0
+        }
+        fn value(&self, set: &[ElementId]) -> f64 {
+            (set.len() * set.len()) as f64
+        }
+    }
+
+    #[test]
+    fn supermodular_function_is_flagged() {
+        let audit = FunctionAudit::exhaustive(&Square(4));
+        assert!(!audit.is_clean());
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| matches!(v, FunctionViolation::NotSubmodular { .. })));
+    }
+
+    /// A non-monotone function: value decreases when element 0 is present.
+    struct Dip(usize);
+    impl SetFunction for Dip {
+        fn ground_size(&self) -> usize {
+            self.0
+        }
+        fn value(&self, set: &[ElementId]) -> f64 {
+            set.len() as f64 - if set.contains(&0) { 1.5 } else { 0.0 }
+        }
+    }
+
+    #[test]
+    fn non_monotone_function_is_flagged() {
+        let audit = FunctionAudit::exhaustive(&Dip(4));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| matches!(v, FunctionViolation::NotMonotone { .. })));
+    }
+
+    /// Not normalized: f(∅) = 1.
+    struct Offset(usize);
+    impl SetFunction for Offset {
+        fn ground_size(&self) -> usize {
+            self.0
+        }
+        fn value(&self, set: &[ElementId]) -> f64 {
+            1.0 + set.len() as f64
+        }
+    }
+
+    #[test]
+    fn unnormalized_function_is_flagged() {
+        let audit = FunctionAudit::exhaustive(&Offset(3));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| matches!(v, FunctionViolation::NotNormalized { .. })));
+    }
+
+    /// Marginal oracle that lies.
+    struct LyingMarginal(usize);
+    impl SetFunction for LyingMarginal {
+        fn ground_size(&self) -> usize {
+            self.0
+        }
+        fn value(&self, set: &[ElementId]) -> f64 {
+            set.len() as f64
+        }
+        fn marginal(&self, _u: ElementId, _set: &[ElementId]) -> f64 {
+            42.0
+        }
+    }
+
+    #[test]
+    fn inconsistent_marginal_is_flagged() {
+        let audit = FunctionAudit::exhaustive(&LyingMarginal(3));
+        assert!(audit
+            .violations()
+            .iter()
+            .any(|v| matches!(v, FunctionViolation::InconsistentMarginal { .. })));
+    }
+
+    #[test]
+    fn sampled_audit_flags_supermodular() {
+        let mut i = 0u64;
+        let audit = FunctionAudit::sampled(&Square(10), 200, |k| {
+            i = i
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((i >> 33) % k as u64) as usize
+        });
+        assert!(!audit.is_clean());
+    }
+
+    #[test]
+    fn sampled_audit_passes_cardinality() {
+        let mut i = 7u64;
+        let audit = FunctionAudit::sampled(&Card(12), 200, |k| {
+            i = i
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((i >> 33) % k as u64) as usize
+        });
+        audit.assert_monotone_submodular();
+    }
+
+    #[test]
+    fn sampled_audit_on_empty_ground_set() {
+        let audit = FunctionAudit::sampled(&Card(0), 10, |k| k.saturating_sub(1));
+        assert!(audit.is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 20")]
+    fn exhaustive_audit_rejects_large_ground_sets() {
+        let _ = FunctionAudit::exhaustive(&Card(21));
+    }
+}

@@ -1,0 +1,202 @@
+//! Concave-over-modular functions.
+//!
+//! For a non-decreasing concave `g : ℝ≥0 → ℝ≥0` with `g(0) = 0` and
+//! non-negative weights `w`, the composition `f(S) = g(Σ_{u∈S} w(u))` is
+//! normalized, monotone and submodular. These "saturating" functions model
+//! the paper's motivating observation that *"users begin to gradually lose
+//! interest the more results they have to consider … additional query
+//! results can improve the overall quality but at a decreasing rate"*
+//! (Section 1). They are the simplest strictly-submodular quality functions
+//! and exercise the gap between the paper's Greedy B (which handles them,
+//! Theorem 1) and the Gollapudi–Sharma reduction (which does not).
+
+use crate::{ElementId, SetFunction};
+
+/// The concave shape applied on top of the modular sum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConcaveShape {
+    /// `g(x) = √x`.
+    Sqrt,
+    /// `g(x) = ln(1 + x)`.
+    Log1p,
+    /// `g(x) = min(x, cap)` — fully saturates at `cap ≥ 0`.
+    Capped {
+        /// Saturation threshold.
+        cap: f64,
+    },
+    /// `g(x) = x^exponent` for `exponent ∈ (0, 1]`.
+    Power {
+        /// Exponent in `(0, 1]`; `1.0` degenerates to modular.
+        exponent: f64,
+    },
+}
+
+impl ConcaveShape {
+    /// Evaluates the shape at `x ≥ 0`.
+    pub fn apply(self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0);
+        match self {
+            ConcaveShape::Sqrt => x.sqrt(),
+            ConcaveShape::Log1p => x.ln_1p(),
+            ConcaveShape::Capped { cap } => x.min(cap),
+            ConcaveShape::Power { exponent } => x.powf(exponent),
+        }
+    }
+
+    fn validate(self) {
+        match self {
+            ConcaveShape::Capped { cap } => {
+                assert!(
+                    cap.is_finite() && cap >= 0.0,
+                    "cap must be finite and >= 0, got {cap}"
+                );
+            }
+            ConcaveShape::Power { exponent } => {
+                assert!(
+                    exponent > 0.0 && exponent <= 1.0,
+                    "exponent must lie in (0, 1], got {exponent}"
+                );
+            }
+            ConcaveShape::Sqrt | ConcaveShape::Log1p => {}
+        }
+    }
+}
+
+/// `f(S) = g(Σ_{u∈S} w(u))` for a concave shape `g`.
+#[derive(Debug, Clone)]
+pub struct ConcaveOverModular {
+    weights: Vec<f64>,
+    shape: ConcaveShape,
+}
+
+impl ConcaveOverModular {
+    /// Builds from weights and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative/non-finite weights or invalid shape parameters.
+    pub fn new(weights: Vec<f64>, shape: ConcaveShape) -> Self {
+        shape.validate();
+        for (u, &w) in weights.iter().enumerate() {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weight of element {u} must be finite and non-negative, got {w}"
+            );
+        }
+        Self { weights, shape }
+    }
+
+    /// Convenience: `√(Σ w)` over uniform unit weights — i.e. `√|S|`.
+    pub fn sqrt_cardinality(n: usize) -> Self {
+        Self::new(vec![1.0; n], ConcaveShape::Sqrt)
+    }
+
+    /// The shape in use.
+    pub fn shape(&self) -> ConcaveShape {
+        self.shape
+    }
+
+    /// Per-element weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    fn weight_sum(&self, set: &[ElementId]) -> f64 {
+        set.iter().map(|&u| self.weights[u as usize]).sum()
+    }
+}
+
+impl SetFunction for ConcaveOverModular {
+    fn ground_size(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn value(&self, set: &[ElementId]) -> f64 {
+        self.shape.apply(self.weight_sum(set))
+    }
+
+    /// O(|S|): one pass to compute the modular sum, then two shape
+    /// evaluations.
+    fn marginal(&self, u: ElementId, set: &[ElementId]) -> f64 {
+        let base = self.weight_sum(set);
+        self.shape.apply(base + self.weights[u as usize]) - self.shape.apply(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::FunctionAudit;
+
+    #[test]
+    fn sqrt_cardinality_values() {
+        let f = ConcaveOverModular::sqrt_cardinality(5);
+        assert_eq!(f.value(&[]), 0.0);
+        assert_eq!(f.value(&[0]), 1.0);
+        assert_eq!(f.value(&[0, 1, 2, 3]), 2.0);
+        assert!((f.marginal(4, &[0, 1, 2]) - (2.0 - 3f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_shapes_are_monotone_submodular() {
+        let weights = vec![0.5, 1.5, 0.0, 2.0, 0.7];
+        for shape in [
+            ConcaveShape::Sqrt,
+            ConcaveShape::Log1p,
+            ConcaveShape::Capped { cap: 2.0 },
+            ConcaveShape::Power { exponent: 0.3 },
+            ConcaveShape::Power { exponent: 1.0 },
+        ] {
+            let f = ConcaveOverModular::new(weights.clone(), shape);
+            FunctionAudit::exhaustive(&f).assert_monotone_submodular();
+        }
+    }
+
+    #[test]
+    fn capped_shape_saturates() {
+        let f = ConcaveOverModular::new(vec![1.0; 5], ConcaveShape::Capped { cap: 2.5 });
+        assert_eq!(f.value(&[0, 1]), 2.0);
+        assert_eq!(f.value(&[0, 1, 2]), 2.5);
+        assert_eq!(f.value(&[0, 1, 2, 3, 4]), 2.5);
+        assert_eq!(f.marginal(3, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn power_one_is_modular() {
+        let f = ConcaveOverModular::new(vec![1.0, 2.0, 3.0], ConcaveShape::Power { exponent: 1.0 });
+        assert_eq!(f.value(&[0, 2]), 4.0);
+        assert_eq!(f.marginal(1, &[0, 2]), 2.0);
+    }
+
+    #[test]
+    fn log1p_values() {
+        let f = ConcaveOverModular::new(vec![1.0, 1.0], ConcaveShape::Log1p);
+        assert!((f.value(&[0]) - 2f64.ln()).abs() < 1e-12);
+        assert!((f.value(&[0, 1]) - 3f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must lie in (0, 1]")]
+    fn superlinear_power_rejected() {
+        let _ = ConcaveOverModular::new(vec![1.0], ConcaveShape::Power { exponent: 1.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be finite")]
+    fn negative_cap_rejected() {
+        let _ = ConcaveOverModular::new(vec![1.0], ConcaveShape::Capped { cap: -1.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = ConcaveOverModular::new(vec![-1.0], ConcaveShape::Sqrt);
+    }
+
+    #[test]
+    fn accessors() {
+        let f = ConcaveOverModular::new(vec![1.0, 2.0], ConcaveShape::Sqrt);
+        assert_eq!(f.weights(), &[1.0, 2.0]);
+        assert_eq!(f.shape(), ConcaveShape::Sqrt);
+    }
+}

@@ -1,0 +1,154 @@
+//! Degenerate-instance and failure-injection tests: every algorithm must
+//! behave sensibly on the boundary of its domain — empty and singleton
+//! ground sets, all-zero metrics, zero λ, zero quality, saturated
+//! constraints — and reject invalid inputs loudly rather than silently
+//! corrupting results.
+
+use max_sum_diversification::core::streaming::stream_diversify;
+use max_sum_diversification::prelude::*;
+use max_sum_diversification::submodular::ZeroFunction;
+
+fn trivial(n: usize) -> DiversificationProblem<DistanceMatrix, ModularFunction> {
+    DiversificationProblem::new(
+        DistanceMatrix::zeros(n),
+        ModularFunction::uniform(n, 1.0),
+        0.5,
+    )
+}
+
+#[test]
+fn singleton_ground_set() {
+    let p = trivial(1);
+    assert_eq!(greedy_b(&p, 1, GreedyBConfig::default()), vec![0]);
+    assert_eq!(greedy_a(&p, 1, GreedyAConfig::default()), vec![0]);
+    assert_eq!(exact_max_diversification(&p, 1).set, vec![0]);
+    let ls = local_search_matroid(&p, &UniformMatroid::new(1, 1), LocalSearchConfig::default());
+    assert_eq!(ls.set, vec![0]);
+    assert_eq!(mmr_select(p.metric(), &[1.0], 1, MmrConfig::default()), vec![0]);
+}
+
+#[test]
+fn all_zero_metric_reduces_to_quality_selection() {
+    // With d ≡ 0 the objective is pure f; greedy must take the heaviest
+    // elements.
+    let metric = DistanceMatrix::zeros(6);
+    let quality = ModularFunction::new(vec![0.1, 0.9, 0.5, 0.3, 0.8, 0.2]);
+    let p = DiversificationProblem::new(metric, quality, 1.0);
+    let mut s = greedy_b(&p, 3, GreedyBConfig::default());
+    s.sort_unstable();
+    assert_eq!(s, vec![1, 2, 4]);
+    let opt = exact_max_diversification(&p, 3);
+    assert!((p.objective(&s) - opt.objective).abs() < 1e-12);
+}
+
+#[test]
+fn zero_lambda_and_zero_quality_simultaneously() {
+    // φ ≡ 0: any feasible set is optimal; algorithms must terminate and
+    // return the right cardinality.
+    let metric = DistanceMatrix::zeros(5);
+    let p = DiversificationProblem::new(&metric, ZeroFunction::new(5), 0.0);
+    let g = greedy_b(&p, 3, GreedyBConfig::default());
+    assert_eq!(g.len(), 3);
+    let ls = local_search_refine(&p, &g, LocalSearchConfig::default());
+    assert!(ls.converged);
+    assert_eq!(ls.objective, 0.0);
+}
+
+#[test]
+fn local_search_terminates_on_symmetric_ties() {
+    // A fully symmetric instance: every swap is exactly neutral, so the
+    // search must converge immediately rather than cycling.
+    let metric = DistanceMatrix::from_fn(8, |_, _| 1.0);
+    let quality = ModularFunction::uniform(8, 1.0);
+    let p = DiversificationProblem::new(metric, quality, 0.7);
+    let r = local_search_refine(&p, &[0, 1, 2], LocalSearchConfig::default());
+    assert!(r.converged);
+    assert_eq!(r.swaps, 0, "neutral swaps must not be taken");
+}
+
+#[test]
+fn matroid_with_loops_everywhere_yields_empty_solution() {
+    // Every element is a loop (zero capacity): the only independent set
+    // is ∅.
+    let problem = trivial(4);
+    let matroid = PartitionMatroid::new(vec![0, 0, 0, 0], vec![0]);
+    let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+    assert!(r.set.is_empty());
+    assert_eq!(r.objective, 0.0);
+}
+
+#[test]
+fn streaming_with_capacity_above_stream_length() {
+    let p = trivial(3);
+    let s = stream_diversify(&p, &[2, 0], 10);
+    let mut got = s.clone();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 2]);
+}
+
+#[test]
+fn dynamic_instance_with_p_equal_n() {
+    // Solution = whole ground set: no outside element exists, so the
+    // update rule must be a clean no-op.
+    let problem = trivial(4);
+    let mut d = DynamicInstance::new(problem, &[0, 1, 2, 3]);
+    d.apply(Perturbation::SetWeight { u: 2, value: 9.0 });
+    let out = d.oblivious_update();
+    assert_eq!(out.swap, None);
+    assert_eq!(d.solution().len(), 4);
+}
+
+#[test]
+fn hassin_algorithms_on_two_elements() {
+    let metric = DistanceMatrix::from_fn(2, |_, _| 3.0);
+    assert_eq!(hassin_edge_greedy(&metric, 2).len(), 2);
+    assert_eq!(hassin_matching(&metric, 2).len(), 2);
+    assert_eq!(hassin_edge_greedy(&metric, 1).len(), 1);
+}
+
+#[test]
+#[should_panic(expected = "non-negative")]
+fn negative_weight_rejected_at_construction() {
+    let _ = ModularFunction::new(vec![1.0, -2.0]);
+}
+
+#[test]
+#[should_panic(expected = "lambda must be finite and non-negative")]
+fn nan_lambda_rejected() {
+    let _ = DiversificationProblem::new(
+        DistanceMatrix::zeros(2),
+        ModularFunction::uniform(2, 1.0),
+        f64::NAN,
+    );
+}
+
+#[test]
+#[should_panic(expected = "distance must be finite and non-negative")]
+fn dynamic_rejects_negative_distance_perturbation() {
+    let mut d = DynamicInstance::new(trivial(3), &[0, 1]);
+    d.apply(Perturbation::SetDistance { u: 0, v: 2, value: -1.0 });
+}
+
+#[test]
+fn exact_solver_on_uniform_instances_picks_any_p_set() {
+    // Fully symmetric instance: every size-p set has the same value; the
+    // solver must return one of them with the common objective.
+    let metric = DistanceMatrix::from_fn(6, |_, _| 2.0);
+    let quality = ModularFunction::uniform(6, 1.0);
+    let p = DiversificationProblem::new(metric, quality, 0.5);
+    let r = exact_max_diversification(&p, 3);
+    assert_eq!(r.set.len(), 3);
+    // f = 3, d(S) = 3 pairs × 2 = 6 → φ = 3 + 3 = 6.
+    assert!((r.objective - 6.0).abs() < 1e-12);
+}
+
+#[test]
+fn mmr_handles_uniform_relevance() {
+    let metric = DistanceMatrix::from_fn(5, |u, v| f64::from(u.abs_diff(v)));
+    let s = mmr_select(&metric, &[0.5; 5], 3, MmrConfig::default());
+    assert_eq!(s.len(), 3);
+    let mut d = s.clone();
+    d.sort_unstable();
+    d.dedup();
+    assert_eq!(d.len(), 3);
+}

@@ -1,0 +1,192 @@
+//! Integration tests for Section 6: the oblivious single-swap update rule
+//! maintains a 3-approximation under the paper's perturbation
+//! preconditions (Theorems 3–6, Corollaries 3–4).
+
+use max_sum_diversification::core::dynamic::weight_decrease_update_bound;
+use max_sum_diversification::data::synthetic::SyntheticConfig;
+use max_sum_diversification::prelude::*;
+use proptest::prelude::*;
+
+fn start(seed: u64, n: usize, p: usize, lambda: f64) -> DynamicInstance {
+    let problem = SyntheticConfig { n, lambda }.generate(seed);
+    let init = greedy_b(&problem, p, GreedyBConfig::default());
+    DynamicInstance::new(problem, &init)
+}
+
+fn current_opt(d: &DynamicInstance, p: usize) -> f64 {
+    exact_max_diversification(d.problem(), p).objective
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Theorem 3 (type I): any weight increase + one update → ratio 3.
+    #[test]
+    fn weight_increase_single_update(
+        seed in 0u64..1000,
+        u in 0u32..10,
+        value in 0.0f64..5.0,
+    ) {
+        let p = 4;
+        let mut d = start(seed, 10, p, 0.2);
+        let old = d.problem().quality().weight(u);
+        prop_assume!(value > old);
+        d.apply(Perturbation::SetWeight { u, value });
+        d.oblivious_update();
+        prop_assert!(3.0 * d.objective() >= current_opt(&d, p) - 1e-9);
+    }
+
+    /// Theorem 4 (type II): a weight decrease with δ ≤ w/(p−2) + one
+    /// update → ratio 3.
+    #[test]
+    fn small_weight_decrease_single_update(
+        seed in 0u64..1000,
+        pick in 0usize..4,
+        frac in 0.0f64..1.0,
+    ) {
+        let p = 4;
+        let mut d = start(seed, 10, p, 0.2);
+        let u = d.solution()[pick % d.solution().len()];
+        let w = d.objective();
+        let old = d.problem().quality().weight(u);
+        let delta = (w / (p as f64 - 2.0)).min(old) * frac;
+        d.apply(Perturbation::SetWeight { u, value: old - delta });
+        d.oblivious_update();
+        prop_assert!(3.0 * d.objective() >= current_opt(&d, p) - 1e-9);
+    }
+
+    /// Theorem 4 general case: δ arbitrary, ⌈log_{(p−2)/(p−3)} w/(w−δ)⌉
+    /// updates.
+    #[test]
+    fn large_weight_decrease_bounded_updates(
+        seed in 0u64..1000,
+        pick in 0usize..5,
+        frac in 0.1f64..0.95,
+    ) {
+        let p = 5;
+        let mut d = start(seed, 10, p, 0.2);
+        let u = d.solution()[pick % d.solution().len()];
+        let w = d.objective();
+        let old = d.problem().quality().weight(u);
+        let delta = old * frac;
+        prop_assume!(delta < w);
+        d.apply(Perturbation::SetWeight { u, value: old - delta });
+        let bound = weight_decrease_update_bound(w, delta, p);
+        for _ in 0..bound {
+            d.oblivious_update();
+        }
+        prop_assert!(3.0 * d.objective() >= current_opt(&d, p) - 1e-9);
+    }
+
+    /// Theorem 5 (type III) and Theorem 6 (type IV): distance changes
+    /// within the metric-preserving range [1, 2] + one update → ratio 3.
+    #[test]
+    fn distance_change_single_update(
+        seed in 0u64..1000,
+        u in 0u32..10,
+        v in 0u32..10,
+        value in 1.0f64..2.0,
+    ) {
+        prop_assume!(u != v);
+        let p = 4;
+        let mut d = start(seed, 10, p, 0.2);
+        d.apply(Perturbation::SetDistance { u, v, value });
+        d.oblivious_update();
+        prop_assert!(3.0 * d.objective() >= current_opt(&d, p) - 1e-9);
+    }
+
+    /// Corollary 3: p ≤ 3 maintains ratio 3 for ANY perturbation.
+    #[test]
+    fn small_p_tolerates_any_perturbation(
+        seed in 0u64..1000,
+        u in 0u32..8,
+        value in 0.0f64..1.0,
+    ) {
+        let p = 3;
+        let mut d = start(seed, 8, p, 0.2);
+        // Arbitrary weight change (may be a huge decrease).
+        d.apply(Perturbation::SetWeight { u, value });
+        d.oblivious_update();
+        prop_assert!(3.0 * d.objective() >= current_opt(&d, p) - 1e-9);
+    }
+}
+
+#[test]
+fn long_perturbation_streams_keep_ratio_far_below_3() {
+    // The Figure 1 observation: over long mixed streams the maintained
+    // ratio stays near 1 (paper's worst observation ≈ 1.11).
+    let p = 4;
+    let mut worst = 1.0_f64;
+    for seed in 0..5u64 {
+        let mut d = start(seed + 77, 12, p, 0.2);
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for step in 0..30 {
+            if step % 2 == 0 {
+                let u = (next() * 12.0) as u32 % 12;
+                d.apply(Perturbation::SetWeight { u, value: next() });
+            } else {
+                let u = (next() * 12.0) as u32 % 12;
+                let mut v = (next() * 12.0) as u32 % 12;
+                if v == u {
+                    v = (v + 1) % 12;
+                }
+                d.apply(Perturbation::SetDistance {
+                    u,
+                    v,
+                    value: 1.0 + next(),
+                });
+            }
+            d.oblivious_update();
+            let ratio = current_opt(&d, p) / d.objective();
+            worst = worst.max(ratio);
+        }
+    }
+    assert!(
+        worst < 1.5,
+        "long-stream worst ratio should stay near 1, got {worst}"
+    );
+}
+
+#[test]
+fn classification_covers_all_four_paper_types() {
+    use max_sum_diversification::core::dynamic::PerturbationType;
+    let d = start(1, 8, 3, 0.2);
+    let w0 = d.problem().quality().weight(0);
+    let d01 = d.problem().metric().distance(0, 1);
+    assert_eq!(
+        d.classify(Perturbation::SetWeight {
+            u: 0,
+            value: w0 + 1.0
+        }),
+        PerturbationType::WeightIncrease
+    );
+    assert_eq!(
+        d.classify(Perturbation::SetWeight {
+            u: 0,
+            value: w0 * 0.5
+        }),
+        PerturbationType::WeightDecrease
+    );
+    assert_eq!(
+        d.classify(Perturbation::SetDistance {
+            u: 0,
+            v: 1,
+            value: d01 + 0.01
+        }),
+        PerturbationType::DistanceIncrease
+    );
+    assert_eq!(
+        d.classify(Perturbation::SetDistance {
+            u: 0,
+            v: 1,
+            value: d01 - 0.01
+        }),
+        PerturbationType::DistanceDecrease
+    );
+}

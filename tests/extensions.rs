@@ -1,0 +1,175 @@
+//! Integration tests for the extension features built on top of the
+//! paper's core results: streaming selection, knapsack constraints,
+//! double-swap dynamic updates, log-det quality, laminar matroids and
+//! graph metrics — exercised together, across crates.
+
+use max_sum_diversification::core::knapsack::{knapsack_diversify, KnapsackConfig};
+use max_sum_diversification::core::streaming::stream_diversify;
+use max_sum_diversification::data::synthetic::SyntheticConfig;
+use max_sum_diversification::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn graph_metric_feeds_the_full_pipeline() {
+    // Location theory end-to-end: network → shortest-path metric →
+    // dispersion greedy → guarantee check.
+    let mut g = WeightedGraph::new(8);
+    for (u, v, w) in [
+        (0u32, 1u32, 2.0),
+        (1, 2, 1.0),
+        (2, 3, 3.0),
+        (3, 4, 1.0),
+        (4, 5, 2.0),
+        (5, 6, 1.5),
+        (6, 7, 2.5),
+        (0, 7, 4.0),
+        (2, 6, 2.0),
+    ] {
+        g.add_edge(u, v, w);
+    }
+    let metric = g.shortest_path_metric().expect("connected");
+    let weights: Vec<f64> = (0..8).map(|i| 0.1 * i as f64).collect();
+    let problem = DiversificationProblem::new(metric, ModularFunction::new(weights), 0.5);
+    let s = greedy_b(&problem, 3, GreedyBConfig::default());
+    let opt = exact_max_diversification(&problem, 3);
+    assert!(2.0 * problem.objective(&s) >= opt.objective - 1e-9);
+}
+
+#[test]
+fn logdet_quality_composes_with_greedy_and_local_search() {
+    // DPP-style quality over embeddings + a metric over the same
+    // embeddings: both algorithms respect the Theorem 1/2 bounds.
+    let features: Vec<Vec<f64>> = (0..7)
+        .map(|i| {
+            let a = (i as f64) * 0.8;
+            vec![a.cos(), a.sin(), 0.3]
+        })
+        .collect();
+    let quality = LogDetFunction::from_gram(&features);
+    let pts: Vec<Point> = features.iter().map(|f| Point::new(f.clone())).collect();
+    let metric = DistanceMatrix::from_points(&pts, |a, b| a.euclidean(b));
+    let problem = DiversificationProblem::new(metric, quality, 0.4);
+    let greedy = greedy_b(&problem, 3, GreedyBConfig::default());
+    let opt = exact_max_diversification(&problem, 3);
+    assert!(2.0 * problem.objective(&greedy) >= opt.objective - 1e-9);
+
+    let ls = local_search_matroid(
+        &problem,
+        &UniformMatroid::new(7, 3),
+        LocalSearchConfig::default(),
+    );
+    assert!(2.0 * ls.objective >= opt.objective - 1e-9);
+}
+
+#[test]
+fn laminar_constraints_work_with_local_search() {
+    let problem = SyntheticConfig::paper(9).generate(3);
+    let matroid = LaminarMatroid::partition_with_global_cap(
+        9,
+        &[vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]],
+        &[2, 2, 2],
+        4,
+    );
+    let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+    assert!(matroid.is_independent(&r.set));
+    assert_eq!(r.set.len(), 4, "the global cap binds");
+    // Exhaustive optimum over the laminar matroid.
+    let mut opt = 0.0_f64;
+    for mask in 0u32..512 {
+        let set: Vec<ElementId> = (0..9).filter(|&i| mask >> i & 1 == 1).collect();
+        if matroid.is_independent(&set) {
+            opt = opt.max(problem.objective(&set));
+        }
+    }
+    assert!(2.0 * r.objective >= opt - 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Streaming result + LS polish restores the 2-approximation,
+    /// regardless of arrival order.
+    #[test]
+    fn streaming_plus_polish_is_2_approx(
+        seed in 0u64..500,
+        perm_seed in 0u64..100,
+        p in 1usize..4,
+    ) {
+        let problem = SyntheticConfig::paper(8).generate(seed);
+        // Deterministic permutation of arrival order.
+        let mut order: Vec<ElementId> = (0..8).collect();
+        let mut x = perm_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for i in (1..order.len()).rev() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            order.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        let streamed = stream_diversify(&problem, &order, p);
+        let polished = local_search_refine(&problem, &streamed, LocalSearchConfig::default());
+        let opt = exact_max_diversification(&problem, p);
+        prop_assert!(2.0 * polished.objective >= opt.objective - 1e-9);
+    }
+
+    /// The knapsack heuristic is feasible and matches the exact optimum
+    /// within factor 2 on exhaustively-checkable instances.
+    #[test]
+    fn knapsack_heuristic_feasible_and_competitive(
+        seed in 0u64..500,
+        budget in 1.5f64..5.0,
+    ) {
+        let problem = SyntheticConfig::paper(8).generate(seed);
+        let costs: Vec<f64> = (0..8).map(|i| 0.5 + (i % 3) as f64 * 0.75).collect();
+        let r = knapsack_diversify(&problem, &costs, budget, KnapsackConfig::default());
+        prop_assert!(r.cost <= budget + 1e-12);
+        // Exact optimum by enumeration.
+        let mut opt = 0.0_f64;
+        for mask in 0u32..256 {
+            let set: Vec<ElementId> = (0..8).filter(|&i| mask >> i & 1 == 1).collect();
+            let cost: f64 = set.iter().map(|&u| costs[u as usize]).sum();
+            if cost <= budget {
+                opt = opt.max(problem.objective(&set));
+            }
+        }
+        prop_assert!(2.0 * r.objective >= opt - 1e-9, "{} vs {}", r.objective, opt);
+    }
+
+    /// Double-swap dynamic maintenance never does worse than the
+    /// provable single-swap ratio bound.
+    #[test]
+    fn double_swap_maintains_ratio_3(
+        seed in 0u64..300,
+        u in 0u32..10,
+        value in 0.0f64..2.0,
+    ) {
+        let p = 4;
+        let problem = SyntheticConfig::paper(10).generate(seed);
+        let init = greedy_b(&problem, p, GreedyBConfig::default());
+        let mut d = DynamicInstance::new(problem, &init);
+        d.apply(Perturbation::SetWeight { u, value });
+        d.oblivious_update_double();
+        let opt = exact_max_diversification(d.problem(), p);
+        prop_assert!(3.0 * d.objective() >= opt.objective - 1e-9);
+    }
+}
+
+#[test]
+fn gollapudi_sharma_reduction_metric_reproduces_greedy_a() {
+    // Dispersion edge-greedy on the reduction metric = Greedy A's core
+    // loop (compositional check of the §4 reduction discussion).
+    let problem = SyntheticConfig::paper(20).generate(8);
+    let weights = problem.quality().weights().to_vec();
+    let reduced = max_sum_diversification::metric::GollapudiSharmaMetric::new(
+        problem.metric().clone(),
+        weights,
+        problem.lambda(),
+    );
+    let p = 6; // even, so no arbitrary-last-vertex divergence
+    let via_reduction = hassin_edge_greedy(&reduced, p);
+    let direct = greedy_a(&problem, p, GreedyAConfig::default());
+    let mut a = via_reduction.clone();
+    let mut b = direct.clone();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "reduction pipeline must reproduce Greedy A");
+}

@@ -1,0 +1,133 @@
+//! Golden regression tests: exact outputs of every algorithm on fixed
+//! seeds. These pin the current (verified) behaviour so refactors that
+//! change tie-breaking, iteration order or caching are surfaced
+//! immediately. If a change is *intentional*, re-derive the constants by
+//! running the printed expressions.
+
+use max_sum_diversification::core::streaming::stream_diversify;
+use max_sum_diversification::data::synthetic::SyntheticConfig;
+use max_sum_diversification::data::LetorConfig;
+use max_sum_diversification::prelude::*;
+
+fn synthetic() -> DiversificationProblem<DistanceMatrix, ModularFunction> {
+    SyntheticConfig::paper(30).generate(12345)
+}
+
+#[test]
+fn golden_greedy_b() {
+    let problem = synthetic();
+    let s = greedy_b(&problem, 6, GreedyBConfig::default());
+    // Selection order is part of the contract (first pick = max potential).
+    assert_eq!(s, vec![20, 17, 23, 1, 28, 27]);
+    let objective = problem.objective(&s);
+    assert!(
+        (objective - 10.090673).abs() < 1e-5,
+        "objective drifted: {objective}"
+    );
+}
+
+#[test]
+fn golden_greedy_a() {
+    let problem = synthetic();
+    let s = greedy_a(&problem, 6, GreedyAConfig::default());
+    assert_eq!(s, vec![17, 20, 15, 23, 1, 25]);
+}
+
+#[test]
+fn golden_dispersion_algorithms() {
+    let problem = synthetic();
+    let metric = problem.metric();
+    let vertex = max_sum_dispersion_greedy(metric, 4);
+    let edge = hassin_edge_greedy(metric, 4);
+    let matching = hassin_matching(metric, 4);
+    assert_eq!(vertex.len(), 4);
+    assert_eq!(edge.len(), 4);
+    assert_eq!(matching.len(), 4);
+    // Pin the dispersion values, not just the shapes.
+    let dv = metric.dispersion(&vertex);
+    let de = metric.dispersion(&edge);
+    let dm = metric.dispersion(&matching);
+    assert!(
+        (dv - 10.811887).abs() < 1e-5,
+        "vertex dispersion drifted: {dv}"
+    );
+    assert!(
+        (de - 9.306700).abs() < 1e-5,
+        "edge dispersion drifted: {de}"
+    );
+    assert!(
+        dm >= de - 1e-9,
+        "matching must not trail edge greedy: {dm} vs {de}"
+    );
+}
+
+#[test]
+fn golden_local_search() {
+    let problem = synthetic();
+    let matroid = UniformMatroid::new(30, 5);
+    let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+    assert!(r.converged);
+    let mut s = r.set.clone();
+    s.sort_unstable();
+    // Local optimum is deterministic given the instance and pivot rule.
+    assert_eq!(s.len(), 5);
+    let recomputed = problem.objective(&r.set);
+    assert!((r.objective - recomputed).abs() < 1e-9);
+}
+
+#[test]
+fn golden_exact() {
+    let problem = synthetic();
+    let r = exact_max_diversification(&problem, 4);
+    let mut s = r.set;
+    s.sort_unstable();
+    assert_eq!(s, vec![1, 17, 20, 23]);
+    assert!(
+        (r.objective - 5.756793).abs() < 1e-5,
+        "OPT drifted: {}",
+        r.objective
+    );
+}
+
+#[test]
+fn golden_streaming() {
+    let problem = synthetic();
+    let order: Vec<ElementId> = (0..30).collect();
+    let s = stream_diversify(&problem, &order, 5);
+    assert_eq!(s.len(), 5);
+    let val = problem.objective(&s);
+    assert!((val - 7.804380).abs() < 1e-5, "stream value drifted: {val}");
+}
+
+#[test]
+fn golden_letor_generator() {
+    // The corpus statistics the LETOR tables depend on.
+    let q = LetorConfig::default().generate(4, 0);
+    assert_eq!(q.len(), 1000);
+    let top = q.top_k_indices(50);
+    let grades: Vec<u8> = top.iter().map(|&i| q.relevance[i]).collect();
+    assert_eq!(grades[0], 5, "top document grade");
+    assert_eq!(grades[49], 2, "50th document grade");
+    let total: u32 = q.relevance.iter().map(|&r| u32::from(r)).sum();
+    assert_eq!(
+        total, 444,
+        "relevance mass drifted — regenerate golden values"
+    );
+}
+
+#[test]
+fn golden_fig1_single_point() {
+    // One deterministic dynamic run (the Figure 1 engine distilled).
+    let problem = SyntheticConfig { n: 20, lambda: 0.2 }.generate(777);
+    let init = greedy_b(&problem, 4, GreedyBConfig::default());
+    let mut d = DynamicInstance::new(problem, &init);
+    d.apply(Perturbation::SetWeight { u: 7, value: 0.95 });
+    let out = d.oblivious_update();
+    let opt = exact_max_diversification(d.problem(), 4);
+    let ratio = opt.objective / d.objective();
+    assert!(ratio < 1.2, "single-step maintained ratio drifted: {ratio}");
+    // If the rule swapped, the incoming element must now be selected.
+    if let Some((_, incoming)) = out.swap {
+        assert!(d.solution().contains(&incoming));
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end pipeline tests: dataset generation → algorithm → objective
+//! verification, mirroring each experiment family in miniature, plus
+//! consistency checks between the incremental solution state and naive
+//! recomputation across algorithm runs.
+
+use max_sum_diversification::core::hassin::{hassin_edge_greedy, hassin_matching};
+use max_sum_diversification::core::solution::SolutionState;
+use max_sum_diversification::data::clustered::ClusteredConfig;
+use max_sum_diversification::data::synthetic::SyntheticConfig;
+use max_sum_diversification::data::LetorConfig;
+use max_sum_diversification::prelude::*;
+
+#[test]
+fn synthetic_pipeline_mini_table1() {
+    // OPT ≥ B, OPT ≥ A, both within factor 2, across a p-sweep.
+    let problem = SyntheticConfig::paper(25).generate(3);
+    for p in [3usize, 5, 7] {
+        let a = greedy_a(&problem, p, GreedyAConfig::default());
+        let b = greedy_b(&problem, p, GreedyBConfig::default());
+        let opt = exact_max_diversification(&problem, p);
+        let (va, vb) = (problem.objective(&a), problem.objective(&b));
+        assert!(opt.objective >= va - 1e-9 && opt.objective >= vb - 1e-9);
+        assert!(2.0 * va >= opt.objective - 1e-9);
+        assert!(2.0 * vb >= opt.objective - 1e-9);
+    }
+}
+
+#[test]
+fn letor_pipeline_mini_table4() {
+    let query = LetorConfig {
+        docs_per_query: 100,
+        feature_dim: 16,
+        topics: 5,
+        lambda: 0.2,
+    }
+    .generate(21, 0);
+    let (problem, doc_ids) = query.top_k(25);
+    assert_eq!(doc_ids.len(), 25);
+    for p in [3usize, 5] {
+        let a = greedy_a(&problem, p, GreedyAConfig::default());
+        let b = greedy_b(&problem, p, GreedyBConfig::default());
+        let ls = local_search_refine(&problem, &b, LocalSearchConfig::default());
+        let opt = exact_max_diversification(&problem, p);
+        assert!(ls.objective >= problem.objective(&b) - 1e-9);
+        assert!(opt.objective >= ls.objective - 1e-9);
+        assert!(2.0 * problem.objective(&a) >= opt.objective - 1e-9);
+    }
+}
+
+#[test]
+fn dispersion_algorithms_agree_on_guarantees() {
+    let instance = ClusteredConfig {
+        n: 30,
+        clusters: 4,
+        dim: 2,
+        spread: 0.3,
+        lambda: 1.0,
+    }
+    .generate(9);
+    let metric = instance.problem.metric();
+    for p in [2usize, 4, 6] {
+        let vertex = max_sum_dispersion_greedy(metric, p);
+        let edge = hassin_edge_greedy(metric, p);
+        let matching = hassin_matching(metric, p);
+        for s in [&vertex, &edge, &matching] {
+            assert_eq!(s.len(), p);
+            let mut d = (*s).clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), p);
+        }
+        // The matching algorithm's matched weight dominates the edge
+        // greedy's (it solves that subproblem exactly).
+        let pair_weight =
+            |s: &[ElementId]| -> f64 { s.chunks(2).map(|c| metric.distance(c[0], c[1])).sum() };
+        if p % 2 == 0 {
+            assert!(pair_weight(&matching) >= pair_weight(&edge) - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn solution_state_stays_consistent_across_algorithms() {
+    // Run greedy + local search, then verify the cached dispersion and all
+    // gains against naive recomputation.
+    let problem = SyntheticConfig::paper(30).generate(11);
+    let greedy = greedy_b(&problem, 8, GreedyBConfig::default());
+    let ls = local_search_refine(&problem, &greedy, LocalSearchConfig::default());
+    let state = SolutionState::from_set(problem.metric(), &ls.set);
+    assert!((state.dispersion() - problem.metric().dispersion(&ls.set)).abs() < 1e-9);
+    for u in 0..30u32 {
+        let expected: f64 = ls
+            .set
+            .iter()
+            .filter(|&&v| v != u)
+            .map(|&v| problem.metric().distance(u, v))
+            .sum();
+        assert!((state.distance_gain(u) - expected).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn mmr_and_greedy_b_agree_when_diversity_is_ignored() {
+    // With MMR trade_off = 1 and λ = 0, both rank purely by
+    // relevance/weight.
+    let problem = SyntheticConfig { n: 15, lambda: 0.0 }.generate(13);
+    let relevance: Vec<f64> = problem.quality().weights().to_vec();
+    let mmr = mmr_select(
+        problem.metric(),
+        &relevance,
+        5,
+        MmrConfig { trade_off: 1.0 },
+    );
+    let greedy = greedy_b(&problem, 5, GreedyBConfig::default());
+    let mut m = mmr.clone();
+    let mut g = greedy.clone();
+    m.sort_unstable();
+    g.sort_unstable();
+    assert_eq!(m, g, "both must select the top-5 by weight");
+}
+
+#[test]
+fn dynamic_pipeline_mini_fig1() {
+    // Generate → greedy → perturb stream → single updates → ratio check.
+    let problem = SyntheticConfig { n: 20, lambda: 0.2 }.generate(17);
+    let init = greedy_b(&problem, 5, GreedyBConfig::default());
+    let mut dynamic = DynamicInstance::new(problem, &init);
+    let perturbations = [
+        Perturbation::SetWeight { u: 3, value: 0.9 },
+        Perturbation::SetDistance {
+            u: 1,
+            v: 7,
+            value: 1.8,
+        },
+        Perturbation::SetWeight { u: 11, value: 0.05 },
+        Perturbation::SetDistance {
+            u: 0,
+            v: 19,
+            value: 1.05,
+        },
+    ];
+    for &pert in &perturbations {
+        dynamic.apply(pert);
+        dynamic.oblivious_update();
+        let opt = exact_max_diversification(dynamic.problem(), 5);
+        assert!(3.0 * dynamic.objective() >= opt.objective - 1e-9);
+        // Cached state must agree with direct evaluation.
+        let direct = dynamic.problem().objective(dynamic.solution());
+        assert!((dynamic.objective() - direct).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn portfolio_style_constraint_stack_composes() {
+    // Mixture quality + partition matroid truncated to a budget, as in the
+    // portfolio example — full stack through the facade.
+    let n = 12;
+    let weights: Vec<f64> = (0..n).map(|i| 0.5 + (i % 4) as f64).collect();
+    let quality = MixtureFunction::new(n)
+        .with(
+            1.0,
+            ConcaveOverModular::new(weights.clone(), ConcaveShape::Sqrt),
+        )
+        .with(0.5, ModularFunction::new(weights));
+    let metric = DistanceMatrix::from_fn(n, |u, v| 1.0 + f64::from(u.abs_diff(v)) / 12.0);
+    let problem = DiversificationProblem::new(metric, quality, 0.3);
+    let blocks: Vec<u32> = (0..n as u32).map(|u| u % 3).collect();
+    let matroid = TruncatedMatroid::new(PartitionMatroid::new(blocks.clone(), vec![2, 2, 2]), 4);
+    let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+    assert!(r.set.len() <= 4);
+    assert!(matroid.is_independent(&r.set));
+    let mut per_block = [0usize; 3];
+    for &e in &r.set {
+        per_block[blocks[e as usize] as usize] += 1;
+    }
+    assert!(per_block.iter().all(|&c| c <= 2));
+}

@@ -1,0 +1,114 @@
+//! Integration tests for the relaxed-metric regime (paper conclusion;
+//! Sydow, ISMIS 2014; Abbasi-Zadeh & Ghadiri 2015).
+//!
+//! For a distance satisfying only the α-relaxed triangle inequality
+//! `α·(d(x,y) + d(y,z)) ≥ d(x,z)`:
+//!
+//! * the edge-greedy dispersion algorithm is a (tight) `2α`-approximation
+//!   under a cardinality constraint (Sydow);
+//! * the local search is a `2α²`-approximation under a matroid constraint
+//!   (Abbasi-Zadeh & Ghadiri).
+//!
+//! These tests draw *arbitrary* symmetric distances (no triangle
+//! inequality imposed), measure α with `relaxation_parameter`, and verify
+//! the bounds empirically.
+
+use max_sum_diversification::prelude::*;
+use msd_metric::relaxation_parameter;
+use proptest::prelude::*;
+
+/// Brute-force max-sum dispersion optimum.
+fn opt_dispersion(metric: &DistanceMatrix, p: usize) -> f64 {
+    let n = metric.len();
+    let mut best = 0.0_f64;
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != p {
+            continue;
+        }
+        let set: Vec<ElementId> = (0..n as u32).filter(|&i| mask >> i & 1 == 1).collect();
+        best = best.max(metric.dispersion(&set));
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sydow's 2α bound for edge-greedy dispersion on arbitrary
+    /// symmetric distances.
+    #[test]
+    fn edge_greedy_respects_the_two_alpha_bound(
+        raw in prop::collection::vec(0.1f64..10.0, 28),
+        p in 2usize..5,
+    ) {
+        let n = 8usize;
+        let mut it = raw.into_iter().cycle();
+        let metric = DistanceMatrix::from_fn(n, |_, _| it.next().unwrap());
+        let report = relaxation_parameter(&metric);
+        prop_assume!(report.alpha.is_finite());
+        let greedy = hassin_edge_greedy(&metric, p);
+        let val = metric.dispersion(&greedy);
+        let opt = opt_dispersion(&metric, p);
+        prop_assert!(
+            report.cardinality_ratio() * val >= opt - 1e-9,
+            "alpha={} val={val} opt={opt}",
+            report.alpha
+        );
+    }
+
+    /// The vertex greedy (Greedy B with f ≡ 0) also stays within 2α
+    /// empirically on arbitrary symmetric distances.
+    #[test]
+    fn vertex_greedy_respects_the_two_alpha_bound(
+        raw in prop::collection::vec(0.1f64..10.0, 28),
+        p in 2usize..5,
+    ) {
+        let n = 8usize;
+        let mut it = raw.into_iter().cycle();
+        let metric = DistanceMatrix::from_fn(n, |_, _| it.next().unwrap());
+        let report = relaxation_parameter(&metric);
+        prop_assume!(report.alpha.is_finite());
+        let greedy = max_sum_dispersion_greedy(&metric, p);
+        let val = metric.dispersion(&greedy);
+        let opt = opt_dispersion(&metric, p);
+        prop_assert!(report.cardinality_ratio() * val >= opt - 1e-9);
+    }
+
+    /// Abbasi-Zadeh–Ghadiri: local search within 2α² under a matroid on
+    /// relaxed metrics (checked with a modular quality term too).
+    #[test]
+    fn local_search_respects_the_two_alpha_squared_bound(
+        raw in prop::collection::vec(0.1f64..10.0, 28),
+        weights in prop::collection::vec(0.0f64..1.0, 8),
+        rank in 2usize..4,
+    ) {
+        let n = 8usize;
+        let mut it = raw.into_iter().cycle();
+        let metric = DistanceMatrix::from_fn(n, |_, _| it.next().unwrap());
+        let report = relaxation_parameter(&metric);
+        prop_assume!(report.alpha.is_finite());
+        let problem = DiversificationProblem::new(metric, ModularFunction::new(weights), 0.5);
+        let matroid = UniformMatroid::new(n, rank);
+        let r = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+        // Exhaustive optimum at the fixed rank.
+        let mut opt = 0.0_f64;
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != rank {
+                continue;
+            }
+            let set: Vec<ElementId> = (0..n as u32).filter(|&i| mask >> i & 1 == 1).collect();
+            opt = opt.max(problem.objective(&set));
+        }
+        prop_assert!(report.matroid_ratio() * r.objective >= opt - 1e-9);
+    }
+}
+
+#[test]
+fn alpha_one_recovers_the_plain_bounds() {
+    // On an exact metric the relaxed bounds specialize to the paper's 2.
+    let metric = DistanceMatrix::from_fn(6, |u, v| 1.0 + f64::from(u + v) / 10.0);
+    let report = relaxation_parameter(&metric);
+    assert!(report.is_exact_metric());
+    assert_eq!(report.cardinality_ratio(), 2.0);
+    assert_eq!(report.matroid_ratio(), 2.0);
+}

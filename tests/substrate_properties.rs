@@ -1,0 +1,133 @@
+//! Cross-crate property tests for the substrates: every generated metric
+//! is a metric, every quality function is normalized monotone submodular,
+//! every matroid satisfies the axioms — i.e. the hypotheses of Theorems 1
+//! and 2 actually hold for everything the library can feed them.
+
+use max_sum_diversification::data::synthetic::SyntheticConfig;
+use max_sum_diversification::data::LetorConfig;
+use max_sum_diversification::matroid::audit::MatroidAudit;
+use max_sum_diversification::prelude::*;
+use max_sum_diversification::submodular::audit::FunctionAudit;
+use max_sum_diversification::submodular::ZeroFunction;
+use msd_metric::MetricAudit;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn synthetic_instances_are_metric(seed in 0u64..10_000, n in 3usize..12) {
+        let problem = SyntheticConfig::paper(n).generate(seed);
+        MetricAudit::check(problem.metric()).assert_metric();
+    }
+
+    #[test]
+    fn coverage_functions_are_monotone_submodular(
+        n in 2usize..7,
+        picks in prop::collection::vec(prop::collection::vec(0u32..5, 0..4), 7),
+        weights in prop::collection::vec(0.0f64..3.0, 5),
+    ) {
+        let covers: Vec<Vec<u32>> = (0..n).map(|i| picks[i % picks.len()].clone()).collect();
+        let f = CoverageFunction::new(covers, weights);
+        FunctionAudit::exhaustive(&f).assert_monotone_submodular();
+    }
+
+    #[test]
+    fn facility_location_is_monotone_submodular(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 5), 4),
+        weights in prop::collection::vec(0.0f64..2.0, 4),
+    ) {
+        let f = FacilityLocationFunction::new(rows, weights);
+        FunctionAudit::exhaustive(&f).assert_monotone_submodular();
+    }
+
+    #[test]
+    fn mixtures_are_monotone_submodular(
+        w1 in prop::collection::vec(0.0f64..1.0, 5),
+        w2 in prop::collection::vec(0.0f64..1.0, 5),
+        c1 in 0.0f64..2.0,
+        c2 in 0.0f64..2.0,
+    ) {
+        let f = MixtureFunction::new(5)
+            .with(c1, ModularFunction::new(w1))
+            .with(c2, ConcaveOverModular::new(w2, ConcaveShape::Log1p));
+        FunctionAudit::exhaustive(&f).assert_monotone_submodular();
+    }
+
+    #[test]
+    fn random_partition_matroids_satisfy_axioms(
+        blocks in prop::collection::vec(0u32..3, 4..9),
+        caps in prop::collection::vec(0u32..4, 3),
+    ) {
+        let m = PartitionMatroid::new(blocks, caps);
+        MatroidAudit::exhaustive(&m).assert_matroid();
+    }
+
+    #[test]
+    fn random_transversal_matroids_satisfy_axioms(
+        n in 3usize..8,
+        picks in prop::collection::vec(prop::collection::vec(0usize..8, 1..4), 1..4),
+    ) {
+        let sets: Vec<Vec<ElementId>> = picks
+            .iter()
+            .map(|s| s.iter().map(|&e| (e % n) as ElementId).collect())
+            .collect();
+        let m = TransversalMatroid::new(n, &sets);
+        MatroidAudit::exhaustive(&m).assert_matroid();
+    }
+
+    #[test]
+    fn random_graphic_matroids_satisfy_axioms(
+        edges in prop::collection::vec((0u32..5, 0u32..5), 2..8),
+    ) {
+        let m = GraphicMatroid::new(5, edges);
+        MatroidAudit::exhaustive(&m).assert_matroid();
+    }
+
+    #[test]
+    fn truncations_preserve_matroid_axioms(
+        blocks in prop::collection::vec(0u32..2, 4..8),
+        k in 0usize..4,
+    ) {
+        let inner = PartitionMatroid::new(blocks, vec![2, 2]);
+        MatroidAudit::exhaustive(&TruncatedMatroid::new(inner, k)).assert_matroid();
+    }
+}
+
+#[test]
+fn letor_quality_is_modular_and_grades_bounded() {
+    let query = LetorConfig {
+        docs_per_query: 30,
+        feature_dim: 8,
+        topics: 3,
+        lambda: 0.2,
+    }
+    .generate(5, 0);
+    let (problem, _) = query.top_k(12);
+    // Modular quality over grades 0..=5.
+    for u in 0..12u32 {
+        let w = problem.quality().weight(u);
+        assert!((0.0..=5.0).contains(&w));
+        assert_eq!(w.fract(), 0.0, "grades are integers");
+    }
+    FunctionAudit::sampled(problem.quality(), 100, {
+        let mut x = 3u64;
+        move |k| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x >> 33) % k as u64) as usize
+        }
+    })
+    .assert_monotone_submodular();
+}
+
+#[test]
+fn zero_function_turns_diversification_into_dispersion() {
+    let metric = DistanceMatrix::from_fn(8, |u, v| 1.0 + f64::from(u + v) / 20.0);
+    let problem = DiversificationProblem::new(&metric, ZeroFunction::new(8), 1.0);
+    for p in 1..=4usize {
+        let s = greedy_b(&problem, p, GreedyBConfig::default());
+        let direct = max_sum_dispersion_greedy(&metric, p);
+        assert_eq!(s, direct);
+        assert!((problem.objective(&s) - metric.dispersion(&s)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! Integration tests for Theorem 1: Greedy B is a 2-approximation for
+//! max-sum diversification with monotone submodular quality functions
+//! under a cardinality constraint.
+//!
+//! Property-based: random instances (modular, coverage and
+//! concave-over-modular qualities; synthetic and geometric metrics) are
+//! solved both greedily and exactly, and the ratio is checked.
+
+use max_sum_diversification::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a random metric from `[1, 2]`-valued distances (always metric).
+fn one_two_metric(n: usize, raw: &[f64]) -> DistanceMatrix {
+    let mut it = raw.iter().copied().cycle();
+    DistanceMatrix::from_fn(n, |_, _| 1.0 + it.next().unwrap_or(0.5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn greedy_b_is_2_approx_modular(
+        weights in prop::collection::vec(0.0f64..1.0, 4..9),
+        raw in prop::collection::vec(0.0f64..1.0, 36),
+        p in 1usize..5,
+        lambda in 0.0f64..1.0,
+    ) {
+        let n = weights.len();
+        let metric = one_two_metric(n, &raw);
+        let problem = DiversificationProblem::new(metric, ModularFunction::new(weights), lambda);
+        let greedy = greedy_b(&problem, p, GreedyBConfig::default());
+        let opt = exact_max_diversification(&problem, p);
+        prop_assert!(2.0 * problem.objective(&greedy) >= opt.objective - 1e-9);
+    }
+
+    #[test]
+    fn greedy_b_is_2_approx_coverage(
+        n in 4usize..8,
+        topic_seeds in prop::collection::vec(0usize..4, 8),
+        topic_weights in prop::collection::vec(0.0f64..2.0, 4),
+        raw in prop::collection::vec(0.0f64..1.0, 28),
+        p in 1usize..4,
+    ) {
+        // Each element covers one or two of 4 topics.
+        let covers: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let a = topic_seeds[i % topic_seeds.len()] as u32;
+                let b = topic_seeds[(i + 3) % topic_seeds.len()] as u32;
+                vec![a, b]
+            })
+            .collect();
+        let quality = CoverageFunction::new(covers, topic_weights);
+        let metric = one_two_metric(n, &raw);
+        let problem = DiversificationProblem::new(metric, quality, 0.2);
+        let greedy = greedy_b(&problem, p, GreedyBConfig::default());
+        let opt = exact_max_diversification(&problem, p);
+        prop_assert!(2.0 * problem.objective(&greedy) >= opt.objective - 1e-9);
+    }
+
+    #[test]
+    fn greedy_b_is_2_approx_concave_over_modular(
+        weights in prop::collection::vec(0.0f64..3.0, 5..8),
+        raw in prop::collection::vec(0.0f64..1.0, 28),
+        p in 1usize..5,
+    ) {
+        let n = weights.len();
+        let quality = ConcaveOverModular::new(weights, ConcaveShape::Sqrt);
+        let metric = one_two_metric(n, &raw);
+        let problem = DiversificationProblem::new(metric, quality, 0.3);
+        let greedy = greedy_b(&problem, p, GreedyBConfig::default());
+        let opt = exact_max_diversification(&problem, p);
+        prop_assert!(2.0 * problem.objective(&greedy) >= opt.objective - 1e-9);
+    }
+
+    #[test]
+    fn improved_greedy_is_also_2_approx(
+        weights in prop::collection::vec(0.0f64..1.0, 5..8),
+        raw in prop::collection::vec(0.0f64..1.0, 28),
+        p in 2usize..5,
+    ) {
+        let n = weights.len();
+        let metric = one_two_metric(n, &raw);
+        let problem = DiversificationProblem::new(metric, ModularFunction::new(weights), 0.2);
+        let greedy = greedy_b(&problem, p, GreedyBConfig { best_pair_start: true });
+        let opt = exact_max_diversification(&problem, p);
+        prop_assert!(2.0 * problem.objective(&greedy) >= opt.objective - 1e-9);
+    }
+
+    #[test]
+    fn greedy_a_is_2_approx_modular(
+        weights in prop::collection::vec(0.0f64..1.0, 5..9),
+        raw in prop::collection::vec(0.0f64..1.0, 36),
+        p in 2usize..5,
+    ) {
+        let n = weights.len();
+        let metric = one_two_metric(n, &raw);
+        let problem = DiversificationProblem::new(metric, ModularFunction::new(weights), 0.2);
+        let greedy = greedy_a(&problem, p, GreedyAConfig::default());
+        let opt = exact_max_diversification(&problem, p);
+        prop_assert!(2.0 * problem.objective(&greedy) >= opt.objective - 1e-9);
+    }
+
+    #[test]
+    fn dispersion_greedy_is_2_approx(
+        raw in prop::collection::vec(0.0f64..1.0, 36),
+        n in 5usize..9,
+        p in 2usize..5,
+    ) {
+        let metric = one_two_metric(n, &raw);
+        let greedy = max_sum_dispersion_greedy(&metric, p);
+        let problem = DiversificationProblem::new(
+            &metric,
+            max_sum_diversification::submodular::ZeroFunction::new(n),
+            1.0,
+        );
+        let opt = exact_max_diversification(&problem, p);
+        prop_assert!(2.0 * metric.dispersion(&greedy) >= opt.objective - 1e-9);
+    }
+}
+
+#[test]
+fn greedy_solutions_are_valid_sets() {
+    // Deterministic sweep: distinct elements, correct cardinality, stable
+    // output.
+    for n in [1usize, 2, 5, 12] {
+        let metric = DistanceMatrix::from_fn(n, |u, v| 1.0 + f64::from(u + v) / 10.0);
+        let weights: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let problem = DiversificationProblem::new(metric, ModularFunction::new(weights), 0.2);
+        for p in 0..=n {
+            let s = greedy_b(&problem, p, GreedyBConfig::default());
+            assert_eq!(s.len(), p);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), p, "duplicates for n={n} p={p}");
+            assert_eq!(s, greedy_b(&problem, p, GreedyBConfig::default()));
+        }
+    }
+}
