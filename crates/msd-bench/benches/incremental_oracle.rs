@@ -1,0 +1,236 @@
+//! Perf-trajectory bench for the incremental-oracle subsystem.
+//!
+//! Measures Greedy B and the budgeted local search with the incremental
+//! oracles + lazy greedy against the slice-recomputation baselines
+//! (`msd_bench::naive`) over `n ∈ {1000, 5000, 20000}` × modular/coverage
+//! quality, and writes the results to `BENCH_greedy.json` and
+//! `BENCH_local_search.json` at the workspace root so the perf trajectory
+//! is tracked in-repo from this change onward.
+//!
+//! Knobs:
+//! * `MSD_BENCH_N=1000,5000` restricts the ground sizes (CI smoke uses
+//!   this; the full sweep runs by default).
+//! * building with `--features parallel` adds the thread-parallel variants.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::{BenchRecord, Criterion};
+use msd_bench::naive::{greedy_b_naive, local_search_refine_naive};
+use msd_core::{
+    greedy_b, local_search_refine, DiversificationProblem, GreedyBConfig, LocalSearchConfig,
+};
+use msd_data::SyntheticConfig;
+use msd_metric::DistanceMatrix;
+use msd_submodular::CoverageFunction;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const P: usize = 100;
+const LS_SWAP_BUDGET: usize = 10;
+
+fn coverage_instance(
+    seed: u64,
+    n: usize,
+) -> DiversificationProblem<DistanceMatrix, CoverageFunction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topics = n / 2 + 1;
+    let covers: Vec<Vec<u32>> = (0..n)
+        .map(|_| {
+            (0..rng.gen_range(2..8))
+                .map(|_| rng.gen_range(0..topics) as u32)
+                .collect()
+        })
+        .collect();
+    let weights: Vec<f64> = (0..topics).map(|_| rng.gen_range(0.0..3.0)).collect();
+    let metric = DistanceMatrix::from_fn(n, |_, _| rng.gen_range(1.0..2.0));
+    DiversificationProblem::new(metric, CoverageFunction::new(covers, weights), 0.2)
+}
+
+fn ground_sizes() -> Vec<usize> {
+    match std::env::var("MSD_BENCH_N") {
+        Ok(list) => list
+            .split(',')
+            .filter_map(|tok| tok.trim().parse().ok())
+            .collect(),
+        Err(_) => vec![1000, 5000, 20000],
+    }
+}
+
+fn bench_greedy(c: &mut Criterion, ns: &[usize]) {
+    for &n in ns {
+        let p = P.min(n / 2);
+        {
+            let problem = SyntheticConfig::paper(n).generate(42);
+            let mut group = c.benchmark_group(format!("greedy/modular/n{n}/p{p}"));
+            group.bench_function("incremental", |b| {
+                b.iter(|| greedy_b(black_box(&problem), p, GreedyBConfig::default()))
+            });
+            group.bench_function("naive", |b| {
+                b.iter(|| greedy_b_naive(black_box(&problem), p))
+            });
+            #[cfg(feature = "parallel")]
+            group.bench_function("parallel", |b| {
+                b.iter(|| {
+                    msd_core::parallel::greedy_b(black_box(&problem), p, GreedyBConfig::default())
+                })
+            });
+            group.finish();
+        }
+        {
+            let problem = coverage_instance(7 + n as u64, n);
+            let mut group = c.benchmark_group(format!("greedy/coverage/n{n}/p{p}"));
+            group.bench_function("incremental", |b| {
+                b.iter(|| greedy_b(black_box(&problem), p, GreedyBConfig::default()))
+            });
+            group.bench_function("naive", |b| {
+                b.iter(|| greedy_b_naive(black_box(&problem), p))
+            });
+            #[cfg(feature = "parallel")]
+            group.bench_function("parallel", |b| {
+                b.iter(|| {
+                    msd_core::parallel::greedy_b(black_box(&problem), p, GreedyBConfig::default())
+                })
+            });
+            group.finish();
+        }
+    }
+}
+
+fn bench_local_search(c: &mut Criterion, ns: &[usize]) {
+    // The quadratic swap scan dominates; a fixed swap budget keeps the
+    // naive baseline tractable at the larger sizes.
+    let config = LocalSearchConfig {
+        max_swaps: LS_SWAP_BUDGET,
+        ..LocalSearchConfig::default()
+    };
+    for &n in ns {
+        if n > 5000 {
+            // The slice baseline is O(n·p·cost(f)) per scan; past n=5000 it
+            // stops being a meaningful interactive baseline. The skip shows
+            // up in the JSON as a missing config rather than silently.
+            continue;
+        }
+        let p = 50.min(n / 4);
+        {
+            let problem = SyntheticConfig::paper(n).generate(43);
+            let start = greedy_b(&problem, p, GreedyBConfig::default());
+            let mut group = c.benchmark_group(format!("local_search/modular/n{n}/p{p}"));
+            group.bench_function("incremental", |b| {
+                b.iter(|| local_search_refine(black_box(&problem), &start, config))
+            });
+            group.bench_function("naive", |b| {
+                b.iter(|| local_search_refine_naive(black_box(&problem), &start, config))
+            });
+            #[cfg(feature = "parallel")]
+            group.bench_function("parallel", |b| {
+                b.iter(|| {
+                    msd_core::parallel::local_search_refine(black_box(&problem), &start, config)
+                })
+            });
+            group.finish();
+        }
+        {
+            let problem = coverage_instance(9 + n as u64, n);
+            let start = greedy_b(&problem, p, GreedyBConfig::default());
+            let mut group = c.benchmark_group(format!("local_search/coverage/n{n}/p{p}"));
+            group.bench_function("incremental", |b| {
+                b.iter(|| local_search_refine(black_box(&problem), &start, config))
+            });
+            group.bench_function("naive", |b| {
+                b.iter(|| local_search_refine_naive(black_box(&problem), &start, config))
+            });
+            #[cfg(feature = "parallel")]
+            group.bench_function("parallel", |b| {
+                b.iter(|| {
+                    msd_core::parallel::local_search_refine(black_box(&problem), &start, config)
+                })
+            });
+            group.finish();
+        }
+    }
+}
+
+/// Serializes the records of one bench family (`greedy` or `local_search`)
+/// into a JSON document with per-configuration naive-vs-incremental
+/// speedups. Hand-rolled writer — the build environment has no serde.
+fn to_json(family: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"{family}\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo bench -p msd-bench --bench incremental_oracle\","
+    );
+    let _ = writeln!(out, "  \"unit\": \"ns_per_run\",");
+    out.push_str("  \"results\": [\n");
+    // Record ids look like `greedy/coverage/n5000/p100/incremental`.
+    let mut configs: Vec<String> = Vec::new();
+    for r in records {
+        let (config, _) = r.id.rsplit_once('/').expect("group/variant id");
+        if !configs.iter().any(|c| c == config) {
+            configs.push(config.to_string());
+        }
+    }
+    let find = |config: &str, variant: &str| -> Option<&BenchRecord> {
+        let id = format!("{config}/{variant}");
+        records.iter().find(|r| r.id == id)
+    };
+    let fmt_num = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.1}"),
+        None => "null".to_string(),
+    };
+    for (i, config) in configs.iter().enumerate() {
+        let incremental = find(config, "incremental").map(|r| r.mean_ns);
+        let naive = find(config, "naive").map(|r| r.mean_ns);
+        let parallel = find(config, "parallel").map(|r| r.mean_ns);
+        let speedup = match (incremental, naive) {
+            (Some(inc), Some(nv)) if inc > 0.0 => format!("{:.2}", nv / inc),
+            _ => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"config\": \"{config}\", \"incremental_ns\": {}, \"naive_ns\": {}, \"parallel_ns\": {}, \"speedup_naive_over_incremental\": {}}}{}",
+            fmt_num(incremental),
+            fmt_num(naive),
+            fmt_num(parallel),
+            speedup,
+            if i + 1 < configs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn main() {
+    let ns = ground_sizes();
+    let mut c = Criterion::default()
+        .sample_size(3)
+        .measurement_time(Duration::from_millis(50));
+    bench_greedy(&mut c, &ns);
+    bench_local_search(&mut c, &ns);
+    let records = c.take_records();
+
+    let root = workspace_root();
+    for (family, path) in [
+        ("greedy/", "BENCH_greedy.json"),
+        ("local_search/", "BENCH_local_search.json"),
+    ] {
+        let family_records: Vec<BenchRecord> = records
+            .iter()
+            .filter(|r| r.id.starts_with(family))
+            .cloned()
+            .collect();
+        let json = to_json(family.trim_end_matches('/'), &family_records);
+        let target = root.join(path);
+        std::fs::write(&target, json).expect("write bench json");
+        println!("wrote {}", target.display());
+    }
+}

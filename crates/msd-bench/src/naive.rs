@@ -1,46 +1,197 @@
-//! Deliberately-naive reference implementations for the ablation benches.
+//! Deliberately-naive reference implementations for the ablation benches
+//! and for the incremental-oracle equivalence suite
+//! (`tests/incremental_equivalence.rs`).
 //!
-//! DESIGN.md calls out two implementation choices whose impact the
-//! ablations quantify:
+//! Every function here evaluates candidates through the *slice-based*
+//! oracles only — `quality.marginal(u, &members)`,
+//! `metric.distance_to_set(u, &members)`, `quality.swap_gain(u, v, &members)`
+//! — recomputing from scratch at every step. They are the ground truth the
+//! incremental/lazy/parallel paths must reproduce, and the baselines the
+//! `incremental_oracle` bench measures speedups against:
 //!
-//! * [`greedy_b_naive`] — Greedy B *without* the Birnbaum–Goldman gain
-//!   cache: every step recomputes `d_u(S)` from scratch, `O(n·p)` per step
-//!   → `O(n·p²)` total, versus the cached `O(n·p)`.
+//! * [`greedy_b_naive`] — Greedy B without any gain cache: `O(cost(f) + p)`
+//!   per candidate per step.
+//! * [`greedy_b_pairs_naive`] — the pair greedy with a fresh member-list
+//!   clone per candidate pair (the seed implementation's behaviour).
+//! * [`local_search_refine_naive`] — best-improvement 1-swap local search
+//!   with slice-recomputed swap gains.
 //! * [`greedy_b_oblivious`] — Greedy B with the *oblivious* selection rule
 //!   (maximizing the true marginal `φ_u` instead of the potential `φ'_u`).
 //!   Theorem 1's proof needs the ½ factor; this variant shows what the
 //!   plain rule does empirically.
 
-use msd_core::{DiversificationProblem, ElementId};
+use msd_core::{DiversificationProblem, ElementId, GreedyBConfig, LocalSearchConfig};
 use msd_metric::Metric;
 use msd_submodular::SetFunction;
+
+/// One slice-based greedy step: the lowest-index argmax of the potential
+/// `φ'_u(S)` over `u ∉ members`, recomputed from scratch. Shared by every
+/// naive greedy in this module so the reference selection rule exists in
+/// exactly one place.
+fn naive_potential_argmax<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    members: &[ElementId],
+) -> Option<ElementId> {
+    let n = problem.ground_size();
+    let mut best: Option<ElementId> = None;
+    let mut best_score = f64::NEG_INFINITY;
+    for u in 0..n as ElementId {
+        if members.contains(&u) {
+            continue;
+        }
+        let score = problem.potential(u, members); // O(|S|) distance sweep
+        if score > best_score {
+            best_score = score;
+            best = Some(u);
+        }
+    }
+    best
+}
 
 /// Greedy B recomputing `d_u(S)` from scratch at every step.
 pub fn greedy_b_naive<M: Metric, F: SetFunction>(
     problem: &DiversificationProblem<M, F>,
     p: usize,
 ) -> Vec<ElementId> {
+    greedy_b_naive_with_config(problem, p, GreedyBConfig::default())
+}
+
+/// Greedy B with `best_pair_start` semantics, fully slice-based.
+pub fn greedy_b_naive_with_config<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    p: usize,
+    config: GreedyBConfig,
+) -> Vec<ElementId> {
     let n = problem.ground_size();
     let p = p.min(n);
+    if p == 0 {
+        return Vec::new();
+    }
     let mut members: Vec<ElementId> = Vec::with_capacity(p);
-    let mut in_set = vec![false; n];
+    if config.best_pair_start && p >= 2 {
+        let (mut best, mut best_score) = ((0, 1), f64::NEG_INFINITY);
+        for x in 0..n as ElementId {
+            for y in (x + 1)..n as ElementId {
+                let score = 0.5 * problem.quality().value(&[x, y])
+                    + problem.lambda() * problem.metric().distance(x, y);
+                if score > best_score {
+                    best_score = score;
+                    best = (x, y);
+                }
+            }
+        }
+        members.push(best.0);
+        members.push(best.1);
+    }
     while members.len() < p {
-        let mut best: Option<ElementId> = None;
+        match naive_potential_argmax(problem, &members) {
+            Some(u) => members.push(u),
+            None => break,
+        }
+    }
+    members
+}
+
+/// The pair (batch) greedy recomputing every pair's quality marginal from
+/// a freshly cloned member list — the pre-incremental implementation, kept
+/// as the reference and bench baseline.
+pub fn greedy_b_pairs_naive<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    p: usize,
+) -> Vec<ElementId> {
+    let n = problem.ground_size();
+    let p = p.min(n);
+    if p == 0 {
+        return Vec::new();
+    }
+    let lambda = problem.lambda();
+    let quality = problem.quality();
+    let metric = problem.metric();
+    let mut members: Vec<ElementId> = Vec::new();
+    let in_set = |members: &[ElementId], u: ElementId| members.contains(&u);
+
+    while members.len() + 2 <= p {
+        let mut best: Option<(ElementId, ElementId)> = None;
         let mut best_score = f64::NEG_INFINITY;
         for u in 0..n as ElementId {
-            if in_set[u as usize] {
+            if in_set(&members, u) {
                 continue;
             }
-            let score = problem.potential(u, &members); // O(|S|) distance sweep
-            if score > best_score {
-                best_score = score;
-                best = Some(u);
+            for v in (u + 1)..n as ElementId {
+                if in_set(&members, v) {
+                    continue;
+                }
+                let mut with_u = members.clone();
+                with_u.push(u);
+                let fq = quality.marginal(u, &members) + quality.marginal(v, &with_u);
+                let dd = metric.distance_to_set(u, &members)
+                    + metric.distance_to_set(v, &members)
+                    + metric.distance(u, v);
+                let score = 0.5 * fq + lambda * dd;
+                if score > best_score {
+                    best_score = score;
+                    best = Some((u, v));
+                }
             }
         }
         match best {
-            Some(u) => {
+            Some((u, v)) => {
                 members.push(u);
-                in_set[u as usize] = true;
+                members.push(v);
+            }
+            None => break,
+        }
+    }
+    if members.len() < p {
+        // One final single-vertex step for odd p (same rule as the greedy).
+        if let Some(u) = naive_potential_argmax(problem, &members) {
+            members.push(u);
+        }
+    }
+    members
+}
+
+/// Best-improvement 1-swap local search with every swap gain recomputed
+/// through the slice oracles (`O(cost(f) + p)` per candidate pair).
+///
+/// Only `epsilon`, `max_swaps` and the best-improvement pivot are honoured;
+/// this exists as ground truth for `local_search_refine`, whose swaps it
+/// must reproduce move for move.
+pub fn local_search_refine_naive<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    initial: &[ElementId],
+    config: LocalSearchConfig,
+) -> Vec<ElementId> {
+    let n = problem.ground_size();
+    let mut members: Vec<ElementId> = initial.to_vec();
+    let mut objective = problem.objective(&members);
+    let mut swaps = 0usize;
+    while swaps < config.max_swaps {
+        let threshold = config.epsilon * objective.abs().max(1.0);
+        let mut best_swap: Option<(usize, ElementId, f64)> = None;
+        for u in 0..n as ElementId {
+            if members.contains(&u) {
+                continue;
+            }
+            for (idx, &v) in members.iter().enumerate() {
+                let gain = problem.swap_gain(u, v, &members);
+                if gain <= threshold {
+                    continue;
+                }
+                if best_swap.is_none_or(|(_, _, g)| gain > g) {
+                    best_swap = Some((idx, u, gain));
+                }
+            }
+        }
+        match best_swap {
+            Some((idx, u, gain)) => {
+                // Mirror SolutionState's swap-remove-then-push order so the
+                // member ordering (and hence any subsequent tie-break)
+                // matches the incremental implementation exactly.
+                members.swap_remove(idx);
+                members.push(u);
+                objective += gain;
+                swaps += 1;
             }
             None => break,
         }

@@ -1,0 +1,308 @@
+//! Equivalence suite: the incremental-oracle, lazy-greedy and parallel
+//! paths must reproduce the slice-recomputing reference implementations
+//! (`msd_bench::naive`) *exactly* — same selected sets, same order, same
+//! tie-breaks — on seeded random instances across modular, coverage,
+//! facility-location and mixture qualities.
+
+use msd_bench::naive::{
+    greedy_b_naive, greedy_b_naive_with_config, greedy_b_pairs_naive, local_search_refine_naive,
+};
+use msd_core::{
+    greedy_b, greedy_b_pairs, local_search_refine, stream_diversify, DiversificationProblem,
+    ElementId, GreedyBConfig, LocalSearchConfig, StreamingDiversifier,
+};
+use msd_data::SyntheticConfig;
+use msd_metric::DistanceMatrix;
+use msd_submodular::{CountingOracle, CoverageFunction, FacilityLocationFunction, MixtureFunction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_metric(rng: &mut StdRng, n: usize) -> DistanceMatrix {
+    DistanceMatrix::from_fn(n, |_, _| rng.gen_range(1.0..2.0))
+}
+
+fn coverage_instance(
+    seed: u64,
+    n: usize,
+) -> DiversificationProblem<DistanceMatrix, CoverageFunction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topics = 2 * n / 3 + 1;
+    let covers: Vec<Vec<u32>> = (0..n)
+        .map(|_| {
+            (0..rng.gen_range(1..6))
+                .map(|_| rng.gen_range(0..topics) as u32)
+                .collect()
+        })
+        .collect();
+    let weights: Vec<f64> = (0..topics).map(|_| rng.gen_range(0.0..3.0)).collect();
+    let metric = random_metric(&mut rng, n);
+    DiversificationProblem::new(metric, CoverageFunction::new(covers, weights), 0.2)
+}
+
+fn facility_instance(
+    seed: u64,
+    n: usize,
+) -> DiversificationProblem<DistanceMatrix, FacilityLocationFunction> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFAC1717);
+    let clients = n / 2 + 3;
+    let sim: Vec<Vec<f64>> = (0..clients)
+        .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let weights: Vec<f64> = (0..clients).map(|_| rng.gen_range(0.5..2.0)).collect();
+    let metric = random_metric(&mut rng, n);
+    DiversificationProblem::new(metric, FacilityLocationFunction::new(sim, weights), 0.15)
+}
+
+fn mixture_instance(
+    seed: u64,
+    n: usize,
+) -> DiversificationProblem<DistanceMatrix, MixtureFunction> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3417);
+    let coverage = coverage_instance(seed, n);
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let quality = MixtureFunction::new(n)
+        .with(0.7, coverage.quality().clone())
+        .with(1.3, msd_submodular::ModularFunction::new(weights));
+    let metric = random_metric(&mut rng, n);
+    DiversificationProblem::new(metric, quality, 0.25)
+}
+
+/// Asserts exact equality (content and order) of two selections.
+#[track_caller]
+fn assert_same(label: &str, got: &[ElementId], want: &[ElementId]) {
+    assert_eq!(got, want, "{label}: incremental diverged from reference");
+}
+
+#[test]
+fn greedy_b_matches_naive_on_modular() {
+    for seed in 0..12u64 {
+        let problem = SyntheticConfig::paper(50).generate(seed);
+        for p in [1usize, 2, 9, 25, 50] {
+            assert_same(
+                &format!("modular seed {seed} p {p}"),
+                &greedy_b(&problem, p, GreedyBConfig::default()),
+                &greedy_b_naive(&problem, p),
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_b_matches_naive_on_coverage() {
+    for seed in 0..10u64 {
+        let problem = coverage_instance(seed, 40);
+        for p in [2usize, 7, 18] {
+            assert_same(
+                &format!("coverage seed {seed} p {p}"),
+                &greedy_b(&problem, p, GreedyBConfig::default()),
+                &greedy_b_naive(&problem, p),
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_b_matches_naive_on_facility() {
+    for seed in 0..10u64 {
+        let problem = facility_instance(seed, 30);
+        for p in [2usize, 8, 15] {
+            assert_same(
+                &format!("facility seed {seed} p {p}"),
+                &greedy_b(&problem, p, GreedyBConfig::default()),
+                &greedy_b_naive(&problem, p),
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_b_matches_naive_on_mixture() {
+    for seed in 0..6u64 {
+        let problem = mixture_instance(seed, 25);
+        for p in [3usize, 10] {
+            assert_same(
+                &format!("mixture seed {seed} p {p}"),
+                &greedy_b(&problem, p, GreedyBConfig::default()),
+                &greedy_b_naive(&problem, p),
+            );
+        }
+    }
+}
+
+#[test]
+fn best_pair_start_matches_naive() {
+    let config = GreedyBConfig {
+        best_pair_start: true,
+    };
+    for seed in 0..8u64 {
+        let problem = coverage_instance(seed + 40, 30);
+        for p in [2usize, 5, 12] {
+            assert_same(
+                &format!("pair-start seed {seed} p {p}"),
+                &greedy_b(&problem, p, config),
+                &greedy_b_naive_with_config(&problem, p, config),
+            );
+        }
+    }
+}
+
+#[test]
+fn pair_greedy_matches_naive() {
+    for seed in 0..8u64 {
+        let modular = SyntheticConfig::paper(30).generate(seed);
+        let coverage = coverage_instance(seed + 7, 30);
+        for p in [2usize, 5, 8] {
+            assert_same(
+                &format!("pairs modular seed {seed} p {p}"),
+                &greedy_b_pairs(&modular, p),
+                &greedy_b_pairs_naive(&modular, p),
+            );
+            assert_same(
+                &format!("pairs coverage seed {seed} p {p}"),
+                &greedy_b_pairs(&coverage, p),
+                &greedy_b_pairs_naive(&coverage, p),
+            );
+        }
+    }
+}
+
+#[test]
+fn local_search_matches_naive_swap_for_swap() {
+    let config = LocalSearchConfig::default();
+    for seed in 0..8u64 {
+        let modular = SyntheticConfig::paper(30).generate(seed + 100);
+        let coverage = coverage_instance(seed + 100, 24);
+        let facility = facility_instance(seed + 100, 24);
+        let initial: Vec<ElementId> = (0..5).collect();
+        assert_same(
+            &format!("refine modular seed {seed}"),
+            &local_search_refine(&modular, &initial, config).set,
+            &local_search_refine_naive(&modular, &initial, config),
+        );
+        assert_same(
+            &format!("refine coverage seed {seed}"),
+            &local_search_refine(&coverage, &initial, config).set,
+            &local_search_refine_naive(&coverage, &initial, config),
+        );
+        assert_same(
+            &format!("refine facility seed {seed}"),
+            &local_search_refine(&facility, &initial, config).set,
+            &local_search_refine_naive(&facility, &initial, config),
+        );
+    }
+}
+
+#[test]
+fn lazy_greedy_through_generic_oracle_matches_and_saves_oracle_calls() {
+    // CountingOracle has no specialized incremental oracle, so greedy_b
+    // runs the Minoux lazy loop over the generic fallback: identical
+    // output, strictly fewer marginal evaluations than the eager n·p scan.
+    for seed in 0..6u64 {
+        let base = coverage_instance(seed + 200, 40);
+        let n = base.ground_size();
+        let p = 12;
+        let counted = DiversificationProblem::new(
+            base.metric().clone(),
+            CountingOracle::new(base.quality().clone()),
+            base.lambda(),
+        );
+        counted.quality().reset();
+        let lazy = greedy_b(&counted, p, GreedyBConfig::default());
+        let lazy_calls = counted.quality().marginal_calls();
+        assert_same(
+            &format!("lazy seed {seed}"),
+            &lazy,
+            &greedy_b_naive(&base, p),
+        );
+        let eager_calls = (n * p) as u64;
+        assert!(
+            lazy_calls < eager_calls,
+            "seed {seed}: lazy used {lazy_calls} marginal calls, eager bound {eager_calls}"
+        );
+    }
+}
+
+#[test]
+fn streaming_session_matches_legacy_diversifier() {
+    for seed in 0..8u64 {
+        let problem = SyntheticConfig::paper(60).generate(seed + 300);
+        let order: Vec<ElementId> = (0..60).collect();
+        let p = 8;
+        let mut legacy = StreamingDiversifier::new(p);
+        for &e in &order {
+            legacy.offer(&problem, e);
+        }
+        let mut legacy_set = legacy.finish();
+        let mut session_set = stream_diversify(&problem, &order, p);
+        legacy_set.sort_unstable();
+        session_set.sort_unstable();
+        assert_eq!(
+            session_set, legacy_set,
+            "seed {seed}: streaming session diverged from legacy rule"
+        );
+    }
+}
+
+#[test]
+fn tie_breaks_are_deterministic_lowest_index() {
+    // A fully symmetric instance: every weight and distance equal, so every
+    // candidate ties at every step. The contract is lowest-index-first.
+    let metric = DistanceMatrix::from_fn(12, |_, _| 1.0);
+    let quality = msd_submodular::ModularFunction::uniform(12, 1.0);
+    let problem = DiversificationProblem::new(metric, quality, 0.5);
+    for p in [1usize, 3, 6, 12] {
+        let picks = greedy_b(&problem, p, GreedyBConfig::default());
+        let expected: Vec<ElementId> = (0..p as ElementId).collect();
+        assert_eq!(picks, expected, "p {p}");
+        assert_eq!(greedy_b_naive(&problem, p), expected);
+    }
+}
+
+#[cfg(feature = "parallel")]
+mod parallel_equivalence {
+    use super::*;
+    use msd_core::parallel;
+
+    #[test]
+    fn parallel_greedy_is_bit_identical_across_qualities() {
+        for seed in 0..6u64 {
+            let modular = SyntheticConfig::paper(70).generate(seed);
+            let coverage = coverage_instance(seed, 50);
+            let facility = facility_instance(seed, 40);
+            for p in [3usize, 11, 24] {
+                for best_pair_start in [false, true] {
+                    let config = GreedyBConfig { best_pair_start };
+                    assert_eq!(
+                        parallel::greedy_b(&modular, p, config),
+                        greedy_b(&modular, p, config),
+                        "modular seed {seed} p {p}"
+                    );
+                    assert_eq!(
+                        parallel::greedy_b(&coverage, p, config),
+                        greedy_b(&coverage, p, config),
+                        "coverage seed {seed} p {p}"
+                    );
+                    assert_eq!(
+                        parallel::greedy_b(&facility, p, config),
+                        greedy_b(&facility, p, config),
+                        "facility seed {seed} p {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_local_search_is_bit_identical() {
+        for seed in 0..6u64 {
+            let problem = coverage_instance(seed + 500, 40);
+            let initial: Vec<ElementId> = (0..7).collect();
+            let par =
+                parallel::local_search_refine(&problem, &initial, LocalSearchConfig::default());
+            let ser = local_search_refine(&problem, &initial, LocalSearchConfig::default());
+            assert_eq!(par.set, ser.set, "seed {seed}");
+            assert_eq!(par.objective, ser.objective);
+            assert_eq!(par.swaps, ser.swaps);
+        }
+    }
+}

@@ -192,33 +192,12 @@ impl DynamicInstance {
     /// Scans all `(u ∈ S, v ∉ S)` pairs for the maximum marginal gain
     /// `φ_{v→u}(S)`; swaps when positive.
     pub fn oblivious_update(&mut self) -> UpdateOutcome {
-        let n = self.problem.ground_size();
-        let members = self.state.members().to_vec();
-        let metric = self.problem.metric();
-        let quality = self.problem.quality();
-        let lambda = self.problem.lambda();
-
-        let mut best: Option<(ElementId, ElementId)> = None;
-        let mut best_gain = 0.0_f64;
-        for v in 0..n as ElementId {
-            if self.state.contains(v) {
-                continue;
-            }
-            for &u in &members {
-                let gain = quality.swap_gain(v, u, &members)
-                    + lambda * self.state.swap_dispersion_delta(metric, v, u);
-                if gain > best_gain {
-                    best_gain = gain;
-                    best = Some((u, v));
-                }
-            }
-        }
-        match best {
-            Some((u, v)) => {
+        match self.best_single_swap() {
+            Some((u, v, gain)) => {
                 self.state.swap(self.problem.metric(), v, u);
                 UpdateOutcome {
                     swap: Some((u, v)),
-                    gain: best_gain,
+                    gain,
                 }
             }
             None => UpdateOutcome {
@@ -239,12 +218,12 @@ impl DynamicInstance {
     pub fn oblivious_update_double(&mut self) -> UpdateOutcome {
         // First find the best single swap as the baseline.
         let n = self.problem.ground_size();
-        let members = self.state.members().to_vec();
         let lambda = self.problem.lambda();
 
         let single = self.best_single_swap();
         let mut best_double: Option<([ElementId; 2], [ElementId; 2], f64)> = None;
         {
+            let members = self.state.members();
             let metric = self.problem.metric();
             let quality = self.problem.quality();
             let outsiders: Vec<ElementId> = (0..n as ElementId)
@@ -265,13 +244,12 @@ impl DynamicInstance {
                                 - metric.distance(v1, u2)
                                 - metric.distance(v2, u1)
                                 - metric.distance(v2, u2);
-                            let swapped: Vec<ElementId> = members
-                                .iter()
-                                .copied()
-                                .filter(|&x| x != u1 && x != u2)
-                                .chain([v1, v2])
-                                .collect();
-                            let df = quality.value(&swapped) - quality.value(&members);
+                            // Modular quality: the swap's f-delta is plain
+                            // weight arithmetic — no per-pair set
+                            // materialization.
+                            let df = quality.weight(v1) + quality.weight(v2)
+                                - quality.weight(u1)
+                                - quality.weight(u2);
                             let gain = df + lambda * dd;
                             if gain > best_double.map_or(0.0, |(_, _, g)| g) {
                                 best_double = Some(([u1, u2], [v1, v2], gain));
@@ -284,9 +262,8 @@ impl DynamicInstance {
         let single_gain = single.map_or(0.0, |(_, _, g)| g);
         match best_double {
             Some((out, into, gain)) if gain > single_gain => {
-                let metric_snapshot = self.problem.metric().clone();
-                self.state.swap(&metric_snapshot, into[0], out[0]);
-                self.state.swap(&metric_snapshot, into[1], out[1]);
+                self.state.swap(self.problem.metric(), into[0], out[0]);
+                self.state.swap(self.problem.metric(), into[1], out[1]);
                 UpdateOutcome {
                     swap: Some((out[0], into[0])),
                     gain,
@@ -294,8 +271,7 @@ impl DynamicInstance {
             }
             _ => match single {
                 Some((u, v, gain)) => {
-                    let metric_snapshot = self.problem.metric().clone();
-                    self.state.swap(&metric_snapshot, v, u);
+                    self.state.swap(self.problem.metric(), v, u);
                     UpdateOutcome {
                         swap: Some((u, v)),
                         gain,

@@ -29,10 +29,10 @@
 //!   [`max_sum_dispersion_greedy`].
 
 use msd_metric::Metric;
-use msd_submodular::{SetFunction, ZeroFunction};
+use msd_submodular::{IncrementalOracle, SetFunction, ZeroFunction};
 
+use crate::potential::PotentialState;
 use crate::problem::DiversificationProblem;
-use crate::solution::SolutionState;
 use crate::ElementId;
 
 /// Configuration for [`greedy_b`].
@@ -49,6 +49,15 @@ pub struct GreedyBConfig {
 ///
 /// Implements the greedy algorithm of Theorem 1: a 2-approximation for
 /// monotone submodular quality functions under a cardinality constraint.
+///
+/// **Submodularity is relied on, not just assumed for the ratio**: for
+/// quality functions without a specialized incremental oracle, candidate
+/// selection uses the Minoux lazy queue, whose cached upper bounds are
+/// only valid when marginals are non-increasing in `S`. With a
+/// non-submodular quality (which [`SetFunction`] deliberately does not
+/// rule out) the selected element may deviate from the exact per-step
+/// argmax (and from `parallel::greedy_b`, which evaluates exact
+/// marginals); the Theorem 1 guarantee is void in that regime anyway.
 pub fn greedy_b<M: Metric, F: SetFunction>(
     problem: &DiversificationProblem<M, F>,
     p: usize,
@@ -59,49 +68,131 @@ pub fn greedy_b<M: Metric, F: SetFunction>(
     if p == 0 {
         return Vec::new();
     }
-    let lambda = problem.lambda();
-    let quality = problem.quality();
-    let metric = problem.metric();
-    let mut state = SolutionState::empty(n);
+    let mut state = PotentialState::new(problem);
 
     if config.best_pair_start && p >= 2 {
-        // Seed with argmax_{x,y} ½·f({x,y}) + λ·d(x,y).
+        // Seed with argmax_{x,y} ½·f({x,y}) + λ·d(x,y) (the pair potential
+        // from the empty set).
         let (mut best, mut best_score) = ((0, 1), f64::NEG_INFINITY);
         for x in 0..n as ElementId {
             for y in (x + 1)..n as ElementId {
-                let score = 0.5 * quality.value(&[x, y]) + lambda * metric.distance(x, y);
+                let score = state.pair_potential(x, y);
                 if score > best_score {
                     best_score = score;
                     best = (x, y);
                 }
             }
         }
-        state.insert(metric, best.0);
-        state.insert(metric, best.1);
+        state.insert(best.0);
+        state.insert(best.1);
     }
 
     while state.len() < p {
-        let mut best: Option<ElementId> = None;
-        let mut best_score = f64::NEG_INFINITY;
-        for u in 0..n as ElementId {
-            if state.contains(u) {
-                continue;
-            }
-            // φ'_u(S) = ½ f_u(S) + λ d_u(S); d_u(S) comes from the O(1)
-            // gain cache.
-            let score =
-                0.5 * quality.marginal(u, state.members()) + lambda * state.distance_gain(u);
-            if score > best_score {
-                best_score = score;
-                best = Some(u);
-            }
-        }
-        match best {
-            Some(u) => state.insert(metric, u),
+        match lazy_greedy_argmax(&mut state) {
+            Some(u) => state.insert(u),
             None => break, // ground set exhausted
         }
     }
     state.into_members()
+}
+
+/// Heap entry for the Minoux lazy queue: max by score, ties toward the
+/// lowest index, with a total order on floats (`total_cmp`) so degenerate
+/// scores cannot poison the heap invariants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LazyCandidate {
+    score: f64,
+    u: ElementId,
+}
+
+impl Eq for LazyCandidate {}
+
+impl Ord for LazyCandidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.u.cmp(&self.u))
+    }
+}
+
+impl PartialOrd for LazyCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One lazy-greedy (Minoux) selection step: the argmax of the potential
+/// `φ'_u(S)` over `u ∉ S`, ties broken toward the lowest index.
+///
+/// Candidates are ranked by the O(1) [`PotentialState::potential_bound`]
+/// (exact distance term + possibly-stale quality upper bound — valid
+/// **provided `f` is submodular**, because then marginals cached at a
+/// smaller `S` only shrink as `S` grows; see the note on [`greedy_b`]).
+/// Structured oracles always report exact bounds, so the fast path — one
+/// linear scan whose winner is already exact — selects immediately, at the
+/// cost of the eager implementation. Otherwise the candidates are heapified
+/// once (O(n)) and popped lazily: a popped entry whose score is stale is
+/// re-pushed at its current bound (O(log n)), a current-but-inexact entry
+/// is refreshed through the oracle and re-pushed, and a current exact
+/// entry is the argmax. Refreshes therefore cost O(log n) reordering each
+/// instead of an O(n) rescan.
+///
+/// The selected element is identical to the eager scan's: stale bounds
+/// only over-rank candidates, so any candidate that would beat (or tie at
+/// a lower index) the selected one sorts ahead of it in the pop order and
+/// is examined first.
+pub(crate) fn lazy_greedy_argmax<M: Metric, Q: IncrementalOracle + ?Sized>(
+    state: &mut PotentialState<'_, M, Q>,
+) -> Option<ElementId> {
+    let n = state.ground_size() as ElementId;
+    // Fast path: one linear scan over the O(1) bounds. If the winner's
+    // bound is exact — always, for structured oracles — it is the argmax.
+    let mut best: Option<ElementId> = None;
+    let mut best_score = f64::NEG_INFINITY;
+    for u in 0..n {
+        if state.contains(u) {
+            continue;
+        }
+        let score = state.potential_bound(u);
+        if score > best_score {
+            best_score = score;
+            best = Some(u);
+        }
+    }
+    let top = best?;
+    if state.potential_is_exact(top) {
+        return Some(top);
+    }
+
+    // Lazy path (generic fallback oracles): heap over the stale bounds.
+    let mut heap: std::collections::BinaryHeap<LazyCandidate> = (0..n)
+        .filter(|&u| !state.contains(u))
+        .map(|u| LazyCandidate {
+            score: state.potential_bound(u),
+            u,
+        })
+        .collect();
+    while let Some(entry) = heap.pop() {
+        let current = state.potential_bound(entry.u);
+        if entry.score > current {
+            // Stale snapshot (the bound tightened since it was pushed);
+            // re-queue at the current bound.
+            heap.push(LazyCandidate {
+                score: current,
+                u: entry.u,
+            });
+            continue;
+        }
+        if state.potential_is_exact(entry.u) {
+            return Some(entry.u);
+        }
+        let refreshed = state.refresh_potential(entry.u);
+        heap.push(LazyCandidate {
+            score: refreshed,
+            u: entry.u,
+        });
+    }
+    unreachable!("non-empty candidate heap cannot drain without an exact top");
 }
 
 /// The Ravi–Rosenkrantz–Tayi greedy for max-sum `p`-dispersion.
@@ -134,13 +225,9 @@ pub fn greedy_b_pairs<M: Metric, F: SetFunction>(
     if p == 0 {
         return Vec::new();
     }
-    let lambda = problem.lambda();
-    let quality = problem.quality();
-    let metric = problem.metric();
-    let mut state = SolutionState::empty(n);
+    let mut state = PotentialState::new(problem);
 
     while state.len() + 2 <= p {
-        let members = state.members().to_vec();
         let mut best: Option<(ElementId, ElementId)> = None;
         let mut best_score = f64::NEG_INFINITY;
         for u in 0..n as ElementId {
@@ -151,13 +238,9 @@ pub fn greedy_b_pairs<M: Metric, F: SetFunction>(
                 if state.contains(v) {
                     continue;
                 }
-                // Pair marginal of the potential: quality part via a
-                // two-element extension, distance part from the cache.
-                let mut with_u: Vec<ElementId> = members.clone();
-                with_u.push(u);
-                let fq = quality.marginal(u, &members) + quality.marginal(v, &with_u);
-                let dd = state.distance_gain(u) + state.distance_gain(v) + metric.distance(u, v);
-                let score = 0.5 * fq + lambda * dd;
+                // Pair marginal of the potential, read from the caches —
+                // no per-pair set materialization.
+                let score = state.pair_potential(u, v);
                 if score > best_score {
                     best_score = score;
                     best = Some((u, v));
@@ -166,29 +249,16 @@ pub fn greedy_b_pairs<M: Metric, F: SetFunction>(
         }
         match best {
             Some((u, v)) => {
-                state.insert(metric, u);
-                state.insert(metric, v);
+                state.insert(u);
+                state.insert(v);
             }
             None => break,
         }
     }
     if state.len() < p {
         // One final single-vertex step for odd p.
-        let members = state.members().to_vec();
-        let mut best: Option<ElementId> = None;
-        let mut best_score = f64::NEG_INFINITY;
-        for u in 0..n as ElementId {
-            if state.contains(u) {
-                continue;
-            }
-            let score = 0.5 * quality.marginal(u, &members) + lambda * state.distance_gain(u);
-            if score > best_score {
-                best_score = score;
-                best = Some(u);
-            }
-        }
-        if let Some(u) = best {
-            state.insert(metric, u);
+        if let Some(u) = lazy_greedy_argmax(&mut state) {
+            state.insert(u);
         }
     }
     state.into_members()
@@ -198,6 +268,7 @@ pub fn greedy_b_pairs<M: Metric, F: SetFunction>(
 mod tests {
     use super::*;
     use crate::exact::exact_max_diversification;
+    use crate::solution::SolutionState;
     use msd_metric::DistanceMatrix;
     use msd_submodular::{ModularFunction, SetFunction};
 

@@ -42,6 +42,9 @@ pub mod hassin;
 pub mod knapsack;
 pub mod local_search;
 pub mod mmr;
+#[cfg(feature = "parallel")]
+pub mod parallel;
+pub mod potential;
 pub mod problem;
 pub mod solution;
 pub mod streaming;
@@ -55,9 +58,10 @@ pub use hassin::{hassin_edge_greedy, hassin_matching};
 pub use knapsack::{knapsack_diversify, KnapsackConfig, KnapsackResult};
 pub use local_search::{local_search_matroid, local_search_refine, LocalSearchConfig};
 pub use mmr::{mmr_select, MmrConfig};
+pub use potential::{PotentialState, SyncPotentialState};
 pub use problem::DiversificationProblem;
 pub use solution::SolutionState;
-pub use streaming::{stream_diversify, StreamDecision, StreamingDiversifier};
+pub use streaming::{stream_diversify, StreamDecision, StreamingDiversifier, StreamingSession};
 
 /// Identifier of a ground-set element (shared across the workspace).
 pub type ElementId = u32;

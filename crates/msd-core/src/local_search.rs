@@ -30,8 +30,8 @@ use msd_matroid::Matroid;
 use msd_metric::Metric;
 use msd_submodular::SetFunction;
 
+use crate::potential::PotentialState;
 use crate::problem::DiversificationProblem;
-use crate::solution::SolutionState;
 use crate::ElementId;
 
 /// Pivoting rule for choosing among improving swaps.
@@ -173,16 +173,13 @@ fn refine<M: Metric, F: SetFunction, Mat: Matroid>(
 ) -> LocalSearchResult {
     let start = Instant::now();
     let n = problem.ground_size();
-    let metric = problem.metric();
-    let quality = problem.quality();
-    let lambda = problem.lambda();
 
-    let mut state = SolutionState::from_set(metric, &initial);
+    let mut state = PotentialState::from_set(problem, &initial);
     let mut objective = problem.objective(state.members());
     let mut swaps = 0usize;
     let mut converged = false;
 
-    'outer: loop {
+    loop {
         if swaps >= config.max_swaps {
             break;
         }
@@ -192,42 +189,40 @@ fn refine<M: Metric, F: SetFunction, Mat: Matroid>(
             }
         }
         let threshold = config.epsilon * objective.abs().max(1.0);
-        let members = state.members().to_vec();
-        let mut best_swap: Option<(ElementId, ElementId, f64)> = None;
+        let mut chosen: Option<(ElementId, ElementId, f64)> = None;
 
-        for u in 0..n as ElementId {
+        'scan: for u in 0..n as ElementId {
             if state.contains(u) {
                 continue;
             }
-            for &v in &members {
-                if !matroid.can_swap(u, v, &members) {
+            let members = state.members();
+            for &v in members {
+                if !matroid.can_swap(u, v, members) {
                     continue;
                 }
-                // Δφ = f-swap-gain + λ·(d_u(S) − d(u,v) − d_v(S)), with the
-                // distance part O(1) from the gain cache.
-                let gain = quality.swap_gain(u, v, &members)
-                    + lambda * state.swap_dispersion_delta(metric, u, v);
+                // Δφ = f-swap-gain + λ·(d_u(S) − d(u,v) − d_v(S)) — both
+                // terms O(1)/O(touched) from the fused caches, with no
+                // per-iteration member-list clone.
+                let gain = state.swap_gain(u, v);
                 if gain <= threshold {
                     continue;
                 }
                 match config.pivot {
                     PivotRule::FirstImprovement => {
-                        state.swap(metric, u, v);
-                        objective += gain;
-                        swaps += 1;
-                        continue 'outer;
+                        chosen = Some((u, v, gain));
+                        break 'scan;
                     }
                     PivotRule::BestImprovement => {
-                        if best_swap.is_none_or(|(_, _, g)| gain > g) {
-                            best_swap = Some((u, v, gain));
+                        if chosen.is_none_or(|(_, _, g)| gain > g) {
+                            chosen = Some((u, v, gain));
                         }
                     }
                 }
             }
         }
-        match best_swap {
+        match chosen {
             Some((u, v, gain)) => {
-                state.swap(metric, u, v);
+                state.swap(u, v);
                 objective += gain;
                 swaps += 1;
             }

@@ -1,0 +1,461 @@
+//! Thread-parallel candidate scans (`parallel` feature).
+//!
+//! The three quadratic scans of the hot paths — the Greedy B argmax, the
+//! `best_pair_start` O(n²) seed and the best-improvement swap scan of the
+//! local search — are embarrassingly parallel once every candidate
+//! evaluation is an O(1) cache read (see [`crate::potential`]). This module
+//! distributes them over `std::thread::scope` workers (no external
+//! dependencies; the build environment has no registry access, so rayon is
+//! deliberately not used).
+//!
+//! **Determinism.** Every scan breaks ties toward the *lowest index* (for
+//! pair scans: lexicographically smallest pair; for swap scans: smallest
+//! candidate, then earliest member), both inside a chunk and when merging
+//! chunks in index order. Each candidate's score is computed by the exact
+//! same expression as the serial code, so for any instance the parallel
+//! entry points return **bit-identical outputs** to their serial
+//! counterparts — asserted by the equivalence suite in
+//! `msd-bench/tests/incremental_equivalence.rs`.
+//!
+//! The entry points mirror the serial signatures with added `Sync` bounds:
+//!
+//! * [`greedy_b`] / [`max_sum_dispersion_greedy`]
+//! * [`local_search_matroid`] / [`local_search_refine`]
+
+use std::num::NonZeroUsize;
+
+use msd_matroid::Matroid;
+use msd_metric::Metric;
+use msd_submodular::SetFunction;
+
+use crate::local_search::{LocalSearchConfig, LocalSearchResult, PivotRule};
+use crate::potential::SyncPotentialState;
+use crate::problem::DiversificationProblem;
+use crate::{ElementId, GreedyBConfig};
+
+/// Worker count for a scan over `work` candidates, clamped to the
+/// available hardware and to 16 (beyond that the per-step spawn cost
+/// outweighs the scan for every realistic `n`).
+fn num_threads(work: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(16).min(work.div_ceil(32).max(1)).max(1)
+}
+
+/// Deterministic parallel argmax over `0..n`: highest score wins, ties go
+/// to the lowest index. `score` returns `None` for excluded candidates.
+/// A thin wrapper over [`par_scan_chunks`] so the determinism-critical
+/// chunk/merge logic exists exactly once.
+fn par_argmax<F>(n: usize, score: F) -> Option<(ElementId, f64)>
+where
+    F: Fn(ElementId) -> Option<f64> + Sync,
+{
+    par_scan_chunks(
+        n,
+        |lo, hi| {
+            let mut best: Option<(ElementId, f64)> = None;
+            for u in lo..hi {
+                if let Some(s) = score(u as ElementId) {
+                    if best.is_none_or(|(_, b)| s > b) {
+                        best = Some((u as ElementId, s));
+                    }
+                }
+            }
+            best
+        },
+        |&(_, s)| s,
+    )
+}
+
+/// Generic deterministic parallel reduction over the chunked range
+/// `0..n`: each worker folds its chunk with `scan` (which must itself
+/// break ties toward earlier candidates), and chunks merge in index order
+/// with strictly-greater comparison on the score extracted by `key`.
+fn par_scan_chunks<T, S, K>(n: usize, scan: S, key: K) -> Option<T>
+where
+    T: Send,
+    S: Fn(usize, usize) -> Option<T> + Sync,
+    K: Fn(&T) -> f64,
+{
+    let threads = num_threads(n);
+    if threads <= 1 {
+        return scan(0, n);
+    }
+    let chunk = n.div_ceil(threads);
+    let per_chunk: Vec<Option<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let scan = &scan;
+                s.spawn(move || scan(t * chunk, ((t + 1) * chunk).min(n)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker panicked"))
+            .collect()
+    });
+    let mut best: Option<T> = None;
+    for candidate in per_chunk.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| key(&candidate) > key(b)) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// Parallel Greedy B: bit-identical to [`crate::greedy_b`].
+///
+/// Each step evaluates the exact potential `φ'_u(S)` of every candidate
+/// concurrently (O(1) reads for structured quality oracles) and merges
+/// with the deterministic lowest-index tie-break.
+pub fn greedy_b<M, F>(
+    problem: &DiversificationProblem<M, F>,
+    p: usize,
+    config: GreedyBConfig,
+) -> Vec<ElementId>
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+{
+    let n = problem.ground_size();
+    let p = p.min(n);
+    if p == 0 {
+        return Vec::new();
+    }
+    let mut state = SyncPotentialState::new_sync(problem);
+
+    if config.best_pair_start && p >= 2 {
+        // Parallel over x; each worker runs the full inner y loop, so the
+        // traversal inside a chunk is the serial lexicographic order.
+        let seed = {
+            let st = &state;
+            par_scan_chunks(
+                n,
+                |lo, hi| {
+                    let mut best: Option<(ElementId, ElementId, f64)> = None;
+                    for x in lo as ElementId..hi as ElementId {
+                        for y in (x + 1)..n as ElementId {
+                            let score = st.pair_potential(x, y);
+                            if best.is_none_or(|(_, _, b)| score > b) {
+                                best = Some((x, y, score));
+                            }
+                        }
+                    }
+                    best
+                },
+                |&(_, _, score)| score,
+            )
+        };
+        if let Some((x, y, _)) = seed {
+            state.insert(x);
+            state.insert(y);
+        }
+    }
+
+    while state.len() < p {
+        let next = {
+            let st = &state;
+            par_argmax(n, |u| (!st.contains(u)).then(|| st.potential(u)))
+        };
+        match next {
+            Some((u, _)) => state.insert(u),
+            None => break,
+        }
+    }
+    state.into_members()
+}
+
+/// Parallel dispersion greedy (Corollary 1), bit-identical to
+/// [`crate::max_sum_dispersion_greedy`].
+pub fn max_sum_dispersion_greedy<M: Metric + Sync>(metric: &M, p: usize) -> Vec<ElementId> {
+    let problem =
+        DiversificationProblem::new(metric, msd_submodular::ZeroFunction::new(metric.len()), 1.0);
+    greedy_b(&problem, p, GreedyBConfig::default())
+}
+
+/// Parallel Theorem 2 local search, bit-identical to
+/// [`crate::local_search_matroid`].
+pub fn local_search_matroid<M, F, Mat>(
+    problem: &DiversificationProblem<M, F>,
+    matroid: &Mat,
+    config: LocalSearchConfig,
+) -> LocalSearchResult
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+    Mat: Matroid + Sync,
+{
+    assert_eq!(
+        matroid.ground_size(),
+        problem.ground_size(),
+        "matroid and problem must share a ground set"
+    );
+    let n = problem.ground_size();
+    let rank = matroid.rank();
+    if rank == 0 || n == 0 {
+        return LocalSearchResult {
+            set: Vec::new(),
+            objective: 0.0,
+            swaps: 0,
+            converged: true,
+        };
+    }
+
+    // Initialization mirrors the serial code; the pair scan is the
+    // parallelized O(n²) part.
+    let seed: Vec<ElementId> = if rank >= 2 {
+        let best = par_scan_chunks(
+            n,
+            |lo, hi| {
+                let mut best: Option<(ElementId, ElementId, f64)> = None;
+                for x in lo as ElementId..hi as ElementId {
+                    for y in (x + 1)..n as ElementId {
+                        if !matroid.is_independent(&[x, y]) {
+                            continue;
+                        }
+                        let score = problem.quality().value(&[x, y])
+                            + problem.lambda() * problem.metric().distance(x, y);
+                        if best.is_none_or(|(_, _, b)| score > b) {
+                            best = Some((x, y, score));
+                        }
+                    }
+                }
+                best
+            },
+            |&(_, _, score)| score,
+        );
+        match best {
+            Some((x, y, _)) => vec![x, y],
+            None => Vec::new(),
+        }
+    } else {
+        let best = (0..n as ElementId)
+            .filter(|&x| matroid.is_independent(&[x]))
+            .max_by(|&a, &b| {
+                problem
+                    .quality()
+                    .singleton(a)
+                    .partial_cmp(&problem.quality().singleton(b))
+                    .expect("quality values must be comparable")
+            });
+        best.map(|x| vec![x]).unwrap_or_default()
+    };
+    let basis = matroid.extend_to_basis(&seed);
+    refine_par(problem, matroid, basis, config)
+}
+
+/// Parallel budgeted refinement, bit-identical to
+/// [`crate::local_search_refine`].
+pub fn local_search_refine<M, F>(
+    problem: &DiversificationProblem<M, F>,
+    initial: &[ElementId],
+    config: LocalSearchConfig,
+) -> LocalSearchResult
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+{
+    let matroid = msd_matroid::UniformMatroid::new(problem.ground_size(), initial.len());
+    refine_par(problem, &matroid, initial.to_vec(), config)
+}
+
+/// Parallel core swap loop: the best-improvement (or first-improvement)
+/// scan over `(u, v)` pairs runs chunked over `u`.
+fn refine_par<M, F, Mat>(
+    problem: &DiversificationProblem<M, F>,
+    matroid: &Mat,
+    initial: Vec<ElementId>,
+    config: LocalSearchConfig,
+) -> LocalSearchResult
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+    Mat: Matroid + Sync,
+{
+    let start = std::time::Instant::now();
+    let n = problem.ground_size();
+
+    let mut state = SyncPotentialState::new_sync(problem);
+    for &u in &initial {
+        state.insert(u);
+    }
+    let mut objective = problem.objective(state.members());
+    let mut swaps = 0usize;
+    let mut converged = false;
+
+    loop {
+        if swaps >= config.max_swaps {
+            break;
+        }
+        if let Some(budget) = config.time_budget {
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        let threshold = config.epsilon * objective.abs().max(1.0);
+        let chosen = {
+            let st = &state;
+            par_scan_chunks(
+                n,
+                |lo, hi| {
+                    let members = st.members();
+                    let mut local: Option<(ElementId, ElementId, f64)> = None;
+                    for u in lo as ElementId..hi as ElementId {
+                        if st.contains(u) {
+                            continue;
+                        }
+                        for &v in members {
+                            if !matroid.can_swap(u, v, members) {
+                                continue;
+                            }
+                            let gain = st.swap_gain(u, v);
+                            if gain <= threshold {
+                                continue;
+                            }
+                            match config.pivot {
+                                // First improving pair in traversal order:
+                                // the chunk stops at its first hit, and the
+                                // earliest chunk wins the merge.
+                                PivotRule::FirstImprovement => return Some((u, v, gain)),
+                                PivotRule::BestImprovement => {
+                                    if local.is_none_or(|(_, _, g)| gain > g) {
+                                        local = Some((u, v, gain));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    local
+                },
+                // For FirstImprovement the merge must pick the earliest
+                // chunk's hit regardless of magnitude; feeding a constant
+                // key does exactly that (strict merge keeps the first).
+                |&(_, _, gain)| match config.pivot {
+                    PivotRule::FirstImprovement => 0.0,
+                    PivotRule::BestImprovement => gain,
+                },
+            )
+        };
+        match chosen {
+            Some((u, v, gain)) => {
+                state.swap(u, v);
+                objective += gain;
+                swaps += 1;
+            }
+            None => {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    let set = state.into_members();
+    let objective = problem.objective(&set);
+    LocalSearchResult {
+        set,
+        objective,
+        swaps,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GreedyBConfig, LocalSearchConfig};
+    use msd_metric::DistanceMatrix;
+    use msd_submodular::{CoverageFunction, ModularFunction};
+
+    fn modular_instance(
+        seed: u64,
+        n: usize,
+    ) -> DiversificationProblem<DistanceMatrix, ModularFunction> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let weights: Vec<f64> = (0..n).map(|_| next()).collect();
+        let metric = DistanceMatrix::from_fn(n, |_, _| 1.0 + next());
+        DiversificationProblem::new(metric, ModularFunction::new(weights), 0.2)
+    }
+
+    #[test]
+    fn parallel_greedy_matches_serial_exactly() {
+        for seed in 0..6u64 {
+            let problem = modular_instance(seed, 80);
+            for p in [1usize, 7, 23] {
+                for best_pair_start in [false, true] {
+                    let config = GreedyBConfig { best_pair_start };
+                    assert_eq!(
+                        greedy_b(&problem, p, config),
+                        crate::greedy_b(&problem, p, config),
+                        "seed {seed} p {p} pair_start {best_pair_start}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_greedy_matches_serial_on_coverage() {
+        let cover = CoverageFunction::new(
+            (0..60).map(|u| vec![u % 7, (u * 3) % 7]).collect(),
+            vec![1.0, 2.0, 0.5, 4.0, 1.5, 3.0, 0.25],
+        );
+        let metric = DistanceMatrix::from_fn(60, |u, v| 1.0 + f64::from(u * 17 + v) % 50.0 / 50.0);
+        let problem = DiversificationProblem::new(metric, cover, 0.3);
+        for p in [2usize, 9, 30] {
+            assert_eq!(
+                greedy_b(&problem, p, GreedyBConfig::default()),
+                crate::greedy_b(&problem, p, GreedyBConfig::default()),
+                "p {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_local_search_matches_serial_exactly() {
+        use crate::local_search::PivotRule;
+        for seed in 0..4u64 {
+            let problem = modular_instance(seed + 100, 40);
+            let initial: Vec<ElementId> = (0..6).collect();
+            for pivot in [PivotRule::BestImprovement, PivotRule::FirstImprovement] {
+                let config = LocalSearchConfig {
+                    pivot,
+                    ..LocalSearchConfig::default()
+                };
+                let par = local_search_refine(&problem, &initial, config);
+                let ser = crate::local_search_refine(&problem, &initial, config);
+                assert_eq!(par.set, ser.set, "seed {seed} pivot {pivot:?}");
+                assert_eq!(par.swaps, ser.swaps);
+                assert_eq!(par.objective, ser.objective);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matroid_search_matches_serial_exactly() {
+        use msd_matroid::PartitionMatroid;
+        for seed in 0..4u64 {
+            let problem = modular_instance(seed + 50, 24);
+            let matroid = PartitionMatroid::new((0..24u32).map(|u| u % 3).collect(), vec![2, 3, 2]);
+            let par = local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+            let ser = crate::local_search_matroid(&problem, &matroid, LocalSearchConfig::default());
+            assert_eq!(par.set, ser.set, "seed {seed}");
+            assert_eq!(par.objective, ser.objective);
+        }
+    }
+
+    #[test]
+    fn parallel_dispersion_greedy_matches_serial() {
+        let problem = modular_instance(9, 50);
+        assert_eq!(
+            max_sum_dispersion_greedy(problem.metric(), 8),
+            crate::max_sum_dispersion_greedy(problem.metric(), 8)
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Joint incremental state for the diversification potential.
+//!
+//! [`PotentialState`] fuses the two marginal caches every hot path needs:
+//!
+//! * the **distance side** — [`SolutionState`]'s Birnbaum–Goldman gain
+//!   cache (`d_u(S)` for all `u`, O(n) per mutation, O(1) reads), and
+//! * the **quality side** — an [`IncrementalOracle`] obtained from the
+//!   problem's quality function (`f_u(S)` in O(1) for the structured
+//!   functions, `O(touched)` per mutation; see `msd_submodular::incremental`).
+//!
+//! With both caches in place, one candidate evaluation in Greedy B, the
+//! local search, the dynamic-update rule or the streaming session is O(1)
+//! — the scans are pure array walks, which is what the `parallel` feature
+//! then distributes across threads.
+//!
+//! The state is generic over the boxed oracle type so the serial paths can
+//! use plain `dyn IncrementalOracle` while the parallel paths demand
+//! `dyn IncrementalOracle + Send + Sync` (see [`SyncPotentialState`]).
+
+use msd_metric::Metric;
+use msd_submodular::{IncrementalOracle, SetFunction};
+
+use crate::problem::DiversificationProblem;
+use crate::solution::SolutionState;
+use crate::ElementId;
+
+/// Incrementally-maintained `φ` state over a mutable subset `S`.
+pub struct PotentialState<'a, M: Metric, Q: IncrementalOracle + ?Sized = dyn IncrementalOracle + 'a>
+{
+    metric: &'a M,
+    lambda: f64,
+    dist: SolutionState,
+    quality: Box<Q>,
+}
+
+/// [`PotentialState`] whose quality oracle is shareable across threads
+/// (used by the `parallel` scans).
+pub type SyncPotentialState<'a, M> =
+    PotentialState<'a, M, dyn IncrementalOracle + Send + Sync + 'a>;
+
+impl<M: Metric, Q: IncrementalOracle + ?Sized> std::fmt::Debug for PotentialState<'_, M, Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PotentialState")
+            .field("members", &self.dist.members())
+            .field("lambda", &self.lambda)
+            .field("objective", &self.objective())
+            .finish()
+    }
+}
+
+impl<'a, M: Metric> PotentialState<'a, M> {
+    /// Empty state for `problem`, using the quality function's specialized
+    /// incremental oracle where one exists.
+    pub fn new<F: SetFunction>(problem: &'a DiversificationProblem<M, F>) -> Self {
+        Self {
+            metric: problem.metric(),
+            lambda: problem.lambda(),
+            dist: SolutionState::empty(problem.ground_size()),
+            quality: problem.quality().incremental(),
+        }
+    }
+
+    /// State seeded with `set`.
+    pub fn from_set<F: SetFunction>(
+        problem: &'a DiversificationProblem<M, F>,
+        set: &[ElementId],
+    ) -> Self {
+        let mut state = Self::new(problem);
+        for &u in set {
+            state.insert(u);
+        }
+        state
+    }
+}
+
+impl<'a, M: Metric> SyncPotentialState<'a, M> {
+    /// Thread-shareable variant of [`PotentialState::new`].
+    pub fn new_sync<F: SetFunction + Sync>(problem: &'a DiversificationProblem<M, F>) -> Self {
+        Self {
+            metric: problem.metric(),
+            lambda: problem.lambda(),
+            dist: SolutionState::empty(problem.ground_size()),
+            quality: problem.quality().incremental_sync(),
+        }
+    }
+}
+
+impl<'a, M: Metric, Q: IncrementalOracle + ?Sized> PotentialState<'a, M, Q> {
+    /// Ground-set size `n`.
+    pub fn ground_size(&self) -> usize {
+        self.dist.ground_size()
+    }
+
+    /// `|S|`.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// `true` when `S = ∅`.
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+
+    /// `true` iff `u ∈ S`.
+    pub fn contains(&self, u: ElementId) -> bool {
+        self.dist.contains(u)
+    }
+
+    /// Current members in insertion order (removals reorder, mirroring
+    /// [`SolutionState`]).
+    pub fn members(&self) -> &[ElementId] {
+        self.dist.members()
+    }
+
+    /// The trade-off `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// `d_u(S)` from the distance gain cache (O(1)).
+    pub fn distance_gain(&self, u: ElementId) -> f64 {
+        self.dist.distance_gain(u)
+    }
+
+    /// Exact quality marginal `f_u(S)` (O(1) for structured oracles).
+    pub fn quality_marginal(&self, u: ElementId) -> f64 {
+        self.quality.marginal(u)
+    }
+
+    /// The Theorem 1 potential `φ'_u(S) = ½·f_u(S) + λ·d_u(S)`, exact.
+    pub fn potential(&self, u: ElementId) -> f64 {
+        0.5 * self.quality.marginal(u) + self.lambda * self.dist.distance_gain(u)
+    }
+
+    /// O(1) upper bound on `φ'_u(S)`: the distance term is exact, the
+    /// quality term is the oracle's (possibly stale) bound.
+    pub fn potential_bound(&self, u: ElementId) -> f64 {
+        0.5 * self.quality.marginal_bound(u) + self.lambda * self.dist.distance_gain(u)
+    }
+
+    /// `true` when [`potential_bound`](Self::potential_bound) equals
+    /// [`potential`](Self::potential).
+    pub fn potential_is_exact(&self, u: ElementId) -> bool {
+        self.quality.marginal_is_exact(u)
+    }
+
+    /// Recomputes the exact potential, tightening the quality bound.
+    pub fn refresh_potential(&mut self, u: ElementId) -> f64 {
+        0.5 * self.quality.refresh(u) + self.lambda * self.dist.distance_gain(u)
+    }
+
+    /// The full objective marginal `φ_u(S) = f_u(S) + λ·d_u(S)`.
+    pub fn objective_marginal(&self, u: ElementId) -> f64 {
+        self.quality.marginal(u) + self.lambda * self.dist.distance_gain(u)
+    }
+
+    /// Pair potential
+    /// `½·f_{{u,v}}(S) + λ·(d_u(S) + d_v(S) + d(u,v))` for `u, v ∉ S`
+    /// — the score of the batch (pair) greedy and of the best-pair seeding.
+    pub fn pair_potential(&self, u: ElementId, v: ElementId) -> f64 {
+        0.5 * self.quality.pair_marginal(u, v)
+            + self.lambda
+                * (self.dist.distance_gain(u)
+                    + self.dist.distance_gain(v)
+                    + self.metric.distance(u, v))
+    }
+
+    /// Swap gain `φ(S − v + u) − φ(S)` for `v ∈ S`, `u ∉ S`, with both
+    /// sides read from the caches.
+    pub fn swap_gain(&self, u: ElementId, v: ElementId) -> f64 {
+        self.quality.swap_gain(u, v)
+            + self.lambda * self.dist.swap_dispersion_delta(self.metric, u, v)
+    }
+
+    /// Current objective `φ(S) = f(S) + λ·d(S)`.
+    pub fn objective(&self) -> f64 {
+        self.quality.value() + self.lambda * self.dist.dispersion()
+    }
+
+    /// Inserts `u`, updating both caches.
+    pub fn insert(&mut self, u: ElementId) {
+        self.dist.insert(self.metric, u);
+        self.quality.insert(u);
+    }
+
+    /// Removes `v`, updating both caches.
+    pub fn remove(&mut self, v: ElementId) {
+        self.dist.remove(self.metric, v);
+        self.quality.remove(v);
+    }
+
+    /// Swaps `v ∈ S` for `u ∉ S` (remove-then-insert, like
+    /// [`SolutionState::swap`]).
+    pub fn swap(&mut self, u: ElementId, v: ElementId) {
+        self.remove(v);
+        self.insert(u);
+    }
+
+    /// Consumes the state, returning the member list.
+    pub fn into_members(self) -> Vec<ElementId> {
+        self.dist.into_members()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_metric::DistanceMatrix;
+    use msd_submodular::{CoverageFunction, ModularFunction};
+
+    fn modular_problem() -> DiversificationProblem<DistanceMatrix, ModularFunction> {
+        let pos = [0.0_f64, 1.0, 3.0, 7.0, 12.0];
+        let metric = DistanceMatrix::from_points(&pos, |a, b| (a - b).abs());
+        DiversificationProblem::new(
+            metric,
+            ModularFunction::new(vec![1.0, 0.5, 2.0, 0.0, 1.5]),
+            0.3,
+        )
+    }
+
+    fn coverage_problem() -> DiversificationProblem<DistanceMatrix, CoverageFunction> {
+        let metric = DistanceMatrix::from_fn(5, |u, v| 1.0 + f64::from(u + v) * 0.1);
+        let cover = CoverageFunction::new(
+            vec![vec![0, 1], vec![1], vec![2], vec![0, 2, 3], vec![3]],
+            vec![2.0, 1.0, 4.0, 0.5],
+        );
+        DiversificationProblem::new(metric, cover, 0.7)
+    }
+
+    #[test]
+    fn marginals_match_slice_computation() {
+        let p = coverage_problem();
+        let mut state = PotentialState::from_set(&p, &[1, 3]);
+        for u in 0..5u32 {
+            if state.contains(u) {
+                continue;
+            }
+            let set = state.members().to_vec();
+            assert!(
+                (state.potential(u) - p.potential(u, &set)).abs() < 1e-12,
+                "u={u}"
+            );
+            assert!((state.objective_marginal(u) - p.marginal(u, &set)).abs() < 1e-12);
+            for &v in &set {
+                assert!(
+                    (state.swap_gain(u, v) - p.swap_gain(u, v, &set)).abs() < 1e-12,
+                    "swap {u}<->{v}"
+                );
+            }
+        }
+        assert!((state.objective() - p.objective(state.members())).abs() < 1e-12);
+        state.swap(0, 1);
+        assert!((state.objective() - p.objective(state.members())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_potential_matches_two_step_extension() {
+        let p = modular_problem();
+        let state = PotentialState::from_set(&p, &[2]);
+        let set = state.members().to_vec();
+        for u in [0u32, 1] {
+            for v in [3u32, 4] {
+                let mut with_u = set.clone();
+                with_u.push(u);
+                let expected = 0.5
+                    * (p.quality().marginal(u, &set) + p.quality().marginal(v, &with_u))
+                    + p.lambda()
+                        * (p.metric().distance_to_set(u, &set)
+                            + p.metric().distance_to_set(v, &set)
+                            + p.metric().distance(u, v));
+                assert!(
+                    (state.pair_potential(u, v) - expected).abs() < 1e-12,
+                    "pair ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_exact_for_structured_oracles() {
+        let p = coverage_problem();
+        let mut state = PotentialState::new(&p);
+        state.insert(0);
+        for u in 1..5u32 {
+            assert!(state.potential_is_exact(u));
+            assert_eq!(state.potential_bound(u), state.potential(u));
+            let refreshed = state.refresh_potential(u);
+            assert_eq!(refreshed, state.potential(u));
+        }
+    }
+
+    #[test]
+    fn sync_state_matches_serial_state() {
+        let p = coverage_problem();
+        let mut serial = PotentialState::from_set(&p, &[0, 4]);
+        let mut sync = SyncPotentialState::new_sync(&p);
+        for &u in &[0u32, 4] {
+            sync.insert(u);
+        }
+        for u in 0..5u32 {
+            assert_eq!(serial.contains(u), sync.contains(u));
+            if !serial.contains(u) {
+                assert_eq!(serial.potential(u), sync.potential(u), "u={u}");
+            }
+        }
+        serial.swap(1, 0);
+        sync.swap(1, 0);
+        assert_eq!(serial.objective(), sync.objective());
+    }
+}

@@ -97,11 +97,7 @@ impl SolutionState {
     pub fn insert<M: Metric>(&mut self, metric: &M, u: ElementId) {
         assert!(!self.in_set[u as usize], "element {u} already in solution");
         self.dispersion += self.gain[u as usize];
-        for v in 0..self.gain.len() as ElementId {
-            if v != u {
-                self.gain[v as usize] += metric.distance(u, v);
-            }
-        }
+        metric.accumulate_distances(u, &mut self.gain, 1.0);
         self.in_set[u as usize] = true;
         self.members.push(u);
     }
@@ -120,11 +116,7 @@ impl SolutionState {
             .position(|&x| x == v)
             .expect("membership flag and member list out of sync");
         self.members.swap_remove(idx);
-        for u in 0..self.gain.len() as ElementId {
-            if u != v {
-                self.gain[u as usize] -= metric.distance(u, v);
-            }
-        }
+        metric.accumulate_distances(v, &mut self.gain, -1.0);
         self.dispersion -= self.gain[v as usize];
     }
 

@@ -6,23 +6,35 @@
 //! arriving element. The paper positions its dynamic-update results as the
 //! theoretically-grounded counterpart of that approach.
 //!
-//! [`StreamingDiversifier`] implements the natural swap-based streaming
-//! rule over the max-sum objective:
+//! Two implementations of the natural swap-based streaming rule over the
+//! max-sum objective are provided:
 //!
 //! * while `|S| < p`, accept the arriving element;
 //! * afterwards, swap it with the current member whose replacement most
 //!   improves `φ`, if any improvement exists.
 //!
-//! Each arrival costs `O(p)` oracle marginals plus `O(p²)` distance reads
-//! (no pass over past stream elements), so memory is `O(p)` state over the
-//! already-selected set — the property that makes the approach "applicable
-//! to large data sets". After the stream ends, the result can optionally
-//! be polished with [`crate::local_search_refine`], which restores the
-//! offline 2-approximation guarantee.
+//! [`StreamingDiversifier`] is the memory-minimal variant: `O(p)` state
+//! over the already-selected set and no pass over past stream elements —
+//! the property that makes the approach "applicable to large data sets" —
+//! at `O(p)` oracle marginals plus `O(p²)` distance reads per arrival.
+//!
+//! [`StreamingSession`] is the throughput variant used by
+//! [`stream_diversify`]: it spends `O(n)` cache state
+//! ([`PotentialState`]) to make the common case — an arrival that is
+//! *rejected* — cost only `O(p)` O(1) cache reads, at the price of an
+//! `O(n)` cache sweep whenever an arrival is accepted or swapped in
+//! (accepted swaps become rare as the stream saturates). Pick by regime:
+//! unbounded streams / tight memory → `StreamingDiversifier`; indexed
+//! corpora streamed for throughput → `StreamingSession`.
+//!
+//! After the stream ends, the result can optionally be polished with
+//! [`crate::local_search_refine`], which restores the offline
+//! 2-approximation guarantee.
 
 use msd_metric::Metric;
 use msd_submodular::SetFunction;
 
+use crate::potential::PotentialState;
 use crate::problem::DiversificationProblem;
 use crate::ElementId;
 
@@ -133,16 +145,119 @@ impl StreamingDiversifier {
     }
 }
 
+/// Incremental streaming session bound to one problem instance.
+///
+/// The same accept / best-positive-swap / reject rule as
+/// [`StreamingDiversifier`] (on *exactly* tied swap gains the evicted
+/// member may differ — the two maintain their member lists in different
+/// orders, and ties break toward the first member scanned), but the
+/// session borrows the problem once and maintains a [`PotentialState`]:
+/// evaluating an arrival costs `O(p)` O(1) swap-gain reads instead of
+/// `O(p²)` distance sums and `O(p)` value-oracle evaluations through the
+/// slice API. The trade-off is `O(n)` cache state, and an `O(n)` gain-cache
+/// sweep (plus one `O(touched)` quality-oracle mutation) whenever the
+/// arrival is actually accepted or swapped in — cheap amortized, since
+/// acceptances become rare once the solution saturates. For `O(p)`-memory
+/// streaming over unbounded ground sets keep using
+/// [`StreamingDiversifier`]. This is the hot path behind
+/// [`stream_diversify`].
+#[derive(Debug)]
+pub struct StreamingSession<'a, M: Metric> {
+    state: PotentialState<'a, M>,
+    p: usize,
+    seen: usize,
+    swaps: usize,
+}
+
+impl<'a, M: Metric> StreamingSession<'a, M> {
+    /// An empty session with capacity `p` over `problem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p == 0`.
+    pub fn new<F: SetFunction>(problem: &'a DiversificationProblem<M, F>, p: usize) -> Self {
+        assert!(p > 0, "capacity must be positive");
+        Self {
+            state: PotentialState::new(problem),
+            p,
+            seen: 0,
+            swaps: 0,
+        }
+    }
+
+    /// Offers the next stream element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is already selected.
+    pub fn offer(&mut self, e: ElementId) -> StreamDecision {
+        assert!(
+            !self.state.contains(e),
+            "element {e} offered twice while selected"
+        );
+        self.seen += 1;
+        if self.state.len() < self.p {
+            self.state.insert(e);
+            return StreamDecision::Accepted;
+        }
+        let mut best: Option<(ElementId, f64)> = None;
+        for &v in self.state.members() {
+            let gain = self.state.swap_gain(e, v);
+            if gain > 1e-12 && best.is_none_or(|(_, g)| gain > g) {
+                best = Some((v, gain));
+            }
+        }
+        match best {
+            Some((evicted, _)) => {
+                self.state.swap(e, evicted);
+                self.swaps += 1;
+                StreamDecision::Swapped { evicted }
+            }
+            None => StreamDecision::Rejected,
+        }
+    }
+
+    /// The current solution.
+    pub fn members(&self) -> &[ElementId] {
+        self.state.members()
+    }
+
+    /// Elements offered so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Swaps performed so far.
+    pub fn swaps(&self) -> usize {
+        self.swaps
+    }
+
+    /// Capacity `p`.
+    pub fn capacity(&self) -> usize {
+        self.p
+    }
+
+    /// Current objective `φ(S)` (O(1) from the caches).
+    pub fn objective(&self) -> f64 {
+        self.state.objective()
+    }
+
+    /// Finishes the stream, returning the selected set.
+    pub fn finish(self) -> Vec<ElementId> {
+        self.state.into_members()
+    }
+}
+
 /// Convenience one-shot driver: streams `order` through a fresh
-/// [`StreamingDiversifier`] and returns the final selection.
+/// [`StreamingSession`] and returns the final selection.
 pub fn stream_diversify<M: Metric, F: SetFunction>(
     problem: &DiversificationProblem<M, F>,
     order: &[ElementId],
     p: usize,
 ) -> Vec<ElementId> {
-    let mut s = StreamingDiversifier::new(p.max(1).min(problem.ground_size().max(1)));
+    let mut s = StreamingSession::new(problem, p.max(1).min(problem.ground_size().max(1)));
     for &e in order {
-        s.offer(problem, e);
+        s.offer(e);
     }
     s.finish()
 }

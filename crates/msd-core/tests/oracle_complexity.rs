@@ -77,9 +77,9 @@ fn one_local_search_scan_is_linear_in_n_times_p() {
         },
     );
     // One best-improvement scan = at most (n-p)·p swap-gain queries
-    // (counted as marginal calls by the oracle), plus O(1) bookkeeping
-    // evaluations.
-    let budget = ((n - p) * p) as u64 + 4;
+    // (counted as marginal calls by the oracle), plus p marginals to seed
+    // the incremental quality oracle, plus O(1) bookkeeping evaluations.
+    let budget = ((n - p) * p) as u64 + p as u64 + 4;
     let used = problem.quality().marginal_calls() + problem.quality().value_calls();
     assert!(
         used <= budget,

@@ -176,7 +176,7 @@ mod tests {
             spread: 0.1,
             lambda: 1.0,
         }
-        .generate(5);
+        .generate(6);
         let s = greedy_b(&inst.problem, 5, GreedyBConfig::default());
         let mut hit: Vec<u32> = s.iter().map(|&u| inst.cluster[u as usize]).collect();
         hit.sort_unstable();

@@ -109,6 +109,25 @@ pub trait Metric {
         }
         total
     }
+
+    /// Batched row kernel: `out[v] += factor · d(u, v)` for every `v ≠ u`.
+    ///
+    /// This is the inner sweep of the Birnbaum–Goldman gain cache
+    /// (`SolutionState` in `msd-core` calls it once per insert/remove with
+    /// `factor = ±1`). The default walks the distance oracle element by
+    /// element; [`DistanceMatrix`] overrides it with a direct traversal of
+    /// its triangular storage, avoiding per-pair index arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `out.len() < self.len()` or `u` is out of range.
+    fn accumulate_distances(&self, u: ElementId, out: &mut [f64], factor: f64) {
+        for v in 0..self.len() as ElementId {
+            if v != u {
+                out[v as usize] += factor * self.distance(u, v);
+            }
+        }
+    }
 }
 
 impl<M: Metric + ?Sized> Metric for &M {
@@ -118,6 +137,22 @@ impl<M: Metric + ?Sized> Metric for &M {
 
     fn distance(&self, u: ElementId, v: ElementId) -> f64 {
         (**self).distance(u, v)
+    }
+
+    fn distance_to_set(&self, u: ElementId, set: &[ElementId]) -> f64 {
+        (**self).distance_to_set(u, set)
+    }
+
+    fn dispersion(&self, set: &[ElementId]) -> f64 {
+        (**self).dispersion(set)
+    }
+
+    fn cross_dispersion(&self, xs: &[ElementId], ys: &[ElementId]) -> f64 {
+        (**self).cross_dispersion(xs, ys)
+    }
+
+    fn accumulate_distances(&self, u: ElementId, out: &mut [f64], factor: f64) {
+        (**self).accumulate_distances(u, out, factor)
     }
 }
 

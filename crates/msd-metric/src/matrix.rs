@@ -131,6 +131,27 @@ impl Metric for DistanceMatrix {
             self.data[self.index(u, v)]
         }
     }
+
+    /// Row kernel over the triangular storage: the `v > u` tail is one
+    /// contiguous slice and the `v < u` head walks a closed-form stride, so
+    /// the whole sweep does no per-pair index arithmetic.
+    fn accumulate_distances(&self, u: ElementId, out: &mut [f64], factor: f64) {
+        let n = self.n;
+        let u = u as usize;
+        assert!(u < n, "element out of range");
+        // Column part: entries (v, u) for v < u at offset(v) + (u - v - 1),
+        // with consecutive v differing by n - v - 2.
+        let mut idx = u.wrapping_sub(1); // offset(0) + (u - 1)
+        for (v, slot) in out.iter_mut().enumerate().take(u) {
+            *slot += factor * self.data[idx];
+            idx += n - v - 2;
+        }
+        // Row part: entries (u, v) for v > u are contiguous from offset(u).
+        let start = u * n - u * (u + 1) / 2;
+        for (k, &d) in self.data[start..start + (n - u - 1)].iter().enumerate() {
+            out[u + 1 + k] += factor * d;
+        }
+    }
 }
 
 /// Incremental builder that fills the upper triangle pair by pair.
@@ -273,6 +294,31 @@ mod tests {
             .with(0, 2, 3.0)
             .build();
         assert_eq!(m.dispersion(&[0, 1, 2]), 6.0);
+    }
+
+    #[test]
+    fn accumulate_distances_matches_default_sweep() {
+        let n = 9;
+        let m = DistanceMatrix::from_fn(n, |u, v| f64::from(u * 13 + v * 7) * 0.25);
+        for u in 0..n as ElementId {
+            let mut fast = vec![0.5; n];
+            let mut slow = vec![0.5; n];
+            m.accumulate_distances(u, &mut fast, -2.0);
+            for v in 0..n as ElementId {
+                if v != u {
+                    slow[v as usize] += -2.0 * m.distance(u, v);
+                }
+            }
+            assert_eq!(fast, slow, "row kernel drifted for u={u}");
+        }
+    }
+
+    #[test]
+    fn accumulate_distances_on_tiny_matrices() {
+        let m = DistanceMatrix::zeros(1);
+        let mut out = vec![1.0];
+        m.accumulate_distances(0, &mut out, 1.0);
+        assert_eq!(out, vec![1.0]);
     }
 
     #[test]

@@ -62,6 +62,16 @@ impl CoverageFunction {
         &self.covers[u as usize]
     }
 
+    /// Weight of one topic.
+    pub fn topic_weight(&self, t: u32) -> f64 {
+        self.topic_weights[t as usize]
+    }
+
+    /// All topic weights.
+    pub fn topic_weights(&self) -> &[f64] {
+        &self.topic_weights
+    }
+
     /// Marks the topics covered by `set` in `seen` and returns the total
     /// weight of newly-marked topics.
     fn cover_into(&self, set: &[ElementId], seen: &mut [bool]) -> f64 {
@@ -97,6 +107,14 @@ impl SetFunction for CoverageFunction {
             .filter(|&&t| !seen[t as usize])
             .map(|&t| self.topic_weights[t as usize])
             .sum()
+    }
+
+    fn incremental<'a>(&'a self) -> Box<dyn crate::IncrementalOracle + 'a> {
+        Box::new(crate::CoverageOracle::new(self))
+    }
+
+    fn incremental_sync<'a>(&'a self) -> Box<dyn crate::IncrementalOracle + Send + Sync + 'a> {
+        Box::new(crate::CoverageOracle::new(self))
     }
 }
 

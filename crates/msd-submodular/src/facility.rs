@@ -69,6 +69,16 @@ impl FacilityLocationFunction {
     pub fn num_clients(&self) -> usize {
         self.client_weights.len()
     }
+
+    /// Similarity row of one client (indexed by element).
+    pub fn sim_row(&self, client: usize) -> &[f64] {
+        &self.sim[client]
+    }
+
+    /// Weight of one client.
+    pub fn client_weight(&self, client: usize) -> f64 {
+        self.client_weights[client]
+    }
 }
 
 impl SetFunction for FacilityLocationFunction {
@@ -99,6 +109,14 @@ impl SetFunction for FacilityLocationFunction {
                 w * (row[u as usize] - current).max(0.0)
             })
             .sum()
+    }
+
+    fn incremental<'a>(&'a self) -> Box<dyn crate::IncrementalOracle + 'a> {
+        Box::new(crate::FacilityOracle::new(self))
+    }
+
+    fn incremental_sync<'a>(&'a self) -> Box<dyn crate::IncrementalOracle + Send + Sync + 'a> {
+        Box::new(crate::FacilityOracle::new(self))
     }
 }
 

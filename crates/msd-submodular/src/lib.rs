@@ -27,6 +27,7 @@
 pub mod audit;
 pub mod coverage;
 pub mod facility;
+pub mod incremental;
 pub mod logdet;
 pub mod mixture;
 pub mod modular;
@@ -34,6 +35,10 @@ pub mod saturated;
 
 pub use coverage::CoverageFunction;
 pub use facility::FacilityLocationFunction;
+pub use incremental::{
+    CoverageOracle, FacilityOracle, GenericOracle, IncrementalOracle, MixtureOracle, ModularOracle,
+    ZeroOracle,
+};
 pub use logdet::LogDetFunction;
 pub use mixture::MixtureFunction;
 pub use modular::ModularFunction;
@@ -82,6 +87,42 @@ pub trait SetFunction {
         swapped.push(u);
         self.value(&swapped) - self.value(set)
     }
+
+    /// A stateful [`IncrementalOracle`] over the empty set.
+    ///
+    /// The default wraps the value oracle in a [`GenericOracle`] (exact
+    /// marginals at `O(cost(f))` per read, plus lazy upper bounds). The
+    /// structured functions of this crate override it with oracles whose
+    /// marginal reads are O(1) and whose mutations are `O(touched)` — see
+    /// [`incremental`] for the complexity table.
+    fn incremental<'a>(&'a self) -> Box<dyn IncrementalOracle + 'a> {
+        Box::new(GenericOracle::new(self))
+    }
+
+    /// [`Self::incremental`] pre-seeded with `set`.
+    fn incremental_from<'a>(&'a self, set: &[ElementId]) -> Box<dyn IncrementalOracle + 'a> {
+        let mut oracle = self.incremental();
+        for &u in set {
+            oracle.insert(u);
+        }
+        oracle
+    }
+
+    /// Thread-shareable variant of [`Self::incremental`] for the parallel
+    /// candidate scans (`msd-core`'s `parallel` feature).
+    ///
+    /// Like [`Self::incremental`], the structured functions override this
+    /// with their specialized oracles; anything else falls back to the
+    /// [`GenericOracle`], whose exact marginal reads cost a full oracle
+    /// evaluation per candidate. Note that a *by-reference* quality type
+    /// (`F = &G`) takes the fallback — build problems with owned quality
+    /// functions when using the parallel scans.
+    fn incremental_sync<'a>(&'a self) -> Box<dyn IncrementalOracle + Send + Sync + 'a>
+    where
+        Self: Sync,
+    {
+        Box::new(GenericOracle::new(self))
+    }
 }
 
 impl<F: SetFunction + ?Sized> SetFunction for &F {
@@ -104,6 +145,18 @@ impl<F: SetFunction + ?Sized> SetFunction for &F {
     fn swap_gain(&self, u: ElementId, v: ElementId, set: &[ElementId]) -> f64 {
         (**self).swap_gain(u, v, set)
     }
+
+    fn incremental<'a>(&'a self) -> Box<dyn IncrementalOracle + 'a> {
+        (**self).incremental()
+    }
+
+    // `incremental_sync` cannot forward here: proving `F: Sync` from
+    // `&F: Sync` is beyond the trait solver, so a by-reference quality
+    // (`F = &G`) falls back to the generic oracle on the parallel path.
+    // Method-call autoderef means `problem.quality().incremental_sync()`
+    // still dispatches on the owned `F`'s override in every normal case;
+    // only problems *constructed with a reference as the quality type*
+    // pay the fallback. Prefer owned qualities for `parallel`.
 }
 
 /// The identically-zero function.
@@ -134,6 +187,14 @@ impl SetFunction for ZeroFunction {
 
     fn marginal(&self, _u: ElementId, _set: &[ElementId]) -> f64 {
         0.0
+    }
+
+    fn incremental<'a>(&'a self) -> Box<dyn IncrementalOracle + 'a> {
+        Box::new(ZeroOracle::new(self))
+    }
+
+    fn incremental_sync<'a>(&'a self) -> Box<dyn IncrementalOracle + Send + Sync + 'a> {
+        Box::new(ZeroOracle::new(self))
     }
 }
 

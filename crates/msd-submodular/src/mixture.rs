@@ -79,6 +79,16 @@ impl SetFunction for MixtureFunction {
             .map(|(c, f)| c * f.marginal(u, set))
             .sum()
     }
+
+    fn incremental<'a>(&'a self) -> Box<dyn crate::IncrementalOracle + 'a> {
+        Box::new(crate::incremental::MixtureOracle::from_parts(
+            self.ground,
+            self.components
+                .iter()
+                .map(|(c, f)| (*c, f.incremental()))
+                .collect(),
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,14 @@ impl SetFunction for ModularFunction {
     fn swap_gain(&self, u: ElementId, v: ElementId, _set: &[ElementId]) -> f64 {
         self.weights[u as usize] - self.weights[v as usize]
     }
+
+    fn incremental<'a>(&'a self) -> Box<dyn crate::IncrementalOracle + 'a> {
+        Box::new(crate::ModularOracle::new(self))
+    }
+
+    fn incremental_sync<'a>(&'a self) -> Box<dyn crate::IncrementalOracle + Send + Sync + 'a> {
+        Box::new(crate::ModularOracle::new(self))
+    }
 }
 
 #[cfg(test)]

@@ -60,7 +60,7 @@ pub mod prelude {
         knapsack_diversify, local_search_matroid, local_search_refine, max_sum_dispersion_greedy,
         mmr_select, stream_diversify, DiversificationProblem, DynamicInstance, ElementId,
         GreedyAConfig, GreedyBConfig, KnapsackConfig, LocalSearchConfig, MmrConfig, Perturbation,
-        StreamingDiversifier,
+        PotentialState, StreamingDiversifier, StreamingSession,
     };
     pub use msd_matroid::{
         GraphicMatroid, LaminarMatroid, Matroid, PartitionMatroid, TransversalMatroid,

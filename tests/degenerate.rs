@@ -24,7 +24,10 @@ fn singleton_ground_set() {
     assert_eq!(exact_max_diversification(&p, 1).set, vec![0]);
     let ls = local_search_matroid(&p, &UniformMatroid::new(1, 1), LocalSearchConfig::default());
     assert_eq!(ls.set, vec![0]);
-    assert_eq!(mmr_select(p.metric(), &[1.0], 1, MmrConfig::default()), vec![0]);
+    assert_eq!(
+        mmr_select(p.metric(), &[1.0], 1, MmrConfig::default()),
+        vec![0]
+    );
 }
 
 #[test]
@@ -126,7 +129,11 @@ fn nan_lambda_rejected() {
 #[should_panic(expected = "distance must be finite and non-negative")]
 fn dynamic_rejects_negative_distance_perturbation() {
     let mut d = DynamicInstance::new(trivial(3), &[0, 1]);
-    d.apply(Perturbation::SetDistance { u: 0, v: 2, value: -1.0 });
+    d.apply(Perturbation::SetDistance {
+        u: 0,
+        v: 2,
+        value: -1.0,
+    });
 }
 
 #[test]

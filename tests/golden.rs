@@ -18,10 +18,10 @@ fn golden_greedy_b() {
     let problem = synthetic();
     let s = greedy_b(&problem, 6, GreedyBConfig::default());
     // Selection order is part of the contract (first pick = max potential).
-    assert_eq!(s, vec![20, 17, 23, 1, 28, 27]);
+    assert_eq!(s, vec![28, 19, 26, 15, 9, 14]);
     let objective = problem.objective(&s);
     assert!(
-        (objective - 10.090673).abs() < 1e-5,
+        (objective - 9.824240).abs() < 1e-5,
         "objective drifted: {objective}"
     );
 }
@@ -30,7 +30,7 @@ fn golden_greedy_b() {
 fn golden_greedy_a() {
     let problem = synthetic();
     let s = greedy_a(&problem, 6, GreedyAConfig::default());
-    assert_eq!(s, vec![17, 20, 15, 23, 1, 25]);
+    assert_eq!(s, vec![19, 28, 15, 26, 7, 20]);
 }
 
 #[test]
@@ -48,11 +48,11 @@ fn golden_dispersion_algorithms() {
     let de = metric.dispersion(&edge);
     let dm = metric.dispersion(&matching);
     assert!(
-        (dv - 10.811887).abs() < 1e-5,
+        (dv - 11.010710).abs() < 1e-5,
         "vertex dispersion drifted: {dv}"
     );
     assert!(
-        (de - 9.306700).abs() < 1e-5,
+        (de - 10.265145).abs() < 1e-5,
         "edge dispersion drifted: {de}"
     );
     assert!(
@@ -81,9 +81,9 @@ fn golden_exact() {
     let r = exact_max_diversification(&problem, 4);
     let mut s = r.set;
     s.sort_unstable();
-    assert_eq!(s, vec![1, 17, 20, 23]);
+    assert_eq!(s, vec![15, 19, 26, 28]);
     assert!(
-        (r.objective - 5.756793).abs() < 1e-5,
+        (r.objective - 5.527630).abs() < 1e-5,
         "OPT drifted: {}",
         r.objective
     );
@@ -96,7 +96,7 @@ fn golden_streaming() {
     let s = stream_diversify(&problem, &order, 5);
     assert_eq!(s.len(), 5);
     let val = problem.objective(&s);
-    assert!((val - 7.804380).abs() < 1e-5, "stream value drifted: {val}");
+    assert!((val - 7.587367).abs() < 1e-5, "stream value drifted: {val}");
 }
 
 #[test]
@@ -110,7 +110,7 @@ fn golden_letor_generator() {
     assert_eq!(grades[49], 2, "50th document grade");
     let total: u32 = q.relevance.iter().map(|&r| u32::from(r)).sum();
     assert_eq!(
-        total, 444,
+        total, 400,
         "relevance mass drifted — regenerate golden values"
     );
 }

@@ -1,0 +1,365 @@
+//! Offline stand-in for the `criterion` crate (API-compatible subset).
+//!
+//! Provides [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `bench_with_input` / `bench_function`, `Bencher::iter` /
+//! `Bencher::iter_batched`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Timing is adaptive wall-clock measurement
+//! (warm-up, then enough iterations to fill a small measurement window)
+//! reporting mean and standard deviation; recorded results are exposed via
+//! [`Criterion::take_records`] so JSON-emitting benches can persist them.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier `function_name/parameter` for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A bare function id without a parameter component.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        Self { name: s.clone() }
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (ignored: every batch is
+/// one routine call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Per-iteration state of unknown size.
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// `group/function/parameter` path.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Population standard deviation of the per-sample means (ns).
+    pub stddev_ns: f64,
+    /// Total measured iterations.
+    pub iterations: u64,
+}
+
+/// Timing driver handed to the closures.
+pub struct Bencher {
+    samples: usize,
+    target: Duration,
+    record: Option<BenchRecord>,
+    id: String,
+}
+
+impl Bencher {
+    /// Measures `routine` adaptively.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up + calibration: one call, timed.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+
+        // Choose per-sample iteration count to fill target/samples.
+        let per_sample = (self.target.as_nanos() / self.samples as u128 / once.as_nanos())
+            .clamp(1, 1_000_000) as u64;
+        let mut means = Vec::with_capacity(self.samples);
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            let dt = t.elapsed();
+            total_iters += per_sample;
+            means.push(dt.as_nanos() as f64 / per_sample as f64);
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        let var = means.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / means.len() as f64;
+        self.record = Some(BenchRecord {
+            id: self.id.clone(),
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+            iterations: total_iters,
+        });
+    }
+
+    /// Measures `routine` over fresh inputs from `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let t0 = Instant::now();
+        let input = setup();
+        std::hint::black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (self.target.as_nanos() / self.samples as u128 / once.as_nanos())
+            .clamp(1, 100_000) as u64;
+        let mut means = Vec::with_capacity(self.samples);
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let dt = t.elapsed();
+            total_iters += per_sample;
+            means.push(dt.as_nanos() as f64 / per_sample as f64);
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        let var = means.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / means.len() as f64;
+        self.record = Some(BenchRecord {
+            id: self.id.clone(),
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+            iterations: total_iters,
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    target: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples (criterion-compatible knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.target = d;
+        self
+    }
+
+    /// Throughput hint (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), input, f);
+        self
+    }
+
+    /// Benchmarks a closure with no explicit input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), &(), move |b, ()| f(b));
+        self
+    }
+
+    fn run<I: ?Sized>(&mut self, id: BenchmarkId, input: &I, mut f: impl FnMut(&mut Bencher, &I)) {
+        let full = format!("{}/{}", self.name, id.name);
+        let mut bencher = Bencher {
+            samples: self.samples,
+            target: self.target,
+            record: None,
+            id: full.clone(),
+        };
+        f(&mut bencher, input);
+        match bencher.record.take() {
+            Some(r) => {
+                println!(
+                    "bench {:<48} {:>12.1} ns/iter (± {:.1}, {} iters)",
+                    r.id, r.mean_ns, r.stddev_ns, r.iterations
+                );
+                self.criterion.records.push(r);
+            }
+            None => println!("bench {full:<48} (no measurement recorded)"),
+        }
+    }
+
+    /// Ends the group (criterion-compatible no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput hint (accepted and ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+    samples: usize,
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the default window small: these benches run in CI smoke
+        // jobs; raise per-group via `measurement_time` when precision
+        // matters.
+        Self {
+            records: Vec::new(),
+            samples: 10,
+            target: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (samples, target) = (self.samples, self.target);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples,
+            target,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    /// Criterion-compatible configuration knob (applies to later groups).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Criterion-compatible configuration knob (applies to later groups).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target = d;
+        self
+    }
+
+    /// Criterion-compatible finalizer (prints a summary count).
+    pub fn final_summary(&mut self) {
+        println!("completed {} benchmarks", self.records.len());
+    }
+
+    /// Drains all recorded measurements (for JSON emission).
+    pub fn take_records(&mut self) -> Vec<BenchRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn records_measurements() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        let records = c.take_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "g/sum/100");
+        assert!(records[0].mean_ns > 0.0);
+        assert!(records[0].iterations >= 3);
+        assert_eq!(records[1].id, "g/batched");
+        assert!(c.take_records().is_empty());
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runner_compiles_and_runs() {
+        benches();
+    }
+}
