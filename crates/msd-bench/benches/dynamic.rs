@@ -1,72 +1,272 @@
-//! Criterion microbenchmarks for the dynamic-update machinery (Figure 1's
-//! engine): perturbation application and the oblivious single-swap update.
+//! Perturb→update throughput bench for the dynamic-update subsystem
+//! (Figure 1's engine at production scale).
+//!
+//! Each measured routine is one full Figure 1 cycle — apply one random
+//! perturbation (the MPERTURBATION mix: weight redraw from `U[0,1]` /
+//! distance redraw from `U[1,2]`, which always stays metric), then run one
+//! oblivious single-swap update — driven over `n ∈ {1000, 5000}` for
+//!
+//! * **modular** quality through [`DynamicInstance`] (the paper's
+//!   Section 6 setting; distance-only redraws for the other qualities),
+//! * **coverage** and **facility** quality through the generic
+//!   [`oblivious_update_step`] repair (rebuild-and-scan against the
+//!   current instance),
+//!
+//! plus a `dynamic/double` family measuring the O(n²p²) double-swap rule
+//! at small fixed `n`. With `--features parallel`, every family gains a
+//! `perturb_update_parallel` variant (bit-identical outputs; see
+//! `msd-core/src/parallel.rs`).
+//!
+//! Results are written to `BENCH_dynamic.json` at the workspace root so
+//! the dynamic-update perf trajectory is tracked in-repo.
+//!
+//! Knobs: `MSD_BENCH_N=500` restricts the ground sizes (CI smoke); the
+//! double-swap family keeps its own small sizes (its cost is O(n²p²)).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use msd_core::{greedy_b, DynamicInstance, GreedyBConfig, Perturbation};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::{BenchRecord, Criterion};
+use msd_bench::support::{
+    coverage_instance, facility_instance, ground_sizes, json_num, json_ratio, record_configs,
+    record_mean, workspace_root,
+};
+use msd_core::{
+    greedy_b, oblivious_update_step, DiversificationProblem, DynamicInstance, GreedyBConfig,
+    Perturbation,
+};
 use msd_data::SyntheticConfig;
+use msd_metric::DistanceMatrix;
+use msd_submodular::{CoverageFunction, FacilityLocationFunction, SetFunction};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
-fn instance(n: usize, p: usize) -> DynamicInstance {
-    let problem = SyntheticConfig::paper(n).generate(5);
-    let init = greedy_b(&problem, p, GreedyBConfig::default());
-    DynamicInstance::new(problem, &init)
+const P: usize = 50;
+/// Pre-drawn perturbations per family; routines cycle through them.
+const SCRIPT_LEN: usize = 64;
+
+/// Fixed-length MPERTURBATION script: weight and distance redraws in
+/// equal proportion (weight redraws only when `with_weights`).
+fn perturbation_script(seed: u64, n: usize, with_weights: bool) -> Vec<Perturbation> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..SCRIPT_LEN)
+        .map(|_| {
+            if with_weights && rng.gen_bool(0.5) {
+                Perturbation::SetWeight {
+                    u: rng.gen_range(0..n) as u32,
+                    value: rng.gen_range(0.0..1.0),
+                }
+            } else {
+                let u = rng.gen_range(0..n) as u32;
+                let mut v = rng.gen_range(0..n) as u32;
+                while v == u {
+                    v = rng.gen_range(0..n) as u32;
+                }
+                Perturbation::SetDistance {
+                    u,
+                    v,
+                    value: rng.gen_range(1.0..2.0),
+                }
+            }
+        })
+        .collect()
 }
 
-fn bench_perturbation_apply(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dynamic_apply");
-    for &n in &[50usize, 200] {
-        let base = instance(n, 10);
-        group.bench_with_input(BenchmarkId::new("weight", n), &n, |b, _| {
-            b.iter_batched(
-                || base.clone(),
-                |mut d| {
-                    d.apply(black_box(Perturbation::SetWeight { u: 3, value: 0.7 }));
-                    d
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("distance", n), &n, |b, _| {
-            b.iter_batched(
-                || base.clone(),
-                |mut d| {
-                    d.apply(black_box(Perturbation::SetDistance {
-                        u: 1,
-                        v: 4,
-                        value: 1.5,
-                    }));
-                    d
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+/// This bench's coverage shape: `n/2 + 1` topics, 2–7 covers per element.
+fn coverage(seed: u64, n: usize) -> DiversificationProblem<DistanceMatrix, CoverageFunction> {
+    coverage_instance(seed, n, n / 2 + 1, 2, 8)
+}
+
+/// This bench's facility shape: `n/4 + 1` clients (the per-cycle oracle
+/// rebuild is O(clients·n), so the client pool stays lean).
+fn facility(
+    seed: u64,
+    n: usize,
+) -> DiversificationProblem<DistanceMatrix, FacilityLocationFunction> {
+    facility_instance(seed, n, n / 4 + 1)
+}
+
+/// Registers one perturb→update variant: clones `base` into long-lived
+/// state, then measures `cycle` (apply one scripted perturbation + one
+/// update) per iteration. Shared by every family so the cycling
+/// discipline exists exactly once.
+fn bench_cycle<S: Clone, O>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    base: &S,
+    script: &[Perturbation],
+    mut cycle: impl FnMut(&mut S, Perturbation) -> O,
+) {
+    let mut state = base.clone();
+    let mut i = 0usize;
+    let script = script.to_vec();
+    group.bench_function(name, move |b| {
+        b.iter(|| {
+            let out = cycle(&mut state, black_box(script[i % SCRIPT_LEN]));
+            i += 1;
+            out
+        })
+    });
+}
+
+/// Applies a scripted perturbation to an owned generic problem (weight
+/// perturbations are modular-only, so generic scripts are distance-only).
+fn apply_to_problem<F: SetFunction>(
+    problem: &mut DiversificationProblem<DistanceMatrix, F>,
+    perturbation: Perturbation,
+) {
+    if let Perturbation::SetDistance { u, v, value } = perturbation {
+        problem.metric_mut().set(u, v, value);
     }
-    group.finish();
 }
 
-fn bench_oblivious_update(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dynamic_oblivious_update");
-    for &(n, p) in &[(50usize, 5usize), (50, 20), (200, 20)] {
-        let base = instance(n, p);
-        let name = format!("n{n}_p{p}");
-        group.bench_function(&name, |b| {
-            b.iter_batched(
-                || {
-                    let mut d = base.clone();
-                    // Force an improving swap to exist.
-                    d.apply(Perturbation::SetWeight {
-                        u: (n - 1) as u32,
-                        value: 10.0,
-                    });
-                    d
-                },
-                |mut d| d.oblivious_update(),
-                criterion::BatchSize::SmallInput,
-            )
+/// Modular family: the Figure 1 cycle through [`DynamicInstance`]
+/// (incrementally repaired caches, no per-step rebuild).
+fn bench_modular(c: &mut Criterion, ns: &[usize]) {
+    for &n in ns {
+        let p = P.min(n / 2);
+        let problem = SyntheticConfig::paper(n).generate(42);
+        let init = greedy_b(&problem, p, GreedyBConfig::default());
+        let base = DynamicInstance::new(problem, &init);
+        let script = perturbation_script(7 + n as u64, n, true);
+        let mut group = c.benchmark_group(format!("dynamic/modular/n{n}/p{p}"));
+        bench_cycle(&mut group, "perturb_update", &base, &script, |d, pert| {
+            d.apply(pert);
+            d.oblivious_update()
         });
+        #[cfg(feature = "parallel")]
+        bench_cycle(
+            &mut group,
+            "perturb_update_parallel",
+            &base,
+            &script,
+            |d, pert| {
+                d.apply(pert);
+                d.oblivious_update_parallel()
+            },
+        );
+        group.finish();
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_perturbation_apply, bench_oblivious_update);
-criterion_main!(benches);
+/// Generic-quality families: distance redraws on the owned matrix, then
+/// one [`oblivious_update_step`] repair (cache rebuild + scan — the
+/// honest per-update cost when the instance mutates between updates).
+fn bench_generic<F: SetFunction + Sync + Clone>(
+    c: &mut Criterion,
+    family: &str,
+    make: impl Fn(u64, usize) -> DiversificationProblem<DistanceMatrix, F>,
+    ns: &[usize],
+) {
+    for &n in ns {
+        let p = P.min(n / 2);
+        let problem = make(9 + n as u64, n);
+        let init = greedy_b(&problem, p, GreedyBConfig::default());
+        let base = (problem, init);
+        let script = perturbation_script(11 + n as u64, n, false);
+        let mut group = c.benchmark_group(format!("dynamic/{family}/n{n}/p{p}"));
+        bench_cycle(
+            &mut group,
+            "perturb_update",
+            &base,
+            &script,
+            |(problem, solution), pert| {
+                apply_to_problem(problem, pert);
+                oblivious_update_step(black_box(problem), solution)
+            },
+        );
+        #[cfg(feature = "parallel")]
+        bench_cycle(
+            &mut group,
+            "perturb_update_parallel",
+            &base,
+            &script,
+            |(problem, solution), pert| {
+                apply_to_problem(problem, pert);
+                msd_core::parallel::oblivious_update_step(black_box(problem), solution)
+            },
+        );
+        group.finish();
+    }
+}
+
+/// Double-swap family at small fixed sizes (the scan is O(n²p²); these
+/// sizes keep one update in the milliseconds while still giving the
+/// parallel chunking enough member pairs to spread).
+fn bench_double(c: &mut Criterion) {
+    for &(n, p) in &[(100usize, 10usize), (200, 20)] {
+        let problem = SyntheticConfig::paper(n).generate(44);
+        let init = greedy_b(&problem, p, GreedyBConfig::default());
+        let base = DynamicInstance::new(problem, &init);
+        let script = perturbation_script(13 + n as u64, n, true);
+        let mut group = c.benchmark_group(format!("dynamic/double/n{n}/p{p}"));
+        bench_cycle(&mut group, "perturb_update", &base, &script, |d, pert| {
+            d.apply(pert);
+            d.oblivious_update_double()
+        });
+        #[cfg(feature = "parallel")]
+        bench_cycle(
+            &mut group,
+            "perturb_update_parallel",
+            &base,
+            &script,
+            |d, pert| {
+                d.apply(pert);
+                d.oblivious_update_double_parallel()
+            },
+        );
+        group.finish();
+    }
+}
+
+/// Serializes the dynamic-family records into a JSON document with
+/// serial-vs-parallel speedups per configuration. Hand-rolled writer —
+/// the build environment has no serde.
+fn to_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"dynamic\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo bench -p msd-bench --bench dynamic\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"workload\": \"one Figure-1 perturb->oblivious-update cycle per iteration\","
+    );
+    let _ = writeln!(out, "  \"unit\": \"ns_per_cycle\",");
+    out.push_str("  \"results\": [\n");
+    // Record ids look like `dynamic/coverage/n1000/p50/perturb_update`.
+    let configs = record_configs(records);
+    for (i, config) in configs.iter().enumerate() {
+        let serial = record_mean(records, config, "perturb_update");
+        let parallel = record_mean(records, config, "perturb_update_parallel");
+        let _ = writeln!(
+            out,
+            "    {{\"config\": \"{config}\", \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup_serial_over_parallel\": {}}}{}",
+            json_num(serial),
+            json_num(parallel),
+            json_ratio(serial, parallel),
+            if i + 1 < configs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let ns = ground_sizes(&[1000, 5000]);
+    let mut c = Criterion::default()
+        .sample_size(3)
+        .measurement_time(Duration::from_millis(50));
+    bench_modular(&mut c, &ns);
+    bench_generic(&mut c, "coverage", coverage, &ns);
+    bench_generic(&mut c, "facility", facility, &ns);
+    bench_double(&mut c);
+    let records = c.take_records();
+
+    let json = to_json(&records);
+    let target = workspace_root().join("BENCH_dynamic.json");
+    std::fs::write(&target, json).expect("write bench json");
+    println!("wrote {}", target.display());
+}

@@ -17,45 +17,26 @@ use std::time::Duration;
 
 use criterion::{BenchRecord, Criterion};
 use msd_bench::naive::{greedy_b_naive, local_search_refine_naive};
+use msd_bench::support::{
+    ground_sizes, json_num, json_ratio, record_configs, record_mean, workspace_root,
+};
 use msd_core::{
     greedy_b, local_search_refine, DiversificationProblem, GreedyBConfig, LocalSearchConfig,
 };
 use msd_data::SyntheticConfig;
 use msd_metric::DistanceMatrix;
 use msd_submodular::CoverageFunction;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 const P: usize = 100;
 const LS_SWAP_BUDGET: usize = 10;
 
+/// This bench's coverage shape: `n/2 + 1` topics, 2–7 covers per element.
 fn coverage_instance(
     seed: u64,
     n: usize,
 ) -> DiversificationProblem<DistanceMatrix, CoverageFunction> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let topics = n / 2 + 1;
-    let covers: Vec<Vec<u32>> = (0..n)
-        .map(|_| {
-            (0..rng.gen_range(2..8))
-                .map(|_| rng.gen_range(0..topics) as u32)
-                .collect()
-        })
-        .collect();
-    let weights: Vec<f64> = (0..topics).map(|_| rng.gen_range(0.0..3.0)).collect();
-    let metric = DistanceMatrix::from_fn(n, |_, _| rng.gen_range(1.0..2.0));
-    DiversificationProblem::new(metric, CoverageFunction::new(covers, weights), 0.2)
-}
-
-fn ground_sizes() -> Vec<usize> {
-    match std::env::var("MSD_BENCH_N") {
-        Ok(list) => list
-            .split(',')
-            .filter_map(|tok| tok.trim().parse().ok())
-            .collect(),
-        Err(_) => vec![1000, 5000, 20000],
-    }
+    msd_bench::support::coverage_instance(seed, n, n / 2 + 1, 2, 8)
 }
 
 fn bench_greedy(c: &mut Criterion, ns: &[usize]) {
@@ -165,36 +146,18 @@ fn to_json(family: &str, records: &[BenchRecord]) -> String {
     let _ = writeln!(out, "  \"unit\": \"ns_per_run\",");
     out.push_str("  \"results\": [\n");
     // Record ids look like `greedy/coverage/n5000/p100/incremental`.
-    let mut configs: Vec<String> = Vec::new();
-    for r in records {
-        let (config, _) = r.id.rsplit_once('/').expect("group/variant id");
-        if !configs.iter().any(|c| c == config) {
-            configs.push(config.to_string());
-        }
-    }
-    let find = |config: &str, variant: &str| -> Option<&BenchRecord> {
-        let id = format!("{config}/{variant}");
-        records.iter().find(|r| r.id == id)
-    };
-    let fmt_num = |v: Option<f64>| match v {
-        Some(v) => format!("{v:.1}"),
-        None => "null".to_string(),
-    };
+    let configs = record_configs(records);
     for (i, config) in configs.iter().enumerate() {
-        let incremental = find(config, "incremental").map(|r| r.mean_ns);
-        let naive = find(config, "naive").map(|r| r.mean_ns);
-        let parallel = find(config, "parallel").map(|r| r.mean_ns);
-        let speedup = match (incremental, naive) {
-            (Some(inc), Some(nv)) if inc > 0.0 => format!("{:.2}", nv / inc),
-            _ => "null".to_string(),
-        };
+        let incremental = record_mean(records, config, "incremental");
+        let naive = record_mean(records, config, "naive");
+        let parallel = record_mean(records, config, "parallel");
         let _ = writeln!(
             out,
             "    {{\"config\": \"{config}\", \"incremental_ns\": {}, \"naive_ns\": {}, \"parallel_ns\": {}, \"speedup_naive_over_incremental\": {}}}{}",
-            fmt_num(incremental),
-            fmt_num(naive),
-            fmt_num(parallel),
-            speedup,
+            json_num(incremental),
+            json_num(naive),
+            json_num(parallel),
+            json_ratio(naive, incremental),
             if i + 1 < configs.len() { "," } else { "" }
         );
     }
@@ -202,15 +165,8 @@ fn to_json(family: &str, records: &[BenchRecord]) -> String {
     out
 }
 
-fn workspace_root() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .canonicalize()
-        .expect("workspace root")
-}
-
 fn main() {
-    let ns = ground_sizes();
+    let ns = ground_sizes(&[1000, 5000, 20000]);
     let mut c = Criterion::default()
         .sample_size(3)
         .measurement_time(Duration::from_millis(50));

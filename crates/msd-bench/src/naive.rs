@@ -199,6 +199,72 @@ pub fn local_search_refine_naive<M: Metric, F: SetFunction>(
     members
 }
 
+/// One oblivious single-swap dynamic repair step with every gain
+/// recomputed through the slice oracles — the ground truth for
+/// `msd_core::oblivious_update_step` (and, for modular quality, for
+/// `DynamicInstance::oblivious_update`). Same traversal (incoming
+/// candidate `v` ascending, members in solution order), same
+/// strictly-positive threshold, same swap-remove-then-push mutation.
+pub fn oblivious_update_step_naive<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    solution: &mut Vec<ElementId>,
+) -> Option<(ElementId, ElementId)> {
+    let n = problem.ground_size();
+    let mut best: Option<(usize, ElementId, f64)> = None;
+    for v in 0..n as ElementId {
+        if solution.contains(&v) {
+            continue;
+        }
+        for (idx, &u) in solution.iter().enumerate() {
+            let gain = problem.swap_gain(v, u, solution);
+            if gain > best.map_or(0.0, |(_, _, g)| g) {
+                best = Some((idx, v, gain));
+            }
+        }
+    }
+    let (idx, v, _) = best?;
+    let u = solution[idx];
+    solution.swap_remove(idx);
+    solution.push(v);
+    Some((u, v))
+}
+
+/// The best simultaneous two-for-two exchange, scored by brute-force
+/// objective recomputation on materialized sets — the (tolerance-based)
+/// reference for `DynamicInstance::oblivious_update_double`, whose cache
+/// algebra must agree with it up to floating-point accumulation order.
+pub fn best_double_swap_naive<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    solution: &[ElementId],
+) -> Option<(f64, [ElementId; 2], [ElementId; 2])> {
+    let n = problem.ground_size();
+    let base = problem.objective(solution);
+    let outsiders: Vec<ElementId> = (0..n as ElementId)
+        .filter(|v| !solution.contains(v))
+        .collect();
+    let mut best: Option<(f64, [ElementId; 2], [ElementId; 2])> = None;
+    for (i, &u1) in solution.iter().enumerate() {
+        for &u2 in &solution[i + 1..] {
+            for (j, &v1) in outsiders.iter().enumerate() {
+                for &v2 in &outsiders[j + 1..] {
+                    let mut swapped: Vec<ElementId> = solution
+                        .iter()
+                        .copied()
+                        .filter(|&x| x != u1 && x != u2)
+                        .collect();
+                    swapped.push(v1);
+                    swapped.push(v2);
+                    let gain = problem.objective(&swapped) - base;
+                    if gain > best.map_or(0.0, |(g, _, _)| g) {
+                        best = Some((gain, [u1, u2], [v1, v2]));
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
 /// Greedy selecting by the *objective* marginal `φ_u(S) = f_u + λ·d_u`
 /// instead of the potential `φ'_u = ½·f_u + λ·d_u`.
 pub fn greedy_b_oblivious<M: Metric, F: SetFunction>(

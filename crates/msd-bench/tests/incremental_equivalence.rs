@@ -6,10 +6,12 @@
 
 use msd_bench::naive::{
     greedy_b_naive, greedy_b_naive_with_config, greedy_b_pairs_naive, local_search_refine_naive,
+    oblivious_update_step_naive,
 };
 use msd_core::{
-    greedy_b, greedy_b_pairs, local_search_refine, stream_diversify, DiversificationProblem,
-    ElementId, GreedyBConfig, LocalSearchConfig, StreamingDiversifier,
+    greedy_b, greedy_b_pairs, local_search_refine, oblivious_update_step, stream_diversify,
+    DiversificationProblem, ElementId, GreedyBConfig, LocalSearchConfig, StreamingDiversifier,
+    StreamingSession,
 };
 use msd_data::SyntheticConfig;
 use msd_metric::DistanceMatrix;
@@ -21,36 +23,22 @@ fn random_metric(rng: &mut StdRng, n: usize) -> DistanceMatrix {
     DistanceMatrix::from_fn(n, |_, _| rng.gen_range(1.0..2.0))
 }
 
+/// This suite's coverage shape: sparser covers (1–5 of `2n/3 + 1`
+/// topics) than the bench shape, exercising more uncovered-topic paths.
 fn coverage_instance(
     seed: u64,
     n: usize,
 ) -> DiversificationProblem<DistanceMatrix, CoverageFunction> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let topics = 2 * n / 3 + 1;
-    let covers: Vec<Vec<u32>> = (0..n)
-        .map(|_| {
-            (0..rng.gen_range(1..6))
-                .map(|_| rng.gen_range(0..topics) as u32)
-                .collect()
-        })
-        .collect();
-    let weights: Vec<f64> = (0..topics).map(|_| rng.gen_range(0.0..3.0)).collect();
-    let metric = random_metric(&mut rng, n);
-    DiversificationProblem::new(metric, CoverageFunction::new(covers, weights), 0.2)
+    msd_bench::support::coverage_instance(seed, n, 2 * n / 3 + 1, 1, 6)
 }
 
+/// This suite's facility shape: a dense client pool (`n/2 + 3`), seed
+/// salted so facility instances never share streams with coverage ones.
 fn facility_instance(
     seed: u64,
     n: usize,
 ) -> DiversificationProblem<DistanceMatrix, FacilityLocationFunction> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xFAC1717);
-    let clients = n / 2 + 3;
-    let sim: Vec<Vec<f64>> = (0..clients)
-        .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
-        .collect();
-    let weights: Vec<f64> = (0..clients).map(|_| rng.gen_range(0.5..2.0)).collect();
-    let metric = random_metric(&mut rng, n);
-    DiversificationProblem::new(metric, FacilityLocationFunction::new(sim, weights), 0.15)
+    msd_bench::support::facility_instance(seed ^ 0xFAC1717, n, n / 2 + 3)
 }
 
 fn mixture_instance(
@@ -244,6 +232,132 @@ fn streaming_session_matches_legacy_diversifier() {
 }
 
 #[test]
+fn dynamic_update_step_matches_naive_across_qualities() {
+    // The generic oblivious repair step (fused incremental caches) must
+    // reproduce the slice-recomputing reference swap for swap, across
+    // quality families and repeated steps on a drifting instance.
+    for seed in 0..6u64 {
+        let modular = SyntheticConfig::paper(30).generate(seed + 700);
+        let coverage = coverage_instance(seed + 700, 26);
+        let facility = facility_instance(seed + 700, 22);
+        let mixture = mixture_instance(seed + 700, 22);
+        macro_rules! check {
+            ($label:expr, $problem:expr, $p:expr) => {{
+                let problem = $problem;
+                let mut inc: Vec<ElementId> = (0..$p).collect();
+                let mut naive = inc.clone();
+                for step in 0..5 {
+                    let outcome = oblivious_update_step(&problem, &mut inc);
+                    let expected = oblivious_update_step_naive(&problem, &mut naive);
+                    assert_eq!(
+                        outcome.swap, expected,
+                        "{} seed {seed} step {step}: swap diverged",
+                        $label
+                    );
+                    assert_eq!(
+                        inc, naive,
+                        "{} seed {seed} step {step}: solution diverged",
+                        $label
+                    );
+                    if outcome.swap.is_none() {
+                        break;
+                    }
+                }
+            }};
+        }
+        check!("modular", modular, 5);
+        check!("coverage", coverage, 6);
+        check!("facility", facility, 4);
+        check!("mixture", mixture, 4);
+    }
+}
+
+#[test]
+fn double_swap_cache_algebra_matches_brute_force() {
+    // The double-swap rule scores exchanges through the gain cache plus
+    // pairwise corrections; the brute-force objective recomputation must
+    // agree on the best gain (up to FP accumulation order) and the applied
+    // swap must realize exactly that objective change.
+    use msd_bench::naive::best_double_swap_naive;
+    use msd_core::{DynamicInstance, Perturbation};
+    for seed in 0..6u64 {
+        let n = 14;
+        let problem = SyntheticConfig::paper(n).generate(seed + 800);
+        let init = greedy_b(&problem, 4, GreedyBConfig::default());
+        let mut d = DynamicInstance::new(problem, &init);
+        d.apply(Perturbation::SetWeight {
+            u: (n - 1) as u32,
+            value: 0.9,
+        });
+        let before = d.objective();
+        let naive = best_double_swap_naive(d.problem(), d.solution());
+        let single_best_gain = {
+            let mut probe = d.clone();
+            probe.oblivious_update().gain
+        };
+        let outcome = d.oblivious_update_double();
+        let best_gain = naive.map_or(0.0, |(g, _, _)| g).max(single_best_gain);
+        assert!(
+            (outcome.gain - best_gain).abs() < 1e-9,
+            "seed {seed}: cache gain {} vs brute-force best {best_gain}",
+            outcome.gain
+        );
+        assert!(
+            (d.objective() - before - outcome.gain).abs() < 1e-9,
+            "seed {seed}: applied gain not realized"
+        );
+    }
+}
+
+#[test]
+fn streaming_variants_reach_the_same_final_objective() {
+    // StreamingDiversifier (O(p)-memory slice oracles) and
+    // StreamingSession (PotentialState caches) apply the same
+    // accept/best-positive-swap/reject rule; on shared random streams the
+    // final objectives must agree. Member sets may differ only on
+    // exactly-tied swap gains (the documented caveat in `streaming.rs`) —
+    // which never bind on these continuous random instances, so the sets
+    // are asserted equal as multisets too.
+    for seed in 0..8u64 {
+        let n = 48;
+        let p = 7;
+        let mut rng = StdRng::seed_from_u64(seed + 900);
+        let mut order: Vec<ElementId> = (0..n as ElementId).collect();
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut rng);
+
+        let modular = SyntheticConfig::paper(n).generate(seed + 900);
+        let coverage = coverage_instance(seed + 900, n);
+        macro_rules! check {
+            ($label:expr, $problem:expr) => {{
+                let problem = $problem;
+                let mut minimal = StreamingDiversifier::new(p);
+                let mut session = StreamingSession::new(&problem, p);
+                for &e in &order {
+                    minimal.offer(&problem, e);
+                    session.offer(e);
+                }
+                let a = minimal.finish();
+                let mut b = session.finish();
+                let oa = problem.objective(&a);
+                let ob = problem.objective(&b);
+                assert!(
+                    (oa - ob).abs() <= 1e-9 * oa.abs().max(1.0),
+                    "{} seed {seed}: objectives diverged ({oa} vs {ob})",
+                    $label
+                );
+                let mut a = a;
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{} seed {seed}: member sets diverged", $label);
+            }};
+        }
+        check!("modular", modular);
+        check!("coverage", coverage);
+    }
+}
+
+#[test]
 fn tie_breaks_are_deterministic_lowest_index() {
     // A fully symmetric instance: every weight and distance equal, so every
     // candidate ties at every step. The contract is lowest-index-first.
@@ -303,6 +417,114 @@ mod parallel_equivalence {
             assert_eq!(par.set, ser.set, "seed {seed}");
             assert_eq!(par.objective, ser.objective);
             assert_eq!(par.swaps, ser.swaps);
+        }
+    }
+
+    #[test]
+    fn parallel_pair_greedy_is_bit_identical_across_qualities() {
+        for seed in 0..6u64 {
+            let modular = SyntheticConfig::paper(60).generate(seed + 600);
+            let coverage = coverage_instance(seed + 600, 44);
+            let facility = facility_instance(seed + 600, 36);
+            let mixture = mixture_instance(seed + 600, 30);
+            for p in [2usize, 5, 9, 16] {
+                assert_eq!(
+                    parallel::greedy_b_pairs(&modular, p),
+                    greedy_b_pairs(&modular, p),
+                    "modular seed {seed} p {p}"
+                );
+                assert_eq!(
+                    parallel::greedy_b_pairs(&coverage, p),
+                    greedy_b_pairs(&coverage, p),
+                    "coverage seed {seed} p {p}"
+                );
+                assert_eq!(
+                    parallel::greedy_b_pairs(&facility, p),
+                    greedy_b_pairs(&facility, p),
+                    "facility seed {seed} p {p}"
+                );
+                assert_eq!(
+                    parallel::greedy_b_pairs(&mixture, p),
+                    greedy_b_pairs(&mixture, p),
+                    "mixture seed {seed} p {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_oblivious_updates_are_bit_identical() {
+        use msd_core::{DynamicInstance, Perturbation};
+        for seed in 0..6u64 {
+            let n = 36;
+            let problem = SyntheticConfig::paper(n).generate(seed + 650);
+            let init = greedy_b(&problem, 6, GreedyBConfig::default());
+            let mut ser = DynamicInstance::new(problem.clone(), &init);
+            let mut par = DynamicInstance::new(problem, &init);
+            let mut rng = StdRng::seed_from_u64(seed + 650);
+            for step in 0..6 {
+                let perturbation = if rng.gen_bool(0.5) {
+                    Perturbation::SetWeight {
+                        u: rng.gen_range(0..n) as u32,
+                        value: rng.gen_range(0.0..1.0),
+                    }
+                } else {
+                    let u = rng.gen_range(0..n) as u32;
+                    let v = (u + 1 + rng.gen_range(0..n - 1) as u32) % n as u32;
+                    Perturbation::SetDistance {
+                        u,
+                        v,
+                        value: rng.gen_range(1.0..2.0),
+                    }
+                };
+                ser.apply(perturbation);
+                par.apply(perturbation);
+                if step % 2 == 0 {
+                    assert_eq!(
+                        ser.oblivious_update(),
+                        par.oblivious_update_parallel(),
+                        "seed {seed} step {step}: single swap diverged"
+                    );
+                } else {
+                    assert_eq!(
+                        ser.oblivious_update_double(),
+                        par.oblivious_update_double_parallel(),
+                        "seed {seed} step {step}: double swap diverged"
+                    );
+                }
+                assert_eq!(ser.solution(), par.solution(), "seed {seed} step {step}");
+                assert_eq!(ser.objective(), par.objective(), "seed {seed} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_update_step_is_bit_identical_across_qualities() {
+        for seed in 0..5u64 {
+            let modular = SyntheticConfig::paper(40).generate(seed + 680);
+            let coverage = coverage_instance(seed + 680, 32);
+            let facility = facility_instance(seed + 680, 26);
+            let mixture = mixture_instance(seed + 680, 24);
+            macro_rules! check {
+                ($label:expr, $problem:expr, $p:expr) => {{
+                    let problem = $problem;
+                    let mut ser: Vec<ElementId> = (0..$p).collect();
+                    let mut par = ser.clone();
+                    for step in 0..4 {
+                        let a = oblivious_update_step(&problem, &mut ser);
+                        let b = parallel::oblivious_update_step(&problem, &mut par);
+                        assert_eq!(a, b, "{} seed {seed} step {step}", $label);
+                        assert_eq!(ser, par, "{} seed {seed} step {step}", $label);
+                        if a.swap.is_none() {
+                            break;
+                        }
+                    }
+                }};
+            }
+            check!("modular", modular, 6);
+            check!("coverage", coverage, 5);
+            check!("facility", facility, 4);
+            check!("mixture", mixture, 4);
         }
     }
 }

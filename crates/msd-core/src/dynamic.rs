@@ -27,6 +27,7 @@
 use msd_metric::{DistanceMatrix, Metric};
 use msd_submodular::{ModularFunction, SetFunction};
 
+use crate::potential::PotentialState;
 use crate::problem::DiversificationProblem;
 use crate::solution::SolutionState;
 use crate::ElementId;
@@ -216,49 +217,69 @@ impl DynamicInstance {
     /// swaps" can maintain a better ratio than 3; this rule is the
     /// experimental probe for that question (see the `ablations` binary).
     pub fn oblivious_update_double(&mut self) -> UpdateOutcome {
-        // First find the best single swap as the baseline.
-        let n = self.problem.ground_size();
-        let lambda = self.problem.lambda();
-
         let single = self.best_single_swap();
-        let mut best_double: Option<([ElementId; 2], [ElementId; 2], f64)> = None;
-        {
-            let members = self.state.members();
-            let metric = self.problem.metric();
-            let quality = self.problem.quality();
-            let outsiders: Vec<ElementId> = (0..n as ElementId)
-                .filter(|&v| !self.state.contains(v))
-                .collect();
-            for (i, &u1) in members.iter().enumerate() {
-                for &u2 in &members[i + 1..] {
-                    for (j, &v1) in outsiders.iter().enumerate() {
-                        for &v2 in &outsiders[j + 1..] {
-                            // Δd for removing {u1,u2} and inserting {v1,v2},
-                            // from the gain cache plus pairwise corrections.
-                            let dd = self.state.distance_gain(v1) + self.state.distance_gain(v2)
-                                - self.state.distance_gain(u1)
-                                - self.state.distance_gain(u2)
-                                + metric.distance(u1, u2)
-                                + metric.distance(v1, v2)
-                                - metric.distance(v1, u1)
-                                - metric.distance(v1, u2)
-                                - metric.distance(v2, u1)
-                                - metric.distance(v2, u2);
-                            // Modular quality: the swap's f-delta is plain
-                            // weight arithmetic — no per-pair set
-                            // materialization.
-                            let df = quality.weight(v1) + quality.weight(v2)
-                                - quality.weight(u1)
-                                - quality.weight(u2);
-                            let gain = df + lambda * dd;
-                            if gain > best_double.map_or(0.0, |(_, _, g)| g) {
-                                best_double = Some(([u1, u2], [v1, v2], gain));
-                            }
+        let best_double = self.best_double_swap();
+        self.commit_double(single, best_double)
+    }
+
+    /// Gain of the simultaneous exchange `S − {u1,u2} + {v1,v2}`: Δd from
+    /// the gain cache plus pairwise corrections, Δf by plain modular weight
+    /// arithmetic — no per-pair set materialization. The single expression
+    /// shared by the serial and parallel double-swap scans, so both compute
+    /// bit-identical candidate scores.
+    #[inline]
+    fn double_swap_gain(&self, u1: ElementId, u2: ElementId, v1: ElementId, v2: ElementId) -> f64 {
+        let metric = self.problem.metric();
+        let quality = self.problem.quality();
+        let dd = self.state.distance_gain(v1) + self.state.distance_gain(v2)
+            - self.state.distance_gain(u1)
+            - self.state.distance_gain(u2)
+            + metric.distance(u1, u2)
+            + metric.distance(v1, v2)
+            - metric.distance(v1, u1)
+            - metric.distance(v1, u2)
+            - metric.distance(v2, u1)
+            - metric.distance(v2, u2);
+        let df = quality.weight(v1) + quality.weight(v2) - quality.weight(u1) - quality.weight(u2);
+        df + self.problem.lambda() * dd
+    }
+
+    /// Elements outside the current solution, in index order (the shared
+    /// traversal order of the double-swap scans).
+    fn outsiders(&self) -> Vec<ElementId> {
+        (0..self.problem.ground_size() as ElementId)
+            .filter(|&v| !self.state.contains(v))
+            .collect()
+    }
+
+    /// Best positive double swap `({u1,u2} out, {v1,v2} in, gain)` without
+    /// applying it — the O(n²p²) scan.
+    fn best_double_swap(&self) -> Option<([ElementId; 2], [ElementId; 2], f64)> {
+        let members = self.state.members();
+        let outsiders = self.outsiders();
+        let mut best: Option<([ElementId; 2], [ElementId; 2], f64)> = None;
+        for (i, &u1) in members.iter().enumerate() {
+            for &u2 in &members[i + 1..] {
+                for (j, &v1) in outsiders.iter().enumerate() {
+                    for &v2 in &outsiders[j + 1..] {
+                        let gain = self.double_swap_gain(u1, u2, v1, v2);
+                        if gain > best.map_or(0.0, |(_, _, g)| g) {
+                            best = Some(([u1, u2], [v1, v2], gain));
                         }
                     }
                 }
             }
         }
+        best
+    }
+
+    /// Applies the better of the best single and best double swap (shared
+    /// tail of the serial and parallel double-update entry points).
+    fn commit_double(
+        &mut self,
+        single: Option<(ElementId, ElementId, f64)>,
+        best_double: Option<([ElementId; 2], [ElementId; 2], f64)>,
+    ) -> UpdateOutcome {
         let single_gain = single.map_or(0.0, |(_, _, g)| g);
         match best_double {
             Some((out, into, gain)) if gain > single_gain => {
@@ -320,6 +341,185 @@ impl DynamicInstance {
             updates += 1;
         }
         updates
+    }
+}
+
+/// Thread-parallel scans for the dynamic-update rules (`parallel`
+/// feature). Chunking and merge discipline come from
+/// [`crate::parallel::par_scan_chunks`]; every candidate's gain is the
+/// exact serial expression, so outputs are bit-identical to
+/// [`DynamicInstance::oblivious_update`] /
+/// [`DynamicInstance::oblivious_update_double`].
+#[cfg(feature = "parallel")]
+impl DynamicInstance {
+    /// Parallel [`DynamicInstance::oblivious_update`]: the O(n·p) swap
+    /// scan runs chunked over the incoming candidate `v`.
+    pub fn oblivious_update_parallel(&mut self) -> UpdateOutcome {
+        match self.best_single_swap_parallel() {
+            Some((u, v, gain)) => {
+                self.state.swap(self.problem.metric(), v, u);
+                UpdateOutcome {
+                    swap: Some((u, v)),
+                    gain,
+                }
+            }
+            None => UpdateOutcome {
+                swap: None,
+                gain: 0.0,
+            },
+        }
+    }
+
+    /// Parallel [`DynamicInstance::oblivious_update_double`]: the O(n²p²)
+    /// double-swap scan runs chunked over the outgoing member pair (each
+    /// worker owns a contiguous run of `(u1, u2)` pairs in the serial
+    /// traversal order and runs the full outsider-pair inner loops), and
+    /// the baseline single-swap scan runs chunked over candidates.
+    pub fn oblivious_update_double_parallel(&mut self) -> UpdateOutcome {
+        let single = self.best_single_swap_parallel();
+        let best_double = self.best_double_swap_parallel();
+        self.commit_double(single, best_double)
+    }
+
+    /// Parallel counterpart of `best_single_swap`, chunked over `v`.
+    /// Falls back to the serial scan below the work floor where spawning
+    /// does not amortize (identical result either way).
+    fn best_single_swap_parallel(&self) -> Option<(ElementId, ElementId, f64)> {
+        let n = self.problem.ground_size();
+        if !crate::parallel::par_worthwhile(n.saturating_mul(self.state.len())) {
+            return self.best_single_swap();
+        }
+        let members = self.state.members();
+        let metric = self.problem.metric();
+        let quality = self.problem.quality();
+        let lambda = self.problem.lambda();
+        let state = &self.state;
+        crate::parallel::par_scan_chunks(
+            n,
+            |lo, hi| {
+                let mut best: Option<(ElementId, ElementId, f64)> = None;
+                for v in lo as ElementId..hi as ElementId {
+                    if state.contains(v) {
+                        continue;
+                    }
+                    for &u in members {
+                        let gain = quality.swap_gain(v, u, members)
+                            + lambda * state.swap_dispersion_delta(metric, v, u);
+                        if gain > best.map_or(0.0, |(_, _, g)| g) {
+                            best = Some((u, v, gain));
+                        }
+                    }
+                }
+                best
+            },
+            |&(_, _, gain)| gain,
+        )
+    }
+
+    /// Parallel counterpart of `best_double_swap`, chunked over the
+    /// member-pair list (p(p−1)/2 units of O(n²) work each). Falls back
+    /// to the serial scan below the work floor (identical result).
+    fn best_double_swap_parallel(&self) -> Option<([ElementId; 2], [ElementId; 2], f64)> {
+        let p = self.state.len();
+        let out = self.problem.ground_size() - p;
+        let ops = (p * p / 2).saturating_mul(out).saturating_mul(out) / 2;
+        if !crate::parallel::par_worthwhile(ops) {
+            return self.best_double_swap();
+        }
+        let members = self.state.members();
+        let outsiders = self.outsiders();
+        // Member pairs in the serial (i, i+1..) traversal order, so chunk
+        // concatenation reproduces the serial scan sequence exactly.
+        let pairs: Vec<(ElementId, ElementId)> = members
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &u1)| members[i + 1..].iter().map(move |&u2| (u1, u2)))
+            .collect();
+        let this = self;
+        let outsiders = &outsiders;
+        crate::parallel::par_scan_chunks(
+            pairs.len(),
+            |lo, hi| {
+                let mut best: Option<([ElementId; 2], [ElementId; 2], f64)> = None;
+                for &(u1, u2) in &pairs[lo..hi] {
+                    for (j, &v1) in outsiders.iter().enumerate() {
+                        for &v2 in &outsiders[j + 1..] {
+                            let gain = this.double_swap_gain(u1, u2, v1, v2);
+                            if gain > best.map_or(0.0, |(_, _, g)| g) {
+                                best = Some(([u1, u2], [v1, v2], gain));
+                            }
+                        }
+                    }
+                }
+                best
+            },
+            |&(_, _, gain)| gain,
+        )
+    }
+}
+
+/// One oblivious single-swap repair step for **any** quality function.
+///
+/// [`DynamicInstance`] is specialized to modular weights (the paper's
+/// Section 6 setting, where weight perturbations are meaningful). When the
+/// instance mutates externally — distance redraws over an owned
+/// [`DistanceMatrix`], re-weighted coverage topics, refreshed facility
+/// similarities — this free function repairs an existing solution against
+/// the *current* problem: it rebuilds the fused [`PotentialState`] caches
+/// for `solution` (O(n·p) plus oracle setup), scans all `(v ∉ S, u ∈ S)`
+/// pairs through O(1)/O(touched) incremental reads, and applies the best
+/// strictly-positive swap in place.
+///
+/// The swap mirrors [`SolutionState`]'s remove-then-push ordering so
+/// repeated steps evolve `solution` exactly as a [`DynamicInstance`]
+/// member list would. Returns the outcome; `solution` is untouched when no
+/// positive swap exists.
+pub fn oblivious_update_step<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    solution: &mut Vec<ElementId>,
+) -> UpdateOutcome {
+    let n = problem.ground_size();
+    let state = PotentialState::from_set(problem, solution);
+    let members = state.members();
+    let mut best: Option<(ElementId, ElementId, f64)> = None;
+    for v in 0..n as ElementId {
+        if state.contains(v) {
+            continue;
+        }
+        for &u in members {
+            let gain = state.swap_gain(v, u);
+            if gain > best.map_or(0.0, |(_, _, g)| g) {
+                best = Some((u, v, gain));
+            }
+        }
+    }
+    apply_step_outcome(solution, best)
+}
+
+/// Applies a chosen `(u_out, v_in, gain)` swap to a raw solution vector
+/// with [`SolutionState`]'s swap-remove-then-push ordering (shared by the
+/// serial and parallel [`oblivious_update_step`] entry points).
+pub(crate) fn apply_step_outcome(
+    solution: &mut Vec<ElementId>,
+    best: Option<(ElementId, ElementId, f64)>,
+) -> UpdateOutcome {
+    match best {
+        Some((u, v, gain)) => {
+            let idx = solution
+                .iter()
+                .position(|&x| x == u)
+                .expect("chosen swap-out element must be in the solution");
+            solution.swap_remove(idx);
+            solution.push(v);
+            UpdateOutcome {
+                swap: Some((u, v)),
+                gain,
+            }
+        }
+        None => UpdateOutcome {
+            swap: None,
+            gain: 0.0,
+        },
     }
 }
 
@@ -682,5 +882,134 @@ mod tests {
         let mut s = d.solution().to_vec();
         s.sort_unstable();
         assert_eq!(s, vec![2, 3]);
+    }
+
+    // ------------------------------------------------------------------
+    // Degenerate-case coverage for the dynamic driver.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn p_one_solution_swaps_to_the_best_singleton() {
+        // With |S| = 1 and λ scaled down, the oblivious rule reduces to
+        // "hold the best-weight element" — both rules and the generic
+        // step must behave, and the double rule has no member pair to
+        // scan.
+        let metric = DistanceMatrix::from_fn(6, |_, _| 1.0);
+        let weights = vec![0.1, 0.2, 0.3, 5.0, 0.4, 0.5];
+        let problem = DiversificationProblem::new(metric, ModularFunction::new(weights), 0.0);
+        let mut d = DynamicInstance::new(problem.clone(), &[0]);
+        let out = d.oblivious_update();
+        assert_eq!(out.swap, Some((0, 3)));
+        assert_eq!(d.solution(), &[3]);
+        assert_eq!(d.oblivious_update().swap, None, "already optimal");
+        assert_eq!(
+            d.oblivious_update_double().swap,
+            None,
+            "no member pair exists at p = 1"
+        );
+
+        let mut sol = vec![0];
+        let step = oblivious_update_step(&problem, &mut sol);
+        assert_eq!(step.swap, Some((0, 3)));
+        assert_eq!(sol, vec![3]);
+    }
+
+    #[test]
+    fn p_equals_n_has_no_outsiders_and_never_swaps() {
+        let problem = instance(21, 7);
+        let all: Vec<ElementId> = (0..7).collect();
+        let mut d = DynamicInstance::new(problem.clone(), &all);
+        // Shake the instance; with no element outside S, no swap exists.
+        d.apply(Perturbation::SetWeight { u: 3, value: 9.0 });
+        d.apply(Perturbation::SetDistance {
+            u: 1,
+            v: 5,
+            value: 0.25,
+        });
+        let out = d.oblivious_update();
+        assert_eq!(out.swap, None);
+        assert_eq!(out.gain, 0.0);
+        assert_eq!(d.oblivious_update_double().swap, None);
+        assert_eq!(d.solution().len(), 7);
+
+        let mut sol = all.clone();
+        assert_eq!(oblivious_update_step(&problem, &mut sol).swap, None);
+        assert_eq!(sol, all);
+    }
+
+    #[test]
+    fn lambda_zero_reduces_to_pure_quality_repair() {
+        // λ = 0: distances are irrelevant; one update must hold the
+        // max-weight subset of the right size once an update is needed.
+        let metric = DistanceMatrix::from_fn(5, |u, v| 1.0 + f64::from(u + v));
+        let weights = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let problem = DiversificationProblem::new(metric, ModularFunction::new(weights), 0.0);
+        let mut d = DynamicInstance::new(problem, &[4, 3]);
+        assert_eq!(d.oblivious_update().swap, None, "top-2 already held");
+        // Demote a held element below the field; exactly one swap repairs.
+        d.apply(Perturbation::SetWeight { u: 4, value: 0.5 });
+        let out = d.oblivious_update();
+        assert_eq!(out.swap, Some((4, 2)));
+        assert!((out.gain - 2.5).abs() < 1e-12);
+        let mut s = d.solution().to_vec();
+        s.sort_unstable();
+        assert_eq!(s, vec![2, 3]);
+        assert_eq!(d.oblivious_update().swap, None);
+    }
+
+    #[test]
+    fn zero_gain_perturbation_reports_no_swap() {
+        // A perturbation that rewrites a weight/distance to its current
+        // value is Neutral, and at a local optimum the follow-up update
+        // must report no swap and leave every cached quantity untouched.
+        let mut d = dynamic(17, 9, 4);
+        d.update_until_stable(1000);
+        let before = d.objective();
+        let s0 = d.solution()[0];
+        let w = d.problem().quality().weight(s0);
+        assert_eq!(
+            d.apply(Perturbation::SetWeight { u: s0, value: w }),
+            PerturbationType::Neutral
+        );
+        let d01 = d.problem().metric().distance(0, 1);
+        assert_eq!(
+            d.apply(Perturbation::SetDistance {
+                u: 0,
+                v: 1,
+                value: d01
+            }),
+            PerturbationType::Neutral
+        );
+        let out = d.oblivious_update();
+        assert_eq!(out.swap, None);
+        assert_eq!(out.gain, 0.0);
+        assert_eq!(d.objective(), before);
+        let direct = d.problem().objective(d.solution());
+        assert!((d.objective() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generic_step_matches_dynamic_instance_on_modular() {
+        // The generic rebuild-and-scan repair and DynamicInstance's cached
+        // scan implement the same rule; on modular instances they must
+        // pick identical swaps step for step.
+        for seed in 0..5u64 {
+            let problem = instance(seed + 70, 12);
+            let init = greedy_b(&problem, 4, GreedyBConfig::default());
+            let mut d = DynamicInstance::new(problem.clone(), &init);
+            d.apply(Perturbation::SetWeight { u: 11, value: 7.0 });
+            let mut perturbed = problem;
+            perturbed.quality_mut().set_weight(11, 7.0);
+            let mut sol = init.clone();
+            loop {
+                let a = d.oblivious_update();
+                let b = oblivious_update_step(&perturbed, &mut sol);
+                assert_eq!(a.swap, b.swap, "seed {seed}");
+                assert_eq!(d.solution(), &sol[..], "seed {seed}");
+                if a.swap.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

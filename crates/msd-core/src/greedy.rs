@@ -216,6 +216,10 @@ pub fn max_sum_dispersion_greedy<M: Metric>(metric: &M, p: usize) -> Vec<Element
 /// `φ'`, adding the pair maximizing
 /// `½·f_{{u,v}}(S) + λ·(d_u(S) + d_v(S) + d(u,v))`; an odd `p` gets one
 /// final single-vertex step.
+///
+/// With the `parallel` feature, `parallel::greedy_b_pairs` distributes the
+/// O(n²) pair scan over threads with bit-identical (lexicographically
+/// smallest maximizing pair) output.
 pub fn greedy_b_pairs<M: Metric, F: SetFunction>(
     problem: &DiversificationProblem<M, F>,
     p: usize,

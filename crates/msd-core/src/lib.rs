@@ -50,7 +50,7 @@ pub mod solution;
 pub mod streaming;
 
 pub use distributed::{distributed_greedy, DistributedConfig, DistributedResult, PartitionScheme};
-pub use dynamic::{DynamicInstance, Perturbation, UpdateOutcome};
+pub use dynamic::{oblivious_update_step, DynamicInstance, Perturbation, UpdateOutcome};
 pub use exact::{exact_max_diversification, BranchAndBound};
 pub use gollapudi_sharma::{greedy_a, GreedyAConfig};
 pub use greedy::{greedy_b, greedy_b_pairs, max_sum_dispersion_greedy, GreedyBConfig};

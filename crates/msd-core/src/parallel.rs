@@ -1,12 +1,13 @@
 //! Thread-parallel candidate scans (`parallel` feature).
 //!
-//! The three quadratic scans of the hot paths — the Greedy B argmax, the
-//! `best_pair_start` O(n²) seed and the best-improvement swap scan of the
-//! local search — are embarrassingly parallel once every candidate
-//! evaluation is an O(1) cache read (see [`crate::potential`]). This module
-//! distributes them over `std::thread::scope` workers (no external
-//! dependencies; the build environment has no registry access, so rayon is
-//! deliberately not used).
+//! The quadratic scans of the hot paths — the Greedy B argmax, the
+//! `best_pair_start` O(n²) seed, the pair greedy's O(n²) batch scan, the
+//! best-improvement swap scan of the local search, and the dynamic-update
+//! rule's O(n·p) single-swap and O(n²p²) double-swap scans — are
+//! embarrassingly parallel once every candidate evaluation is an O(1)
+//! cache read (see [`crate::potential`]). This module distributes them
+//! over `std::thread::scope` workers (no external dependencies; the build
+//! environment has no registry access, so rayon is deliberately not used).
 //!
 //! **Determinism.** Every scan breaks ties toward the *lowest index* (for
 //! pair scans: lexicographically smallest pair; for swap scans: smallest
@@ -19,8 +20,12 @@
 //!
 //! The entry points mirror the serial signatures with added `Sync` bounds:
 //!
-//! * [`greedy_b`] / [`max_sum_dispersion_greedy`]
+//! * [`greedy_b`] / [`greedy_b_pairs`] / [`max_sum_dispersion_greedy`]
 //! * [`local_search_matroid`] / [`local_search_refine`]
+//! * [`oblivious_update_step`] (the generic dynamic repair step; the
+//!   modular [`crate::DynamicInstance`] exposes its own
+//!   `oblivious_update_parallel` / `oblivious_update_double_parallel`,
+//!   built on the same chunked reduction)
 
 use std::num::NonZeroUsize;
 
@@ -36,11 +41,43 @@ use crate::{ElementId, GreedyBConfig};
 /// Worker count for a scan over `work` candidates, clamped to the
 /// available hardware and to 16 (beyond that the per-step spawn cost
 /// outweighs the scan for every realistic `n`).
+///
+/// `MSD_PARALLEL_THREADS` overrides the hardware count (still clamped to
+/// the work size, but not to the spawn-overhead heuristic). Besides
+/// operational tuning, this is how the equivalence suites force genuinely
+/// chunked execution on few-core machines — without it, a 1-core CI
+/// runner would collapse every scan to a single chunk and the
+/// determinism-critical merge logic would go untested.
 fn num_threads(work: usize) -> usize {
+    if let Some(forced) = forced_threads() {
+        return forced.clamp(1, work.max(1)).min(64);
+    }
     let hw = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1);
     hw.min(16).min(work.div_ceil(32).max(1)).max(1)
+}
+
+/// Explicit `MSD_PARALLEL_THREADS` worker-count override, if set.
+fn forced_threads() -> Option<usize> {
+    std::env::var("MSD_PARALLEL_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+}
+
+/// Minimum estimated scalar operations in a scan before spawning workers
+/// amortizes (measured on the dynamic-update scans: below this the
+/// spawn/join cost dominates and the "parallel" entry points are slower
+/// than serial). Scans under the floor run the serial code path — outputs
+/// are bit-identical either way, so this is purely a scheduling decision.
+const MIN_PAR_OPS: usize = 1 << 16;
+
+/// `true` when a scan of `ops` estimated scalar operations should be
+/// distributed. An explicit `MSD_PARALLEL_THREADS` override always
+/// distributes — besides tuning, that is how the equivalence suites force
+/// the chunked paths on small test instances.
+pub(crate) fn par_worthwhile(ops: usize) -> bool {
+    forced_threads().is_some() || ops >= MIN_PAR_OPS
 }
 
 /// Deterministic parallel argmax over `0..n`: highest score wins, ties go
@@ -72,7 +109,9 @@ where
 /// `0..n`: each worker folds its chunk with `scan` (which must itself
 /// break ties toward earlier candidates), and chunks merge in index order
 /// with strictly-greater comparison on the score extracted by `key`.
-fn par_scan_chunks<T, S, K>(n: usize, scan: S, key: K) -> Option<T>
+/// Crate-visible so the dynamic-update scans in [`crate::dynamic`] reuse
+/// the exact same chunk/merge discipline.
+pub(crate) fn par_scan_chunks<T, S, K>(n: usize, scan: S, key: K) -> Option<T>
 where
     T: Send,
     S: Fn(usize, usize) -> Option<T> + Sync,
@@ -87,7 +126,11 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let scan = &scan;
-                s.spawn(move || scan(t * chunk, ((t + 1) * chunk).min(n)))
+                // Clamp *both* bounds: an over-provisioned worker count
+                // (e.g. a forced MSD_PARALLEL_THREADS exceeding n/chunk)
+                // would otherwise hand trailing workers lo > n — fatal
+                // for slice-indexed scans, harmless only for range loops.
+                s.spawn(move || scan((t * chunk).min(n), ((t + 1) * chunk).min(n)))
             })
             .collect();
         handles
@@ -164,6 +207,132 @@ where
         }
     }
     state.into_members()
+}
+
+/// Parallel pair (batch) greedy: bit-identical to
+/// [`crate::greedy_b_pairs`].
+///
+/// Each batch step distributes the O(n²) pair scan chunked over the first
+/// pair element `u`; a worker runs the full inner `v` loop so traversal
+/// inside a chunk is the serial lexicographic order, and chunks merge in
+/// index order with strict comparison — the lexicographically smallest
+/// maximizing pair wins, exactly as in the serial scan. The final
+/// single-vertex step for odd `p` is the parallel exact-potential argmax
+/// (the serial code's lazy argmax selects the same element — stale bounds
+/// only over-rank, see [`crate::greedy::greedy_b`]'s submodularity note).
+pub fn greedy_b_pairs<M, F>(problem: &DiversificationProblem<M, F>, p: usize) -> Vec<ElementId>
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+{
+    let n = problem.ground_size();
+    let p = p.min(n);
+    if p == 0 {
+        return Vec::new();
+    }
+    // Each batch step is an O(n²) scan; below the amortization floor the
+    // serial implementation is strictly faster (and bit-identical).
+    if !par_worthwhile(n.saturating_mul(n)) {
+        return crate::greedy_b_pairs(problem, p);
+    }
+    let mut state = SyncPotentialState::new_sync(problem);
+
+    while state.len() + 2 <= p {
+        let best = {
+            let st = &state;
+            par_scan_chunks(
+                n,
+                |lo, hi| {
+                    let mut best: Option<(ElementId, ElementId, f64)> = None;
+                    for u in lo as ElementId..hi as ElementId {
+                        if st.contains(u) {
+                            continue;
+                        }
+                        for v in (u + 1)..n as ElementId {
+                            if st.contains(v) {
+                                continue;
+                            }
+                            let score = st.pair_potential(u, v);
+                            if best.is_none_or(|(_, _, b)| score > b) {
+                                best = Some((u, v, score));
+                            }
+                        }
+                    }
+                    best
+                },
+                |&(_, _, score)| score,
+            )
+        };
+        match best {
+            Some((u, v, _)) => {
+                state.insert(u);
+                state.insert(v);
+            }
+            None => break,
+        }
+    }
+    if state.len() < p {
+        // One final single-vertex step for odd p.
+        let next = {
+            let st = &state;
+            par_argmax(n, |u| (!st.contains(u)).then(|| st.potential(u)))
+        };
+        if let Some((u, _)) = next {
+            state.insert(u);
+        }
+    }
+    state.into_members()
+}
+
+/// Parallel generic dynamic repair step: bit-identical to
+/// [`crate::dynamic::oblivious_update_step`].
+///
+/// The `(v ∉ S, u ∈ S)` scan runs chunked over the candidate `v`; each
+/// worker walks the member list in solution order, so per-chunk traversal
+/// matches the serial loop and the deterministic merge keeps the serial
+/// winner (smallest incoming `v`, then earliest member).
+pub fn oblivious_update_step<M, F>(
+    problem: &DiversificationProblem<M, F>,
+    solution: &mut Vec<ElementId>,
+) -> crate::dynamic::UpdateOutcome
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+{
+    let n = problem.ground_size();
+    // The scan is O(n·p) cache reads; below the amortization floor run
+    // the serial step (bit-identical, no spawn cost).
+    if !par_worthwhile(n.saturating_mul(solution.len())) {
+        return crate::dynamic::oblivious_update_step(problem, solution);
+    }
+    let mut state = SyncPotentialState::new_sync(problem);
+    for &u in solution.iter() {
+        state.insert(u);
+    }
+    let best = {
+        let st = &state;
+        par_scan_chunks(
+            n,
+            |lo, hi| {
+                let members = st.members();
+                let mut best: Option<(ElementId, ElementId, f64)> = None;
+                for v in lo as ElementId..hi as ElementId {
+                    if st.contains(v) {
+                        continue;
+                    }
+                    for &u in members {
+                        let gain = st.swap_gain(v, u);
+                        if gain > best.map_or(0.0, |(_, _, g)| g) {
+                            best = Some((u, v, gain));
+                        }
+                    }
+                }
+                best
+            },
+            |&(_, _, gain)| gain,
+        )
+    };
+    crate::dynamic::apply_step_outcome(solution, best)
 }
 
 /// Parallel dispersion greedy (Corollary 1), bit-identical to
@@ -457,5 +626,111 @@ mod tests {
             max_sum_dispersion_greedy(problem.metric(), 8),
             crate::max_sum_dispersion_greedy(problem.metric(), 8)
         );
+    }
+
+    #[test]
+    fn parallel_pair_greedy_matches_serial_exactly() {
+        for seed in 0..6u64 {
+            let problem = modular_instance(seed + 200, 60);
+            for p in [0usize, 1, 2, 5, 8, 17, 60] {
+                assert_eq!(
+                    greedy_b_pairs(&problem, p),
+                    crate::greedy_b_pairs(&problem, p),
+                    "seed {seed} p {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pair_greedy_matches_serial_on_coverage() {
+        let cover = CoverageFunction::new(
+            (0..50).map(|u| vec![u % 9, (u * 5) % 9]).collect(),
+            vec![1.0, 2.0, 0.5, 4.0, 1.5, 3.0, 0.25, 2.5, 0.75],
+        );
+        let metric = DistanceMatrix::from_fn(50, |u, v| 1.0 + f64::from(u * 13 + v) % 40.0 / 40.0);
+        let problem = DiversificationProblem::new(metric, cover, 0.3);
+        for p in [2usize, 7, 21] {
+            assert_eq!(
+                greedy_b_pairs(&problem, p),
+                crate::greedy_b_pairs(&problem, p),
+                "p {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_dynamic_updates_match_serial_exactly() {
+        use crate::dynamic::{DynamicInstance, Perturbation};
+        for seed in 0..5u64 {
+            let n = 40;
+            let problem = {
+                let m = modular_instance(seed + 300, n);
+                DiversificationProblem::new(m.metric().clone(), m.quality().clone(), m.lambda())
+            };
+            let init = crate::greedy_b(&problem, 6, GreedyBConfig::default());
+            let mut serial = DynamicInstance::new(problem.clone(), &init);
+            let mut par = DynamicInstance::new(problem, &init);
+            for (u, value) in [(0u32, 3.0), (7, 0.01), (39, 2.5)] {
+                serial.apply(Perturbation::SetWeight { u, value });
+                par.apply(Perturbation::SetWeight { u, value });
+                let a = serial.oblivious_update();
+                let b = par.oblivious_update_parallel();
+                assert_eq!(a, b, "seed {seed} single-swap diverged");
+                let a = serial.oblivious_update_double();
+                let b = par.oblivious_update_double_parallel();
+                assert_eq!(a, b, "seed {seed} double-swap diverged");
+                assert_eq!(serial.solution(), par.solution(), "seed {seed}");
+                assert_eq!(serial.objective(), par.objective(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn overprovisioned_forced_worker_count_is_safe() {
+        // Regression: a forced MSD_PARALLEL_THREADS exceeding the chunk
+        // grid (7 workers over 15 member pairs → trailing lo of 18) used
+        // to panic the slice-indexed double-swap scan. Thread count never
+        // affects results, so racing this env var with the other tests in
+        // this binary is benign.
+        struct EnvGuard;
+        impl Drop for EnvGuard {
+            fn drop(&mut self) {
+                std::env::remove_var("MSD_PARALLEL_THREADS");
+            }
+        }
+        std::env::set_var("MSD_PARALLEL_THREADS", "7");
+        let _guard = EnvGuard;
+        use crate::dynamic::{DynamicInstance, Perturbation};
+        let problem = modular_instance(77, 20);
+        let init: Vec<ElementId> = (0..6).collect();
+        let mut ser = DynamicInstance::new(problem.clone(), &init);
+        let mut par = DynamicInstance::new(problem, &init);
+        for d in [&mut ser, &mut par] {
+            d.apply(Perturbation::SetWeight { u: 19, value: 5.0 });
+        }
+        assert_eq!(
+            ser.oblivious_update_double(),
+            par.oblivious_update_double_parallel()
+        );
+        assert_eq!(ser.solution(), par.solution());
+    }
+
+    #[test]
+    fn parallel_update_step_matches_serial_exactly() {
+        for seed in 0..5u64 {
+            let problem = modular_instance(seed + 400, 45);
+            let mut a: Vec<ElementId> = (0..7).collect();
+            let mut b = a.clone();
+            for _ in 0..4 {
+                let sa = crate::dynamic::oblivious_update_step(&problem, &mut a);
+                let sb = oblivious_update_step(&problem, &mut b);
+                assert_eq!(sa, sb, "seed {seed} step outcome diverged");
+                assert_eq!(a, b, "seed {seed} solution diverged");
+                if sa.swap.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

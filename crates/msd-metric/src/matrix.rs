@@ -116,7 +116,36 @@ impl DistanceMatrix {
     pub fn triangle(&self) -> &[f64] {
         &self.data
     }
+
+    /// Scalar per-pair reference for
+    /// [`Metric::accumulate_distances`]: one `distance` lookup per element,
+    /// no chunking. This is the testable ground truth the chunked kernel
+    /// must match bit-for-bit (same add order per slot — each `out[v]`
+    /// receives exactly one fused `+= factor · d(u, v)` in both paths), and
+    /// is exercised against it by the property suite in
+    /// `tests/proptests.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range or `out` is shorter than the ground
+    /// set.
+    pub fn accumulate_distances_scalar(&self, u: ElementId, out: &mut [f64], factor: f64) {
+        let n = self.n;
+        assert!((u as usize) < n, "element out of range");
+        assert!(out.len() >= n, "output buffer shorter than ground set");
+        for v in 0..n as ElementId {
+            if v != u {
+                out[v as usize] += factor * self.distance(u, v);
+            }
+        }
+    }
 }
+
+/// Fixed chunk width of the auto-vectorized row kernels (8 f64 lanes = one
+/// AVX-512 register or two AVX2 registers; the compiler maps narrower ISAs
+/// to multiple ops). Shared with the tail handling: any slice length is
+/// processed as `len / LANES` full chunks plus a scalar remainder.
+const LANES: usize = 8;
 
 impl Metric for DistanceMatrix {
     fn len(&self) -> usize {
@@ -135,21 +164,44 @@ impl Metric for DistanceMatrix {
     /// Row kernel over the triangular storage: the `v > u` tail is one
     /// contiguous slice and the `v < u` head walks a closed-form stride, so
     /// the whole sweep does no per-pair index arithmetic.
+    ///
+    /// The contiguous row part runs as explicit [`LANES`]-wide chunks with
+    /// a scalar tail: fixed-width inner loops over bounds-check-free chunk
+    /// slices are the shape LLVM auto-vectorizes reliably, unlike the
+    /// variable-length zip it replaced. Each `out[v]` slot still receives
+    /// exactly one `+= factor · d` in the same order as the scalar
+    /// reference ([`DistanceMatrix::accumulate_distances_scalar`]), so the
+    /// two paths are bit-identical — asserted by the property suite.
     fn accumulate_distances(&self, u: ElementId, out: &mut [f64], factor: f64) {
         let n = self.n;
         let u = u as usize;
         assert!(u < n, "element out of range");
         // Column part: entries (v, u) for v < u at offset(v) + (u - v - 1),
-        // with consecutive v differing by n - v - 2.
+        // with consecutive v differing by n - v - 2. The stride shrinks per
+        // step, so this head stays a scalar gather walk.
         let mut idx = u.wrapping_sub(1); // offset(0) + (u - 1)
         for (v, slot) in out.iter_mut().enumerate().take(u) {
             *slot += factor * self.data[idx];
             idx += n - v - 2;
         }
-        // Row part: entries (u, v) for v > u are contiguous from offset(u).
+        // Row part: entries (u, v) for v > u are contiguous from offset(u);
+        // chunked axpy over the two parallel slices.
         let start = u * n - u * (u + 1) / 2;
-        for (k, &d) in self.data[start..start + (n - u - 1)].iter().enumerate() {
-            out[u + 1 + k] += factor * d;
+        let row = &self.data[start..start + (n - u - 1)];
+        let out_row = &mut out[u + 1..n];
+        let mut o_chunks = out_row.chunks_exact_mut(LANES);
+        let mut d_chunks = row.chunks_exact(LANES);
+        for (o, d) in (&mut o_chunks).zip(&mut d_chunks) {
+            for k in 0..LANES {
+                o[k] += factor * d[k];
+            }
+        }
+        for (o, &d) in o_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(d_chunks.remainder())
+        {
+            *o += factor * d;
         }
     }
 }
@@ -310,6 +362,25 @@ mod tests {
                 }
             }
             assert_eq!(fast, slow, "row kernel drifted for u={u}");
+        }
+    }
+
+    #[test]
+    fn chunked_kernel_is_bit_identical_to_scalar_across_tail_lengths() {
+        // n = 41 puts every row length 0..=40 through the chunked path:
+        // full 8-lane chunks, odd tails of every residue, and the empty
+        // row of the last element.
+        let n = 41;
+        let m =
+            DistanceMatrix::from_fn(n, |u, v| (f64::from(u) * 0.37 + f64::from(v) * 1.13).sin());
+        for u in 0..n as ElementId {
+            for factor in [1.0, -1.0, 0.25] {
+                let mut fast = vec![0.125; n];
+                let mut slow = fast.clone();
+                m.accumulate_distances(u, &mut fast, factor);
+                m.accumulate_distances_scalar(u, &mut slow, factor);
+                assert_eq!(fast, slow, "u={u} factor={factor}");
+            }
         }
     }
 

@@ -130,4 +130,64 @@ proptest! {
         let m = g.shortest_path_metric().expect("spine keeps the graph connected");
         MetricAudit::check(&m).assert_metric();
     }
+
+    /// The chunked `accumulate_distances` row kernel is bit-identical to
+    /// the scalar per-pair reference on arbitrary ground sizes: full
+    /// 8-lane chunks, odd tails of every residue, the single-element
+    /// matrix whose rows are empty, and arbitrary pre-filled output
+    /// buffers and factors.
+    #[test]
+    fn chunked_row_kernel_matches_scalar_reference(
+        n in 1usize..36,
+        u in 0u32..36,
+        factor in -3.0f64..3.0,
+        raw in prop::collection::vec(0.0f64..10.0, 1..631),
+        init in prop::collection::vec(-5.0f64..5.0, 36),
+    ) {
+        let u = u % n as u32;
+        let mut it = raw.into_iter().cycle();
+        let m = DistanceMatrix::from_fn(n, |_, _| it.next().unwrap());
+        let mut fast = init[..n].to_vec();
+        let mut scalar = fast.clone();
+        let mut per_pair = fast.clone();
+        m.accumulate_distances(u, &mut fast, factor);
+        m.accumulate_distances_scalar(u, &mut scalar, factor);
+        for v in 0..n as u32 {
+            if v != u {
+                per_pair[v as usize] += factor * m.distance(u, v);
+            }
+        }
+        // Chunked vs scalar reference: exactly equal, every slot gets one
+        // fused multiply-add in both paths.
+        prop_assert_eq!(&fast, &scalar);
+        // And the reference is itself the naive per-pair sweep.
+        prop_assert_eq!(&scalar, &per_pair);
+    }
+
+    /// The kernel writes only the `v ≠ u` slots of the first `n` entries:
+    /// the diagonal slot and any surplus buffer tail are untouched, for
+    /// every chunk/tail split.
+    #[test]
+    fn row_kernel_touches_only_foreign_slots(
+        n in 1usize..24,
+        u in 0u32..24,
+        surplus in 0usize..5,
+        raw in prop::collection::vec(0.5f64..4.0, 1..277),
+    ) {
+        let u = u % n as u32;
+        let mut it = raw.into_iter().cycle();
+        let m = DistanceMatrix::from_fn(n, |_, _| it.next().unwrap());
+        let sentinel = -123.456;
+        let mut buf = vec![sentinel; n + surplus];
+        m.accumulate_distances(u, &mut buf, 1.0);
+        prop_assert_eq!(buf[u as usize], sentinel, "diagonal slot written");
+        for (v, &x) in buf.iter().enumerate().skip(n) {
+            prop_assert_eq!(x, sentinel, "surplus slot {} written", v);
+        }
+        for (v, &x) in buf.iter().enumerate().take(n) {
+            if v != u as usize {
+                prop_assert_eq!(x, sentinel + m.distance(u, v as u32), "slot {}", v);
+            }
+        }
+    }
 }

@@ -437,6 +437,11 @@ pub struct FacilityOracle<'a> {
 
 const NO_PROVIDER: ElementId = ElementId::MAX;
 
+/// Chunk width of the branchless [`FacilityOracle::shift_client`] sweep
+/// (8 f64 lanes; see the matching constant on `DistanceMatrix`'s row
+/// kernel in `msd-metric`).
+const SHIFT_LANES: usize = 8;
+
 impl<'a> FacilityOracle<'a> {
     /// Oracle over the empty set. O(#clients · n) setup.
     pub fn new(f: &'a FacilityLocationFunction) -> Self {
@@ -464,18 +469,39 @@ impl<'a> FacilityOracle<'a> {
 
     /// Applies the cache delta for client `client` whose best similarity
     /// moves from `old` to `new`.
+    ///
+    /// This is the facility oracle's hot row sweep — O(n) per client whose
+    /// best provider changes, executed on every insert/remove. The walk is
+    /// branchless (`(s − old)⁺ − (s − new)⁺` is 0 for untouched elements,
+    /// and `x + w·0 == x`) and runs as fixed [`SHIFT_LANES`]-wide chunks
+    /// over the parallel `row`/`cache` slices with a scalar tail, the
+    /// shape LLVM auto-vectorizes; `max(0)` maps to vector-max, so the
+    /// chunk body is straight-line SIMD arithmetic. Slice-oracle audits
+    /// (including chunk-boundary row lengths) pin the semantics.
     fn shift_client(&mut self, client: usize, old: f64, new: f64) {
         if old == new {
             return;
         }
         let w = self.f.client_weight(client);
         let row = self.f.sim_row(client);
-        for (u, &s) in row.iter().enumerate() {
+        let cache = &mut self.cache[..row.len()];
+        let mut c_chunks = cache.chunks_exact_mut(SHIFT_LANES);
+        let mut r_chunks = row.chunks_exact(SHIFT_LANES);
+        for (c, r) in (&mut c_chunks).zip(&mut r_chunks) {
+            for k in 0..SHIFT_LANES {
+                let before = (r[k] - old).max(0.0);
+                let after = (r[k] - new).max(0.0);
+                c[k] += w * (after - before);
+            }
+        }
+        for (c, &s) in c_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(r_chunks.remainder())
+        {
             let before = (s - old).max(0.0);
             let after = (s - new).max(0.0);
-            if before != after {
-                self.cache[u] += w * (after - before);
-            }
+            *c += w * (after - before);
         }
     }
 
@@ -603,19 +629,27 @@ impl IncrementalOracle for FacilityOracle<'_> {
 /// Oracle for [`crate::MixtureFunction`]: a weighted composition of its
 /// components' oracles, so every query and mutation costs the sum of the
 /// component costs (each specialized where possible).
-pub struct MixtureOracle<'a> {
-    parts: Vec<(f64, Box<dyn IncrementalOracle + 'a>)>,
+///
+/// Generic over the boxed oracle type so the serial path composes plain
+/// `dyn IncrementalOracle` parts while the thread-parallel path
+/// ([`SyncMixtureOracle`]) composes `dyn IncrementalOracle + Send + Sync`
+/// parts obtained via `SetFunction::incremental_sync`.
+pub struct MixtureOracle<O: IncrementalOracle + ?Sized> {
+    parts: Vec<(f64, Box<O>)>,
     members: Membership,
 }
 
-impl<'a> MixtureOracle<'a> {
+/// [`MixtureOracle`] whose component oracles are shareable across threads.
+pub type SyncMixtureOracle<'a> = MixtureOracle<dyn IncrementalOracle + Send + Sync + 'a>;
+
+impl<O: IncrementalOracle + ?Sized> MixtureOracle<O> {
     /// Composes pre-built component oracles (used by
-    /// `MixtureFunction::incremental`).
+    /// `MixtureFunction::incremental` / `incremental_sync`).
     ///
     /// # Panics
     ///
     /// Panics if a component's ground size differs from `n`.
-    pub fn from_parts(n: usize, parts: Vec<(f64, Box<dyn IncrementalOracle + 'a>)>) -> Self {
+    pub fn from_parts(n: usize, parts: Vec<(f64, Box<O>)>) -> Self {
         for (_, p) in &parts {
             assert_eq!(p.ground_size(), n, "component ground size mismatch");
         }
@@ -626,7 +660,7 @@ impl<'a> MixtureOracle<'a> {
     }
 }
 
-impl IncrementalOracle for MixtureOracle<'_> {
+impl<O: IncrementalOracle + ?Sized> IncrementalOracle for MixtureOracle<O> {
     fn ground_size(&self) -> usize {
         self.members.in_set.len()
     }
@@ -940,6 +974,54 @@ mod tests {
     fn facility_oracle_matches_slices() {
         let f = facility();
         audit_against_slices(&f, &mut FacilityOracle::new(&f));
+    }
+
+    #[test]
+    fn facility_shift_kernel_matches_slices_across_chunk_boundaries() {
+        // Ground sizes straddling the SHIFT_LANES chunking: one full chunk
+        // exactly, odd tails, and sub-chunk rows. Every insert/remove runs
+        // shift_client over rows of these lengths; the marginals must stay
+        // equal to the slice-recomputed ground truth.
+        for n in [3usize, 8, 9, 16, 21, 27] {
+            let clients = n / 2 + 2;
+            let sim: Vec<Vec<f64>> = (0..clients)
+                .map(|c| {
+                    (0..n)
+                        .map(|u| ((c * 31 + u * 17) % 97) as f64 / 97.0)
+                        .collect()
+                })
+                .collect();
+            let weights: Vec<f64> = (0..clients).map(|c| 0.5 + (c % 5) as f64 * 0.3).collect();
+            let f = FacilityLocationFunction::new(sim, weights);
+            let mut oracle = FacilityOracle::new(&f);
+            let mut mirror: Vec<ElementId> = Vec::new();
+            let script: Vec<ElementId> = (0..n as ElementId)
+                .chain([0, (n / 2) as ElementId])
+                .collect();
+            for u in script {
+                if mirror.contains(&u) {
+                    oracle.remove(u);
+                    mirror.retain(|&x| x != u);
+                } else {
+                    oracle.insert(u);
+                    mirror.push(u);
+                }
+                assert!(
+                    (oracle.value() - f.value(&mirror)).abs() < 1e-9,
+                    "n={n}: value drifted after touching {u}"
+                );
+                for x in 0..n as ElementId {
+                    if !mirror.contains(&x) {
+                        let expected = f.marginal(x, &mirror);
+                        assert!(
+                            (oracle.marginal(x) - expected).abs() < 1e-9,
+                            "n={n}: marginal({x}) = {} expected {expected}",
+                            oracle.marginal(x)
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use coverage::CoverageFunction;
 pub use facility::FacilityLocationFunction;
 pub use incremental::{
     CoverageOracle, FacilityOracle, GenericOracle, IncrementalOracle, MixtureOracle, ModularOracle,
-    ZeroOracle,
+    SyncMixtureOracle, ZeroOracle,
 };
 pub use logdet::LogDetFunction;
 pub use mixture::MixtureFunction;
