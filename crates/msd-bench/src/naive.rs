@@ -229,6 +229,60 @@ pub fn oblivious_update_step_naive<M: Metric, F: SetFunction>(
     Some((u, v))
 }
 
+/// One oblivious repair step restricted to an availability mask — the
+/// slice-recomputing ground truth for `DynamicSession` under arrivals and
+/// departures. Identical to [`oblivious_update_step_naive`] except that
+/// inactive candidates are skipped.
+pub fn session_update_step_naive<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    active: &[bool],
+    solution: &mut Vec<ElementId>,
+) -> Option<(ElementId, ElementId)> {
+    let n = problem.ground_size();
+    let mut best: Option<(usize, ElementId, f64)> = None;
+    for v in 0..n as ElementId {
+        if !active[v as usize] || solution.contains(&v) {
+            continue;
+        }
+        for (idx, &u) in solution.iter().enumerate() {
+            let gain = problem.swap_gain(v, u, solution);
+            if gain > best.map_or(0.0, |(_, _, g)| g) {
+                best = Some((idx, v, gain));
+            }
+        }
+    }
+    let (idx, v, _) = best?;
+    let u = solution[idx];
+    solution.swap_remove(idx);
+    solution.push(v);
+    Some((u, v))
+}
+
+/// Greedy refill by the objective marginal over active outsiders (lowest
+/// index on ties) — the reference for `DynamicSession`'s
+/// departure-replacement rule. Returns the inserted element, pushing it
+/// onto `solution`.
+pub fn session_refill_naive<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    active: &[bool],
+    solution: &mut Vec<ElementId>,
+) -> Option<ElementId> {
+    let n = problem.ground_size();
+    let mut best: Option<(ElementId, f64)> = None;
+    for w in 0..n as ElementId {
+        if !active[w as usize] || solution.contains(&w) {
+            continue;
+        }
+        let score = problem.marginal(w, solution);
+        if best.is_none_or(|(_, b)| score > b) {
+            best = Some((w, score));
+        }
+    }
+    let (w, _) = best?;
+    solution.push(w);
+    Some(w)
+}
+
 /// The best simultaneous two-for-two exchange, scored by brute-force
 /// objective recomputation on materialized sets — the (tolerance-based)
 /// reference for `DynamicInstance::oblivious_update_double`, whose cache

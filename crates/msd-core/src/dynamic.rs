@@ -314,20 +314,16 @@ impl DynamicInstance {
         let metric = self.problem.metric();
         let quality = self.problem.quality();
         let lambda = self.problem.lambda();
-        let mut best: Option<(ElementId, ElementId, f64)> = None;
-        for v in 0..n as ElementId {
-            if self.state.contains(v) {
-                continue;
-            }
-            for &u in members {
-                let gain = quality.swap_gain(v, u, members)
-                    + lambda * self.state.swap_dispersion_delta(metric, v, u);
-                if gain > best.map_or(0.0, |(_, _, g)| g) {
-                    best = Some((u, v, gain));
-                }
-            }
-        }
-        best
+        scan_swap_chunk(
+            0,
+            n as ElementId,
+            members,
+            |v| !self.state.contains(v),
+            |v, u| {
+                quality.swap_gain(v, u, members)
+                    + lambda * self.state.swap_dispersion_delta(metric, v, u)
+            },
+        )
     }
 
     /// Repeats the oblivious rule until no positive swap remains or
@@ -383,7 +379,9 @@ impl DynamicInstance {
 
     /// Parallel counterpart of `best_single_swap`, chunked over `v`.
     /// Falls back to the serial scan below the work floor where spawning
-    /// does not amortize (identical result either way).
+    /// does not amortize (identical result either way). The modular
+    /// per-candidate evaluation is O(1) arithmetic — scan cost hint 1 —
+    /// so the raw candidate count is the weighted work.
     fn best_single_swap_parallel(&self) -> Option<(ElementId, ElementId, f64)> {
         let n = self.problem.ground_size();
         if !crate::parallel::par_worthwhile(n.saturating_mul(self.state.len())) {
@@ -397,20 +395,16 @@ impl DynamicInstance {
         crate::parallel::par_scan_chunks(
             n,
             |lo, hi| {
-                let mut best: Option<(ElementId, ElementId, f64)> = None;
-                for v in lo as ElementId..hi as ElementId {
-                    if state.contains(v) {
-                        continue;
-                    }
-                    for &u in members {
-                        let gain = quality.swap_gain(v, u, members)
-                            + lambda * state.swap_dispersion_delta(metric, v, u);
-                        if gain > best.map_or(0.0, |(_, _, g)| g) {
-                            best = Some((u, v, gain));
-                        }
-                    }
-                }
-                best
+                scan_swap_chunk(
+                    lo as ElementId,
+                    hi as ElementId,
+                    members,
+                    |v| !state.contains(v),
+                    |v, u| {
+                        quality.swap_gain(v, u, members)
+                            + lambda * state.swap_dispersion_delta(metric, v, u)
+                    },
+                )
             },
             |&(_, _, gain)| gain,
         )
@@ -480,20 +474,50 @@ pub fn oblivious_update_step<M: Metric, F: SetFunction>(
 ) -> UpdateOutcome {
     let n = problem.ground_size();
     let state = PotentialState::from_set(problem, solution);
-    let members = state.members();
+    let best = scan_swap_chunk(
+        0,
+        n as ElementId,
+        state.members(),
+        |v| !state.contains(v),
+        |v, u| state.swap_gain(v, u),
+    );
+    apply_step_outcome(solution, best)
+}
+
+/// One chunk `lo..hi` of THE oblivious single-swap scan: incoming
+/// candidates ascending, members in solution order, strict improvement
+/// over the running best (seeded at 0, so only positive gains qualify).
+/// Every serial, parallel-chunk and session scan funnels through this one
+/// traversal, which makes the *tie-break discipline* a structural
+/// property instead of a convention to re-check per call site. Agreement
+/// of the scanned values themselves is up to the caller's `gain`
+/// expression: serial vs parallel read the same caches and are exactly
+/// bit-identical, while a session's delta-patched caches match a fresh
+/// rebuild's sums up to floating-point accumulation order (only
+/// near-exact gain ties can distinguish them — see the equivalence
+/// suites). `eligible` filters candidates (membership, availability
+/// masks); `gain` supplies the swap-gain expression of the caller's
+/// caches.
+pub(crate) fn scan_swap_chunk(
+    lo: ElementId,
+    hi: ElementId,
+    members: &[ElementId],
+    eligible: impl Fn(ElementId) -> bool,
+    gain: impl Fn(ElementId, ElementId) -> f64,
+) -> Option<(ElementId, ElementId, f64)> {
     let mut best: Option<(ElementId, ElementId, f64)> = None;
-    for v in 0..n as ElementId {
-        if state.contains(v) {
+    for v in lo..hi {
+        if !eligible(v) {
             continue;
         }
         for &u in members {
-            let gain = state.swap_gain(v, u);
-            if gain > best.map_or(0.0, |(_, _, g)| g) {
-                best = Some((u, v, gain));
+            let g = gain(v, u);
+            if g > best.map_or(0.0, |(_, _, g)| g) {
+                best = Some((u, v, g));
             }
         }
     }
-    apply_step_outcome(solution, best)
+    best
 }
 
 /// Applies a chosen `(u_out, v_in, gain)` swap to a raw solution vector

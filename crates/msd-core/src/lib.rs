@@ -21,6 +21,7 @@
 //! | [`hassin`] | §3 | matching-based `2 − 1/⌈p/2⌉` dispersion algorithm and the edge greedy it builds on |
 //! | [`local_search`] | §5, Thm 2 | single-swap local search over matroid bases, 2-approx |
 //! | [`dynamic`] | §6, Thms 3–6 | oblivious single-swap update rule under weight/distance perturbations |
+//! | [`session`] | §6 at scale | persistent dynamic session: incremental oracle kept alive across perturbations, O(Δ) repair per update |
 //! | [`exact`] | §7 (OPT columns) | branch-and-bound exact solver for small instances |
 //! | [`mmr`] | §2 | Maximal Marginal Relevance baseline (Carbonell–Goldstein) |
 //! | [`counterexample`] | Appendix | the partition-matroid instance on which greedy is unboundedly bad |
@@ -46,6 +47,7 @@ pub mod mmr;
 pub mod parallel;
 pub mod potential;
 pub mod problem;
+pub mod session;
 pub mod solution;
 pub mod streaming;
 
@@ -60,8 +62,14 @@ pub use local_search::{local_search_matroid, local_search_refine, LocalSearchCon
 pub use mmr::{mmr_select, MmrConfig};
 pub use potential::{PotentialState, SyncPotentialState};
 pub use problem::DiversificationProblem;
+pub use session::{
+    DynamicSession, ScanExtent, SessionPerturbation, SyncDynamicSession, UpdateReport,
+};
 pub use solution::SolutionState;
-pub use streaming::{stream_diversify, StreamDecision, StreamingDiversifier, StreamingSession};
+pub use streaming::{
+    stream_diversify, CompactStreamingSession, StreamDecision, StreamingDiversifier,
+    StreamingSession,
+};
 
 /// Identifier of a ground-set element (shared across the workspace).
 pub type ElementId = u32;

@@ -65,17 +65,28 @@ fn forced_threads() -> Option<usize> {
         .and_then(|s| s.parse::<usize>().ok())
 }
 
-/// Minimum estimated scalar operations in a scan before spawning workers
-/// amortizes (measured on the dynamic-update scans: below this the
-/// spawn/join cost dominates and the "parallel" entry points are slower
-/// than serial). Scans under the floor run the serial code path — outputs
-/// are bit-identical either way, so this is purely a scheduling decision.
-const MIN_PAR_OPS: usize = 1 << 16;
+/// Minimum estimated *weighted* scalar operations in a scan before
+/// spawning workers amortizes: candidate evaluations × the quality
+/// oracle's `scan_cost_hint` (1 for the O(1) modular arithmetic, the
+/// client count for facility location, and so on — see
+/// `IncrementalOracle::scan_cost_hint`).
+///
+/// The floor is calibrated on the dynamic-update scans: a modular n=5000,
+/// p=50 single-swap scan is 250k cost-1 candidate reads, which is
+/// memory-bandwidth-bound and measurably *loses* to serial when chunked
+/// (`BENCH_dynamic.json` recorded 0.87×), while the same candidate count
+/// under coverage or facility quality carries one-to-three orders of
+/// magnitude more work per read and wins. Weighting by the oracle hint
+/// lets one floor serve every quality family. Scans under the floor run
+/// the serial code path — outputs are bit-identical either way, so this
+/// is purely a scheduling decision.
+const MIN_PAR_OPS: usize = 1 << 21;
 
-/// `true` when a scan of `ops` estimated scalar operations should be
-/// distributed. An explicit `MSD_PARALLEL_THREADS` override always
-/// distributes — besides tuning, that is how the equivalence suites force
-/// the chunked paths on small test instances.
+/// `true` when a scan of `ops` estimated weighted scalar operations (see
+/// [`MIN_PAR_OPS`]) should be distributed. An explicit
+/// `MSD_PARALLEL_THREADS` override always distributes — besides tuning,
+/// that is how the equivalence suites force the chunked paths on small
+/// test instances.
 pub(crate) fn par_worthwhile(ops: usize) -> bool {
     forced_threads().is_some() || ops >= MIN_PAR_OPS
 }
@@ -145,6 +156,24 @@ where
         }
     }
     best
+}
+
+/// Runs `scan` chunked over workers when `chunked`, or as one inline
+/// `scan(0, n)` call when not — the sub-work-floor fallback that reuses
+/// the caller's already-built caches instead of delegating to a serial
+/// entry point that would rebuild them. Identical output either way
+/// (one chunk *is* the serial traversal).
+fn scan_maybe_par<T, S, K>(n: usize, chunked: bool, scan: S, key: K) -> Option<T>
+where
+    T: Send,
+    S: Fn(usize, usize) -> Option<T> + Sync,
+    K: Fn(&T) -> f64,
+{
+    if chunked {
+        par_scan_chunks(n, scan, key)
+    } else {
+        scan(0, n)
+    }
 }
 
 /// Parallel Greedy B: bit-identical to [`crate::greedy_b`].
@@ -230,18 +259,19 @@ where
     if p == 0 {
         return Vec::new();
     }
-    // Each batch step is an O(n²) scan; below the amortization floor the
-    // serial implementation is strictly faster (and bit-identical).
-    if !par_worthwhile(n.saturating_mul(n)) {
-        return crate::greedy_b_pairs(problem, p);
-    }
     let mut state = SyncPotentialState::new_sync(problem);
+    // Each batch step is an O(n²) scan of pair-potential reads; below the
+    // cost-weighted amortization floor the same scans run inline over the
+    // same state (one chunk is the serial traversal — bit-identical, no
+    // spawn cost and no second cache construction).
+    let chunked = par_worthwhile(n.saturating_mul(n).saturating_mul(state.scan_cost_hint()));
 
     while state.len() + 2 <= p {
         let best = {
             let st = &state;
-            par_scan_chunks(
+            scan_maybe_par(
                 n,
+                chunked,
                 |lo, hi| {
                     let mut best: Option<(ElementId, ElementId, f64)> = None;
                     for u in lo as ElementId..hi as ElementId {
@@ -272,10 +302,29 @@ where
         }
     }
     if state.len() < p {
-        // One final single-vertex step for odd p.
+        // One final single-vertex step for odd p (exact-potential argmax;
+        // the serial code's lazy argmax selects the same element — stale
+        // bounds only over-rank, see `crate::greedy::greedy_b`).
         let next = {
             let st = &state;
-            par_argmax(n, |u| (!st.contains(u)).then(|| st.potential(u)))
+            scan_maybe_par(
+                n,
+                chunked,
+                |lo, hi| {
+                    let mut best: Option<(ElementId, f64)> = None;
+                    for u in lo as ElementId..hi as ElementId {
+                        if st.contains(u) {
+                            continue;
+                        }
+                        let score = st.potential(u);
+                        if best.is_none_or(|(_, b)| score > b) {
+                            best = Some((u, score));
+                        }
+                    }
+                    best
+                },
+                |&(_, score)| score,
+            )
         };
         if let Some((u, _)) = next {
             state.insert(u);
@@ -300,34 +349,30 @@ where
     F: SetFunction + Sync,
 {
     let n = problem.ground_size();
-    // The scan is O(n·p) cache reads; below the amortization floor run
-    // the serial step (bit-identical, no spawn cost).
-    if !par_worthwhile(n.saturating_mul(solution.len())) {
-        return crate::dynamic::oblivious_update_step(problem, solution);
-    }
     let mut state = SyncPotentialState::new_sync(problem);
     for &u in solution.iter() {
         state.insert(u);
     }
+    // The scan is O(n·p) cache reads whose unit cost depends on the
+    // quality family; below the cost-weighted amortization floor the same
+    // chunk runs once inline over the same state (bit-identical, no spawn
+    // cost).
+    let work = n
+        .saturating_mul(solution.len())
+        .saturating_mul(state.scan_cost_hint());
     let best = {
         let st = &state;
-        par_scan_chunks(
+        scan_maybe_par(
             n,
+            par_worthwhile(work),
             |lo, hi| {
-                let members = st.members();
-                let mut best: Option<(ElementId, ElementId, f64)> = None;
-                for v in lo as ElementId..hi as ElementId {
-                    if st.contains(v) {
-                        continue;
-                    }
-                    for &u in members {
-                        let gain = st.swap_gain(v, u);
-                        if gain > best.map_or(0.0, |(_, _, g)| g) {
-                            best = Some((u, v, gain));
-                        }
-                    }
-                }
-                best
+                crate::dynamic::scan_swap_chunk(
+                    lo as ElementId,
+                    hi as ElementId,
+                    st.members(),
+                    |v| !st.contains(v),
+                    |v, u| st.swap_gain(v, u),
+                )
             },
             |&(_, _, gain)| gain,
         )

@@ -117,6 +117,13 @@ impl<'a, M: Metric, Q: IncrementalOracle + ?Sized> PotentialState<'a, M, Q> {
         self.lambda
     }
 
+    /// The quality oracle's relative per-read cost (the scheduling hint
+    /// behind the parallel scans' cost-weighted work floor — see
+    /// `IncrementalOracle::scan_cost_hint`).
+    pub fn scan_cost_hint(&self) -> usize {
+        self.quality.scan_cost_hint()
+    }
+
     /// `d_u(S)` from the distance gain cache (O(1)).
     pub fn distance_gain(&self, u: ElementId) -> f64 {
         self.dist.distance_gain(u)

@@ -1,0 +1,871 @@
+//! Persistent dynamic sessions: the incremental oracle kept alive across
+//! perturbations.
+//!
+//! The paper's dynamic-update result (Section 6) is only cheap if the
+//! solver's state survives between updates: one oblivious swap per
+//! perturbation assumes the marginal caches are *already there*. The
+//! generic [`crate::oblivious_update_step`] honours the swap rule but
+//! rebuilds its fused [`crate::PotentialState`] caches from scratch on
+//! every call — an O(n·p) oracle-heavy rebuild that dominates the swap
+//! scan it feeds. [`DynamicSession`] removes that rebuild: it owns a
+//! long-lived distance-gain cache ([`SolutionState`]) plus quality oracle
+//! ([`IncrementalOracle`]) and repairs only what a perturbation touched:
+//!
+//! * **distance perturbation** — the owned metric's
+//!   [`PerturbableMetric::set_distance`] reports the displaced value, so
+//!   the Birnbaum–Goldman gains of the two endpoints (and the dispersion)
+//!   are patched in O(1);
+//! * **weight perturbation** — forwarded to the oracle's
+//!   [`IncrementalOracle::try_set_weight`] O(1) repair (modular-weight
+//!   oracles; others panic, as weight perturbations are the paper's
+//!   modular setting);
+//! * **arrival / departure** — an availability mask over the ground set;
+//!   a departing member is removed and the solution greedily refilled by
+//!   the best objective marginal.
+//!
+//! After the repair, one oblivious single-swap update runs over the
+//! repaired caches — the exact scan of [`crate::oblivious_update_step`],
+//! same traversal order and tie-breaks, so a session reproduces the
+//! rebuild path swap for swap (asserted across random perturbation
+//! sequences by the equivalence suite in `msd-bench`; the repaired gains
+//! match a fresh rebuild's sums up to floating-point accumulation order,
+//! so only near-exact gain ties could ever distinguish the two).
+//!
+//! On top of the rebuild savings the session tracks **local optimality**:
+//! when the last scan found no positive swap, a perturbation that provably
+//! cannot create one — both endpoints outside `S`, a distance increase
+//! inside `S`, a weight decrease outside `S`, … — skips the scan entirely
+//! ([`ScanExtent::Skipped`]), mirroring the monotonicity arguments behind
+//! the paper's perturbation types I–IV. In the steady state of a
+//! perturb→update stream (Figure 1), most updates reduce to this O(1)
+//! path, which is where the session's order-of-magnitude win over the
+//! rebuild path comes from (see `BENCH_dynamic.json`).
+
+use msd_metric::{Metric, PerturbableMetric};
+use msd_submodular::{IncrementalOracle, SetFunction};
+
+use crate::dynamic::{Perturbation, UpdateOutcome};
+use crate::problem::DiversificationProblem;
+use crate::solution::SolutionState;
+use crate::ElementId;
+
+/// A perturbation accepted by [`DynamicSession::apply`]: the paper's
+/// weight / distance rewrites ([`Perturbation`]) plus ground-set arrivals
+/// and departures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionPerturbation {
+    /// Set `w(u)` (types I/II). Requires a quality oracle with modular
+    /// weight data (see [`IncrementalOracle::supports_weight_updates`]).
+    SetWeight {
+        /// The element whose weight changes.
+        u: ElementId,
+        /// The new weight.
+        value: f64,
+    },
+    /// Set `d(u, v)` (types III/IV).
+    SetDistance {
+        /// First endpoint.
+        u: ElementId,
+        /// Second endpoint.
+        v: ElementId,
+        /// The new distance.
+        value: f64,
+    },
+    /// Element `u` becomes available for selection.
+    Arrive {
+        /// The arriving element.
+        u: ElementId,
+    },
+    /// Element `u` becomes unavailable; if selected it is removed and the
+    /// solution refilled greedily.
+    Depart {
+        /// The departing element.
+        u: ElementId,
+    },
+}
+
+impl From<Perturbation> for SessionPerturbation {
+    fn from(p: Perturbation) -> Self {
+        match p {
+            Perturbation::SetWeight { u, value } => SessionPerturbation::SetWeight { u, value },
+            Perturbation::SetDistance { u, v, value } => {
+                SessionPerturbation::SetDistance { u, v, value }
+            }
+        }
+    }
+}
+
+/// How much of the swap scan one [`DynamicSession::apply`] call ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanExtent {
+    /// The perturbation provably preserved local optimality; no scan ran.
+    Skipped,
+    /// Only the arriving element's swap column was scanned (the rest of
+    /// the candidates were already known non-improving).
+    Column,
+    /// The full `(v ∉ S, u ∈ S)` scan ran.
+    Full,
+}
+
+/// Outcome of one [`DynamicSession::apply`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateReport {
+    /// The oblivious update performed over the repaired caches.
+    pub outcome: UpdateOutcome,
+    /// Element greedily inserted to restore the target cardinality after
+    /// a selected member departed (or after an arrival while short).
+    pub refill: Option<ElementId>,
+    /// How much of the swap scan this update needed.
+    pub scan: ScanExtent,
+}
+
+/// A long-lived dynamic max-sum diversification session over any quality
+/// function: owned (perturbable) metric, persistent distance-gain cache
+/// and quality oracle, O(Δ) repair per perturbation (see the module docs).
+///
+/// Generic over the boxed oracle type so the serial entry points use plain
+/// `dyn IncrementalOracle` while the parallel scan demands
+/// `dyn IncrementalOracle + Send + Sync` (see [`SyncDynamicSession`]).
+pub struct DynamicSession<'q, M: Metric, Q: IncrementalOracle + ?Sized = dyn IncrementalOracle + 'q>
+{
+    metric: M,
+    lambda: f64,
+    dist: SolutionState,
+    quality: Box<Q>,
+    /// Availability mask (arrivals / departures).
+    active: Vec<bool>,
+    /// Target cardinality `p` (the initial solution's size).
+    p: usize,
+    /// `true` when the last scan over the *current* caches found no
+    /// positive swap and nothing affecting a swap gain changed since.
+    stable: bool,
+    _quality_fn: std::marker::PhantomData<&'q ()>,
+}
+
+/// [`DynamicSession`] whose quality oracle is shareable across threads
+/// (required by [`DynamicSession::apply_parallel`]).
+pub type SyncDynamicSession<'q, M> =
+    DynamicSession<'q, M, dyn IncrementalOracle + Send + Sync + 'q>;
+
+impl<M: Metric, Q: IncrementalOracle + ?Sized> std::fmt::Debug for DynamicSession<'_, M, Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicSession")
+            .field("members", &self.dist.members())
+            .field("p", &self.p)
+            .field("lambda", &self.lambda)
+            .field("stable", &self.stable)
+            .field("objective", &self.objective())
+            .finish()
+    }
+}
+
+impl<'q, M: Metric> DynamicSession<'q, M> {
+    /// Opens a session seeded with `initial` (typically Greedy B's output,
+    /// as in the paper's Section 7.3 driver). The metric is cloned into
+    /// the session — perturbations mutate the session's copy, never the
+    /// source problem — while the quality function stays borrowed (its
+    /// oracle lives as long as the session).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty, has duplicates, or exceeds the
+    /// ground set.
+    pub fn new<F: SetFunction>(
+        problem: &'q DiversificationProblem<M, F>,
+        initial: &[ElementId],
+    ) -> Self
+    where
+        M: Clone,
+    {
+        Self::from_parts(
+            problem.metric().clone(),
+            problem.quality().incremental_from(initial),
+            problem.lambda(),
+            initial,
+        )
+    }
+}
+
+impl<'q, M: Metric> SyncDynamicSession<'q, M> {
+    /// Thread-shareable variant of [`DynamicSession::new`] (enables
+    /// [`DynamicSession::apply_parallel`]).
+    pub fn new_sync<F: SetFunction + Sync>(
+        problem: &'q DiversificationProblem<M, F>,
+        initial: &[ElementId],
+    ) -> Self
+    where
+        M: Clone,
+    {
+        let mut quality = problem.quality().incremental_sync();
+        for &u in initial {
+            quality.insert(u);
+        }
+        Self::from_parts(problem.metric().clone(), quality, problem.lambda(), initial)
+    }
+}
+
+impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
+    fn from_parts(metric: M, quality: Box<Q>, lambda: f64, initial: &[ElementId]) -> Self {
+        assert!(!initial.is_empty(), "initial solution must be non-empty");
+        assert_eq!(
+            metric.len(),
+            quality.ground_size(),
+            "metric and quality oracle must share a ground set"
+        );
+        assert_eq!(
+            quality.len(),
+            initial.len(),
+            "quality oracle must be seeded with the initial solution"
+        );
+        let dist = SolutionState::from_set(&metric, initial);
+        Self {
+            active: vec![true; metric.len()],
+            p: initial.len(),
+            metric,
+            lambda,
+            dist,
+            quality,
+            stable: false,
+            _quality_fn: std::marker::PhantomData,
+        }
+    }
+
+    /// The current solution (insertion order; swaps reorder like
+    /// [`SolutionState`]).
+    pub fn solution(&self) -> &[ElementId] {
+        self.dist.members()
+    }
+
+    /// The target cardinality `p`.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The trade-off `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The session's (perturbed) metric.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// `true` iff `u` is currently selected.
+    pub fn contains(&self, u: ElementId) -> bool {
+        self.dist.contains(u)
+    }
+
+    /// `true` iff `u` is currently available (has not departed).
+    pub fn is_active(&self, u: ElementId) -> bool {
+        self.active[u as usize]
+    }
+
+    /// `true` when the solution is known to be single-swap optimal for
+    /// the current instance (the last scan found no positive swap and no
+    /// later perturbation could have created one).
+    pub fn is_stable(&self) -> bool {
+        self.stable
+    }
+
+    /// Current objective `φ(S)` (O(1) from the caches).
+    pub fn objective(&self) -> f64 {
+        self.quality.value() + self.lambda * self.dist.dispersion()
+    }
+
+    /// One oblivious update over the current caches, without a
+    /// perturbation (O(1) when the session is already stable).
+    pub fn step(&mut self) -> UpdateOutcome {
+        if self.stable {
+            return UpdateOutcome {
+                swap: None,
+                gain: 0.0,
+            };
+        }
+        let best = self.scan_full();
+        self.commit(best)
+    }
+
+    /// Repeats [`DynamicSession::step`] until no positive swap remains or
+    /// `max_updates` is hit; returns the number of swaps performed.
+    pub fn update_until_stable(&mut self, max_updates: usize) -> usize {
+        let mut updates = 0;
+        while updates < max_updates {
+            if self.step().swap.is_none() {
+                break;
+            }
+            updates += 1;
+        }
+        updates
+    }
+
+    /// Swap gain `φ(S − u_out + v_in) − φ(S)` from the caches — the exact
+    /// expression of [`crate::PotentialState::swap_gain`], so session
+    /// scans reproduce the rebuild path's choices.
+    fn swap_gain(&self, v_in: ElementId, u_out: ElementId) -> f64 {
+        self.quality.swap_gain(v_in, u_out)
+            + self.lambda * self.dist.swap_dispersion_delta(&self.metric, v_in, u_out)
+    }
+
+    /// Serial full scan: the [`crate::oblivious_update_step`] traversal
+    /// ([`crate::dynamic::scan_swap_chunk`]) restricted to active
+    /// candidates.
+    fn scan_full(&self) -> Option<(ElementId, ElementId, f64)> {
+        let n = self.dist.ground_size();
+        crate::dynamic::scan_swap_chunk(
+            0,
+            n as ElementId,
+            self.dist.members(),
+            |v| self.active[v as usize] && !self.dist.contains(v),
+            |v, u| self.swap_gain(v, u),
+        )
+    }
+
+    /// Scan of a single incoming candidate's column (used when an arrival
+    /// is the only thing that could have broken stability) — the shared
+    /// traversal over the one-candidate range `v..v+1`.
+    fn scan_column(&self, v: ElementId) -> Option<(ElementId, ElementId, f64)> {
+        crate::dynamic::scan_swap_chunk(
+            v,
+            v + 1,
+            self.dist.members(),
+            |_| true,
+            |v, u| self.swap_gain(v, u),
+        )
+    }
+
+    /// Applies a chosen swap to both caches (remove-then-insert, the
+    /// [`crate::PotentialState::swap`] order) and updates the stability
+    /// flag.
+    fn commit(&mut self, best: Option<(ElementId, ElementId, f64)>) -> UpdateOutcome {
+        match best {
+            Some((u_out, v_in, gain)) => {
+                self.dist.swap(&self.metric, v_in, u_out);
+                self.quality.remove(u_out);
+                self.quality.insert(v_in);
+                self.stable = false;
+                UpdateOutcome {
+                    swap: Some((u_out, v_in)),
+                    gain,
+                }
+            }
+            None => {
+                self.stable = true;
+                UpdateOutcome {
+                    swap: None,
+                    gain: 0.0,
+                }
+            }
+        }
+    }
+
+    /// Inserts the active outsider with the best objective marginal
+    /// `φ_w(S) = f_w(S) + λ·d_w(S)` (lowest index on ties), if any.
+    fn refill_once(&mut self) -> Option<ElementId> {
+        let n = self.dist.ground_size();
+        let mut best: Option<(ElementId, f64)> = None;
+        for w in 0..n as ElementId {
+            if !self.active[w as usize] || self.dist.contains(w) {
+                continue;
+            }
+            let score = self.quality.marginal(w) + self.lambda * self.dist.distance_gain(w);
+            if best.is_none_or(|(_, b)| score > b) {
+                best = Some((w, score));
+            }
+        }
+        let (w, _) = best?;
+        self.dist.insert(&self.metric, w);
+        self.quality.insert(w);
+        Some(w)
+    }
+}
+
+impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
+    /// Applies one perturbation — O(Δ) cache repair, then one oblivious
+    /// single-swap update over the repaired caches (skipped or narrowed
+    /// when local optimality provably survives; see [`ScanExtent`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range elements, invalid weights/distances, or a
+    /// [`SessionPerturbation::SetWeight`] when the quality oracle has no
+    /// modular weight data.
+    pub fn apply(&mut self, perturbation: SessionPerturbation) -> UpdateReport {
+        self.apply_via(perturbation, Self::scan_full)
+    }
+
+    /// Shared repair + scan driver; `scan` supplies the full-scan
+    /// strategy (serial or chunked parallel — both produce the identical
+    /// lowest-index-tie-break winner).
+    fn apply_via(
+        &mut self,
+        perturbation: SessionPerturbation,
+        scan: impl Fn(&Self) -> Option<(ElementId, ElementId, f64)>,
+    ) -> UpdateReport {
+        let mut refill = None;
+        // Repair the touched cache entries and decide whether the change
+        // could possibly create a positive swap. The directions mirror
+        // the paper's perturbation-type analysis: a change that only
+        // lowers candidate gains (or raises member gains) cannot break
+        // single-swap optimality.
+        let preserves_optimality = match perturbation {
+            SessionPerturbation::SetWeight { u, value } => {
+                let old = self.quality.try_set_weight(u, value).unwrap_or_else(|| {
+                    panic!("quality oracle does not support weight updates (element {u})")
+                });
+                // Compare in *effective-marginal* units on both sides:
+                // `try_set_weight` returns the previous effective weight
+                // (coefficient-weighted for mixtures), so the raw `value`
+                // is not directly comparable — re-read the marginal, which
+                // modular-weight oracles report membership-independently.
+                let new = self.quality.marginal(u);
+                if self.dist.contains(u) {
+                    new >= old
+                } else {
+                    // A departed element is in no feasible swap — its
+                    // weight can move freely without breaking optimality.
+                    new <= old || !self.active[u as usize]
+                }
+            }
+            SessionPerturbation::SetDistance { u, v, value } => {
+                let old = self.metric.set_distance(u, v, value);
+                let delta = value - old;
+                let u_in = self.dist.contains(u);
+                let v_in = self.dist.contains(v);
+                if delta != 0.0 {
+                    self.dist.apply_distance_delta(u, v, delta);
+                }
+                match (u_in, v_in) {
+                    // Neither endpoint selected: no swap gain involves
+                    // d(u, v) or either gain row.
+                    (false, false) => true,
+                    // Both selected: member gains move by delta, so swap
+                    // gains move by -delta — increases preserve.
+                    (true, true) => delta >= 0.0,
+                    // Mixed: the outside endpoint's candidate gain moves
+                    // by delta — decreases preserve (the pair swap
+                    // bringing the outsider in for the insider sees the
+                    // delta cancel exactly), as does a departed (hence
+                    // ineligible) outside endpoint.
+                    _ => {
+                        let outsider = if u_in { v } else { u };
+                        delta <= 0.0 || !self.active[outsider as usize]
+                    }
+                }
+            }
+            SessionPerturbation::Arrive { u } => {
+                if self.active[u as usize] {
+                    true // already available: nothing changed
+                } else {
+                    self.active[u as usize] = true;
+                    while self.dist.len() < self.p {
+                        match self.refill_once() {
+                            Some(w) => {
+                                refill = Some(w);
+                                self.stable = false;
+                            }
+                            None => break,
+                        }
+                    }
+                    if self.stable {
+                        // Every pre-existing candidate is known
+                        // non-improving; only the new column can hold a
+                        // positive swap.
+                        let best = self.scan_column(u);
+                        let outcome = self.commit(best);
+                        return UpdateReport {
+                            outcome,
+                            refill,
+                            scan: ScanExtent::Column,
+                        };
+                    }
+                    false
+                }
+            }
+            SessionPerturbation::Depart { u } => {
+                if !self.active[u as usize] {
+                    true // already gone: nothing changed
+                } else {
+                    self.active[u as usize] = false;
+                    if self.dist.contains(u) {
+                        self.dist.remove(&self.metric, u);
+                        self.quality.remove(u);
+                        refill = self.refill_once();
+                        self.stable = false;
+                        false
+                    } else {
+                        // Losing a non-selected candidate can only shrink
+                        // the scan.
+                        true
+                    }
+                }
+            }
+        };
+        if self.stable && preserves_optimality {
+            return UpdateReport {
+                outcome: UpdateOutcome {
+                    swap: None,
+                    gain: 0.0,
+                },
+                refill,
+                scan: ScanExtent::Skipped,
+            };
+        }
+        let best = scan(self);
+        let outcome = self.commit(best);
+        UpdateReport {
+            outcome,
+            refill,
+            scan: ScanExtent::Full,
+        }
+    }
+}
+
+/// Thread-parallel session scan (`parallel` feature): the full swap scan
+/// runs chunked over the incoming candidate via
+/// [`crate::parallel::par_scan_chunks`], with the work floor weighted by
+/// the oracle's [`IncrementalOracle::scan_cost_hint`] — bit-identical
+/// outputs to [`DynamicSession::apply`] either way.
+#[cfg(feature = "parallel")]
+impl<'q, M: PerturbableMetric + Sync> SyncDynamicSession<'q, M> {
+    /// Parallel [`DynamicSession::apply`].
+    pub fn apply_parallel(&mut self, perturbation: SessionPerturbation) -> UpdateReport {
+        self.apply_via(perturbation, Self::scan_full_parallel)
+    }
+
+    /// Chunked counterpart of `scan_full`; falls back to the serial scan
+    /// below the cost-weighted work floor (identical result).
+    fn scan_full_parallel(&self) -> Option<(ElementId, ElementId, f64)> {
+        let n = self.dist.ground_size();
+        let work = n
+            .saturating_mul(self.dist.len())
+            .saturating_mul(self.quality.scan_cost_hint());
+        if !crate::parallel::par_worthwhile(work) {
+            return self.scan_full();
+        }
+        let this = self;
+        crate::parallel::par_scan_chunks(
+            n,
+            |lo, hi| {
+                crate::dynamic::scan_swap_chunk(
+                    lo as ElementId,
+                    hi as ElementId,
+                    this.dist.members(),
+                    |v| this.active[v as usize] && !this.dist.contains(v),
+                    |v, u| this.swap_gain(v, u),
+                )
+            },
+            |&(_, _, gain)| gain,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::oblivious_update_step;
+    use crate::greedy::{greedy_b, GreedyBConfig};
+    use msd_metric::DistanceMatrix;
+    use msd_submodular::{CoverageFunction, ModularFunction};
+
+    fn instance(seed: u64, n: usize) -> DiversificationProblem<DistanceMatrix, ModularFunction> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let weights: Vec<f64> = (0..n).map(|_| next()).collect();
+        let metric = DistanceMatrix::from_fn(n, |_, _| 1.0 + next());
+        DiversificationProblem::new(metric, ModularFunction::new(weights), 0.2)
+    }
+
+    fn coverage_instance(n: usize) -> DiversificationProblem<DistanceMatrix, CoverageFunction> {
+        let covers: Vec<Vec<u32>> = (0..n as u32).map(|u| vec![u % 5, (u * 3) % 5]).collect();
+        let metric = DistanceMatrix::from_fn(n, |u, v| 1.0 + f64::from(u * 7 + v) % 13.0 / 13.0);
+        DiversificationProblem::new(
+            metric,
+            CoverageFunction::new(covers, vec![1.0, 2.0, 0.5, 3.0, 1.5]),
+            0.4,
+        )
+    }
+
+    /// Drives the same weight/distance script through a session and
+    /// through per-step rebuilds on a mirrored problem; swaps and
+    /// solutions must match step for step.
+    #[test]
+    fn session_matches_rebuild_path_on_modular() {
+        for seed in 0..5u64 {
+            let n = 20;
+            let problem = instance(seed, n);
+            let init = greedy_b(&problem, 5, GreedyBConfig::default());
+            let mut session = DynamicSession::new(&problem, &init);
+            let mut mirror = problem.clone();
+            let mut sol = init.clone();
+            let script = [
+                Perturbation::SetWeight { u: 19, value: 3.0 },
+                Perturbation::SetDistance {
+                    u: 0,
+                    v: 7,
+                    value: 1.9,
+                },
+                Perturbation::SetWeight { u: 3, value: 0.01 },
+                Perturbation::SetDistance {
+                    u: 4,
+                    v: 12,
+                    value: 1.05,
+                },
+                Perturbation::SetWeight { u: 11, value: 2.0 },
+            ];
+            for (step, &pert) in script.iter().enumerate() {
+                match pert {
+                    Perturbation::SetWeight { u, value } => {
+                        mirror.quality_mut().set_weight(u, value)
+                    }
+                    Perturbation::SetDistance { u, v, value } => {
+                        mirror.metric_mut().set(u, v, value)
+                    }
+                }
+                let report = session.apply(pert.into());
+                let expected = oblivious_update_step(&mirror, &mut sol);
+                assert_eq!(
+                    report.outcome.swap, expected.swap,
+                    "seed {seed} step {step}: swap diverged"
+                );
+                assert_eq!(session.solution(), &sol[..], "seed {seed} step {step}");
+                let direct = mirror.objective(&sol);
+                assert!(
+                    (session.objective() - direct).abs() < 1e-9,
+                    "seed {seed} step {step}: cached objective drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stable_session_skips_provably_irrelevant_perturbations() {
+        let problem = instance(3, 16);
+        let init = greedy_b(&problem, 4, GreedyBConfig::default());
+        let mut s = DynamicSession::new(&problem, &init);
+        s.update_until_stable(100);
+        assert!(s.is_stable());
+        // Both endpoints outside S: skipped for any new value.
+        let (a, b) = {
+            let mut outs = (0..16u32).filter(|&x| !s.contains(x));
+            (outs.next().unwrap(), outs.next().unwrap())
+        };
+        let r = s.apply(SessionPerturbation::SetDistance {
+            u: a,
+            v: b,
+            value: 1.99,
+        });
+        assert_eq!(r.scan, ScanExtent::Skipped);
+        assert_eq!(r.outcome.swap, None);
+        assert!(s.is_stable());
+        // Mixed endpoints, distance decrease: candidate gains only fall.
+        let m = s.solution()[0];
+        let old = s.metric().distance(a, m);
+        let r = s.apply(SessionPerturbation::SetDistance {
+            u: a,
+            v: m,
+            value: old * 0.5,
+        });
+        assert_eq!(r.scan, ScanExtent::Skipped);
+        // Mixed endpoints, distance increase: must rescan.
+        let r = s.apply(SessionPerturbation::SetDistance {
+            u: a,
+            v: m,
+            value: old * 2.0,
+        });
+        assert_eq!(r.scan, ScanExtent::Full);
+        // Weight directions: member increase skips, member decrease scans.
+        s.update_until_stable(100);
+        assert!(s.is_stable());
+        let m = s.solution()[0];
+        assert_eq!(
+            s.apply(SessionPerturbation::SetWeight { u: m, value: 6.0 })
+                .scan,
+            ScanExtent::Skipped,
+            "raising a member's weight preserves single-swap optimality"
+        );
+        assert_eq!(
+            s.apply(SessionPerturbation::SetWeight { u: m, value: 0.01 })
+                .scan,
+            ScanExtent::Full
+        );
+    }
+
+    #[test]
+    fn departures_refill_greedily_and_arrivals_rescan_one_column() {
+        let problem = instance(8, 12);
+        let init = greedy_b(&problem, 4, GreedyBConfig::default());
+        let mut s = DynamicSession::new(&problem, &init);
+        s.update_until_stable(100);
+        let leaving = s.solution()[1];
+        // Expected refill: best objective marginal among active outsiders
+        // of S − leaving, recomputed through the slice oracles.
+        let expected_refill = {
+            let remaining: Vec<ElementId> = s
+                .solution()
+                .iter()
+                .copied()
+                .filter(|&x| x != leaving)
+                .collect();
+            (0..12u32)
+                .filter(|x| x != &leaving && !remaining.contains(x))
+                .map(|w| (w, problem.marginal(w, &remaining)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let r = s.apply(SessionPerturbation::Depart { u: leaving });
+        assert_eq!(r.refill, Some(expected_refill));
+        assert!(!s.contains(leaving));
+        assert!(!s.is_active(leaving));
+        assert_eq!(s.solution().len(), 4);
+        // A departed element never re-enters through the scan.
+        s.update_until_stable(100);
+        assert!(!s.contains(leaving));
+        // Departure of a non-member while stable is a no-op.
+        let outsider = (0..12u32)
+            .find(|&x| !s.contains(x) && s.is_active(x))
+            .unwrap();
+        let r = s.apply(SessionPerturbation::Depart { u: outsider });
+        assert_eq!(r.scan, ScanExtent::Skipped);
+        // Perturbations touching only the departed element are skippable
+        // in *any* direction — it is in no feasible swap. (Values are
+        // restored afterwards so the final consistency check against the
+        // unperturbed problem still holds.)
+        let m0 = s.solution()[0];
+        let d_old = s.metric().distance(outsider, m0);
+        let r = s.apply(SessionPerturbation::SetDistance {
+            u: outsider,
+            v: m0,
+            value: d_old * 3.0,
+        });
+        assert_eq!(r.scan, ScanExtent::Skipped);
+        let w_old = problem.quality().weight(outsider);
+        let r = s.apply(SessionPerturbation::SetWeight {
+            u: outsider,
+            value: w_old + 50.0,
+        });
+        assert_eq!(r.scan, ScanExtent::Skipped);
+        s.apply(SessionPerturbation::SetDistance {
+            u: outsider,
+            v: m0,
+            value: d_old,
+        });
+        s.apply(SessionPerturbation::SetWeight {
+            u: outsider,
+            value: w_old,
+        });
+        // Re-arrival scans only the new column.
+        let r = s.apply(SessionPerturbation::Arrive { u: outsider });
+        assert_eq!(r.scan, ScanExtent::Column);
+        let r = s.apply(SessionPerturbation::Arrive { u: leaving });
+        assert_eq!(r.scan, ScanExtent::Column);
+        // Objective cache stays consistent with a slice recomputation.
+        let direct = problem.objective(s.solution());
+        assert!((s.objective() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn session_works_on_coverage_with_distance_perturbations() {
+        let problem = coverage_instance(14);
+        let init = greedy_b(&problem, 4, GreedyBConfig::default());
+        let mut session = DynamicSession::new(&problem, &init);
+        let mut mirror = problem.clone();
+        let mut sol = init.clone();
+        for (step, (u, v, value)) in [(0u32, 5u32, 1.8), (2, 9, 1.01), (1, 13, 1.6), (3, 4, 1.2)]
+            .into_iter()
+            .enumerate()
+        {
+            mirror.metric_mut().set(u, v, value);
+            let report = session.apply(SessionPerturbation::SetDistance { u, v, value });
+            let expected = oblivious_update_step(&mirror, &mut sol);
+            assert_eq!(report.outcome.swap, expected.swap, "step {step}");
+            assert_eq!(session.solution(), &sol[..], "step {step}");
+        }
+    }
+
+    #[test]
+    fn mixture_weight_skip_compares_effective_units() {
+        // Regression: for a coefficient-weighted modular mixture the raw
+        // new weight and `try_set_weight`'s effective old value live in
+        // different units. With coefficient 0.25, setting the selected
+        // member's raw weight 1.0 → 0.5 *halves* its effective marginal
+        // (0.25 → 0.125) — the buggy raw-vs-effective comparison
+        // (0.5 ≥ 0.25) skipped the scan and left the session stuck on a
+        // suboptimal solution forever.
+        use msd_submodular::MixtureFunction;
+        let metric = DistanceMatrix::from_fn(2, |_, _| 1.0);
+        let quality = MixtureFunction::new(2).with(0.25, ModularFunction::new(vec![1.0, 0.6]));
+        let problem = DiversificationProblem::new(metric, quality, 0.0);
+        let mut s = DynamicSession::new(&problem, &[0]);
+        s.update_until_stable(10);
+        assert!(s.is_stable());
+        let r = s.apply(SessionPerturbation::SetWeight { u: 0, value: 0.5 });
+        assert_eq!(r.scan, ScanExtent::Full);
+        assert_eq!(r.outcome.swap, Some((0, 1)));
+        assert_eq!(s.solution(), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support weight updates")]
+    fn weight_perturbation_panics_off_the_modular_family() {
+        let problem = coverage_instance(8);
+        let mut s = DynamicSession::new(&problem, &[0, 1]);
+        s.apply(SessionPerturbation::SetWeight { u: 2, value: 1.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_initial_solution_rejected() {
+        let problem = instance(1, 4);
+        let _ = DynamicSession::new(&problem, &[]);
+    }
+
+    #[test]
+    fn degenerate_p_equals_n_and_p_one() {
+        // p = n: no outsiders, every perturbation skips or scans to None.
+        let problem = instance(5, 6);
+        let all: Vec<ElementId> = (0..6).collect();
+        let mut s = DynamicSession::new(&problem, &all);
+        let r = s.apply(SessionPerturbation::SetDistance {
+            u: 1,
+            v: 4,
+            value: 1.3,
+        });
+        assert_eq!(r.outcome.swap, None);
+        assert_eq!(s.solution().len(), 6);
+        // p = 1: holds the best singleton under λ = 0-style dominance.
+        let metric = DistanceMatrix::from_fn(5, |_, _| 1.0);
+        let weights = vec![0.1, 0.2, 5.0, 0.4, 0.3];
+        let p1 = DiversificationProblem::new(metric, ModularFunction::new(weights), 0.0);
+        let mut s = DynamicSession::new(&p1, &[0]);
+        let r = s.apply(SessionPerturbation::SetWeight { u: 0, value: 0.05 });
+        assert_eq!(r.outcome.swap, Some((0, 2)));
+        assert_eq!(s.solution(), &[2]);
+    }
+
+    #[test]
+    fn depart_below_capacity_refills_on_next_arrival() {
+        // Shrink the active pool to exactly p, depart a member (no refill
+        // candidate), then let an arrival restore the capacity.
+        let problem = instance(9, 6);
+        let mut s = DynamicSession::new(&problem, &[0, 1, 2]);
+        for u in [3u32, 4, 5] {
+            s.apply(SessionPerturbation::Depart { u });
+        }
+        let r = s.apply(SessionPerturbation::Depart { u: 1 });
+        assert_eq!(r.refill, None);
+        assert_eq!(s.solution().len(), 2);
+        let r = s.apply(SessionPerturbation::Arrive { u: 4 });
+        assert_eq!(r.refill, Some(4));
+        assert_eq!(s.solution().len(), 3);
+        assert!(s.contains(4));
+        let direct = problem.objective(s.solution());
+        assert!((s.objective() - direct).abs() < 1e-9);
+    }
+}

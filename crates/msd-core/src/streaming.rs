@@ -248,6 +248,153 @@ impl<'a, M: Metric> StreamingSession<'a, M> {
     }
 }
 
+/// Capacity-bounded streaming session: the `O(p)`-memory mode of
+/// [`StreamingSession`].
+///
+/// Tracks distance gains only for the *current members* (the arriving
+/// element's gain is computed on the fly) instead of allocating an O(n)
+/// [`SolutionState`](crate::SolutionState)-backed cache, so the state is
+/// truly `O(p)` for unbounded streams — while still beating
+/// [`StreamingDiversifier`]'s `O(p²)` distance reads per arrival:
+///
+/// | variant | memory | distance reads / arrival |
+/// |---|---|---|
+/// | [`StreamingDiversifier`] | O(p) | O(p²) |
+/// | `CompactStreamingSession` | O(p) | O(p) |
+/// | [`StreamingSession`] | O(n) | O(p), O(n) sweep on accept |
+///
+/// Quality marginals go through the slice oracle (`O(p)`-memory by
+/// construction; O(1) for modular quality). The decision rule, member
+/// ordering (in-place replacement) and tie-breaks are exactly
+/// [`StreamingDiversifier`]'s; agreement with it — and with
+/// [`StreamingSession`] — holds up to floating-point accumulation order
+/// (the maintained gains accumulate `±d` repairs where the diversifier
+/// sums afresh), which only near-exact ties can distinguish.
+#[derive(Debug)]
+pub struct CompactStreamingSession<'a, M: Metric, F: SetFunction> {
+    problem: &'a DiversificationProblem<M, F>,
+    p: usize,
+    members: Vec<ElementId>,
+    /// `gains[i] = d_{members[i]}(S − members[i])`, maintained in O(p)
+    /// per accepted arrival.
+    gains: Vec<f64>,
+    /// Scratch: `d(e, members[i])` for the arrival being offered, so each
+    /// member distance is read from the metric once per arrival.
+    row: Vec<f64>,
+    seen: usize,
+    swaps: usize,
+}
+
+impl<'a, M: Metric, F: SetFunction> CompactStreamingSession<'a, M, F> {
+    /// An empty compact session with capacity `p` over `problem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p == 0`.
+    pub fn new(problem: &'a DiversificationProblem<M, F>, p: usize) -> Self {
+        assert!(p > 0, "capacity must be positive");
+        Self {
+            problem,
+            p,
+            members: Vec::with_capacity(p),
+            gains: Vec::with_capacity(p),
+            row: Vec::with_capacity(p),
+            seen: 0,
+            swaps: 0,
+        }
+    }
+
+    /// Offers the next stream element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is already selected.
+    pub fn offer(&mut self, e: ElementId) -> StreamDecision {
+        assert!(
+            !self.members.contains(&e),
+            "element {e} offered twice while selected"
+        );
+        self.seen += 1;
+        let metric = self.problem.metric();
+        // One metric sweep per arrival: d(e, m) for every member, reused
+        // by the gain computation, the swap scan and the gain repair.
+        self.row.clear();
+        self.row
+            .extend(self.members.iter().map(|&m| metric.distance(e, m)));
+        // d_e(S), summed in member order.
+        let gain_e: f64 = self.row.iter().sum();
+        if self.members.len() < self.p {
+            // Accept: fold e's distances into the member gains.
+            for (g, &d) in self.gains.iter_mut().zip(&self.row) {
+                *g += d;
+            }
+            self.members.push(e);
+            self.gains.push(gain_e);
+            return StreamDecision::Accepted;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &v) in self.members.iter().enumerate() {
+            let dd = gain_e - self.row[i] - self.gains[i];
+            let gain =
+                self.problem.quality().swap_gain(e, v, &self.members) + self.problem.lambda() * dd;
+            if gain > 1e-12 && best.is_none_or(|(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        match best {
+            Some((idx, _)) => {
+                let evicted = self.members[idx];
+                // Repair the member gains in O(p): each keeps its slot,
+                // trading d(·, evicted) for d(·, e); the newcomer takes
+                // the evicted slot with its freshly-computed gain.
+                for (j, &m) in self.members.iter().enumerate() {
+                    if j != idx {
+                        self.gains[j] += self.row[j] - metric.distance(evicted, m);
+                    }
+                }
+                self.gains[idx] = gain_e - self.row[idx];
+                self.members[idx] = e;
+                self.swaps += 1;
+                StreamDecision::Swapped { evicted }
+            }
+            None => StreamDecision::Rejected,
+        }
+    }
+
+    /// The current solution (in-place replacement order, like
+    /// [`StreamingDiversifier`]).
+    pub fn members(&self) -> &[ElementId] {
+        &self.members
+    }
+
+    /// Elements offered so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Swaps performed so far.
+    pub fn swaps(&self) -> usize {
+        self.swaps
+    }
+
+    /// Capacity `p`.
+    pub fn capacity(&self) -> usize {
+        self.p
+    }
+
+    /// Current objective `φ(S)` (one O(p·cost(f)) slice evaluation plus
+    /// the O(p) cached dispersion — no O(n) state to read from).
+    pub fn objective(&self) -> f64 {
+        self.problem.quality_value(&self.members)
+            + self.problem.lambda() * self.gains.iter().sum::<f64>() / 2.0
+    }
+
+    /// Finishes the stream, returning the selected set.
+    pub fn finish(self) -> Vec<ElementId> {
+        self.members
+    }
+}
+
 /// Convenience one-shot driver: streams `order` through a fresh
 /// [`StreamingSession`] and returns the final selection.
 pub fn stream_diversify<M: Metric, F: SetFunction>(
@@ -377,6 +524,85 @@ mod tests {
         }
         assert!(s.swaps() > 0, "some arrivals should displace members");
         assert!(s.swaps() <= 17);
+    }
+
+    #[test]
+    fn compact_session_matches_the_minimal_diversifier_decision_for_decision() {
+        // Same rule, same member ordering, gains maintained incrementally
+        // instead of recomputed — the decision stream must be identical.
+        for seed in 0..8u64 {
+            let problem = instance(seed + 70, 40);
+            let mut minimal = StreamingDiversifier::new(5);
+            let mut compact = CompactStreamingSession::new(&problem, 5);
+            for e in 0..40u32 {
+                let a = minimal.offer(&problem, e);
+                let b = compact.offer(e);
+                assert_eq!(a, b, "seed {seed}: decision diverged at arrival {e}");
+                assert_eq!(minimal.members(), compact.members(), "seed {seed}");
+            }
+            assert_eq!(minimal.swaps(), compact.swaps());
+            assert_eq!(compact.seen(), 40);
+            let direct = problem.objective(compact.members());
+            assert!(
+                (compact.objective() - direct).abs() < 1e-9,
+                "seed {seed}: cached gains drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_session_reaches_the_session_objective() {
+        // O(p) mode vs the O(n)-cache session: same final objective and
+        // member multiset on continuous random instances (exact ties are
+        // the documented divergence point and never bind here).
+        for seed in 0..6u64 {
+            let problem = instance(seed + 90, 36);
+            let mut session = StreamingSession::new(&problem, 6);
+            let mut compact = CompactStreamingSession::new(&problem, 6);
+            for e in 0..36u32 {
+                session.offer(e);
+                compact.offer(e);
+            }
+            let mut a = session.finish();
+            let mut b = compact.finish();
+            let oa = problem.objective(&a);
+            let ob = problem.objective(&b);
+            assert!(
+                (oa - ob).abs() <= 1e-9 * oa.abs().max(1.0),
+                "seed {seed}: objectives diverged ({oa} vs {ob})"
+            );
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "seed {seed}: member sets diverged");
+        }
+    }
+
+    #[test]
+    fn compact_capacity_accessors() {
+        let problem = instance(4, 8);
+        let mut c = CompactStreamingSession::new(&problem, 3);
+        assert_eq!(c.capacity(), 3);
+        for e in 0..5u32 {
+            c.offer(e);
+        }
+        assert_eq!(c.members().len(), 3);
+        assert_eq!(c.seen(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn compact_zero_capacity_rejected() {
+        let problem = instance(1, 4);
+        let _ = CompactStreamingSession::new(&problem, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offered twice")]
+    fn compact_duplicate_offer_panics() {
+        let problem = instance(1, 4);
+        let mut c = CompactStreamingSession::new(&problem, 3);
+        c.offer(2);
+        c.offer(2);
     }
 
     #[test]

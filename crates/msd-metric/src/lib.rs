@@ -130,6 +130,29 @@ pub trait Metric {
     }
 }
 
+/// A metric whose pairwise distances can be perturbed in place.
+///
+/// The dynamic-update setting (Section 6 of the paper) rewrites individual
+/// distances between updates. [`set_distance`](Self::set_distance) is the
+/// *mutation-with-notification* path: it overwrites `d(u, v)` and returns
+/// the previous value, so an incremental consumer (the persistent
+/// `DynamicSession` in `msd-core`) learns the exact delta `new − old` from
+/// the mutation itself and can repair its Birnbaum–Goldman gain caches in
+/// O(1) instead of rebuilding them.
+///
+/// Implementations must keep the [`Metric`] axioms (symmetry, zero
+/// diagonal); preserving the triangle inequality remains the caller's
+/// responsibility, as everywhere else in this workspace.
+pub trait PerturbableMetric: Metric {
+    /// Sets `d(u, v) = d(v, u) = value`, returning the previous distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`, either element is out of range, or `value` is
+    /// negative or non-finite.
+    fn set_distance(&mut self, u: ElementId, v: ElementId, value: f64) -> f64;
+}
+
 impl<M: Metric + ?Sized> Metric for &M {
     fn len(&self) -> usize {
         (**self).len()

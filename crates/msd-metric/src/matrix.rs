@@ -6,7 +6,7 @@
 //! `Vec<f64>` — one allocation, O(1) symmetric lookup, and cache-friendly
 //! row sweeps for the greedy algorithms.
 
-use crate::{ElementId, Metric};
+use crate::{ElementId, Metric, PerturbableMetric};
 
 /// A symmetric distance matrix over `{0, .., n-1}` with zero diagonal.
 ///
@@ -206,6 +206,24 @@ impl Metric for DistanceMatrix {
     }
 }
 
+impl PerturbableMetric for DistanceMatrix {
+    /// O(1) in-place update returning the displaced distance — the delta
+    /// source for session gain-cache repair (see the trait docs).
+    fn set_distance(&mut self, u: ElementId, v: ElementId, value: f64) -> f64 {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "distance must be finite and non-negative, got {value}"
+        );
+        assert!(u != v, "cannot set diagonal distance d({u},{u})");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "element out of range"
+        );
+        let idx = self.index(u, v);
+        std::mem::replace(&mut self.data[idx], value)
+    }
+}
+
 /// Incremental builder that fills the upper triangle pair by pair.
 ///
 /// Useful when distances arrive in arbitrary order (e.g. parsed from an
@@ -390,6 +408,27 @@ mod tests {
         let mut out = vec![1.0];
         m.accumulate_distances(0, &mut out, 1.0);
         assert_eq!(out, vec![1.0]);
+    }
+
+    #[test]
+    fn set_distance_returns_the_previous_value() {
+        let mut m = DistanceMatrix::from_fn(4, |u, v| f64::from(u + v));
+        let old = m.set_distance(1, 3, 9.5);
+        assert_eq!(old, 4.0);
+        assert_eq!(m.distance(3, 1), 9.5);
+        assert_eq!(m.set_distance(3, 1, 4.0), 9.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn set_distance_rejects_negative() {
+        DistanceMatrix::zeros(3).set_distance(0, 1, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn set_distance_rejects_diagonal() {
+        DistanceMatrix::zeros(3).set_distance(2, 2, 1.0);
     }
 
     #[test]

@@ -109,6 +109,48 @@ pub trait IncrementalOracle {
     ///
     /// Panics if `u ∉ S`.
     fn remove(&mut self, u: ElementId);
+
+    /// Relative cost of one [`marginal`](Self::marginal) /
+    /// [`swap_gain`](Self::swap_gain) read, normalized so `1` is the O(1)
+    /// arithmetic of the modular oracle (coverage ≈ cover-list walks,
+    /// facility ≈ one pass over its clients, generic ≈ a full value-oracle
+    /// evaluation). Pure *scheduling hint* consumed by the thread-parallel
+    /// scans' work floor in `msd-core` — it must never affect results.
+    fn scan_cost_hint(&self) -> usize {
+        1
+    }
+
+    /// `true` when the oracle carries per-element modular weight data that
+    /// [`try_set_weight`](Self::try_set_weight) can update in place.
+    fn supports_weight_updates(&self) -> bool {
+        false
+    }
+
+    /// Point weight update for oracles backed by modular weights: sets
+    /// `w(u) = value`, repairs `value()` and the marginal caches in O(1),
+    /// and returns the previous weight. Oracles without a modular notion
+    /// of per-element weight return `None` (callers fall back to a
+    /// rebuild). This is the weight-perturbation repair hook of the
+    /// persistent dynamic session in `msd-core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite `value` where supported.
+    fn try_set_weight(&mut self, u: ElementId, value: f64) -> Option<f64> {
+        let _ = (u, value);
+        None
+    }
+
+    /// Invalidates cached per-element state for `elems`, re-deriving it
+    /// from the underlying function in `O(Σ touched)` — the repair hook a
+    /// persistent session calls when function data for specific elements
+    /// was refreshed, instead of discarding the whole oracle. For oracles
+    /// whose caches are exact this re-derives (and, when nothing changed,
+    /// preserves) the cached values; the generic fallback drops its lazy
+    /// upper bounds for `elems`; the modular oracle restores the
+    /// authoritative weights of the wrapped function, undoing any
+    /// [`try_set_weight`](Self::try_set_weight) overrides.
+    fn invalidate(&mut self, elems: &[ElementId]);
 }
 
 /// Shared membership bookkeeping for the oracle implementations.
@@ -151,9 +193,19 @@ impl Membership {
 // ---------------------------------------------------------------------------
 
 /// O(1)-everything oracle for [`ModularFunction`].
+///
+/// Weights read from the wrapped function's slice until the first
+/// [`IncrementalOracle::try_set_weight`] (the dynamic-session weight
+/// perturbation), which copies them into a session-local override —
+/// copy-on-write, so greedy-style consumers keep the zero-copy borrow.
+/// [`IncrementalOracle::invalidate`] restores the function's
+/// authoritative values entry by entry.
 #[derive(Debug, Clone)]
 pub struct ModularOracle<'a> {
-    weights: &'a [f64],
+    f: &'a ModularFunction,
+    /// Session-local weight override; empty until the first
+    /// `try_set_weight`.
+    own: Vec<f64>,
     members: Membership,
     value: f64,
 }
@@ -162,16 +214,43 @@ impl<'a> ModularOracle<'a> {
     /// Oracle over the empty set.
     pub fn new(f: &'a ModularFunction) -> Self {
         Self {
-            weights: f.weights(),
+            f,
+            own: Vec::new(),
             members: Membership::new(f.ground_size()),
             value: 0.0,
+        }
+    }
+
+    /// The effective weights: the override when one exists, the wrapped
+    /// function's otherwise.
+    #[inline]
+    fn weights(&self) -> &[f64] {
+        if self.own.is_empty() {
+            self.f.weights()
+        } else {
+            &self.own
+        }
+    }
+
+    /// Re-reads the weight of `u` from the wrapped function, repairing
+    /// `value` when `u` is a member (the `invalidate` hook; a no-op
+    /// while no override exists).
+    fn reload_weight(&mut self, u: ElementId) {
+        if self.own.is_empty() {
+            return;
+        }
+        let old = self.own[u as usize];
+        let new = self.f.weight(u);
+        self.own[u as usize] = new;
+        if self.members.contains(u) {
+            self.value += new - old;
         }
     }
 }
 
 impl IncrementalOracle for ModularOracle<'_> {
     fn ground_size(&self) -> usize {
-        self.weights.len()
+        self.f.ground_size()
     }
 
     fn len(&self) -> usize {
@@ -187,25 +266,50 @@ impl IncrementalOracle for ModularOracle<'_> {
     }
 
     fn marginal(&self, u: ElementId) -> f64 {
-        self.weights[u as usize]
+        self.weights()[u as usize]
     }
 
     fn pair_marginal(&self, u: ElementId, v: ElementId) -> f64 {
-        self.weights[u as usize] + self.weights[v as usize]
+        self.weights()[u as usize] + self.weights()[v as usize]
     }
 
     fn swap_gain(&self, u: ElementId, v: ElementId) -> f64 {
-        self.weights[u as usize] - self.weights[v as usize]
+        self.weights()[u as usize] - self.weights()[v as usize]
     }
 
     fn insert(&mut self, u: ElementId) {
         self.members.insert(u);
-        self.value += self.weights[u as usize];
+        self.value += self.weights()[u as usize];
     }
 
     fn remove(&mut self, u: ElementId) {
         self.members.remove(u);
-        self.value -= self.weights[u as usize];
+        self.value -= self.weights()[u as usize];
+    }
+
+    fn supports_weight_updates(&self) -> bool {
+        true
+    }
+
+    fn try_set_weight(&mut self, u: ElementId, value: f64) -> Option<f64> {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "weight of element {u} must be finite and non-negative, got {value}"
+        );
+        if self.own.is_empty() {
+            self.own = self.f.weights().to_vec();
+        }
+        let old = std::mem::replace(&mut self.own[u as usize], value);
+        if self.members.contains(u) {
+            self.value += value - old;
+        }
+        Some(old)
+    }
+
+    fn invalidate(&mut self, elems: &[ElementId]) {
+        for &u in elems {
+            self.reload_weight(u);
+        }
     }
 }
 
@@ -265,6 +369,8 @@ impl IncrementalOracle for ZeroOracle {
     fn remove(&mut self, u: ElementId) {
         self.members.remove(u);
     }
+
+    fn invalidate(&mut self, _elems: &[ElementId]) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -288,6 +394,8 @@ pub struct CoverageOracle<'a> {
     /// `inv[t]` = elements covering topic `t`.
     inv: Vec<Vec<ElementId>>,
     value: f64,
+    /// Scan-cost hint: 1 + 2·(mean cover size), fixed at construction.
+    cost_hint: usize,
 }
 
 impl<'a> CoverageOracle<'a> {
@@ -297,11 +405,13 @@ impl<'a> CoverageOracle<'a> {
         let t = f.num_topics();
         let mut inv: Vec<Vec<ElementId>> = vec![Vec::new(); t];
         let mut cache = vec![0.0; n];
+        let mut total_cover = 0usize;
         for (u, slot) in cache.iter_mut().enumerate() {
             for &topic in f.covered_by(u as ElementId) {
                 inv[topic as usize].push(u as ElementId);
                 *slot += f.topic_weight(topic);
             }
+            total_cover += f.covered_by(u as ElementId).len();
         }
         Self {
             f,
@@ -310,6 +420,9 @@ impl<'a> CoverageOracle<'a> {
             cache,
             inv,
             value: 0.0,
+            // One swap-gain read walks cov(u) + cov(v) with binary
+            // searches; 2·mean-cover (+1 so it never hits zero) tracks it.
+            cost_hint: 1 + 2 * total_cover / n.max(1),
         }
     }
 
@@ -403,6 +516,24 @@ impl IncrementalOracle for CoverageOracle<'_> {
                     self.cache[x as usize] += w;
                 }
             }
+        }
+    }
+
+    fn scan_cost_hint(&self) -> usize {
+        self.cost_hint
+    }
+
+    fn invalidate(&mut self, elems: &[ElementId]) {
+        // Re-derive each element's marginal from the cover counts:
+        // f_u(S) = Σ_{t ∈ cov(u), count[t] = 0} w(t) — O(|cov(u)|) each.
+        for &u in elems {
+            let mut m = 0.0;
+            for &t in self.f.covered_by(u) {
+                if self.count[t as usize] == 0 {
+                    m += self.f.topic_weight(t);
+                }
+            }
+            self.cache[u as usize] = m;
         }
     }
 }
@@ -620,6 +751,27 @@ impl IncrementalOracle for FacilityOracle<'_> {
             }
         }
     }
+
+    fn scan_cost_hint(&self) -> usize {
+        // One swap-gain read sweeps every client.
+        self.best.len().max(1)
+    }
+
+    fn invalidate(&mut self, elems: &[ElementId]) {
+        // Re-derive each element's marginal from the per-client bests:
+        // f_u(S) = Σ_c w_c · (s(c, u) − best_c)⁺ — O(#clients) each.
+        for &u in elems {
+            let mut m = 0.0;
+            for client in 0..self.best.len() {
+                let s = self.f.sim_row(client)[u as usize];
+                let delta = s - self.best[client];
+                if delta > 0.0 {
+                    m += self.f.client_weight(client) * delta;
+                }
+            }
+            self.cache[u as usize] = m;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -727,6 +879,39 @@ impl<O: IncrementalOracle + ?Sized> IncrementalOracle for MixtureOracle<O> {
         self.members.remove(u);
         for (_, p) in &mut self.parts {
             p.remove(u);
+        }
+    }
+
+    fn scan_cost_hint(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|(_, p)| p.scan_cost_hint())
+            .sum::<usize>()
+            .max(1)
+    }
+
+    fn supports_weight_updates(&self) -> bool {
+        // All-or-nothing so a weight update can never be applied to only
+        // some components (mixtures of modular functions support it).
+        !self.parts.is_empty() && self.parts.iter().all(|(_, p)| p.supports_weight_updates())
+    }
+
+    fn try_set_weight(&mut self, u: ElementId, value: f64) -> Option<f64> {
+        if !self.supports_weight_updates() {
+            return None;
+        }
+        let mut old = 0.0;
+        for (c, p) in &mut self.parts {
+            old += *c
+                * p.try_set_weight(u, value)
+                    .expect("component advertised weight-update support");
+        }
+        Some(old)
+    }
+
+    fn invalidate(&mut self, elems: &[ElementId]) {
+        for (_, p) in &mut self.parts {
+            p.invalidate(elems);
         }
     }
 }
@@ -853,6 +1038,21 @@ impl<F: SetFunction + ?Sized> IncrementalOracle for GenericOracle<'_, F> {
         // Marginals can grow when the set shrinks: all bounds are invalid.
         self.bound.fill(f64::INFINITY);
         self.version += 1;
+    }
+
+    fn scan_cost_hint(&self) -> usize {
+        // Exact reads re-evaluate the wrapped value oracle over slices of
+        // the current set; the ground size is the only structure-free
+        // proxy for that cost.
+        self.in_set.len().max(1)
+    }
+
+    fn invalidate(&mut self, elems: &[ElementId]) {
+        // The lazily-cached bounds are the only per-element state.
+        for &u in elems {
+            self.bound[u as usize] = f64::INFINITY;
+            self.stamp[u as usize] = u64::MAX;
+        }
     }
 }
 
@@ -1109,6 +1309,101 @@ mod tests {
         // Shrinking invalidates.
         o.remove(3);
         assert!(o.marginal_bound(0).is_infinite());
+    }
+
+    #[test]
+    fn invalidate_is_an_identity_repair_when_nothing_changed() {
+        // With unchanged function data, invalidate must re-derive exactly
+        // the state the incremental maintenance reached (up to FP noise).
+        let cov = coverage();
+        let fac = facility();
+        let modular = ModularFunction::new(vec![0.5, 2.0, 0.0, 3.25, 1.0, 0.75]);
+        let mix = MixtureFunction::new(6)
+            .with(0.5, modular.clone())
+            .with(2.0, coverage());
+        let all: Vec<ElementId> = (0..6).collect();
+        let oracles: Vec<(&dyn SetFunction, Box<dyn IncrementalOracle>)> = vec![
+            (&cov, cov.incremental()),
+            (&fac, fac.incremental()),
+            (&modular, modular.incremental()),
+            (&mix, mix.incremental()),
+        ];
+        for (f, mut oracle) in oracles {
+            let n = f.ground_size();
+            oracle.insert(1);
+            oracle.insert(4 % n as ElementId);
+            let mirror: Vec<ElementId> = vec![1, 4 % n as ElementId];
+            oracle.invalidate(&all[..n]);
+            for u in 0..n as ElementId {
+                if !mirror.contains(&u) {
+                    let expected = f.marginal(u, &mirror);
+                    assert!(
+                        (oracle.marginal(u) - expected).abs() < 1e-9,
+                        "marginal({u}) drifted after invalidate"
+                    );
+                }
+            }
+            assert!((oracle.value() - f.value(&mirror)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn modular_weight_updates_repair_value_and_marginals() {
+        let f = ModularFunction::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let mut o = f.incremental_from(&[1, 3]);
+        assert!(o.supports_weight_updates());
+        // Member weight update shifts the value; outsider update does not.
+        assert_eq!(o.try_set_weight(3, 10.0), Some(4.0));
+        assert_eq!(o.value(), 12.0);
+        assert_eq!(o.try_set_weight(0, 7.0), Some(1.0));
+        assert_eq!(o.value(), 12.0);
+        assert_eq!(o.marginal(0), 7.0);
+        assert_eq!(o.swap_gain(0, 1), 5.0);
+        // invalidate restores the wrapped function's authoritative data.
+        o.invalidate(&[0, 3]);
+        assert_eq!(o.value(), 6.0);
+        assert_eq!(o.marginal(0), 1.0);
+    }
+
+    #[test]
+    fn weight_updates_are_unsupported_off_the_modular_family() {
+        let cov = coverage();
+        let mut o = cov.incremental();
+        assert!(!o.supports_weight_updates());
+        assert_eq!(o.try_set_weight(0, 1.0), None);
+        let fac = facility();
+        assert!(!fac.incremental().supports_weight_updates());
+        // Mixtures forward all-or-nothing: one non-modular part disables.
+        let mix = MixtureFunction::new(6)
+            .with(1.0, ModularFunction::uniform(6, 1.0))
+            .with(1.0, coverage());
+        assert!(!mix.incremental().supports_weight_updates());
+        let modular_mix = MixtureFunction::new(4)
+            .with(2.0, ModularFunction::new(vec![1.0, 2.0, 3.0, 4.0]))
+            .with(0.5, ModularFunction::uniform(4, 2.0));
+        let mut o = modular_mix.incremental();
+        assert!(o.supports_weight_updates());
+        // Previous effective weight: 2.0·2.0 + 0.5·2.0 = 5.0.
+        assert_eq!(o.try_set_weight(1, 6.0), Some(5.0));
+        assert_eq!(o.marginal(1), 2.5 * 6.0);
+    }
+
+    #[test]
+    fn scan_cost_hints_rank_families_sensibly() {
+        let modular = ModularFunction::uniform(8, 1.0);
+        assert_eq!(modular.incremental().scan_cost_hint(), 1);
+        let cov = coverage();
+        let fac = facility();
+        assert!(cov.incremental().scan_cost_hint() >= 2);
+        assert_eq!(fac.incremental().scan_cost_hint(), 3);
+        assert_eq!(GenericOracle::new(&cov).scan_cost_hint(), 6);
+        let mix = MixtureFunction::new(6)
+            .with(1.0, ModularFunction::uniform(6, 1.0))
+            .with(1.0, coverage());
+        assert_eq!(
+            mix.incremental().scan_cost_hint(),
+            1 + cov.incremental().scan_cost_hint()
+        );
     }
 
     #[test]

@@ -58,15 +58,16 @@ pub mod prelude {
     pub use msd_core::{
         exact_max_diversification, greedy_a, greedy_b, hassin_edge_greedy, hassin_matching,
         knapsack_diversify, local_search_matroid, local_search_refine, max_sum_dispersion_greedy,
-        mmr_select, stream_diversify, DiversificationProblem, DynamicInstance, ElementId,
-        GreedyAConfig, GreedyBConfig, KnapsackConfig, LocalSearchConfig, MmrConfig, Perturbation,
-        PotentialState, StreamingDiversifier, StreamingSession,
+        mmr_select, stream_diversify, CompactStreamingSession, DiversificationProblem,
+        DynamicInstance, DynamicSession, ElementId, GreedyAConfig, GreedyBConfig, KnapsackConfig,
+        LocalSearchConfig, MmrConfig, Perturbation, PotentialState, ScanExtent,
+        SessionPerturbation, StreamingDiversifier, StreamingSession,
     };
     pub use msd_matroid::{
         GraphicMatroid, LaminarMatroid, Matroid, PartitionMatroid, TransversalMatroid,
         TruncatedMatroid, UniformMatroid,
     };
-    pub use msd_metric::{DistanceMatrix, Metric, Point, WeightedGraph};
+    pub use msd_metric::{DistanceMatrix, Metric, PerturbableMetric, Point, WeightedGraph};
     pub use msd_submodular::{
         ConcaveOverModular, ConcaveShape, CoverageFunction, FacilityLocationFunction,
         LogDetFunction, MixtureFunction, ModularFunction, SetFunction,
