@@ -13,14 +13,19 @@
 //!   current instance),
 //!
 //! plus a `dynamic/double` family measuring the O(n²p²) double-swap rule
-//! at small fixed `n`, and a `dynamic/session/*` family pitting the
+//! at small fixed `n`, a `dynamic/session/*` family pitting the
 //! persistent [`DynamicSession`] (long-lived incremental caches, O(Δ)
 //! repair per perturbation) against the per-cycle rebuild path on the
 //! same perturbation streams — the `rebuild_ns`/`session_ns` pair tracks
-//! the session speedup in-repo. With `--features parallel`, the cycling
-//! families gain a `perturb_update_parallel` variant and the session
-//! family a `session_parallel` one (bit-identical outputs; see
-//! `msd-core/src/parallel.rs`).
+//! the session speedup in-repo — and a `dynamic/batch/*` family driving
+//! whole redraw *bursts* ([`BATCH`] perturbations + stabilization per
+//! iteration) per-perturbation vs through
+//! [`DynamicSession::apply_batch`]'s one-scan-per-batch ingestion (the
+//! `per_apply_ns`/`batch_ns` pair, ns per perturbation). With
+//! `--features parallel`, the cycling families gain a
+//! `perturb_update_parallel` variant, the session family a
+//! `session_parallel` one and the batch family a `batch_parallel` one
+//! (bit-identical outputs; see `msd-core/src/parallel.rs`).
 //!
 //! Results are written to `BENCH_dynamic.json` at the workspace root so
 //! the dynamic-update perf trajectory is tracked in-repo.
@@ -38,7 +43,7 @@ use msd_bench::support::{
 };
 use msd_core::{
     greedy_b, oblivious_update_step, DiversificationProblem, DynamicInstance, DynamicSession,
-    GreedyBConfig, Perturbation,
+    GreedyBConfig, Perturbation, SessionPerturbation,
 };
 use msd_data::SyntheticConfig;
 use msd_metric::DistanceMatrix;
@@ -216,6 +221,9 @@ fn bench_generic<F: SetFunction + Sync + Clone>(
 /// recorded means back to ns-per-cycle.
 const SESSION_BATCH: usize = 64;
 
+// `to_json` normalizes both family kinds through one divisor.
+const _: () = assert!(SESSION_BATCH == BATCH);
+
 fn bench_session<F: SetFunction + Sync + Clone>(
     c: &mut Criterion,
     family: &str,
@@ -286,6 +294,132 @@ fn bench_session<F: SetFunction + Sync + Clone>(
     }
 }
 
+/// Batch-ingestion family: one Figure-1 redraw *burst* per measured
+/// iteration — [`BATCH`] perturbations plus the stabilization needed
+/// before the solution is read — driven per-perturbation
+/// ([`DynamicSession::apply`] × [`BATCH`], one scan per relevant
+/// perturbation) against batched ingestion
+/// ([`DynamicSession::apply_batch`], O(Δ) repairs then at most one
+/// union-scoped scan). Both variants keep their session alive across
+/// iterations and draw identical perturbation streams from their own
+/// seeded RNG; `to_json` normalizes the recorded means to ns per
+/// perturbation.
+const BATCH: usize = 64;
+
+/// One redraw-burst perturbation: half the draws pin one endpoint (or
+/// the reweighted element) inside the seed solution. Figure 1's bursts
+/// run at small `n`, where most redraws touch the maintained solution;
+/// at production `n` a uniform draw almost never does, and both
+/// ingestion modes degenerate to the O(1) skip path that
+/// `dynamic/session/*` already measures. The hot-set bias restores the
+/// paper's relevance mix, so this family measures what batching is for:
+/// bursts that repeatedly break local optimality.
+fn draw_burst_perturbation(
+    rng: &mut StdRng,
+    n: usize,
+    with_weights: bool,
+    hot: &[u32],
+) -> Perturbation {
+    let pick_hot = rng.gen_bool(0.5);
+    let u = if pick_hot {
+        hot[rng.gen_range(0..hot.len())]
+    } else {
+        rng.gen_range(0..n) as u32
+    };
+    if with_weights && rng.gen_bool(0.5) {
+        Perturbation::SetWeight {
+            u,
+            value: rng.gen_range(0.0..1.0),
+        }
+    } else {
+        let mut v = rng.gen_range(0..n) as u32;
+        while v == u {
+            v = rng.gen_range(0..n) as u32;
+        }
+        Perturbation::SetDistance {
+            u,
+            v,
+            value: rng.gen_range(1.0..2.0),
+        }
+    }
+}
+
+fn bench_batch<F: SetFunction + Sync + Clone>(
+    c: &mut Criterion,
+    family: &str,
+    make: impl Fn(u64, usize) -> DiversificationProblem<DistanceMatrix, F>,
+    ns: &[usize],
+    with_weights: bool,
+) {
+    for &n in ns {
+        let p = P.min(n / 2);
+        let problem = make(9 + n as u64, n);
+        let mut init = greedy_b(&problem, p, GreedyBConfig::default());
+        for _ in 0..10 * p {
+            if oblivious_update_step(&problem, &mut init).swap.is_none() {
+                break;
+            }
+        }
+        let rng_seed = 29 + n as u64;
+        let hot = init.clone();
+        let mut group = c.benchmark_group(format!("dynamic/batch/{family}/n{n}/p{p}"));
+        // A burst (64 perturbations + stabilization) is one iteration
+        // with a heavy-tailed cost (most bursts are narrow scans, a few
+        // are churn storms of full scans), so this family needs a much
+        // longer window than the per-cycle families — short windows catch
+        // a handful of bursts and whole runs swing 5× on whether a storm
+        // landed inside them.
+        group.measurement_time(Duration::from_millis(2000));
+        {
+            let session_problem = problem.clone();
+            let mut session = DynamicSession::new(&session_problem, &init);
+            let mut rng = StdRng::seed_from_u64(rng_seed);
+            let hot = hot.clone();
+            group.bench_function("per_apply", |b| {
+                b.iter(|| {
+                    for _ in 0..BATCH {
+                        let pert = draw_burst_perturbation(&mut rng, n, with_weights, &hot);
+                        session.apply(black_box(pert.into()));
+                    }
+                    session.update_until_stable(BATCH)
+                })
+            });
+        }
+        {
+            let session_problem = problem.clone();
+            let mut session = DynamicSession::new(&session_problem, &init);
+            let mut rng = StdRng::seed_from_u64(rng_seed);
+            let hot = hot.clone();
+            group.bench_function("batch", |b| {
+                b.iter(|| {
+                    let burst: Vec<SessionPerturbation> = (0..BATCH)
+                        .map(|_| draw_burst_perturbation(&mut rng, n, with_weights, &hot).into())
+                        .collect();
+                    session.apply_batch(black_box(&burst));
+                    session.update_until_stable(BATCH)
+                })
+            });
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let session_problem = problem.clone();
+            let mut session = msd_core::SyncDynamicSession::new_sync(&session_problem, &init);
+            let mut rng = StdRng::seed_from_u64(rng_seed);
+            let hot = hot.clone();
+            group.bench_function("batch_parallel", |b| {
+                b.iter(|| {
+                    let burst: Vec<SessionPerturbation> = (0..BATCH)
+                        .map(|_| draw_burst_perturbation(&mut rng, n, with_weights, &hot).into())
+                        .collect();
+                    session.apply_batch_parallel(black_box(&burst));
+                    session.update_until_stable(BATCH)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 /// Double-swap family at small fixed sizes (the scan is O(n²p²); these
 /// sizes keep one update in the milliseconds while still giving the
 /// parallel chunking enough member pairs to spread).
@@ -336,18 +470,32 @@ fn to_json(records: &[BenchRecord]) -> String {
         std::thread::available_parallelism().map_or(1, usize::from)
     );
     out.push_str("  \"results\": [\n");
-    // Record ids look like `dynamic/coverage/n1000/p50/perturb_update` or
-    // `dynamic/session/coverage/n1000/p50/rebuild`; session configs emit
-    // a rebuild-vs-session pair, the others a serial-vs-parallel pair.
+    // Record ids look like `dynamic/coverage/n1000/p50/perturb_update`,
+    // `dynamic/session/coverage/n1000/p50/rebuild` or
+    // `dynamic/batch/modular/n5000/p50/batch`; session configs emit a
+    // rebuild-vs-session pair, batch configs a per-apply-vs-batch pair,
+    // the others a serial-vs-parallel pair.
     let configs = record_configs(records);
     for (i, config) in configs.iter().enumerate() {
         let tail = if i + 1 < configs.len() { "," } else { "" };
         let rebuild = record_mean(records, config, "rebuild");
-        // Session variants measure SESSION_BATCH cycles per iteration;
-        // normalize back to ns-per-cycle.
+        // Session and batch variants measure SESSION_BATCH (= BATCH)
+        // cycles per iteration; normalize back to ns-per-cycle.
         let per_cycle = |v: Option<f64>| v.map(|v| v / SESSION_BATCH as f64);
         let session = per_cycle(record_mean(records, config, "session"));
-        if rebuild.is_some() || session.is_some() {
+        let per_apply = per_cycle(record_mean(records, config, "per_apply"));
+        let batch = per_cycle(record_mean(records, config, "batch"));
+        if per_apply.is_some() || batch.is_some() {
+            let batch_parallel = per_cycle(record_mean(records, config, "batch_parallel"));
+            let _ = writeln!(
+                out,
+                "    {{\"config\": \"{config}\", \"per_apply_ns\": {}, \"batch_ns\": {}, \"batch_parallel_ns\": {}, \"speedup_per_apply_over_batch\": {}}}{tail}",
+                json_num(per_apply),
+                json_num(batch),
+                json_num(batch_parallel),
+                json_ratio(per_apply, batch),
+            );
+        } else if rebuild.is_some() || session.is_some() {
             let session_parallel = per_cycle(record_mean(records, config, "session_parallel"));
             let _ = writeln!(
                 out,
@@ -395,6 +543,15 @@ fn main() {
     );
     bench_session(&mut c, "coverage", coverage, apply_to_problem, &ns, false);
     bench_session(&mut c, "facility", facility, apply_to_problem, &ns, false);
+    bench_batch(
+        &mut c,
+        "modular",
+        |seed, n| SyntheticConfig::paper(n).generate(seed),
+        &ns,
+        true,
+    );
+    bench_batch(&mut c, "coverage", coverage, &ns, false);
+    bench_batch(&mut c, "facility", facility, &ns, false);
     let records = c.take_records();
 
     let json = to_json(&records);

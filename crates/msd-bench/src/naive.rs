@@ -258,6 +258,29 @@ pub fn session_update_step_naive<M: Metric, F: SetFunction>(
     Some((u, v))
 }
 
+/// Repeats [`session_update_step_naive`] until no positive swap remains
+/// or `max_updates` steps ran, returning the swaps in order — the
+/// slice-recomputing stabilization tail of the **batch reference**: apply
+/// a burst's repairs to a mirrored instance (weights/distances mutated,
+/// availability mask and refills replayed in ingestion order), then call
+/// this to reach the single-swap optimum `DynamicSession::apply_batch`
+/// followed by `update_until_stable` must reproduce swap for swap.
+pub fn session_stabilize_naive<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    active: &[bool],
+    solution: &mut Vec<ElementId>,
+    max_updates: usize,
+) -> Vec<(ElementId, ElementId)> {
+    let mut swaps = Vec::new();
+    while swaps.len() < max_updates {
+        match session_update_step_naive(problem, active, solution) {
+            Some(swap) => swaps.push(swap),
+            None => break,
+        }
+    }
+    swaps
+}
+
 /// Greedy refill by the objective marginal over active outsiders (lowest
 /// index on ties) — the reference for `DynamicSession`'s
 /// departure-replacement rule. Returns the inserted element, pushing it

@@ -63,7 +63,8 @@ pub use mmr::{mmr_select, MmrConfig};
 pub use potential::{PotentialState, SyncPotentialState};
 pub use problem::DiversificationProblem;
 pub use session::{
-    DynamicSession, ScanExtent, SessionPerturbation, SyncDynamicSession, UpdateReport,
+    BatchReport, DynamicSession, ScanExtent, SessionPerturbation, SyncDynamicSession, UpdateReport,
+    DEFAULT_CANDIDATE_CAPACITY,
 };
 pub use solution::SolutionState;
 pub use streaming::{

@@ -158,6 +158,46 @@ where
     best
 }
 
+/// Generic deterministic parallel *fold* over the chunked range `0..n`:
+/// each worker maps its chunk with `scan`, and the per-chunk results are
+/// folded left-to-right in **index order** with `merge`. Unlike
+/// [`par_scan_chunks`] (which selects one winner by a score key), this
+/// combines every chunk's result — the shape needed when a scan also
+/// *collects* side state, e.g. the session's per-member top-K candidate
+/// tables built during a full swap scan. `merge(a, b)` always receives
+/// `a` from earlier indices than `b`, so an order-sensitive merge (stable
+/// tie-breaks toward earlier candidates) reproduces the serial traversal
+/// exactly.
+pub(crate) fn par_fold_chunks<T, S, Me>(n: usize, scan: S, merge: Me) -> T
+where
+    T: Send,
+    S: Fn(usize, usize) -> T + Sync,
+    Me: Fn(T, T) -> T,
+{
+    let threads = num_threads(n);
+    if threads <= 1 {
+        return scan(0, n);
+    }
+    let chunk = n.div_ceil(threads);
+    let per_chunk: Vec<T> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let scan = &scan;
+                // Both bounds clamped, as in `par_scan_chunks`.
+                s.spawn(move || scan((t * chunk).min(n), ((t + 1) * chunk).min(n)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold worker panicked"))
+            .collect()
+    });
+    per_chunk
+        .into_iter()
+        .reduce(merge)
+        .expect("at least one chunk")
+}
+
 /// Runs `scan` chunked over workers when `chunked`, or as one inline
 /// `scan(0, n)` call when not — the sub-work-floor fallback that reuses
 /// the caller's already-built caches instead of delegating to a serial

@@ -40,6 +40,59 @@
 //! perturb→update stream (Figure 1), most updates reduce to this O(1)
 //! path, which is where the session's order-of-magnitude win over the
 //! rebuild path comes from (see `BENCH_dynamic.json`).
+//!
+//! When optimality *does* break, the direction analysis also scopes the
+//! scan: over a stable baseline every swap gain is `≤ 0`, so only the
+//! cells a perturbation may have *raised* can hold a positive swap. A
+//! change raising one candidate's gains (a distance increase against a
+//! member, a candidate weight increase, an arrival) scans just that
+//! candidate's **column** — O(p) instead of O(n·p)
+//! ([`ScanExtent::Column`]). A change uniformly raising one *member's*
+//! whole row of gains (a member weight decrease, a distance decrease
+//! inside `S`) is answered through the **bounded best-swap candidate
+//! cache**: the last full scan records, per member, the top-`K`
+//! candidates by swap gain (O(p·K) memory), and because the later
+//! perturbations either shift whole rows uniformly (order-preserving) or
+//! touch single columns that are tracked as *dirty* and re-scanned
+//! fresh, re-verifying one rank representative per broken row plus the
+//! dirty columns — O((K + dirty)·p) — provably reproduces the full
+//! scan's winner, lowest-index tie-breaks included
+//! ([`ScanExtent::Cached`]; boundary-tied or exhausted ranks fall back
+//! to the full scan, and `K = 0` disables the cache entirely).
+//!
+//! Bursts of perturbations (Figure 1's redraw workload) go through
+//! [`DynamicSession::apply_batch`]: every perturbation is repaired in
+//! O(Δ) as above, the scan scopes are accumulated across the whole
+//! batch, and **at most one** swap scan runs over their union — skipped
+//! entirely when every perturbation in the batch is provably irrelevant:
+//!
+//! ```
+//! use msd_core::{greedy_b, DiversificationProblem, DynamicSession, GreedyBConfig,
+//!     SessionPerturbation};
+//! use msd_metric::DistanceMatrix;
+//! use msd_submodular::ModularFunction;
+//!
+//! let metric = DistanceMatrix::from_fn(6, |u, v| 1.0 + f64::from((u + v) % 3) * 0.25);
+//! let quality = ModularFunction::new(vec![0.9, 0.3, 0.8, 0.2, 0.7, 0.1]);
+//! let problem = DiversificationProblem::new(metric, quality, 0.3);
+//! let init = greedy_b(&problem, 3, GreedyBConfig::default());
+//!
+//! let mut session = DynamicSession::new(&problem, &init);
+//! session.update_until_stable(16);
+//!
+//! // One redraw burst: k repairs, at most one scan over the union scope.
+//! let burst = [
+//!     SessionPerturbation::SetWeight { u: 5, value: 2.0 },
+//!     SessionPerturbation::SetDistance { u: 0, v: 4, value: 1.9 },
+//!     SessionPerturbation::SetDistance { u: 1, v: 3, value: 1.1 },
+//! ];
+//! let report = session.apply_batch(&burst);
+//! assert_eq!(report.ingested, 3);
+//! // Read the maintained solution once the burst is stabilized.
+//! session.update_until_stable(16);
+//! assert!(session.is_stable());
+//! assert_eq!(session.solution().len(), 3);
+//! ```
 
 use msd_metric::{Metric, PerturbableMetric};
 use msd_submodular::{IncrementalOracle, SetFunction};
@@ -95,14 +148,23 @@ impl From<Perturbation> for SessionPerturbation {
     }
 }
 
-/// How much of the swap scan one [`DynamicSession::apply`] call ran.
+/// How much of the swap scan one [`DynamicSession::apply`] /
+/// [`DynamicSession::apply_batch`] call ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScanExtent {
-    /// The perturbation provably preserved local optimality; no scan ran.
+    /// Every ingested perturbation provably preserved local optimality;
+    /// no scan ran.
     Skipped,
-    /// Only the arriving element's swap column was scanned (the rest of
-    /// the candidates were already known non-improving).
+    /// Only the columns of candidates whose gains may have risen (arrived
+    /// elements, candidate weight increases, distance increases against a
+    /// member) were scanned — O(p) per column; the remaining cells were
+    /// already known non-improving.
     Column,
+    /// Member rows whose gains rose uniformly were re-verified through
+    /// the bounded best-swap candidate cache (one rank representative per
+    /// broken row, plus every dirty column) — O((K + dirty)·p) instead of
+    /// the full O(n·p) traversal, same winner.
+    Cached,
     /// The full `(v ∉ S, u ∈ S)` scan ran.
     Full,
 }
@@ -117,6 +179,202 @@ pub struct UpdateReport {
     pub refill: Option<ElementId>,
     /// How much of the swap scan this update needed.
     pub scan: ScanExtent,
+}
+
+/// Outcome of one [`DynamicSession::apply_batch`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// The (at most one) oblivious update performed after all repairs,
+    /// over the union scan scope.
+    pub outcome: UpdateOutcome,
+    /// Elements greedily inserted to restore the target cardinality while
+    /// ingesting departures/arrivals, in insertion order.
+    pub refills: Vec<ElementId>,
+    /// How much of the swap scan the batch needed.
+    pub scan: ScanExtent,
+    /// Number of perturbations ingested (`perturbations.len()`).
+    pub ingested: usize,
+}
+
+/// Default per-member capacity `K` of the bounded best-swap candidate
+/// cache (see [`DynamicSession::with_candidate_cache`]).
+pub const DEFAULT_CANDIDATE_CAPACITY: usize = 8;
+
+/// Per-member top-K candidate table filled *during* a full swap scan:
+/// entries ordered by build gain descending, ties keeping the
+/// earlier-scanned (lower) candidate first — the scan's own tie-break —
+/// plus, per member, the highest gain truncated out of the row
+/// (`overflow`). The overflow marks where the stored ranking stops being
+/// trustworthy: an excluded candidate tying the boundary could out-rank a
+/// stored entry, so verification walking down to that gain level must
+/// fall back to the full scan.
+#[derive(Debug, Clone)]
+struct TopKCollector {
+    k: usize,
+    rows: Vec<Vec<(ElementId, f64)>>,
+    overflow: Vec<f64>,
+}
+
+impl TopKCollector {
+    fn new(k: usize, p: usize) -> Self {
+        Self {
+            k,
+            // `vec![template; p]` clones, and cloning an empty Vec drops
+            // its capacity — build each row explicitly.
+            rows: (0..p).map(|_| Vec::with_capacity(k.min(64))).collect(),
+            overflow: vec![f64::NEG_INFINITY; p],
+        }
+    }
+
+    /// Offers the evaluated cell `(candidate v, member position pos)` with
+    /// gain `g`. Must be called in scan order (candidates ascending).
+    #[inline]
+    fn push(&mut self, pos: usize, v: ElementId, g: f64) {
+        let row = &mut self.rows[pos];
+        if row.len() == self.k {
+            // Fast path: the boundary holds (ties keep the stored earlier
+            // candidate); only the overflow high-water mark can move.
+            if g <= row[self.k - 1].1 {
+                if g > self.overflow[pos] {
+                    self.overflow[pos] = g;
+                }
+                return;
+            }
+            let (_, dropped) = row.pop().expect("row is full");
+            if dropped > self.overflow[pos] {
+                self.overflow[pos] = dropped;
+            }
+        }
+        // `>=` keeps equal-gain earlier entries in front — stable for the
+        // ascending candidate order.
+        let idx = row.partition_point(|&(_, eg)| eg >= g);
+        row.insert(idx, (v, g));
+    }
+
+    /// Merges `right` — collected over strictly higher candidate indices —
+    /// into `self`, preserving the gain-descending / earlier-candidate-
+    /// first order and folding every truncation into the overflow marks.
+    #[cfg(feature = "parallel")]
+    fn merge(mut self, right: TopKCollector) -> TopKCollector {
+        for (pos, (row_r, over_r)) in right.rows.into_iter().zip(right.overflow).enumerate() {
+            let row_l = std::mem::take(&mut self.rows[pos]);
+            let mut overflow = self.overflow[pos].max(over_r);
+            let mut merged = Vec::with_capacity(row_l.len().max(row_r.len()));
+            let mut l = row_l.into_iter().peekable();
+            let mut r = row_r.into_iter().peekable();
+            loop {
+                let take_left = match (l.peek(), r.peek()) {
+                    // Ties prefer the left (earlier-index) chunk's entry.
+                    (Some(&(_, gl)), Some(&(_, gr))) => gl >= gr,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                let entry = if take_left { l.next() } else { r.next() }.expect("peeked");
+                if merged.len() < self.k {
+                    merged.push(entry);
+                } else if entry.1 > overflow {
+                    overflow = entry.1;
+                }
+            }
+            self.rows[pos] = merged;
+            self.overflow[pos] = overflow;
+        }
+        self
+    }
+}
+
+/// Bounded best-swap candidate cache: the rank tables of the last
+/// installed full scan, per-member dirt tracking, and a readiness flag.
+/// O(p·K) table memory plus the O(n) dirty mask.
+#[derive(Debug)]
+struct CandidateCache {
+    /// Per-member capacity `K`; 0 disables the cache.
+    k: usize,
+    /// `true` while the tables reflect the current solution: installed by
+    /// a full no-swap scan and no membership change since.
+    ready: bool,
+    rows: Vec<Vec<(ElementId, f64)>>,
+    overflow: Vec<f64>,
+    /// Candidates whose gains changed *non-uniformly* since the install
+    /// (single-column perturbations, arrivals). They are excluded from the
+    /// rank argument and re-scanned fresh alongside any cached
+    /// verification.
+    dirty: Vec<ElementId>,
+    dirty_mask: Vec<bool>,
+}
+
+impl CandidateCache {
+    fn new(k: usize, n: usize) -> Self {
+        Self {
+            k,
+            ready: false,
+            rows: Vec::new(),
+            overflow: Vec::new(),
+            dirty: Vec::new(),
+            dirty_mask: vec![false; n],
+        }
+    }
+
+    /// Drops the tables (membership changed, or the dirt rivals the
+    /// ground set); the next full no-swap scan rebuilds them.
+    fn invalidate(&mut self) {
+        if self.ready {
+            self.ready = false;
+            self.rows.clear();
+            self.overflow.clear();
+            for &v in &self.dirty {
+                self.dirty_mask[v as usize] = false;
+            }
+            self.dirty.clear();
+        }
+    }
+
+    /// Records a non-uniform single-column change since the install.
+    fn mark_dirty(&mut self, v: ElementId) {
+        if !self.ready || self.dirty_mask[v as usize] {
+            return;
+        }
+        // A dirt set rivalling the ground set makes cached verification no
+        // cheaper than the full scan it replaces — drop the tables and let
+        // the next break rebuild them fresh.
+        if (self.dirty.len() + 1) * 4 > self.dirty_mask.len() {
+            self.invalidate();
+            return;
+        }
+        self.dirty_mask[v as usize] = true;
+        self.dirty.push(v);
+    }
+
+    /// Installs freshly collected rank tables (after a full scan that
+    /// found no swap) and clears the dirt.
+    fn install(&mut self, coll: TopKCollector) {
+        debug_assert!(self.k > 0);
+        for &v in &self.dirty {
+            self.dirty_mask[v as usize] = false;
+        }
+        self.dirty.clear();
+        self.rows = coll.rows;
+        self.overflow = coll.overflow;
+        self.ready = true;
+    }
+}
+
+/// Scan scope accumulated while ingesting a batch of perturbations:
+/// candidate columns whose gains may have risen, member rows uniformly
+/// shifted upward, and whether anything demanded an unconditional full
+/// scan (membership changes, non-uniform weight semantics).
+#[derive(Debug, Default)]
+struct PendingScan {
+    cols: Vec<ElementId>,
+    rows: Vec<ElementId>,
+    full: bool,
+}
+
+impl PendingScan {
+    fn is_empty(&self) -> bool {
+        !self.full && self.cols.is_empty() && self.rows.is_empty()
+    }
 }
 
 /// A long-lived dynamic max-sum diversification session over any quality
@@ -139,6 +397,8 @@ pub struct DynamicSession<'q, M: Metric, Q: IncrementalOracle + ?Sized = dyn Inc
     /// `true` when the last scan over the *current* caches found no
     /// positive swap and nothing affecting a swap gain changed since.
     stable: bool,
+    /// Bounded best-swap candidate cache (see the module docs).
+    cache: CandidateCache,
     _quality_fn: std::marker::PhantomData<&'q ()>,
 }
 
@@ -221,6 +481,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
         Self {
             active: vec![true; metric.len()],
             p: initial.len(),
+            cache: CandidateCache::new(DEFAULT_CANDIDATE_CAPACITY, metric.len()),
             metric,
             lambda,
             dist,
@@ -228,6 +489,24 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
             stable: false,
             _quality_fn: std::marker::PhantomData,
         }
+    }
+
+    /// Sets the per-member capacity `K` of the bounded best-swap
+    /// candidate cache (builder style; the default is
+    /// [`DEFAULT_CANDIDATE_CAPACITY`]). `K = 0` disables the cache: every
+    /// row-breaking perturbation falls back to the full scan — exactly
+    /// the cache-free behavior. Larger `K` keeps cached verification
+    /// alive through more boundary ties and candidate churn at O(p·K)
+    /// memory. Purely a scheduling knob: the chosen swaps are identical
+    /// for every `K`.
+    pub fn with_candidate_cache(mut self, k: usize) -> Self {
+        self.cache = CandidateCache::new(k, self.metric.len());
+        self
+    }
+
+    /// The candidate cache's per-member capacity `K` (0 = disabled).
+    pub fn candidate_cache_capacity(&self) -> usize {
+        self.cache.k
     }
 
     /// The current solution (insertion order; swaps reorder like
@@ -274,7 +553,9 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
     }
 
     /// One oblivious update over the current caches, without a
-    /// perturbation (O(1) when the session is already stable).
+    /// perturbation (O(1) when the session is already stable). A no-swap
+    /// scan (re-)establishes stability and installs the candidate cache's
+    /// rank tables.
     pub fn step(&mut self) -> UpdateOutcome {
         if self.stable {
             return UpdateOutcome {
@@ -282,7 +563,12 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
                 gain: 0.0,
             };
         }
-        let best = self.scan_full();
+        let (best, coll) = self.scan_full_collect();
+        if best.is_none() {
+            if let Some(coll) = coll {
+                self.cache.install(coll);
+            }
+        }
         self.commit(best)
     }
 
@@ -321,17 +607,108 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
         )
     }
 
-    /// Scan of a single incoming candidate's column (used when an arrival
-    /// is the only thing that could have broken stability) — the shared
-    /// traversal over the one-candidate range `v..v+1`.
-    fn scan_column(&self, v: ElementId) -> Option<(ElementId, ElementId, f64)> {
-        crate::dynamic::scan_swap_chunk(
-            v,
-            v + 1,
-            self.dist.members(),
-            |_| true,
-            |v, u| self.swap_gain(v, u),
-        )
+    /// Scan restricted to the given candidate columns (must be sorted
+    /// ascending and deduplicated) — the shared traversal and tie-break
+    /// discipline of [`crate::dynamic::scan_swap_chunk`], restricted to a
+    /// candidate subset that provably contains every positive cell.
+    fn scan_columns(&self, cols: &[ElementId]) -> Option<(ElementId, ElementId, f64)> {
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        let mut best: Option<(ElementId, ElementId, f64)> = None;
+        for &v in cols {
+            if !self.active[v as usize] || self.dist.contains(v) {
+                continue;
+            }
+            for &u in self.dist.members() {
+                let g = self.swap_gain(v, u);
+                if g > best.map_or(0.0, |(_, _, b)| b) {
+                    best = Some((u, v, g));
+                }
+            }
+        }
+        best
+    }
+
+    /// One `lo..hi` chunk of the *collecting* full scan: the exact
+    /// [`crate::dynamic::scan_swap_chunk`] traversal and tie-break
+    /// discipline, plus one [`TopKCollector::push`] per evaluated cell so
+    /// the candidate cache's rank tables are built in the same pass.
+    fn scan_chunk_collect(
+        &self,
+        lo: ElementId,
+        hi: ElementId,
+    ) -> (Option<(ElementId, ElementId, f64)>, TopKCollector) {
+        let members = self.dist.members();
+        let mut coll = TopKCollector::new(self.cache.k, members.len());
+        let mut best: Option<(ElementId, ElementId, f64)> = None;
+        for v in lo..hi {
+            if !self.active[v as usize] || self.dist.contains(v) {
+                continue;
+            }
+            for (pos, &u) in members.iter().enumerate() {
+                let g = self.swap_gain(v, u);
+                coll.push(pos, v, g);
+                if g > best.map_or(0.0, |(_, _, b)| b) {
+                    best = Some((u, v, g));
+                }
+            }
+        }
+        (best, coll)
+    }
+
+    /// Serial full scan that also collects the rank tables when the cache
+    /// is enabled — same cells, same gains, same winner as [`scan_full`]
+    /// (asserted by the `K = 0` equivalence tests).
+    ///
+    /// [`scan_full`]: DynamicSession::scan_full
+    fn scan_full_collect(&self) -> (Option<(ElementId, ElementId, f64)>, Option<TopKCollector>) {
+        if self.cache.k == 0 {
+            return (self.scan_full(), None);
+        }
+        let n = self.dist.ground_size() as ElementId;
+        let (best, coll) = self.scan_chunk_collect(0, n);
+        (best, Some(coll))
+    }
+
+    /// First cache entry of the member at solution position `pos` that is
+    /// still rank-trustworthy: dirty entries are skipped (their fresh
+    /// gains are re-scanned through the dirty columns anyway), inactive
+    /// ones are ineligible, and an entry at the truncation boundary's
+    /// gain level is ambiguous (an excluded candidate could tie it).
+    /// `None` means the row is stale — fall back to the full scan.
+    fn cached_row_representative(&self, pos: usize) -> Option<ElementId> {
+        for &(v, g) in &self.cache.rows[pos] {
+            if self.cache.dirty_mask[v as usize] {
+                continue;
+            }
+            if !self.active[v as usize] || self.dist.contains(v) {
+                continue;
+            }
+            if g <= self.cache.overflow[pos] {
+                return None;
+            }
+            return Some(v);
+        }
+        None
+    }
+
+    /// Candidate columns for a cache-verified scan: the broken columns,
+    /// every dirty column, and one rank representative per broken member
+    /// row. `None` when some broken row's ranking is stale — the caller
+    /// falls back to the full scan.
+    fn cached_scan_targets(&self, pending: &PendingScan) -> Option<Vec<ElementId>> {
+        let members = self.dist.members();
+        let mut targets = pending.cols.clone();
+        targets.extend_from_slice(&self.cache.dirty);
+        for &m in &pending.rows {
+            let pos = members
+                .iter()
+                .position(|&x| x == m)
+                .expect("broken row must still be a member (membership changes invalidate)");
+            targets.push(self.cached_row_representative(pos)?);
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        Some(targets)
     }
 
     /// Applies a chosen swap to both caches (remove-then-insert, the
@@ -343,6 +720,8 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
                 self.dist.swap(&self.metric, v_in, u_out);
                 self.quality.remove(u_out);
                 self.quality.insert(v_in);
+                // A membership change moves every gain row non-uniformly.
+                self.cache.invalidate();
                 self.stable = false;
                 UpdateOutcome {
                     swap: Some((u_out, v_in)),
@@ -376,6 +755,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
         let (w, _) = best?;
         self.dist.insert(&self.metric, w);
         self.quality.insert(w);
+        self.cache.invalidate();
         Some(w)
     }
 }
@@ -391,24 +771,125 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
     /// [`SessionPerturbation::SetWeight`] when the quality oracle has no
     /// modular weight data.
     pub fn apply(&mut self, perturbation: SessionPerturbation) -> UpdateReport {
-        self.apply_via(perturbation, Self::scan_full)
+        let report = self.apply_batch(std::slice::from_ref(&perturbation));
+        UpdateReport {
+            outcome: report.outcome,
+            refill: report.refills.last().copied(),
+            scan: report.scan,
+        }
     }
 
-    /// Shared repair + scan driver; `scan` supplies the full-scan
-    /// strategy (serial or chunked parallel — both produce the identical
-    /// lowest-index-tie-break winner).
-    fn apply_via(
+    /// Ingests a whole burst of perturbations: every perturbation is
+    /// repaired in O(Δ) — exactly as by [`DynamicSession::apply`], in
+    /// order, including departure removals and greedy refills — while the
+    /// scan scopes of the direction analysis accumulate across the batch.
+    /// At most **one** swap scan then runs over the union scope (see
+    /// [`ScanExtent`]); it is skipped entirely when every perturbation in
+    /// the batch is provably irrelevant. An empty batch is a no-op.
+    ///
+    /// Compared to k sequential [`DynamicSession::apply`] calls this
+    /// performs at most one swap instead of up to k; run
+    /// [`DynamicSession::update_until_stable`] afterwards to restore
+    /// single-swap optimality before reading the solution (the Figure 1
+    /// redraw pattern — see the batch equivalence suite in `msd-bench`).
+    ///
+    /// # Panics
+    ///
+    /// As [`DynamicSession::apply`], per ingested perturbation.
+    pub fn apply_batch(&mut self, perturbations: &[SessionPerturbation]) -> BatchReport {
+        self.apply_batch_via(perturbations, Self::scan_full_collect)
+    }
+
+    /// Shared batched repair + scan driver; `full_scan` supplies the
+    /// full-scan strategy (serial or chunked parallel — both produce the
+    /// identical lowest-index-tie-break winner and, when the candidate
+    /// cache is enabled, identical rank tables).
+    fn apply_batch_via(
+        &mut self,
+        perturbations: &[SessionPerturbation],
+        full_scan: impl Fn(&Self) -> (Option<(ElementId, ElementId, f64)>, Option<TopKCollector>),
+    ) -> BatchReport {
+        let mut refills = Vec::new();
+        if perturbations.is_empty() {
+            return BatchReport {
+                outcome: UpdateOutcome {
+                    swap: None,
+                    gain: 0.0,
+                },
+                refills,
+                scan: ScanExtent::Skipped,
+                ingested: 0,
+            };
+        }
+        let mut pending = PendingScan::default();
+        for &p in perturbations {
+            self.ingest(p, &mut pending, &mut refills);
+        }
+        if self.stable && pending.is_empty() {
+            return BatchReport {
+                outcome: UpdateOutcome {
+                    swap: None,
+                    gain: 0.0,
+                },
+                refills,
+                scan: ScanExtent::Skipped,
+                ingested: perturbations.len(),
+            };
+        }
+        let (best, scan) = self.scoped_scan(&mut pending, full_scan);
+        let outcome = self.commit(best);
+        BatchReport {
+            outcome,
+            refills,
+            scan,
+            ingested: perturbations.len(),
+        }
+    }
+
+    /// Runs the narrowest sound scan for the accumulated scope: columns
+    /// only, cache-verified rows, or the full traversal (which rebuilds
+    /// the rank tables when it ends stable). Every path returns the swap
+    /// the full scan would choose.
+    fn scoped_scan(
+        &mut self,
+        pending: &mut PendingScan,
+        full_scan: impl Fn(&Self) -> (Option<(ElementId, ElementId, f64)>, Option<TopKCollector>),
+    ) -> (Option<(ElementId, ElementId, f64)>, ScanExtent) {
+        if self.stable && !pending.full {
+            if pending.rows.is_empty() {
+                pending.cols.sort_unstable();
+                pending.cols.dedup();
+                return (self.scan_columns(&pending.cols), ScanExtent::Column);
+            }
+            if self.cache.ready {
+                if let Some(targets) = self.cached_scan_targets(pending) {
+                    return (self.scan_columns(&targets), ScanExtent::Cached);
+                }
+            }
+        }
+        let (best, coll) = full_scan(self);
+        if best.is_none() {
+            if let Some(coll) = coll {
+                self.cache.install(coll);
+            }
+        }
+        (best, ScanExtent::Full)
+    }
+
+    /// Repairs the session caches for one perturbation in O(Δ) and
+    /// records which part of the swap-gain matrix may have *risen* (the
+    /// module docs' direction analysis): nothing, candidate columns,
+    /// uniformly shifted member rows, or an unconditional full scan.
+    /// Candidate-cache dirt (non-uniform single-column changes) is
+    /// recorded even for optimality-preserving perturbations — the rank
+    /// tables must stay honest for later cached scans.
+    fn ingest(
         &mut self,
         perturbation: SessionPerturbation,
-        scan: impl Fn(&Self) -> Option<(ElementId, ElementId, f64)>,
-    ) -> UpdateReport {
-        let mut refill = None;
-        // Repair the touched cache entries and decide whether the change
-        // could possibly create a positive swap. The directions mirror
-        // the paper's perturbation-type analysis: a change that only
-        // lowers candidate gains (or raises member gains) cannot break
-        // single-swap optimality.
-        let preserves_optimality = match perturbation {
+        pending: &mut PendingScan,
+        refills: &mut Vec<ElementId>,
+    ) {
+        match perturbation {
             SessionPerturbation::SetWeight { u, value } => {
                 let old = self.quality.try_set_weight(u, value).unwrap_or_else(|| {
                     panic!("quality oracle does not support weight updates (element {u})")
@@ -419,12 +900,29 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
                 // is not directly comparable — re-read the marginal, which
                 // modular-weight oracles report membership-independently.
                 let new = self.quality.marginal(u);
-                if self.dist.contains(u) {
-                    new >= old
+                if !self.quality.weight_updates_shift_uniformly() {
+                    // Exotic weight semantics (element interactions in
+                    // try_set_weight): neither the direction analysis nor
+                    // the column confinement nor the cached ranking is
+                    // trustworthy — full scan, fresh ranks.
+                    self.cache.invalidate();
+                    pending.full = true;
+                } else if self.dist.contains(u) {
+                    if new < old {
+                        // The member's whole gain row rose by old − new,
+                        // uniformly: rank order survives, optimality may
+                        // not.
+                        pending.rows.push(u);
+                    }
+                    // new ≥ old: a uniform downward shift — preserves
+                    // optimality and the cached order.
                 } else {
-                    // A departed element is in no feasible swap — its
-                    // weight can move freely without breaking optimality.
-                    new <= old || !self.active[u as usize]
+                    self.cache.mark_dirty(u);
+                    if new > old && self.active[u as usize] {
+                        pending.cols.push(u);
+                    }
+                    // Decreases only lower the one column, and a departed
+                    // element is in no feasible swap: preserves.
                 }
             }
             SessionPerturbation::SetDistance { u, v, value } => {
@@ -434,89 +932,81 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
                 let v_in = self.dist.contains(v);
                 if delta != 0.0 {
                     self.dist.apply_distance_delta(u, v, delta);
-                }
-                match (u_in, v_in) {
-                    // Neither endpoint selected: no swap gain involves
-                    // d(u, v) or either gain row.
-                    (false, false) => true,
-                    // Both selected: member gains move by delta, so swap
-                    // gains move by -delta — increases preserve.
-                    (true, true) => delta >= 0.0,
-                    // Mixed: the outside endpoint's candidate gain moves
-                    // by delta — decreases preserve (the pair swap
-                    // bringing the outsider in for the insider sees the
-                    // delta cancel exactly), as does a departed (hence
-                    // ineligible) outside endpoint.
-                    _ => {
-                        let outsider = if u_in { v } else { u };
-                        delta <= 0.0 || !self.active[outsider as usize]
+                    match (u_in, v_in) {
+                        // Neither endpoint selected: no swap gain involves
+                        // d(u, v) or either gain row.
+                        (false, false) => {}
+                        // Both selected: member gains move by delta, so
+                        // both rows of swap gains move by −delta,
+                        // uniformly — increases preserve, decreases break
+                        // the two rows (rank order survives either way).
+                        (true, true) => {
+                            if delta < 0.0 {
+                                pending.rows.push(u);
+                                pending.rows.push(v);
+                            }
+                        }
+                        // Mixed: only the outside endpoint's column moves
+                        // (by +delta against every member but the inside
+                        // endpoint — non-uniform, so the column is dirty
+                        // for the rank tables). Decreases preserve, as
+                        // does a departed (ineligible) outside endpoint.
+                        _ => {
+                            let outsider = if u_in { v } else { u };
+                            self.cache.mark_dirty(outsider);
+                            if delta > 0.0 && self.active[outsider as usize] {
+                                pending.cols.push(outsider);
+                            }
+                        }
                     }
                 }
             }
             SessionPerturbation::Arrive { u } => {
-                if self.active[u as usize] {
-                    true // already available: nothing changed
-                } else {
+                if !self.active[u as usize] {
                     self.active[u as usize] = true;
+                    // The element may have been perturbed — or excluded
+                    // from rank rebuilds — while away: rank-untrustworthy
+                    // either way.
+                    self.cache.mark_dirty(u);
+                    let mut refilled = false;
                     while self.dist.len() < self.p {
                         match self.refill_once() {
                             Some(w) => {
-                                refill = Some(w);
+                                refills.push(w);
                                 self.stable = false;
+                                refilled = true;
                             }
                             None => break,
                         }
                     }
-                    if self.stable {
-                        // Every pre-existing candidate is known
-                        // non-improving; only the new column can hold a
-                        // positive swap.
-                        let best = self.scan_column(u);
-                        let outcome = self.commit(best);
-                        return UpdateReport {
-                            outcome,
-                            refill,
-                            scan: ScanExtent::Column,
-                        };
+                    if !refilled {
+                        // Every pre-existing candidate keeps its verified
+                        // gains; only the new column can hold a positive
+                        // swap.
+                        pending.cols.push(u);
                     }
-                    false
+                    // A refill changed membership: `stable` is already
+                    // false, which forces the full scan.
                 }
             }
             SessionPerturbation::Depart { u } => {
-                if !self.active[u as usize] {
-                    true // already gone: nothing changed
-                } else {
+                if self.active[u as usize] {
                     self.active[u as usize] = false;
                     if self.dist.contains(u) {
                         self.dist.remove(&self.metric, u);
                         self.quality.remove(u);
-                        refill = self.refill_once();
+                        self.cache.invalidate();
+                        if let Some(w) = self.refill_once() {
+                            refills.push(w);
+                        }
                         self.stable = false;
-                        false
-                    } else {
-                        // Losing a non-selected candidate can only shrink
-                        // the scan.
-                        true
+                        pending.full = true;
                     }
+                    // Losing a non-selected candidate only shrinks the
+                    // scan; its cache entries are filtered by the
+                    // activity mask at verification time.
                 }
             }
-        };
-        if self.stable && preserves_optimality {
-            return UpdateReport {
-                outcome: UpdateOutcome {
-                    swap: None,
-                    gain: 0.0,
-                },
-                refill,
-                scan: ScanExtent::Skipped,
-            };
-        }
-        let best = scan(self);
-        let outcome = self.commit(best);
-        UpdateReport {
-            outcome,
-            refill,
-            scan: ScanExtent::Full,
         }
     }
 }
@@ -530,7 +1020,20 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
 impl<'q, M: PerturbableMetric + Sync> SyncDynamicSession<'q, M> {
     /// Parallel [`DynamicSession::apply`].
     pub fn apply_parallel(&mut self, perturbation: SessionPerturbation) -> UpdateReport {
-        self.apply_via(perturbation, Self::scan_full_parallel)
+        let report = self.apply_batch_parallel(std::slice::from_ref(&perturbation));
+        UpdateReport {
+            outcome: report.outcome,
+            refill: report.refills.last().copied(),
+            scan: report.scan,
+        }
+    }
+
+    /// Parallel [`DynamicSession::apply_batch`]: the repairs and any
+    /// narrow (column / cached) scan stay serial — they are O(Δ) and
+    /// O((K + dirty)·p) — while a needed full scan runs chunked under the
+    /// cost-weighted work floor.
+    pub fn apply_batch_parallel(&mut self, perturbations: &[SessionPerturbation]) -> BatchReport {
+        self.apply_batch_via(perturbations, Self::scan_full_collect_parallel)
     }
 
     /// Chunked counterpart of `scan_full`; falls back to the serial scan
@@ -557,6 +1060,39 @@ impl<'q, M: PerturbableMetric + Sync> SyncDynamicSession<'q, M> {
             },
             |&(_, _, gain)| gain,
         )
+    }
+
+    /// Chunked counterpart of `scan_full_collect`: per-chunk rank tables
+    /// merge in index order (stable toward earlier candidates), so both
+    /// the winner and the installed cache are bit-identical to the serial
+    /// collecting scan. Falls back below the cost-weighted work floor.
+    fn scan_full_collect_parallel(
+        &self,
+    ) -> (Option<(ElementId, ElementId, f64)>, Option<TopKCollector>) {
+        if self.cache.k == 0 {
+            return (self.scan_full_parallel(), None);
+        }
+        let n = self.dist.ground_size();
+        let work = n
+            .saturating_mul(self.dist.len())
+            .saturating_mul(self.quality.scan_cost_hint());
+        if !crate::parallel::par_worthwhile(work) {
+            return self.scan_full_collect();
+        }
+        let this = self;
+        let (best, coll) = crate::parallel::par_fold_chunks(
+            n,
+            |lo, hi| this.scan_chunk_collect(lo as ElementId, hi as ElementId),
+            |(best_l, coll_l), (best_r, coll_r)| {
+                let best = match (best_l, best_r) {
+                    // Strictly greater wins; ties keep the earlier chunk.
+                    (Some(l), Some(r)) => Some(if r.2 > l.2 { r } else { l }),
+                    (l, r) => l.or(r),
+                };
+                (best, coll_l.merge(coll_r))
+            },
+        );
+        (best, Some(coll))
     }
 }
 
@@ -672,14 +1208,16 @@ mod tests {
             value: old * 0.5,
         });
         assert_eq!(r.scan, ScanExtent::Skipped);
-        // Mixed endpoints, distance increase: must rescan.
+        // Mixed endpoints, distance increase: only the outside endpoint's
+        // column can have turned positive — a column scan suffices.
         let r = s.apply(SessionPerturbation::SetDistance {
             u: a,
             v: m,
             value: old * 2.0,
         });
-        assert_eq!(r.scan, ScanExtent::Full);
-        // Weight directions: member increase skips, member decrease scans.
+        assert_eq!(r.scan, ScanExtent::Column);
+        // Weight directions: member increase skips, member decrease
+        // re-verifies the member's row through the candidate cache.
         s.update_until_stable(100);
         assert!(s.is_stable());
         let m = s.solution()[0];
@@ -692,7 +1230,7 @@ mod tests {
         assert_eq!(
             s.apply(SessionPerturbation::SetWeight { u: m, value: 0.01 })
                 .scan,
-            ScanExtent::Full
+            ScanExtent::Cached
         );
     }
 
@@ -806,7 +1344,7 @@ mod tests {
         s.update_until_stable(10);
         assert!(s.is_stable());
         let r = s.apply(SessionPerturbation::SetWeight { u: 0, value: 0.5 });
-        assert_eq!(r.scan, ScanExtent::Full);
+        assert_eq!(r.scan, ScanExtent::Cached);
         assert_eq!(r.outcome.swap, Some((0, 1)));
         assert_eq!(s.solution(), &[1]);
     }
@@ -847,6 +1385,210 @@ mod tests {
         let r = s.apply(SessionPerturbation::SetWeight { u: 0, value: 0.05 });
         assert_eq!(r.outcome.swap, Some((0, 2)));
         assert_eq!(s.solution(), &[2]);
+    }
+
+    #[test]
+    fn apply_batch_empty_is_a_noop() {
+        let problem = instance(2, 10);
+        let mut s = DynamicSession::new(&problem, &[0, 1, 2]);
+        let before = s.solution().to_vec();
+        let r = s.apply_batch(&[]);
+        assert_eq!(r.ingested, 0);
+        assert_eq!(r.outcome.swap, None);
+        assert_eq!(r.scan, ScanExtent::Skipped);
+        assert!(r.refills.is_empty());
+        assert_eq!(s.solution(), &before[..]);
+        assert!(!s.is_stable(), "a no-op must not fabricate stability");
+    }
+
+    #[test]
+    fn apply_batch_skips_fully_irrelevant_batches() {
+        let problem = instance(4, 16);
+        let init = greedy_b(&problem, 4, GreedyBConfig::default());
+        let mut s = DynamicSession::new(&problem, &init);
+        s.update_until_stable(100);
+        assert!(s.is_stable());
+        // Both-outside distance rewrites and an outsider weight decrease:
+        // provably irrelevant individually, hence as a batch.
+        let (a, b, c) = {
+            let mut outs = (0..16u32).filter(|&x| !s.contains(x));
+            (
+                outs.next().unwrap(),
+                outs.next().unwrap(),
+                outs.next().unwrap(),
+            )
+        };
+        let batch = [
+            SessionPerturbation::SetDistance {
+                u: a,
+                v: b,
+                value: 1.95,
+            },
+            SessionPerturbation::SetDistance {
+                u: b,
+                v: c,
+                value: 1.01,
+            },
+            SessionPerturbation::SetWeight { u: a, value: 0.0 },
+        ];
+        let r = s.apply_batch(&batch);
+        assert_eq!(r.scan, ScanExtent::Skipped);
+        assert_eq!(r.outcome.swap, None);
+        assert_eq!(r.ingested, 3);
+        assert!(s.is_stable());
+    }
+
+    #[test]
+    fn apply_batch_merges_scopes_and_matches_the_deferred_rebuild_reference() {
+        // A burst mixing column breaks (candidate weight increase, mixed
+        // distance increase), a row break (member weight decrease) and an
+        // in-batch duplicate: the batched session runs one scoped scan
+        // and must reproduce, swap for swap, the reference that applies
+        // every repair to a mirrored instance first and then repairs by
+        // fresh rebuild-and-scan steps — the sequential-ingestion
+        // semantics apply_batch promises (repairs in order, swaps
+        // deferred behind the single union scan).
+        for seed in 0..6u64 {
+            let n = 24;
+            let problem = instance(seed + 40, n);
+            let init = greedy_b(&problem, 6, GreedyBConfig::default());
+            let mut batched = DynamicSession::new(&problem, &init);
+            batched.update_until_stable(100);
+            let m0 = batched.solution()[0];
+            let m1 = batched.solution()[1];
+            let out: Vec<ElementId> = (0..n as u32).filter(|&x| !batched.contains(x)).collect();
+            let burst = [
+                SessionPerturbation::SetWeight {
+                    u: out[0],
+                    value: 0.9,
+                },
+                SessionPerturbation::SetWeight { u: m0, value: 0.05 },
+                SessionPerturbation::SetDistance {
+                    u: out[1],
+                    v: m1,
+                    value: 1.99,
+                },
+                // Duplicate of the first element inside the same batch.
+                SessionPerturbation::SetWeight {
+                    u: out[0],
+                    value: 0.95,
+                },
+            ];
+            let mut mirror = problem.clone();
+            let mut sol = batched.solution().to_vec();
+            for &p in &burst {
+                match p {
+                    SessionPerturbation::SetWeight { u, value } => {
+                        mirror.quality_mut().set_weight(u, value)
+                    }
+                    SessionPerturbation::SetDistance { u, v, value } => {
+                        mirror.metric_mut().set(u, v, value)
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            let r = batched.apply_batch(&burst);
+            assert_eq!(r.ingested, 4);
+            assert_ne!(r.scan, ScanExtent::Skipped, "the burst is relevant");
+            let expected = oblivious_update_step(&mirror, &mut sol);
+            assert_eq!(
+                r.outcome.swap, expected.swap,
+                "seed {seed}: batch scan winner diverged from the rebuild reference"
+            );
+            // …and so must the stabilization tail, step for step.
+            loop {
+                let a = batched.step();
+                let b = oblivious_update_step(&mirror, &mut sol);
+                assert_eq!(a.swap, b.swap, "seed {seed}: stabilization diverged");
+                assert_eq!(batched.solution(), &sol[..], "seed {seed}");
+                if a.swap.is_none() {
+                    break;
+                }
+            }
+            assert!(batched.is_stable());
+        }
+    }
+
+    #[test]
+    fn candidate_cache_matches_cache_free_swaps_bit_for_bit() {
+        // The cache is a scheduling structure: for any K the chosen swaps
+        // must equal the cache-free (K = 0, full-scan) session's.
+        for seed in 0..4u64 {
+            let n = 20;
+            let problem = instance(seed + 60, n);
+            let init = greedy_b(&problem, 5, GreedyBConfig::default());
+            let mut reference = DynamicSession::new(&problem, &init).with_candidate_cache(0);
+            let mut cached = DynamicSession::new(&problem, &init).with_candidate_cache(3);
+            reference.update_until_stable(100);
+            cached.update_until_stable(100);
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            for step in 0..60 {
+                let pert = match next() % 3 {
+                    0 => SessionPerturbation::SetWeight {
+                        u: (next() % n as u64) as u32,
+                        value: (next() % 97) as f64 / 97.0,
+                    },
+                    _ => {
+                        let u = (next() % n as u64) as u32;
+                        let mut v = (next() % n as u64) as u32;
+                        if v == u {
+                            v = (v + 1) % n as u32;
+                        }
+                        SessionPerturbation::SetDistance {
+                            u,
+                            v,
+                            value: 1.0 + (next() % 89) as f64 / 89.0,
+                        }
+                    }
+                };
+                let a = reference.apply(pert);
+                let b = cached.apply(pert);
+                assert_eq!(
+                    a.outcome.swap, b.outcome.swap,
+                    "seed {seed} step {step}: cache changed the swap"
+                );
+                assert_eq!(reference.solution(), cached.solution());
+                assert_ne!(
+                    a.scan,
+                    ScanExtent::Cached,
+                    "K = 0 must never take the cached path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_tied_cache_rows_fall_back_to_the_full_scan() {
+        // Uniform metric, member weight 1.0, four candidates all tied at
+        // 0.5: with K = 1 the row's sole entry ties the truncation
+        // boundary, so a member-row break must refuse the cached path —
+        // and still pick the lowest-index candidate.
+        let metric = DistanceMatrix::from_fn(5, |_, _| 1.0);
+        let weights = vec![1.0, 0.5, 0.5, 0.5, 0.5];
+        let problem = DiversificationProblem::new(metric, ModularFunction::new(weights), 0.25);
+        let mut s = DynamicSession::new(&problem, &[0]).with_candidate_cache(1);
+        s.update_until_stable(10);
+        assert!(s.is_stable());
+        let r = s.apply(SessionPerturbation::SetWeight { u: 0, value: 0.4 });
+        assert_eq!(
+            r.scan,
+            ScanExtent::Full,
+            "tied boundary must not trust K = 1"
+        );
+        assert_eq!(r.outcome.swap, Some((0, 1)), "lowest-index tie-break");
+        // With capacity for every candidate the ranking is complete, the
+        // cached path engages, and the same lowest-index winner emerges.
+        let mut s = DynamicSession::new(&problem, &[0]).with_candidate_cache(4);
+        s.update_until_stable(10);
+        let r = s.apply(SessionPerturbation::SetWeight { u: 0, value: 0.4 });
+        assert_eq!(r.scan, ScanExtent::Cached);
+        assert_eq!(r.outcome.swap, Some((0, 1)));
     }
 
     #[test]

@@ -141,6 +141,26 @@ pub trait IncrementalOracle {
         None
     }
 
+    /// `true` when a [`try_set_weight`](Self::try_set_weight) on element
+    /// `u` changes every swap gain / marginal involving `u` by the *same*
+    /// amount, independently of the other element — i.e. the update is a
+    /// uniform shift of `u`'s whole gain row. This holds for the modular
+    /// family (`w(u)` enters every expression as a lone additive term) and
+    /// for coefficient-weighted mixtures of modular components.
+    ///
+    /// This is the order-preservation contract behind the bounded
+    /// best-swap candidate cache of `msd-core`'s `DynamicSession`: a
+    /// uniform shift cannot reorder the cached per-member candidate
+    /// ranking, so the cache survives the perturbation. An oracle with
+    /// element interactions in its weight updates must override this to
+    /// `false`, which makes the session invalidate its candidate ranks and
+    /// fall back to a full scan (never wrong, just slower). Like
+    /// [`scan_cost_hint`](Self::scan_cost_hint), this is a scheduling /
+    /// cache-validity hint — it must never affect results.
+    fn weight_updates_shift_uniformly(&self) -> bool {
+        self.supports_weight_updates()
+    }
+
     /// Invalidates cached per-element state for `elems`, re-deriving it
     /// from the underlying function in `O(Σ touched)` — the repair hook a
     /// persistent session calls when function data for specific elements
@@ -909,6 +929,16 @@ impl<O: IncrementalOracle + ?Sized> IncrementalOracle for MixtureOracle<O> {
         Some(old)
     }
 
+    fn weight_updates_shift_uniformly(&self) -> bool {
+        // A coefficient-weighted sum of uniform row shifts is itself a
+        // uniform row shift.
+        self.supports_weight_updates()
+            && self
+                .parts
+                .iter()
+                .all(|(_, p)| p.weight_updates_shift_uniformly())
+    }
+
     fn invalidate(&mut self, elems: &[ElementId]) {
         for (_, p) in &mut self.parts {
             p.invalidate(elems);
@@ -1386,6 +1416,34 @@ mod tests {
         // Previous effective weight: 2.0·2.0 + 0.5·2.0 = 5.0.
         assert_eq!(o.try_set_weight(1, 6.0), Some(5.0));
         assert_eq!(o.marginal(1), 2.5 * 6.0);
+    }
+
+    #[test]
+    fn weight_update_uniformity_tracks_the_modular_family() {
+        // The candidate-cache validity hint: modular-family oracles shift
+        // an element's whole gain row uniformly on try_set_weight; oracles
+        // without weight updates report false (nothing to preserve).
+        let modular = ModularFunction::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(modular.incremental().weight_updates_shift_uniformly());
+        let cov = coverage();
+        assert!(!cov.incremental().weight_updates_shift_uniformly());
+        let modular_mix = MixtureFunction::new(4)
+            .with(2.0, ModularFunction::new(vec![1.0, 2.0, 3.0, 4.0]))
+            .with(0.5, ModularFunction::uniform(4, 2.0));
+        assert!(modular_mix.incremental().weight_updates_shift_uniformly());
+        let mixed = MixtureFunction::new(6)
+            .with(1.0, ModularFunction::uniform(6, 1.0))
+            .with(1.0, coverage());
+        assert!(!mixed.incremental().weight_updates_shift_uniformly());
+        // And the claim itself: a modular try_set_weight moves every swap
+        // gain involving the element by the same delta.
+        let f = ModularFunction::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let mut o = f.incremental_from(&[2]);
+        let before: Vec<f64> = [0u32, 1, 3].iter().map(|&v| o.swap_gain(v, 2)).collect();
+        o.try_set_weight(2, 5.5);
+        for (i, &v) in [0u32, 1, 3].iter().enumerate() {
+            assert!((o.swap_gain(v, 2) - (before[i] - 2.5)).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod prelude {
     pub use msd_core::{
         exact_max_diversification, greedy_a, greedy_b, hassin_edge_greedy, hassin_matching,
         knapsack_diversify, local_search_matroid, local_search_refine, max_sum_dispersion_greedy,
-        mmr_select, stream_diversify, CompactStreamingSession, DiversificationProblem,
+        mmr_select, stream_diversify, BatchReport, CompactStreamingSession, DiversificationProblem,
         DynamicInstance, DynamicSession, ElementId, GreedyAConfig, GreedyBConfig, KnapsackConfig,
         LocalSearchConfig, MmrConfig, Perturbation, PotentialState, ScanExtent,
         SessionPerturbation, StreamingDiversifier, StreamingSession,
