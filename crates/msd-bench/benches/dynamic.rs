@@ -21,7 +21,11 @@
 //! whole redraw *bursts* ([`BATCH`] perturbations + stabilization per
 //! iteration) per-perturbation vs through
 //! [`DynamicSession::apply_batch`]'s one-scan-per-batch ingestion (the
-//! `per_apply_ns`/`batch_ns` pair, ns per perturbation). With
+//! `per_apply_ns`/`batch_ns` pair, ns per perturbation), and a
+//! `dynamic/graph/*` family driving edge-weight churn on road-like and
+//! clustered networks through the incremental APSP repair of
+//! [`DynamicGraphMetric`] against the O(n³) Floyd–Warshall rebuild (the
+//! `fw_rebuild_ns`/`repair_ns` pair plus a graph-session update). With
 //! `--features parallel`, the cycling families gain a
 //! `perturb_update_parallel` variant, the session family a
 //! `session_parallel` one and the batch family a `batch_parallel` one
@@ -43,11 +47,11 @@ use msd_bench::support::{
 };
 use msd_core::{
     greedy_b, oblivious_update_step, DiversificationProblem, DynamicInstance, DynamicSession,
-    GreedyBConfig, Perturbation, SessionPerturbation,
+    GraphPerturbation, GreedyBConfig, Perturbation, SessionPerturbation,
 };
 use msd_data::SyntheticConfig;
-use msd_metric::DistanceMatrix;
-use msd_submodular::{CoverageFunction, FacilityLocationFunction, SetFunction};
+use msd_metric::{DistanceMatrix, DynamicGraphMetric, EdgePerturbableMetric, WeightedGraph};
+use msd_submodular::{CoverageFunction, FacilityLocationFunction, ModularFunction, SetFunction};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -420,6 +424,100 @@ fn bench_batch<F: SetFunction + Sync + Clone>(
     }
 }
 
+/// Graph-metric family: edge-churn on connected sparse networks
+/// (road-like grids and clustered communities from `msd_data::graphs`),
+/// n ∈ {1000, 5000}. Each measured iteration redraws one random edge's
+/// weight on the dyadic grid — a mix of increases and decreases, most of
+/// which move many induced shortest-path distances — through three
+/// pipelines:
+///
+/// * `fw_rebuild` — mutate a [`WeightedGraph`] and rerun the O(n³)
+///   Floyd–Warshall [`WeightedGraph::shortest_path_metric`] (the naive
+///   reference; sampled sparsely, it is *minutes* per update at
+///   n = 5000),
+/// * `repair` — [`DynamicGraphMetric::set_edge`]'s incremental APSP
+///   repair (O(n + affected·n)),
+/// * `session_update` — one [`DynamicSession::apply_graph`] over the
+///   graph metric with modular quality: metric repair + O(Δ) cache
+///   patches + the (scoped) oblivious swap update.
+///
+/// The recorded `fw_rebuild_ns`/`repair_ns` pair tracks the
+/// repair-vs-rebuild win per update in `BENCH_dynamic.json`.
+fn bench_graph(c: &mut Criterion, ns: &[usize]) {
+    for &n in ns {
+        let shapes: [(&str, WeightedGraph); 2] = [
+            ("road", msd_data::road_like(17 + n as u64, n)),
+            (
+                "clustered",
+                msd_data::clustered_graph(19 + n as u64, n, n / 64 + 4),
+            ),
+        ];
+        for (family, graph) in shapes {
+            let metric = DynamicGraphMetric::from_graph(&graph).expect("generators are connected");
+            let edges: Vec<(u32, u32)> = graph.edges().iter().map(|&(u, v, _)| (u, v)).collect();
+            let rng_seed = 31 + n as u64;
+            // One redraw: a random existing edge, new weight from the
+            // generators' own dyadic grid (increases and decreases mix).
+            let draw = |rng: &mut StdRng| {
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                (u, v, msd_data::dyadic_weight(rng))
+            };
+            let mut group = c.benchmark_group(format!("dynamic/graph/{family}/n{n}"));
+            // The Floyd–Warshall baseline is O(n³) per iteration — keep
+            // it to the minimum sample count (the measured quantity is
+            // seconds-scale and stable).
+            group.sample_size(2);
+            {
+                let mut g = graph.clone();
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                group.bench_function("fw_rebuild", |b| {
+                    b.iter(|| {
+                        let (u, v, w) = draw(&mut rng);
+                        g.set_edge(u, v, w);
+                        black_box(g.shortest_path_metric().expect("connected"))
+                    })
+                });
+            }
+            group.sample_size(10);
+            {
+                let mut m = metric.clone();
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                group.bench_function("repair", |b| {
+                    b.iter(|| {
+                        let (u, v, w) = draw(&mut rng);
+                        black_box(
+                            m.set_edge(u, v, w)
+                                .expect("weight updates never disconnect"),
+                        )
+                    })
+                });
+            }
+            {
+                let p = P.min(n / 2);
+                let mut rng = StdRng::seed_from_u64(rng_seed ^ 0x5EED);
+                let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let problem =
+                    DiversificationProblem::new(metric.clone(), ModularFunction::new(weights), 0.2);
+                let init = greedy_b(&problem, p, GreedyBConfig::default());
+                let mut session = DynamicSession::new(&problem, &init);
+                session.update_until_stable(10 * p);
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                group.bench_function("session_update", |b| {
+                    b.iter(|| {
+                        let (u, v, w) = draw(&mut rng);
+                        black_box(
+                            session
+                                .apply_graph(GraphPerturbation::SetEdge { u, v, weight: w })
+                                .expect("weight updates never disconnect"),
+                        )
+                    })
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
 /// Double-swap family at small fixed sizes (the scan is O(n²p²); these
 /// sizes keep one update in the milliseconds while still giving the
 /// parallel chunking enough member pairs to spread).
@@ -471,10 +569,12 @@ fn to_json(records: &[BenchRecord]) -> String {
     );
     out.push_str("  \"results\": [\n");
     // Record ids look like `dynamic/coverage/n1000/p50/perturb_update`,
-    // `dynamic/session/coverage/n1000/p50/rebuild` or
-    // `dynamic/batch/modular/n5000/p50/batch`; session configs emit a
+    // `dynamic/session/coverage/n1000/p50/rebuild`,
+    // `dynamic/batch/modular/n5000/p50/batch` or
+    // `dynamic/graph/road/n5000/repair`; session configs emit a
     // rebuild-vs-session pair, batch configs a per-apply-vs-batch pair,
-    // the others a serial-vs-parallel pair.
+    // graph configs a Floyd–Warshall-vs-repair pair (plus the
+    // graph-session update), the others a serial-vs-parallel pair.
     let configs = record_configs(records);
     for (i, config) in configs.iter().enumerate() {
         let tail = if i + 1 < configs.len() { "," } else { "" };
@@ -485,7 +585,19 @@ fn to_json(records: &[BenchRecord]) -> String {
         let session = per_cycle(record_mean(records, config, "session"));
         let per_apply = per_cycle(record_mean(records, config, "per_apply"));
         let batch = per_cycle(record_mean(records, config, "batch"));
-        if per_apply.is_some() || batch.is_some() {
+        let fw_rebuild = record_mean(records, config, "fw_rebuild");
+        let repair = record_mean(records, config, "repair");
+        if fw_rebuild.is_some() || repair.is_some() {
+            let session_update = record_mean(records, config, "session_update");
+            let _ = writeln!(
+                out,
+                "    {{\"config\": \"{config}\", \"fw_rebuild_ns\": {}, \"repair_ns\": {}, \"session_update_ns\": {}, \"speedup_rebuild_over_repair\": {}}}{tail}",
+                json_num(fw_rebuild),
+                json_num(repair),
+                json_num(session_update),
+                json_ratio(fw_rebuild, repair),
+            );
+        } else if per_apply.is_some() || batch.is_some() {
             let batch_parallel = per_cycle(record_mean(records, config, "batch_parallel"));
             let _ = writeln!(
                 out,
@@ -552,6 +664,7 @@ fn main() {
     );
     bench_batch(&mut c, "coverage", coverage, &ns, false);
     bench_batch(&mut c, "facility", facility, &ns, false);
+    bench_graph(&mut c, &ns);
     let records = c.take_records();
 
     let json = to_json(&records);

@@ -14,7 +14,7 @@
 //! potential `φ'`, not the objective `φ` — the ½ factor on the quality
 //! marginal is exactly what makes the telescoping bound in the proof close.
 //!
-//! With the [`SolutionState`] gain cache the total cost is `O(np)` oracle
+//! With the [`crate::SolutionState`] gain cache the total cost is `O(np)` oracle
 //! and distance operations (Birnbaum–Goldman), as the paper notes at the
 //! end of Section 4.
 //!

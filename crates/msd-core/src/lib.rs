@@ -63,8 +63,8 @@ pub use mmr::{mmr_select, MmrConfig};
 pub use potential::{PotentialState, SyncPotentialState};
 pub use problem::DiversificationProblem;
 pub use session::{
-    BatchReport, DynamicSession, ScanExtent, SessionPerturbation, SyncDynamicSession, UpdateReport,
-    DEFAULT_CANDIDATE_CAPACITY,
+    BatchReport, DynamicSession, GraphBatchError, GraphPerturbation, ScanExtent,
+    SessionPerturbation, SyncDynamicSession, UpdateReport, DEFAULT_CANDIDATE_CAPACITY,
 };
 pub use solution::SolutionState;
 pub use streaming::{

@@ -60,6 +60,26 @@
 //! ([`ScanExtent::Cached`]; boundary-tied or exhausted ranks fall back
 //! to the full scan, and `K = 0` disables the cache entirely).
 //!
+//! The candidate cache also survives **committed swaps** when the
+//! quality oracle's swap gains are membership-independent (the modular
+//! family — [`IncrementalOracle::swap_gains_are_membership_independent`]):
+//! the swap's effect on every surviving rank row decomposes into a
+//! row-uniform shift (invisible to the cache) plus the exactly
+//! repairable per-candidate term `λ·(d(x, v_in) − d(x, u_out))`, so
+//! [`DynamicSession::step`]'s post-swap re-stabilization verifies one
+//! representative per row — plus an O(n) sweep for the fresh incoming
+//! member's row — instead of paying the full O(n·p) traversal.
+//!
+//! Sessions over an *induced* (network) metric use the graph-backed
+//! entry points [`DynamicSession::apply_graph`] /
+//! [`DynamicSession::apply_graph_batch`] (over any
+//! [`EdgePerturbableMetric`], e.g. `msd_metric::DynamicGraphMetric`):
+//! one edge-weight update moves many pairwise distances at once, the
+//! metric repairs its own APSP matrix incrementally, and the returned
+//! change report becomes a stream of the same O(Δ) distance patches —
+//! flowing through the identical direction analysis, scan scoping and
+//! cache dirt tracking as matrix perturbations.
+//!
 //! Bursts of perturbations (Figure 1's redraw workload) go through
 //! [`DynamicSession::apply_batch`]: every perturbation is repaired in
 //! O(Δ) as above, the scan scopes are accumulated across the whole
@@ -94,7 +114,9 @@
 //! assert_eq!(session.solution().len(), 3);
 //! ```
 
-use msd_metric::{Metric, PerturbableMetric};
+use msd_metric::{
+    DisconnectedGraph, EdgePerturbableMetric, EdgeUpdateReport, Metric, PerturbableMetric,
+};
 use msd_submodular::{IncrementalOracle, SetFunction};
 
 use crate::dynamic::{Perturbation, UpdateOutcome};
@@ -148,6 +170,53 @@ impl From<Perturbation> for SessionPerturbation {
     }
 }
 
+/// A perturbation accepted by the graph-backed session entry points
+/// ([`DynamicSession::apply_graph`] /
+/// [`DynamicSession::apply_graph_batch`], over any
+/// [`EdgePerturbableMetric`]): the underlying network's edge rewrites
+/// plus the weight / availability perturbations shared with
+/// [`SessionPerturbation`]. Raw `SetDistance` rewrites have no meaning
+/// over an induced shortest-path metric — its distances move only
+/// through edges, and one edge update moves many of them at once (the
+/// metric's [`EdgeUpdateReport`] lists exactly which).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphPerturbation {
+    /// Set the weight of edge `{u, v}` (inserting it when absent).
+    SetEdge {
+        /// First endpoint.
+        u: ElementId,
+        /// Second endpoint.
+        v: ElementId,
+        /// The new edge weight.
+        weight: f64,
+    },
+    /// Remove edge `{u, v}` (fails if that disconnects the graph).
+    RemoveEdge {
+        /// First endpoint.
+        u: ElementId,
+        /// Second endpoint.
+        v: ElementId,
+    },
+    /// Set `w(u)` — as [`SessionPerturbation::SetWeight`].
+    SetWeight {
+        /// The element whose weight changes.
+        u: ElementId,
+        /// The new weight.
+        value: f64,
+    },
+    /// Element `u` becomes available — as [`SessionPerturbation::Arrive`].
+    Arrive {
+        /// The arriving element.
+        u: ElementId,
+    },
+    /// Element `u` becomes unavailable — as
+    /// [`SessionPerturbation::Depart`].
+    Depart {
+        /// The departing element.
+        u: ElementId,
+    },
+}
+
 /// How much of the swap scan one [`DynamicSession::apply`] /
 /// [`DynamicSession::apply_batch`] call ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,10 +229,13 @@ pub enum ScanExtent {
     /// member) were scanned — O(p) per column; the remaining cells were
     /// already known non-improving.
     Column,
-    /// Member rows whose gains rose uniformly were re-verified through
-    /// the bounded best-swap candidate cache (one rank representative per
-    /// broken row, plus every dirty column) — O((K + dirty)·p) instead of
-    /// the full O(n·p) traversal, same winner.
+    /// The scan was answered through the bounded best-swap candidate
+    /// cache instead of the full O(n·p) traversal, same winner: over a
+    /// stable baseline, one rank representative per uniformly-risen
+    /// member row plus every dirty column (O((K + dirty)·p)); after a
+    /// committed swap kept the repaired tables warm, one representative
+    /// per ranked row plus an O(n) row sweep per fresh (post-install)
+    /// member — the cache-driven *stabilization* path of ROADMAP (d).
     Cached,
     /// The full `(v ∉ S, u ∈ S)` scan ran.
     Full,
@@ -179,6 +251,40 @@ pub struct UpdateReport {
     pub refill: Option<ElementId>,
     /// How much of the swap scan this update needed.
     pub scan: ScanExtent,
+}
+
+/// Error of [`DynamicSession::apply_graph_batch`]: a disconnecting
+/// removal stopped ingestion mid-batch. The session itself remains
+/// consistent — the first [`ingested`](Self::ingested) perturbations'
+/// repairs (including the listed [`refills`](Self::refills)) are in
+/// effect, the failing update is not — and this error carries the
+/// partial report those perturbations produced, so a caller mirroring
+/// membership from reports stays in sync even on the error path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphBatchError {
+    /// The metric's witness error for the rejected update.
+    pub error: DisconnectedGraph,
+    /// Perturbations successfully ingested before the failure.
+    pub ingested: usize,
+    /// Elements greedily inserted while ingesting those perturbations
+    /// (departure replacements, arrival refills), in insertion order.
+    pub refills: Vec<ElementId>,
+}
+
+impl std::fmt::Display for GraphBatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph batch stopped after {} perturbation(s): {}",
+            self.ingested, self.error
+        )
+    }
+}
+
+impl std::error::Error for GraphBatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
 }
 
 /// Outcome of one [`DynamicSession::apply_batch`] call.
@@ -403,7 +509,8 @@ pub struct DynamicSession<'q, M: Metric, Q: IncrementalOracle + ?Sized = dyn Inc
 }
 
 /// [`DynamicSession`] whose quality oracle is shareable across threads
-/// (required by [`DynamicSession::apply_parallel`]).
+/// (required by the `parallel`-feature `apply_parallel` /
+/// `apply_graph_batch_parallel` entry points).
 pub type SyncDynamicSession<'q, M> =
     DynamicSession<'q, M, dyn IncrementalOracle + Send + Sync + 'q>;
 
@@ -448,7 +555,7 @@ impl<'q, M: Metric> DynamicSession<'q, M> {
 
 impl<'q, M: Metric> SyncDynamicSession<'q, M> {
     /// Thread-shareable variant of [`DynamicSession::new`] (enables
-    /// [`DynamicSession::apply_parallel`]).
+    /// the `parallel`-feature `apply_parallel` entry points).
     pub fn new_sync<F: SetFunction + Sync>(
         problem: &'q DiversificationProblem<M, F>,
         initial: &[ElementId],
@@ -554,8 +661,10 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
 
     /// One oblivious update over the current caches, without a
     /// perturbation (O(1) when the session is already stable). A no-swap
-    /// scan (re-)establishes stability and installs the candidate cache's
-    /// rank tables.
+    /// scan (re-)establishes stability; when the candidate cache survived
+    /// the last commit (see [`ScanExtent::Cached`]) the verification runs
+    /// through it, otherwise a full collecting scan installs fresh rank
+    /// tables.
     pub fn step(&mut self) -> UpdateOutcome {
         if self.stable {
             return UpdateOutcome {
@@ -563,12 +672,8 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
                 gain: 0.0,
             };
         }
-        let (best, coll) = self.scan_full_collect();
-        if best.is_none() {
-            if let Some(coll) = coll {
-                self.cache.install(coll);
-            }
-        }
+        let mut pending = PendingScan::default();
+        let (best, _) = self.scoped_scan(&mut pending, Self::scan_full_collect);
         self.commit(best)
     }
 
@@ -711,17 +816,338 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
         Some(targets)
     }
 
+    /// Verification targets for a cache-driven *stabilization* scan over
+    /// an unstable session (the tables survived the last commit through
+    /// [`DynamicSession::repair_cache_for_swap`]): the accumulated break
+    /// columns plus every dirty column, one rank representative per
+    /// ranked member row, and — instead of a representative — a full
+    /// O(n) row sweep for every *fresh* row (a member that entered after
+    /// the last install: empty row, untouched overflow mark). `None`
+    /// when some ranked row is stale (boundary-tied or rank-exhausted)
+    /// or the fresh rows rival the solution size — the caller falls back
+    /// to the full scan, which also reinstalls the tables.
+    fn cached_stabilize_targets(
+        &self,
+        pending: &PendingScan,
+    ) -> Option<(Vec<ElementId>, Vec<ElementId>)> {
+        let members = self.dist.members();
+        debug_assert_eq!(self.cache.rows.len(), members.len());
+        let mut cols = pending.cols.clone();
+        cols.extend_from_slice(&self.cache.dirty);
+        let mut fresh = Vec::new();
+        for (pos, &m) in members.iter().enumerate() {
+            match self.cached_row_representative(pos) {
+                Some(v) => cols.push(v),
+                None if self.cache.rows[pos].is_empty()
+                    && self.cache.overflow[pos] == f64::NEG_INFINITY =>
+                {
+                    fresh.push(m);
+                }
+                None => return None,
+            }
+        }
+        // Each fresh row costs an O(n) sweep; past half the solution the
+        // full collecting scan is the better buy.
+        if fresh.len() * 2 > members.len() {
+            return None;
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        Some((cols, fresh))
+    }
+
+    /// Scan over full candidate columns (`cols`, sorted and deduplicated)
+    /// plus, for every other eligible candidate, only the cells against
+    /// the `fresh_rows` members — the
+    /// [`crate::dynamic::scan_swap_chunk`] traversal order (candidates
+    /// ascending, members in solution order) restricted to exactly the
+    /// cells that can hold the full scan's winner, so strict-improvement
+    /// selection reproduces its lowest-index tie-breaks.
+    fn scan_scoped(
+        &self,
+        cols: &[ElementId],
+        fresh_rows: &[ElementId],
+    ) -> Option<(ElementId, ElementId, f64)> {
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        if fresh_rows.is_empty() {
+            return self.scan_columns(cols);
+        }
+        let members = self.dist.members();
+        // Fresh members in solution order, so the evaluated cells form a
+        // subsequence of the full scan's cell sequence.
+        let fresh: Vec<ElementId> = members
+            .iter()
+            .copied()
+            .filter(|m| fresh_rows.contains(m))
+            .collect();
+        let mut best: Option<(ElementId, ElementId, f64)> = None;
+        let mut next_col = 0usize;
+        for v in 0..self.dist.ground_size() as ElementId {
+            let in_cols = next_col < cols.len() && cols[next_col] == v;
+            if in_cols {
+                next_col += 1;
+            }
+            if !self.active[v as usize] || self.dist.contains(v) {
+                continue;
+            }
+            let row: &[ElementId] = if in_cols { members } else { &fresh };
+            for &u in row {
+                let g = self.swap_gain(v, u);
+                if g > best.map_or(0.0, |(_, _, b)| b) {
+                    best = Some((u, v, g));
+                }
+            }
+        }
+        best
+    }
+
+    /// Runs the narrowest sound scan for the accumulated scope: columns
+    /// only, cache-verified rows, cache-driven stabilization, or the full
+    /// traversal (which rebuilds the rank tables when it ends stable).
+    /// Every path returns the swap the full scan would choose.
+    fn scoped_scan(
+        &mut self,
+        pending: &mut PendingScan,
+        full_scan: impl Fn(&Self) -> (Option<(ElementId, ElementId, f64)>, Option<TopKCollector>),
+    ) -> (Option<(ElementId, ElementId, f64)>, ScanExtent) {
+        if !pending.full {
+            if self.stable {
+                if pending.rows.is_empty() {
+                    pending.cols.sort_unstable();
+                    pending.cols.dedup();
+                    return (self.scan_columns(&pending.cols), ScanExtent::Column);
+                }
+                if self.cache.ready {
+                    if let Some(targets) = self.cached_scan_targets(pending) {
+                        return (self.scan_columns(&targets), ScanExtent::Cached);
+                    }
+                }
+            } else if self.cache.ready {
+                // Local optimality is unknown — typically a committed
+                // swap just kept the repaired rank tables warm — so
+                // verify every row through the cache instead of the full
+                // O(n·p) traversal.
+                if let Some((cols, fresh)) = self.cached_stabilize_targets(pending) {
+                    return (self.scan_scoped(&cols, &fresh), ScanExtent::Cached);
+                }
+            }
+        }
+        let (best, coll) = full_scan(self);
+        if best.is_none() {
+            if let Some(coll) = coll {
+                self.cache.install(coll);
+            }
+        }
+        (best, ScanExtent::Full)
+    }
+
+    /// Shared tail of every batched entry point: skips the scan when the
+    /// batch was empty or provably irrelevant, otherwise runs the
+    /// narrowest sound scan over the accumulated scope and commits at
+    /// most one swap.
+    fn finish_batch(
+        &mut self,
+        mut pending: PendingScan,
+        refills: Vec<ElementId>,
+        ingested: usize,
+        full_scan: impl Fn(&Self) -> (Option<(ElementId, ElementId, f64)>, Option<TopKCollector>),
+    ) -> BatchReport {
+        if ingested == 0 || (self.stable && pending.is_empty()) {
+            return BatchReport {
+                outcome: UpdateOutcome {
+                    swap: None,
+                    gain: 0.0,
+                },
+                refills,
+                scan: ScanExtent::Skipped,
+                ingested,
+            };
+        }
+        let (best, scan) = self.scoped_scan(&mut pending, full_scan);
+        let outcome = self.commit(best);
+        BatchReport {
+            outcome,
+            refills,
+            scan,
+            ingested,
+        }
+    }
+
+    /// Weight-perturbation repair + direction analysis (the
+    /// [`SessionPerturbation::SetWeight`] arm; shared with the
+    /// graph-backed entry points).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the quality oracle has no modular weight data.
+    fn ingest_weight(&mut self, u: ElementId, value: f64, pending: &mut PendingScan) {
+        let old = self.quality.try_set_weight(u, value).unwrap_or_else(|| {
+            panic!("quality oracle does not support weight updates (element {u})")
+        });
+        // Compare in *effective-marginal* units on both sides:
+        // `try_set_weight` returns the previous effective weight
+        // (coefficient-weighted for mixtures), so the raw `value` is not
+        // directly comparable — re-read the marginal, which
+        // modular-weight oracles report membership-independently.
+        let new = self.quality.marginal(u);
+        if !self.quality.weight_updates_shift_uniformly() {
+            // Exotic weight semantics (element interactions in
+            // try_set_weight): neither the direction analysis nor the
+            // column confinement nor the cached ranking is trustworthy —
+            // full scan, fresh ranks.
+            self.cache.invalidate();
+            pending.full = true;
+        } else if self.dist.contains(u) {
+            if new < old {
+                // The member's whole gain row rose by old − new,
+                // uniformly: rank order survives, optimality may not.
+                pending.rows.push(u);
+            }
+            // new ≥ old: a uniform downward shift — preserves optimality
+            // and the cached order.
+        } else {
+            self.cache.mark_dirty(u);
+            if new > old && self.active[u as usize] {
+                pending.cols.push(u);
+            }
+            // Decreases only lower the one column, and a departed
+            // element is in no feasible swap: preserves.
+        }
+    }
+
+    /// Distance-change repair + direction analysis for an already-applied
+    /// metric mutation `d(u, v) += delta` (the tail of the
+    /// [`SessionPerturbation::SetDistance`] arm, and the per-pair patch
+    /// of a graph edge update's [`EdgeUpdateReport`]).
+    fn ingest_distance_delta(
+        &mut self,
+        u: ElementId,
+        v: ElementId,
+        delta: f64,
+        pending: &mut PendingScan,
+    ) {
+        if delta == 0.0 {
+            return;
+        }
+        let u_in = self.dist.contains(u);
+        let v_in = self.dist.contains(v);
+        self.dist.apply_distance_delta(u, v, delta);
+        match (u_in, v_in) {
+            // Neither endpoint selected: no swap gain involves d(u, v)
+            // or either gain row.
+            (false, false) => {}
+            // Both selected: member gains move by delta, so both rows of
+            // swap gains move by −delta, uniformly — increases preserve,
+            // decreases break the two rows (rank order survives either
+            // way).
+            (true, true) => {
+                if delta < 0.0 {
+                    pending.rows.push(u);
+                    pending.rows.push(v);
+                }
+            }
+            // Mixed: only the outside endpoint's column moves (by +delta
+            // against every member but the inside endpoint — non-uniform,
+            // so the column is dirty for the rank tables). Decreases
+            // preserve, as does a departed (ineligible) outside endpoint.
+            _ => {
+                let outsider = if u_in { v } else { u };
+                self.cache.mark_dirty(outsider);
+                if delta > 0.0 && self.active[outsider as usize] {
+                    pending.cols.push(outsider);
+                }
+            }
+        }
+    }
+
+    /// Arrival repair (the [`SessionPerturbation::Arrive`] arm; shared
+    /// with the graph-backed entry points).
+    fn ingest_arrival(
+        &mut self,
+        u: ElementId,
+        pending: &mut PendingScan,
+        refills: &mut Vec<ElementId>,
+    ) {
+        if self.active[u as usize] {
+            return;
+        }
+        self.active[u as usize] = true;
+        // The element may have been perturbed — or excluded from rank
+        // rebuilds — while away: rank-untrustworthy either way.
+        self.cache.mark_dirty(u);
+        let mut refilled = false;
+        while self.dist.len() < self.p {
+            match self.refill_once() {
+                Some(w) => {
+                    refills.push(w);
+                    self.stable = false;
+                    refilled = true;
+                }
+                None => break,
+            }
+        }
+        if !refilled {
+            // Every pre-existing candidate keeps its verified gains;
+            // only the new column can hold a positive swap.
+            pending.cols.push(u);
+        }
+        // A refill changed membership: `stable` is already false, which
+        // forces the full scan.
+    }
+
+    /// Departure repair (the [`SessionPerturbation::Depart`] arm; shared
+    /// with the graph-backed entry points).
+    fn ingest_departure(
+        &mut self,
+        u: ElementId,
+        pending: &mut PendingScan,
+        refills: &mut Vec<ElementId>,
+    ) {
+        if !self.active[u as usize] {
+            return;
+        }
+        self.active[u as usize] = false;
+        if self.dist.contains(u) {
+            self.dist.remove(&self.metric, u);
+            self.quality.remove(u);
+            self.cache.invalidate();
+            if let Some(w) = self.refill_once() {
+                refills.push(w);
+            }
+            self.stable = false;
+            pending.full = true;
+        }
+        // Losing a non-selected candidate only shrinks the scan; its
+        // cache entries are filtered by the activity mask at
+        // verification time.
+    }
+
     /// Applies a chosen swap to both caches (remove-then-insert, the
     /// [`crate::PotentialState::swap`] order) and updates the stability
-    /// flag.
+    /// flag. When the quality oracle's swap gains are membership-
+    /// independent the candidate-cache rank tables are positionally
+    /// repaired across the swap instead of dropped (ROADMAP item (d);
+    /// see [`DynamicSession::repair_cache_for_swap`]).
     fn commit(&mut self, best: Option<(ElementId, ElementId, f64)>) -> UpdateOutcome {
         match best {
             Some((u_out, v_in, gain)) => {
+                let idx = self
+                    .dist
+                    .members()
+                    .iter()
+                    .position(|&x| x == u_out)
+                    .expect("swap winner must be a member");
                 self.dist.swap(&self.metric, v_in, u_out);
                 self.quality.remove(u_out);
                 self.quality.insert(v_in);
-                // A membership change moves every gain row non-uniformly.
-                self.cache.invalidate();
+                if self.cache.ready && self.quality.swap_gains_are_membership_independent() {
+                    self.repair_cache_for_swap(idx, u_out, v_in);
+                } else {
+                    // A membership change moves every gain row
+                    // non-uniformly; without the membership-independence
+                    // contract the ranking cannot be repaired.
+                    self.cache.invalidate();
+                }
                 self.stable = false;
                 UpdateOutcome {
                     swap: Some((u_out, v_in)),
@@ -736,6 +1162,61 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
                 }
             }
         }
+    }
+
+    /// ROADMAP item (d): keeps the candidate cache warm across a
+    /// committed swap `u_out → v_in` (sound only under
+    /// [`IncrementalOracle::swap_gains_are_membership_independent`]).
+    ///
+    /// With a membership-independent quality part, the swap moves the
+    /// true gain of every surviving cell `(x, u)` by `c(x) + r(u)` where
+    /// `c(x) = λ·(d(x, v_in) − d(x, u_out))` and `r(u)` is row-uniform.
+    /// Row-uniform offsets never matter to the cache — stored gains and
+    /// the overflow high-water mark shift together — so adding `c(x)` to
+    /// every stored entry restores the exact relative order, re-sorted
+    /// under the scan's tie-break (gain descending, earlier candidate
+    /// first). The overflow mark rises by `max_x c(x)` over the
+    /// candidate pool, a sound bound for every truncated-out candidate.
+    /// The row vector permutes positionally like [`SolutionState::swap`]
+    /// (swap-remove at `idx`, then push): the incoming member's row
+    /// starts *empty-and-fresh* — re-verified by an O(n) row sweep until
+    /// the next full install ([`ScanExtent::Cached`]) — and the departed
+    /// member re-enters the candidate pool as a dirty column (its gains
+    /// were never ranked). O(p·K·log K + n) per swap, against the full
+    /// O(n·p) re-stabilization scan it makes avoidable.
+    fn repair_cache_for_swap(&mut self, idx: usize, u_out: ElementId, v_in: ElementId) {
+        debug_assert!(self.cache.ready && self.cache.k > 0);
+        let lambda = self.lambda;
+        let metric = &self.metric;
+        let shift = |x: ElementId| lambda * (metric.distance(x, v_in) - metric.distance(x, u_out));
+        let mut shift_max = f64::NEG_INFINITY;
+        for x in 0..self.dist.ground_size() as ElementId {
+            if !self.dist.contains(x) {
+                shift_max = shift_max.max(shift(x));
+            }
+        }
+        if !shift_max.is_finite() {
+            // No candidates left (p = n): nothing the cache could answer.
+            self.cache.invalidate();
+            return;
+        }
+        self.cache.rows.swap_remove(idx);
+        self.cache.overflow.swap_remove(idx);
+        for (row, overflow) in self
+            .cache
+            .rows
+            .iter_mut()
+            .zip(self.cache.overflow.iter_mut())
+        {
+            for entry in row.iter_mut() {
+                entry.1 += shift(entry.0);
+            }
+            row.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            *overflow += shift_max;
+        }
+        self.cache.rows.push(Vec::new());
+        self.cache.overflow.push(f64::NEG_INFINITY);
+        self.cache.mark_dirty(u_out);
     }
 
     /// Inserts the active outsider with the best objective marginal
@@ -810,70 +1291,11 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
         full_scan: impl Fn(&Self) -> (Option<(ElementId, ElementId, f64)>, Option<TopKCollector>),
     ) -> BatchReport {
         let mut refills = Vec::new();
-        if perturbations.is_empty() {
-            return BatchReport {
-                outcome: UpdateOutcome {
-                    swap: None,
-                    gain: 0.0,
-                },
-                refills,
-                scan: ScanExtent::Skipped,
-                ingested: 0,
-            };
-        }
         let mut pending = PendingScan::default();
         for &p in perturbations {
             self.ingest(p, &mut pending, &mut refills);
         }
-        if self.stable && pending.is_empty() {
-            return BatchReport {
-                outcome: UpdateOutcome {
-                    swap: None,
-                    gain: 0.0,
-                },
-                refills,
-                scan: ScanExtent::Skipped,
-                ingested: perturbations.len(),
-            };
-        }
-        let (best, scan) = self.scoped_scan(&mut pending, full_scan);
-        let outcome = self.commit(best);
-        BatchReport {
-            outcome,
-            refills,
-            scan,
-            ingested: perturbations.len(),
-        }
-    }
-
-    /// Runs the narrowest sound scan for the accumulated scope: columns
-    /// only, cache-verified rows, or the full traversal (which rebuilds
-    /// the rank tables when it ends stable). Every path returns the swap
-    /// the full scan would choose.
-    fn scoped_scan(
-        &mut self,
-        pending: &mut PendingScan,
-        full_scan: impl Fn(&Self) -> (Option<(ElementId, ElementId, f64)>, Option<TopKCollector>),
-    ) -> (Option<(ElementId, ElementId, f64)>, ScanExtent) {
-        if self.stable && !pending.full {
-            if pending.rows.is_empty() {
-                pending.cols.sort_unstable();
-                pending.cols.dedup();
-                return (self.scan_columns(&pending.cols), ScanExtent::Column);
-            }
-            if self.cache.ready {
-                if let Some(targets) = self.cached_scan_targets(pending) {
-                    return (self.scan_columns(&targets), ScanExtent::Cached);
-                }
-            }
-        }
-        let (best, coll) = full_scan(self);
-        if best.is_none() {
-            if let Some(coll) = coll {
-                self.cache.install(coll);
-            }
-        }
-        (best, ScanExtent::Full)
+        self.finish_batch(pending, refills, perturbations.len(), full_scan)
     }
 
     /// Repairs the session caches for one perturbation in O(Δ) and
@@ -890,123 +1312,147 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
         refills: &mut Vec<ElementId>,
     ) {
         match perturbation {
-            SessionPerturbation::SetWeight { u, value } => {
-                let old = self.quality.try_set_weight(u, value).unwrap_or_else(|| {
-                    panic!("quality oracle does not support weight updates (element {u})")
-                });
-                // Compare in *effective-marginal* units on both sides:
-                // `try_set_weight` returns the previous effective weight
-                // (coefficient-weighted for mixtures), so the raw `value`
-                // is not directly comparable — re-read the marginal, which
-                // modular-weight oracles report membership-independently.
-                let new = self.quality.marginal(u);
-                if !self.quality.weight_updates_shift_uniformly() {
-                    // Exotic weight semantics (element interactions in
-                    // try_set_weight): neither the direction analysis nor
-                    // the column confinement nor the cached ranking is
-                    // trustworthy — full scan, fresh ranks.
-                    self.cache.invalidate();
-                    pending.full = true;
-                } else if self.dist.contains(u) {
-                    if new < old {
-                        // The member's whole gain row rose by old − new,
-                        // uniformly: rank order survives, optimality may
-                        // not.
-                        pending.rows.push(u);
-                    }
-                    // new ≥ old: a uniform downward shift — preserves
-                    // optimality and the cached order.
-                } else {
-                    self.cache.mark_dirty(u);
-                    if new > old && self.active[u as usize] {
-                        pending.cols.push(u);
-                    }
-                    // Decreases only lower the one column, and a departed
-                    // element is in no feasible swap: preserves.
-                }
-            }
+            SessionPerturbation::SetWeight { u, value } => self.ingest_weight(u, value, pending),
             SessionPerturbation::SetDistance { u, v, value } => {
                 let old = self.metric.set_distance(u, v, value);
-                let delta = value - old;
-                let u_in = self.dist.contains(u);
-                let v_in = self.dist.contains(v);
-                if delta != 0.0 {
-                    self.dist.apply_distance_delta(u, v, delta);
-                    match (u_in, v_in) {
-                        // Neither endpoint selected: no swap gain involves
-                        // d(u, v) or either gain row.
-                        (false, false) => {}
-                        // Both selected: member gains move by delta, so
-                        // both rows of swap gains move by −delta,
-                        // uniformly — increases preserve, decreases break
-                        // the two rows (rank order survives either way).
-                        (true, true) => {
-                            if delta < 0.0 {
-                                pending.rows.push(u);
-                                pending.rows.push(v);
-                            }
-                        }
-                        // Mixed: only the outside endpoint's column moves
-                        // (by +delta against every member but the inside
-                        // endpoint — non-uniform, so the column is dirty
-                        // for the rank tables). Decreases preserve, as
-                        // does a departed (ineligible) outside endpoint.
-                        _ => {
-                            let outsider = if u_in { v } else { u };
-                            self.cache.mark_dirty(outsider);
-                            if delta > 0.0 && self.active[outsider as usize] {
-                                pending.cols.push(outsider);
-                            }
-                        }
-                    }
-                }
+                self.ingest_distance_delta(u, v, value - old, pending);
             }
-            SessionPerturbation::Arrive { u } => {
-                if !self.active[u as usize] {
-                    self.active[u as usize] = true;
-                    // The element may have been perturbed — or excluded
-                    // from rank rebuilds — while away: rank-untrustworthy
-                    // either way.
-                    self.cache.mark_dirty(u);
-                    let mut refilled = false;
-                    while self.dist.len() < self.p {
-                        match self.refill_once() {
-                            Some(w) => {
-                                refills.push(w);
-                                self.stable = false;
-                                refilled = true;
-                            }
-                            None => break,
-                        }
-                    }
-                    if !refilled {
-                        // Every pre-existing candidate keeps its verified
-                        // gains; only the new column can hold a positive
-                        // swap.
-                        pending.cols.push(u);
-                    }
-                    // A refill changed membership: `stable` is already
-                    // false, which forces the full scan.
+            SessionPerturbation::Arrive { u } => self.ingest_arrival(u, pending, refills),
+            SessionPerturbation::Depart { u } => self.ingest_departure(u, pending, refills),
+        }
+    }
+}
+
+/// Graph-backed session entry points: edge updates over an
+/// [`EdgePerturbableMetric`] (e.g. `msd_metric::DynamicGraphMetric`)
+/// flow through the same O(Δ) repair, direction analysis, scan-scope
+/// narrowing and candidate-cache dirt tracking as matrix perturbations —
+/// the metric repairs its own induced distances and hands back the exact
+/// set of moved `(i, j)` pairs, each of which becomes one
+/// [`DynamicSession::apply`]-style distance patch.
+impl<'q, M: EdgePerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
+    /// Applies one graph perturbation — the metric's incremental repair
+    /// (O(n + affected·n) for an edge update, never the Floyd–Warshall
+    /// cube), O(Δ) session-cache patches for every moved pair, then one
+    /// oblivious single-swap update over the repaired caches (skipped or
+    /// narrowed when local optimality provably survives, exactly as
+    /// [`DynamicSession::apply`]).
+    ///
+    /// # Errors
+    ///
+    /// A [`GraphPerturbation::RemoveEdge`] that would disconnect the
+    /// graph fails with the metric's witness error; the metric and every
+    /// session cache are left untouched.
+    ///
+    /// # Panics
+    ///
+    /// As [`DynamicSession::apply`], plus the metric's edge-update
+    /// validations (unknown edge, invalid endpoints or weight).
+    pub fn apply_graph(
+        &mut self,
+        perturbation: GraphPerturbation,
+    ) -> Result<UpdateReport, DisconnectedGraph> {
+        let report = self
+            .apply_graph_batch(std::slice::from_ref(&perturbation))
+            .map_err(|e| {
+                debug_assert!(e.ingested == 0 && e.refills.is_empty());
+                e.error
+            })?;
+        Ok(UpdateReport {
+            outcome: report.outcome,
+            refill: report.refills.last().copied(),
+            scan: report.scan,
+        })
+    }
+
+    /// Ingests a burst of graph perturbations — every edge update is
+    /// repaired incrementally and patched into the session in O(Δ), the
+    /// scan scopes accumulate across the batch, and at most **one** swap
+    /// scan runs over the union (the [`DynamicSession::apply_batch`]
+    /// contract over the edge-update perturbation model).
+    ///
+    /// # Errors
+    ///
+    /// On a disconnecting removal the failed update is not applied and
+    /// ingestion stops: every earlier perturbation's repair remains in
+    /// effect (the session stays consistent), no scan runs, and the
+    /// session conservatively forfeits its stability flag — the next
+    /// update or [`DynamicSession::step`] re-verifies. The returned
+    /// [`GraphBatchError`] carries the partial report (ingested count
+    /// and refills already committed to the solution), so the caller
+    /// can reconcile and simply continue with the remaining
+    /// perturbations.
+    ///
+    /// # Panics
+    ///
+    /// As [`DynamicSession::apply_graph`], per ingested perturbation.
+    pub fn apply_graph_batch(
+        &mut self,
+        perturbations: &[GraphPerturbation],
+    ) -> Result<BatchReport, GraphBatchError> {
+        self.apply_graph_batch_via(perturbations, Self::scan_full_collect)
+    }
+
+    /// Shared fallible driver for the graph entry points (serial or
+    /// parallel full-scan strategy, identical winners).
+    fn apply_graph_batch_via(
+        &mut self,
+        perturbations: &[GraphPerturbation],
+        full_scan: impl Fn(&Self) -> (Option<(ElementId, ElementId, f64)>, Option<TopKCollector>),
+    ) -> Result<BatchReport, GraphBatchError> {
+        let mut refills = Vec::new();
+        let mut pending = PendingScan::default();
+        for (i, &p) in perturbations.iter().enumerate() {
+            if let Err(error) = self.ingest_graph(p, &mut pending, &mut refills) {
+                // The failing update left the metric untouched and every
+                // earlier repair is already applied, so the caches stay
+                // consistent — but the accumulated scan scopes are being
+                // dropped, so conservatively forfeit stability.
+                if i > 0 {
+                    self.stable = false;
                 }
+                return Err(GraphBatchError {
+                    error,
+                    ingested: i,
+                    refills,
+                });
             }
-            SessionPerturbation::Depart { u } => {
-                if self.active[u as usize] {
-                    self.active[u as usize] = false;
-                    if self.dist.contains(u) {
-                        self.dist.remove(&self.metric, u);
-                        self.quality.remove(u);
-                        self.cache.invalidate();
-                        if let Some(w) = self.refill_once() {
-                            refills.push(w);
-                        }
-                        self.stable = false;
-                        pending.full = true;
-                    }
-                    // Losing a non-selected candidate only shrinks the
-                    // scan; its cache entries are filtered by the
-                    // activity mask at verification time.
-                }
+        }
+        Ok(self.finish_batch(pending, refills, perturbations.len(), full_scan))
+    }
+
+    /// Repairs the caches for one graph perturbation: edge updates ask
+    /// the metric for its [`EdgeUpdateReport`] and patch every moved pair
+    /// through the shared distance-delta analysis; the weight /
+    /// availability arms are exactly [`SessionPerturbation`]'s.
+    fn ingest_graph(
+        &mut self,
+        perturbation: GraphPerturbation,
+        pending: &mut PendingScan,
+        refills: &mut Vec<ElementId>,
+    ) -> Result<(), DisconnectedGraph> {
+        match perturbation {
+            GraphPerturbation::SetEdge { u, v, weight } => {
+                let report = self.metric.set_edge(u, v, weight)?;
+                self.ingest_edge_report(&report, pending);
             }
+            GraphPerturbation::RemoveEdge { u, v } => {
+                let report = self.metric.remove_edge(u, v)?;
+                self.ingest_edge_report(&report, pending);
+            }
+            GraphPerturbation::SetWeight { u, value } => self.ingest_weight(u, value, pending),
+            GraphPerturbation::Arrive { u } => self.ingest_arrival(u, pending, refills),
+            GraphPerturbation::Depart { u } => self.ingest_departure(u, pending, refills),
+        }
+        Ok(())
+    }
+
+    /// Converts an edge update's changed-pair set into the existing O(Δ)
+    /// distance patches and scan scoping — one
+    /// [`DynamicSession::ingest_distance_delta`] per moved pair.
+    fn ingest_edge_report(&mut self, report: &EdgeUpdateReport, pending: &mut PendingScan) {
+        for change in &report.changed {
+            self.ingest_distance_delta(change.u, change.v, change.new - change.old, pending);
         }
     }
 }
@@ -1035,7 +1481,48 @@ impl<'q, M: PerturbableMetric + Sync> SyncDynamicSession<'q, M> {
     pub fn apply_batch_parallel(&mut self, perturbations: &[SessionPerturbation]) -> BatchReport {
         self.apply_batch_via(perturbations, Self::scan_full_collect_parallel)
     }
+}
 
+/// Thread-parallel graph-backed entry points: edge-update repairs stay
+/// serial (they are the metric's O(affected·n) incremental pass), the
+/// full swap scan runs chunked — bit-identical to
+/// [`DynamicSession::apply_graph`].
+#[cfg(feature = "parallel")]
+impl<'q, M: EdgePerturbableMetric + Sync> SyncDynamicSession<'q, M> {
+    /// Parallel [`DynamicSession::apply_graph`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DynamicSession::apply_graph`].
+    pub fn apply_graph_parallel(
+        &mut self,
+        perturbation: GraphPerturbation,
+    ) -> Result<UpdateReport, DisconnectedGraph> {
+        let report = self
+            .apply_graph_batch_parallel(std::slice::from_ref(&perturbation))
+            .map_err(|e| e.error)?;
+        Ok(UpdateReport {
+            outcome: report.outcome,
+            refill: report.refills.last().copied(),
+            scan: report.scan,
+        })
+    }
+
+    /// Parallel [`DynamicSession::apply_graph_batch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DynamicSession::apply_graph_batch`].
+    pub fn apply_graph_batch_parallel(
+        &mut self,
+        perturbations: &[GraphPerturbation],
+    ) -> Result<BatchReport, GraphBatchError> {
+        self.apply_graph_batch_via(perturbations, Self::scan_full_collect_parallel)
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl<'q, M: Metric + Sync> SyncDynamicSession<'q, M> {
     /// Chunked counterpart of `scan_full`; falls back to the serial scan
     /// below the cost-weighted work floor (identical result).
     fn scan_full_parallel(&self) -> Option<(ElementId, ElementId, f64)> {
@@ -1589,6 +2076,177 @@ mod tests {
         let r = s.apply(SessionPerturbation::SetWeight { u: 0, value: 0.4 });
         assert_eq!(r.scan, ScanExtent::Cached);
         assert_eq!(r.outcome.swap, Some((0, 1)));
+    }
+
+    #[test]
+    fn candidate_cache_survives_swaps_for_modular_quality() {
+        // ROADMAP (d): with membership-independent quality gains a
+        // committed swap repairs the rank tables positionally instead of
+        // dropping them, so the post-swap re-verification runs through
+        // the cache (ScanExtent::Cached) — while every chosen swap stays
+        // bit-identical to the cache-free session.
+        let problem = instance(12, 30);
+        let init = greedy_b(&problem, 6, GreedyBConfig::default());
+        let mut cached = DynamicSession::new(&problem, &init).with_candidate_cache(8);
+        let mut reference = DynamicSession::new(&problem, &init).with_candidate_cache(0);
+        cached.update_until_stable(100);
+        reference.update_until_stable(100);
+        assert!(cached.is_stable());
+        // A 10× weight spike on an outsider forces a swap through the
+        // narrow column scan; the commit must repair, not drop, the
+        // tables.
+        let outsider = (0..30u32).find(|&v| !cached.contains(v)).unwrap();
+        let spike = SessionPerturbation::SetWeight {
+            u: outsider,
+            value: 10.0,
+        };
+        let a = cached.apply(spike);
+        let b = reference.apply(spike);
+        assert_eq!(a.outcome.swap, b.outcome.swap);
+        assert!(a.outcome.swap.is_some(), "the weight spike must swap in");
+        assert_eq!(cached.solution(), reference.solution());
+        assert!(!cached.is_stable());
+        // The session is unstable with warm repaired tables: the next
+        // update re-verifies through the cache, where the cache-free
+        // session pays the full scan.
+        let (x, y) = {
+            let mut outs = (0..30u32).filter(|&v| !cached.contains(v));
+            (outs.next().unwrap(), outs.next().unwrap())
+        };
+        let pert = SessionPerturbation::SetDistance {
+            u: x,
+            v: y,
+            value: 1.5,
+        };
+        let a = cached.apply(pert);
+        let b = reference.apply(pert);
+        assert_eq!(a.scan, ScanExtent::Cached, "repaired tables must answer");
+        assert_eq!(b.scan, ScanExtent::Full);
+        assert_eq!(a.outcome.swap, b.outcome.swap);
+        assert_eq!(cached.solution(), reference.solution());
+        // Once re-stabilized, both sessions agree on further traffic.
+        cached.update_until_stable(100);
+        reference.update_until_stable(100);
+        assert_eq!(cached.solution(), reference.solution());
+        let direct = problem_objective_check(&cached);
+        assert!((cached.objective() - direct).abs() < 1e-9);
+
+        fn problem_objective_check(s: &DynamicSession<'_, DistanceMatrix>) -> f64 {
+            // The session owns its (perturbed) metric; recompute from it.
+            s.quality.value() + s.lambda() * s.metric().dispersion(s.solution())
+        }
+    }
+
+    #[test]
+    fn graph_session_patches_edge_updates_through_the_report() {
+        use msd_metric::{DynamicGraphMetric, WeightedGraph};
+        // A 6-cycle with a chord; modular quality. One edge update moves
+        // several induced distances at once; the graph session must match
+        // a fresh rebuild-and-scan on the Floyd–Warshall-rebuilt twin.
+        let mut g = WeightedGraph::new(6);
+        for i in 0..6u32 {
+            g.add_edge(i, (i + 1) % 6, 1.0 + f64::from(i) * 0.25);
+        }
+        g.add_edge(0, 3, 2.0);
+        let metric = DynamicGraphMetric::from_graph(&g).unwrap();
+        let weights = vec![0.9, 0.3, 0.8, 0.2, 0.7, 0.1];
+        let problem =
+            DiversificationProblem::new(metric, ModularFunction::new(weights.clone()), 0.3);
+        let init = greedy_b(&problem, 3, GreedyBConfig::default());
+        let mut session = DynamicSession::new(&problem, &init);
+        session.update_until_stable(16);
+        let mut mirror_graph = g.clone();
+        let mut sol = session.solution().to_vec();
+        let script = [(0u32, 3u32, 0.5), (1, 2, 4.0), (4, 5, 0.25), (0, 1, 3.0)];
+        for (step, &(u, v, w)) in script.iter().enumerate() {
+            mirror_graph.set_edge(u, v, w);
+            let rebuilt = mirror_graph.shortest_path_metric().unwrap();
+            let mirror =
+                DiversificationProblem::new(rebuilt, ModularFunction::new(weights.clone()), 0.3);
+            let report = session
+                .apply_graph(GraphPerturbation::SetEdge { u, v, weight: w })
+                .unwrap();
+            let expected = oblivious_update_step(&mirror, &mut sol);
+            assert_eq!(report.outcome.swap, expected.swap, "step {step}");
+            assert_eq!(session.solution(), &sol[..], "step {step}");
+            // The owned metric matches the rebuilt twin bit for bit
+            // (dyadic weights: exact shortest-path sums).
+            assert_eq!(
+                session.metric().matrix().triangle(),
+                mirror.metric().triangle(),
+                "step {step}: repaired metric diverged"
+            );
+            let direct = mirror.objective(session.solution());
+            assert!((session.objective() - direct).abs() < 1e-9, "step {step}");
+        }
+        // A disconnecting removal fails cleanly: metric, caches and
+        // stability untouched.
+        let mut bridge = WeightedGraph::new(3);
+        bridge.add_edge(0, 1, 1.0).add_edge(1, 2, 1.0);
+        let metric = DynamicGraphMetric::from_graph(&bridge).unwrap();
+        let problem =
+            DiversificationProblem::new(metric, ModularFunction::new(vec![1.0, 0.1, 0.5]), 0.1);
+        let mut session = DynamicSession::new(&problem, &[0, 2]);
+        session.update_until_stable(8);
+        let before = session.solution().to_vec();
+        let err = session
+            .apply_graph(GraphPerturbation::RemoveEdge { u: 0, v: 1 })
+            .unwrap_err();
+        assert_eq!((err.u, err.v), (0, 1));
+        assert_eq!(session.solution(), &before[..]);
+        assert!(
+            session.is_stable(),
+            "a rejected lone update keeps stability"
+        );
+        // The shared weight / availability arms ride along unchanged.
+        let r = session
+            .apply_graph(GraphPerturbation::SetWeight { u: 1, value: 9.0 })
+            .unwrap();
+        assert_eq!(r.outcome.swap, Some((2, 1)));
+        let r = session
+            .apply_graph(GraphPerturbation::Depart { u: 1 })
+            .unwrap();
+        assert_eq!(r.refill, Some(2));
+    }
+
+    #[test]
+    fn graph_batch_error_carries_the_partial_report() {
+        use msd_metric::{DynamicGraphMetric, WeightedGraph};
+        // Path 0-1-2-3: removing 1-2 disconnects. A batch that first
+        // departs a member (committing a greedy refill) and then hits
+        // the disconnecting removal must surface the partial report —
+        // the refill is already in the solution and the caller needs it.
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 3, 1.0);
+        let metric = DynamicGraphMetric::from_graph(&g).unwrap();
+        let problem = DiversificationProblem::new(
+            metric,
+            ModularFunction::new(vec![1.0, 0.8, 0.6, 0.4]),
+            0.1,
+        );
+        let mut s = DynamicSession::new(&problem, &[0, 1]);
+        s.update_until_stable(8);
+        let leaving = s.solution()[0];
+        let batch = [
+            GraphPerturbation::Depart { u: leaving },
+            GraphPerturbation::RemoveEdge { u: 1, v: 2 },
+            GraphPerturbation::SetWeight { u: 3, value: 9.0 }, // never reached
+        ];
+        let err = s.apply_graph_batch(&batch).unwrap_err();
+        assert_eq!((err.error.u, err.error.v), (1, 2));
+        assert_eq!(err.ingested, 1, "only the departure was ingested");
+        assert_eq!(err.refills.len(), 1, "the departure's refill is committed");
+        assert!(s.contains(err.refills[0]));
+        assert!(!s.contains(leaving));
+        assert!(!s.is_stable(), "a mid-batch failure forfeits stability");
+        assert!(err.to_string().contains("stopped after 1"));
+        // The session stays consistent and usable: the metric kept the
+        // bridge, and stabilization converges normally.
+        assert_eq!(s.metric().edge_weight(1, 2), Some(1.0));
+        s.update_until_stable(8);
+        assert!(s.is_stable());
     }
 
     #[test]

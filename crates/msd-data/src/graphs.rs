@@ -1,0 +1,185 @@
+//! Synthetic network generators for the graph-metric workloads.
+//!
+//! The dynamic-graph scenario family (edge-churn bursts through
+//! `msd_metric::DynamicGraphMetric`) needs connected sparse graphs with
+//! realistic shortest-path structure. Two shapes cover the bench
+//! trajectory:
+//!
+//! * [`road_like`] — a 4-neighbour grid (the classic road-network
+//!   approximation: low degree, large diameter, strong locality) with a
+//!   few long random shortcuts standing in for highways.
+//! * [`clustered_graph`] — dense-ish communities joined by a sparse
+//!   bridge ring (small intra-cluster distances, long inter-cluster
+//!   detours), the network analogue of the Gaussian-cluster workloads in
+//!   [`crate::clustered`].
+//!
+//! All edge weights are drawn on a **dyadic grid** (multiples of 1/32):
+//! shortest-path sums of dyadic weights are exact in `f64`, which makes
+//! incremental APSP repair bit-identical to a from-scratch
+//! Floyd–Warshall rebuild — the property the dynamic-graph equivalence
+//! suite in `msd-bench` pins. Generators are deterministic given a seed.
+
+use msd_metric::WeightedGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random dyadic weight in `[0.5, 2.5)` (multiples of 1/32) — the
+/// weight grid shared by both generators and by edge *redraws* in the
+/// dynamic-graph benches: staying on one dyadic grid keeps every
+/// shortest-path sum exact, which the repair-vs-rebuild bit-identity
+/// comparisons rely on.
+pub fn dyadic_weight(rng: &mut StdRng) -> f64 {
+    rng.gen_range(16..80) as f64 / 32.0
+}
+
+/// Road-like network: an (approximately square) 4-neighbour grid over
+/// `n` vertices in row-major order, every lattice edge present with a
+/// random dyadic weight, plus `n / 50` random long-range shortcut edges.
+/// Connected for every `n ≥ 1`.
+pub fn road_like(seed: u64, n: usize) -> WeightedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedGraph::new(n);
+    if n < 2 {
+        return g;
+    }
+    let width = (n as f64).sqrt().ceil() as usize;
+    for i in 0..n {
+        let (r, c) = (i / width, i % width);
+        if c + 1 < width && i + 1 < n {
+            let w = dyadic_weight(&mut rng);
+            g.add_edge(i as u32, (i + 1) as u32, w);
+        }
+        if (r + 1) * width + c < n {
+            let w = dyadic_weight(&mut rng);
+            g.add_edge(i as u32, ((r + 1) * width + c) as u32, w);
+        }
+    }
+    // Highways: long-range shortcuts, slightly cheaper per hop.
+    for _ in 0..n / 50 {
+        let u = rng.gen_range(0..n) as u32;
+        let mut v = rng.gen_range(0..n) as u32;
+        while v == u {
+            v = rng.gen_range(0..n) as u32;
+        }
+        let w = rng.gen_range(32..96) as f64 / 32.0;
+        g.set_edge(u, v, w);
+    }
+    g
+}
+
+/// Clustered network: `clusters` communities of near-equal size, each
+/// internally wired as a path (connectivity) plus two random chords per
+/// vertex (small diameter inside), with consecutive clusters joined by a
+/// single random bridge (ring closure included). Connected for every
+/// `n ≥ 1`, `clusters ≥ 1`.
+pub fn clustered_graph(seed: u64, n: usize, clusters: usize) -> WeightedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = WeightedGraph::new(n);
+    if n < 2 {
+        return g;
+    }
+    let clusters = clusters.clamp(1, n);
+    let bounds: Vec<usize> = (0..=clusters).map(|k| k * n / clusters).collect();
+    for k in 0..clusters {
+        let (lo, hi) = (bounds[k], bounds[k + 1]);
+        if hi - lo < 2 {
+            continue;
+        }
+        // Intra-cluster path + chords.
+        for i in lo..hi - 1 {
+            let w = dyadic_weight(&mut rng);
+            g.add_edge(i as u32, (i + 1) as u32, w);
+        }
+        for i in lo..hi {
+            for _ in 0..2 {
+                let j = rng.gen_range(lo..hi);
+                if j != i {
+                    let w = dyadic_weight(&mut rng);
+                    g.set_edge(i as u32, j as u32, w);
+                }
+            }
+        }
+    }
+    // Bridge ring: consecutive clusters (and the closing pair) joined by
+    // one heavier edge each.
+    for k in 0..clusters {
+        let next = (k + 1) % clusters;
+        if next == k {
+            break;
+        }
+        let (alo, ahi) = (bounds[k], bounds[k + 1]);
+        let (blo, bhi) = (bounds[next], bounds[next + 1]);
+        if alo == ahi || blo == bhi {
+            continue;
+        }
+        let u = rng.gen_range(alo..ahi) as u32;
+        let v = rng.gen_range(blo..bhi) as u32;
+        if u != v {
+            let w = rng.gen_range(96..192) as f64 / 32.0;
+            g.set_edge(u, v, w);
+        }
+    }
+    // Degenerate cluster layouts (singleton clusters skipped above) can
+    // leave isolated vertices; stitch any leftover to its predecessor so
+    // the generator always returns a connected graph.
+    let mut degree = vec![0usize; n];
+    for &(u, v, _) in g.edges() {
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+    }
+    let isolated: Vec<usize> = (1..n).filter(|&i| degree[i] == 0).collect();
+    for i in isolated {
+        let w = dyadic_weight(&mut rng);
+        g.add_edge((i - 1) as u32, i as u32, w);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msd_metric::DynamicGraphMetric;
+
+    #[test]
+    fn road_like_is_connected_and_sparse() {
+        for n in [1usize, 2, 5, 49, 50, 100] {
+            let g = road_like(7, n);
+            assert_eq!(g.len(), n);
+            if n >= 2 {
+                let metric = DynamicGraphMetric::from_graph(&g)
+                    .unwrap_or_else(|e| panic!("road n={n} disconnected: {e}"));
+                // Sparse: grid degree ≤ 4 plus shortcuts.
+                assert!(metric.num_edges() <= 2 * n + n / 50 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_is_connected_across_shapes() {
+        for (n, k) in [(2usize, 1usize), (12, 3), (30, 5), (64, 4), (40, 40)] {
+            let g = clustered_graph(11, n, k);
+            DynamicGraphMetric::from_graph(&g)
+                .unwrap_or_else(|e| panic!("clustered n={n} k={k} disconnected: {e}"));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = road_like(3, 60);
+        let b = road_like(3, 60);
+        assert_eq!(a.edges(), b.edges());
+        let a = clustered_graph(5, 48, 4);
+        let b = clustered_graph(5, 48, 4);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn weights_are_dyadic() {
+        for &(_, _, w) in road_like(9, 80).edges() {
+            assert_eq!(w, (w * 32.0).round() / 32.0, "weight {w} off the grid");
+        }
+        for &(_, _, w) in clustered_graph(9, 80, 5).edges() {
+            assert_eq!(w, (w * 32.0).round() / 32.0, "weight {w} off the grid");
+        }
+    }
+}

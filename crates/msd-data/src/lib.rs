@@ -13,15 +13,20 @@
 //!   for the geometric examples and ablations.
 //! * [`adversarial`] — worst-case instances: the greedy lower-bound family
 //!   and planted-clique-style `{1,2}` metrics from the hardness discussion.
+//! * [`graphs`] — connected sparse networks (road-like grids, clustered
+//!   communities) with dyadic edge weights, the substrate of the dynamic
+//!   graph-metric workloads.
 //!
 //! All generators are deterministic given a seed (`rand::StdRng`).
 
 pub mod adversarial;
 pub mod clustered;
+pub mod graphs;
 pub mod letor;
 pub mod synthetic;
 
 pub use clustered::ClusteredConfig;
+pub use graphs::{clustered_graph, dyadic_weight, road_like};
 pub use letor::{LetorConfig, LetorQuery};
 pub use synthetic::SyntheticConfig;
 

@@ -1,0 +1,802 @@
+//! Dynamic graph metrics: edge-weight updates with incremental
+//! all-pairs-shortest-path repair.
+//!
+//! The dispersion problems of the paper originate in location theory on
+//! networks, where the metric is *induced*: `d(u, v)` is the length of
+//! the shortest path between `u` and `v` in a weighted graph. Under that
+//! model the realistic perturbation is not a single distance rewrite but
+//! an **edge-weight change** — one road gets congested — which moves many
+//! pairwise distances at once.
+//!
+//! [`DynamicGraphMetric`] owns a weighted undirected graph *and* its
+//! materialized APSP [`DistanceMatrix`], and keeps the two consistent
+//! under [`set_edge`](DynamicGraphMetric::set_edge) /
+//! [`remove_edge`](DynamicGraphMetric::remove_edge) without paying the
+//! O(n³) Floyd–Warshall rebuild per update:
+//!
+//! * **decrease** (including inserting a new edge) — the classic
+//!   incremental relaxation: first the two endpoint rows are relaxed
+//!   through the cheaper edge in O(n), then only *tight* sources — the
+//!   vertices some shortest path of which to `u` or `v` now runs over the
+//!   edge (`d'(i,u) + w == d'(i,v)` or vice versa) — rescan their row
+//!   with the three-term relaxation
+//!   `min(d(i,j), d'(i,u)+w+d'(v,j), d'(i,v)+w+d'(u,j))`. Every pair a
+//!   decrease can move satisfies the tightness test at its source, so the
+//!   pass is exact in O(n + affected·n).
+//! * **increase / removal** — only rows whose current shortest path may
+//!   *use* the edge can grow. The compact usage witness is the same
+//!   tightness test evaluated on the **old** matrix with the **old**
+//!   weight (a shortest `i → j` path crossing `u → v` makes the edge
+//!   tight on `i → v`): non-tight rows are skipped in O(1), tight rows
+//!   are recomputed by a Dijkstra sweep over the updated adjacency in
+//!   O(deg log n) per settled vertex. Above a churn threshold (more than
+//!   half the rows affected) the repair falls back to recomputing every
+//!   row — still the sparse-graph O(n·m log n), never the dense cube.
+//!
+//! Every repair returns an [`EdgeUpdateReport`] listing the exact set of
+//! changed `(i, j)` pairs with their old and new distances — the O(Δ)
+//! patch stream the persistent `DynamicSession` in `msd-core` consumes to
+//! repair its Birnbaum–Goldman gain caches without a rebuild (see the
+//! [`EdgePerturbableMetric`] trait).
+//!
+//! # Exactness
+//!
+//! All repair strategies compute true shortest-path lengths; with edge
+//! weights whose path sums are exact in `f64` (e.g. dyadic rationals, as
+//! produced by `msd-data`'s graph generators) the repaired matrix is
+//! **bit-identical** to a from-scratch [`WeightedGraph`] Floyd–Warshall
+//! rebuild — asserted across random edge scripts by the equivalence suite
+//! in `msd-bench`. With arbitrary weights the two can differ by ulps on
+//! equal-length alternative paths (different summation order), exactly
+//! like any two shortest-path algorithms.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::DisconnectedGraph;
+use crate::{DistanceMatrix, ElementId, Metric, WeightedGraph};
+
+/// One repaired pairwise distance: `d(u, v)` moved from `old` to `new`
+/// (`u < v` normalized).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceChange {
+    /// Smaller endpoint.
+    pub u: ElementId,
+    /// Larger endpoint.
+    pub v: ElementId,
+    /// Distance before the edge update.
+    pub old: f64,
+    /// Distance after the edge update.
+    pub new: f64,
+}
+
+/// Which repair strategy an edge update took (diagnostics; the `changed`
+/// list is authoritative either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairStrategy {
+    /// The update provably moved no distance (same weight, or the edge
+    /// was on no shortest path): O(1)–O(n) witness work, no row scans.
+    Untouched,
+    /// Edge decrease: endpoint-row relaxation plus a three-term
+    /// relaxation over the rows of the recorded number of tight sources.
+    Relaxed {
+        /// Sources whose rows were rescanned.
+        sources: usize,
+    },
+    /// Edge increase/removal: Dijkstra recomputation of the recorded
+    /// number of edge-using rows.
+    Rescanned {
+        /// Rows recomputed from scratch.
+        rows: usize,
+    },
+    /// Churn above threshold: every row recomputed (sparse-graph full
+    /// rebuild, still far below the dense Floyd–Warshall cube).
+    Rebuilt,
+}
+
+/// Outcome of one [`DynamicGraphMetric::set_edge`] /
+/// [`DynamicGraphMetric::remove_edge`]: the exact set of pairwise
+/// distances the update moved, plus the strategy that repaired them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeUpdateReport {
+    /// Every `(i, j)` pair whose shortest-path distance changed, with old
+    /// and new values (`old != new`, `i < j`, each pair at most once).
+    pub changed: Vec<DistanceChange>,
+    /// How the repair ran.
+    pub strategy: RepairStrategy,
+}
+
+impl EdgeUpdateReport {
+    fn untouched() -> Self {
+        Self {
+            changed: Vec::new(),
+            strategy: RepairStrategy::Untouched,
+        }
+    }
+}
+
+/// A metric whose distances are induced by an updatable structure (a
+/// weighted graph) rather than stored per pair: one edge update moves a
+/// whole *set* of pairwise distances and reports it.
+///
+/// This is the graph-world counterpart of [`crate::PerturbableMetric`]'s
+/// mutation-with-notification contract: the returned
+/// [`EdgeUpdateReport::changed`] list carries the exact `old → new` delta
+/// of every moved pair, so an incremental consumer (the graph-backed
+/// `DynamicSession` in `msd-core`) repairs its caches in O(Δ) instead of
+/// rebuilding. Implementations must keep the [`Metric`] axioms; induced
+/// shortest-path metrics satisfy the triangle inequality by construction.
+pub trait EdgePerturbableMetric: Metric {
+    /// Sets the weight of the undirected edge `{u, v}` (inserting it if
+    /// absent), repairs the induced metric, and reports every moved pair.
+    ///
+    /// # Errors
+    ///
+    /// Implementations that cannot represent the post-update metric
+    /// return an error and leave the metric **unchanged**. (Shortest-path
+    /// metrics never fail here — a weight change keeps the graph
+    /// connected — but the signature is shared with
+    /// [`remove_edge`](Self::remove_edge).)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`, either endpoint is out of range, or `weight`
+    /// is negative or non-finite.
+    fn set_edge(
+        &mut self,
+        u: ElementId,
+        v: ElementId,
+        weight: f64,
+    ) -> Result<EdgeUpdateReport, DisconnectedGraph>;
+
+    /// Removes the edge `{u, v}`, repairs the induced metric, and reports
+    /// every moved pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error — leaving the metric **unchanged** — when the
+    /// removal would disconnect the graph (no finite metric exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge does not exist or the endpoints are invalid.
+    fn remove_edge(
+        &mut self,
+        u: ElementId,
+        v: ElementId,
+    ) -> Result<EdgeUpdateReport, DisconnectedGraph>;
+}
+
+/// Min-heap entry for the Dijkstra sweeps (finite non-negative keys, so
+/// `total_cmp` is a proper order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    vertex: ElementId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the smallest
+        // distance (ties by larger vertex first — irrelevant to the
+        // computed values, which are tie-break-independent).
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A weighted undirected graph bundled with its materialized APSP
+/// [`DistanceMatrix`], kept consistent under edge updates by incremental
+/// repair (see the module docs).
+///
+/// Parallel edges of the source [`WeightedGraph`] are collapsed to the
+/// lightest at construction; thereafter `{u, v}` identifies a unique
+/// edge. The ground set is the vertex set; [`Metric`] queries (including
+/// the batched [`Metric::accumulate_distances`] row kernel) delegate to
+/// the dense matrix, so a graph-backed solver pays no per-read penalty
+/// over a plain [`DistanceMatrix`].
+#[derive(Debug, Clone)]
+pub struct DynamicGraphMetric {
+    n: usize,
+    /// Adjacency lists, symmetric: `adj[u]` holds `(v, w)` iff `adj[v]`
+    /// holds `(u, w)`.
+    adj: Vec<Vec<(ElementId, f64)>>,
+    /// Materialized APSP metric, repaired in place on edge updates.
+    dist: DistanceMatrix,
+    num_edges: usize,
+}
+
+impl DynamicGraphMetric {
+    /// Builds the metric from a connected graph: collapses parallel
+    /// edges to the lightest and materializes the APSP matrix by one
+    /// Dijkstra sweep per vertex — O(n·m log n), the sparse-graph
+    /// counterpart of [`WeightedGraph::shortest_path_metric`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the same witness error as
+    /// [`WeightedGraph::shortest_path_metric`] when some pair is
+    /// unreachable.
+    pub fn from_graph(graph: &WeightedGraph) -> Result<Self, DisconnectedGraph> {
+        let n = graph.len();
+        let mut adj: Vec<Vec<(ElementId, f64)>> = vec![Vec::new(); n];
+        let mut num_edges = 0usize;
+        for &(u, v, w) in graph.edges() {
+            let (u, v) = (u as usize, v as usize);
+            // Collapse parallel edges, keeping the lightest.
+            match adj[u].iter_mut().find(|(x, _)| *x as usize == v) {
+                Some(entry) if entry.1 <= w => {}
+                Some(entry) => {
+                    entry.1 = w;
+                    let back = adj[v]
+                        .iter_mut()
+                        .find(|(x, _)| *x as usize == u)
+                        .expect("symmetric adjacency");
+                    back.1 = w;
+                }
+                None => {
+                    adj[u].push((v as ElementId, w));
+                    adj[v].push((u as ElementId, w));
+                    num_edges += 1;
+                }
+            }
+        }
+        let mut metric = Self {
+            n,
+            adj,
+            dist: DistanceMatrix::zeros(n),
+            num_edges,
+        };
+        let mut row = vec![0.0; n];
+        for i in 0..n {
+            metric.dijkstra_row(i as ElementId, &mut row);
+            for (j, &d) in row.iter().enumerate().skip(i + 1) {
+                if d.is_infinite() {
+                    return Err(DisconnectedGraph {
+                        u: i as ElementId,
+                        v: j as ElementId,
+                    });
+                }
+                metric.dist.set(i as ElementId, j as ElementId, d);
+            }
+        }
+        Ok(metric)
+    }
+
+    /// The materialized APSP matrix (always consistent with the graph).
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.dist
+    }
+
+    /// Number of (collapsed, undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Current weight of the edge `{u, v}`, or `None` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints.
+    pub fn edge_weight(&self, u: ElementId, v: ElementId) -> Option<f64> {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge endpoint out of range"
+        );
+        self.adj[u as usize]
+            .iter()
+            .find(|(x, _)| *x == v)
+            .map(|&(_, w)| w)
+    }
+
+    /// All edges as `(u, v, w)` with `u < v`, in adjacency order.
+    pub fn edges(&self) -> Vec<(ElementId, ElementId, f64)> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        for (u, list) in self.adj.iter().enumerate() {
+            for &(v, w) in list {
+                if (u as ElementId) < v {
+                    out.push((u as ElementId, v, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Single-source shortest paths from `s` over the current adjacency,
+    /// written into `out` (`∞` for unreachable vertices).
+    fn dijkstra_row(&self, s: ElementId, out: &mut [f64]) {
+        out[..self.n].fill(f64::INFINITY);
+        out[s as usize] = 0.0;
+        let mut heap = BinaryHeap::with_capacity(self.n.min(64));
+        heap.push(HeapEntry {
+            dist: 0.0,
+            vertex: s,
+        });
+        while let Some(HeapEntry { dist, vertex }) = heap.pop() {
+            if dist > out[vertex as usize] {
+                continue; // stale heap entry
+            }
+            for &(next, w) in &self.adj[vertex as usize] {
+                let through = dist + w;
+                if through < out[next as usize] {
+                    out[next as usize] = through;
+                    heap.push(HeapEntry {
+                        dist: through,
+                        vertex: next,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Writes `value` into the matrix iff it differs from the stored
+    /// distance, recording the move. Idempotent re-relaxations of the
+    /// same pair (both endpoints affected) become no-ops, so `changed`
+    /// carries each pair at most once with `old` = the pre-update value.
+    fn record(
+        changed: &mut Vec<DistanceChange>,
+        dist: &mut DistanceMatrix,
+        i: ElementId,
+        j: ElementId,
+        value: f64,
+    ) {
+        let old = dist.distance(i, j);
+        if value != old {
+            dist.set(i, j, value);
+            let (u, v) = if i < j { (i, j) } else { (j, i) };
+            changed.push(DistanceChange {
+                u,
+                v,
+                old,
+                new: value,
+            });
+        }
+    }
+
+    /// Upserts the adjacency entry for `{u, v}`; returns the previous
+    /// weight.
+    fn upsert_adjacency(&mut self, u: ElementId, v: ElementId, w: f64) -> Option<f64> {
+        let mut old = None;
+        for (a, b) in [(u, v), (v, u)] {
+            match self.adj[a as usize].iter_mut().find(|(x, _)| *x == b) {
+                Some(entry) => old = Some(std::mem::replace(&mut entry.1, w)),
+                None => self.adj[a as usize].push((b, w)),
+            }
+        }
+        if old.is_none() {
+            self.num_edges += 1;
+        }
+        old
+    }
+
+    /// Drops the adjacency entry for `{u, v}`; returns the removed
+    /// weight.
+    fn drop_adjacency(&mut self, u: ElementId, v: ElementId) -> Option<f64> {
+        let mut old = None;
+        for (a, b) in [(u, v), (v, u)] {
+            if let Some(idx) = self.adj[a as usize].iter().position(|(x, _)| *x == b) {
+                old = Some(self.adj[a as usize].swap_remove(idx).1);
+            }
+        }
+        if old.is_some() {
+            self.num_edges -= 1;
+        }
+        old
+    }
+
+    /// `true` when every vertex is reachable from `s` over the current
+    /// adjacency, ignoring the edge `{skip_u, skip_v}` (connectivity is
+    /// weight-independent, so a plain DFS suffices).
+    fn connected_without(&self, s: ElementId, skip_u: ElementId, skip_v: ElementId) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![s];
+        seen[s as usize] = true;
+        let mut reached = 1usize;
+        while let Some(x) = stack.pop() {
+            for &(y, _) in &self.adj[x as usize] {
+                let skipped = (x == skip_u && y == skip_v) || (x == skip_v && y == skip_u);
+                if !skipped && !seen[y as usize] {
+                    seen[y as usize] = true;
+                    reached += 1;
+                    stack.push(y);
+                }
+            }
+        }
+        reached == self.n
+    }
+
+    /// Decrease repair (also covers inserting a new edge): endpoint rows
+    /// first, then the three-term relaxation over tight sources only.
+    fn repair_decrease(&mut self, u: ElementId, v: ElementId, w: f64) -> EdgeUpdateReport {
+        let n = self.n;
+        let mut changed = Vec::new();
+        // New endpoint rows, relaxed through the cheaper edge. At most
+        // one of the two relaxations fires per source (both would imply
+        // d(i,v) + 2w < d(i,v)), so reading the stored rows is safe.
+        let mut du = vec![0.0; n];
+        let mut dv = vec![0.0; n];
+        for i in 0..n as ElementId {
+            let (a, b) = (self.dist.distance(i, u), self.dist.distance(i, v));
+            du[i as usize] = a.min(b + w);
+            dv[i as usize] = b.min(a + w);
+        }
+        for i in 0..n as ElementId {
+            if i != u {
+                Self::record(&mut changed, &mut self.dist, i, u, du[i as usize]);
+            }
+            if i != v {
+                Self::record(&mut changed, &mut self.dist, i, v, dv[i as usize]);
+            }
+        }
+        // A pair (i, j) off the endpoint rows can only drop if its new
+        // shortest path crosses the edge, which makes the edge tight on
+        // i's (new) path to one endpoint: d'(i,u) + w == d'(i,v) or the
+        // mirror. Non-tight sources are skipped whole.
+        let mut sources = 0usize;
+        for i in 0..n as ElementId {
+            if i == u || i == v {
+                continue;
+            }
+            let (a, b) = (du[i as usize], dv[i as usize]);
+            if a + w != b && b + w != a {
+                continue;
+            }
+            sources += 1;
+            for j in 0..n as ElementId {
+                if j == i || j == u || j == v {
+                    continue;
+                }
+                let through = (a + w + dv[j as usize]).min(b + w + du[j as usize]);
+                if through < self.dist.distance(i, j) {
+                    Self::record(&mut changed, &mut self.dist, i, j, through);
+                }
+            }
+        }
+        EdgeUpdateReport {
+            changed,
+            strategy: RepairStrategy::Relaxed { sources },
+        }
+    }
+
+    /// Increase/removal repair: usage-witness row selection on the old
+    /// matrix, then Dijkstra per affected row (or all rows above the
+    /// churn threshold). The adjacency must already hold the new weight
+    /// (or have the edge dropped) when this runs.
+    fn repair_increase(&mut self, u: ElementId, v: ElementId, old_w: f64) -> EdgeUpdateReport {
+        let n = self.n;
+        // Usage witness on the OLD matrix with the OLD weight: a shortest
+        // i → j path crossing u → v makes the edge tight on i → v (its
+        // i → u prefix is itself shortest), so non-tight rows cannot
+        // move.
+        let affected: Vec<ElementId> = (0..n as ElementId)
+            .filter(|&i| {
+                let (a, b) = (self.dist.distance(i, u), self.dist.distance(i, v));
+                a + old_w == b || b + old_w == a
+            })
+            .collect();
+        if affected.is_empty() {
+            return EdgeUpdateReport::untouched();
+        }
+        let rebuild = affected.len() * 2 > n;
+        let mut changed = Vec::new();
+        let mut row = vec![0.0; n];
+        let rows: Box<dyn Iterator<Item = ElementId>> = if rebuild {
+            Box::new(0..n as ElementId)
+        } else {
+            Box::new(affected.iter().copied())
+        };
+        for i in rows {
+            self.dijkstra_row(i, &mut row);
+            for (j, &d) in row.iter().enumerate() {
+                if j as ElementId != i {
+                    debug_assert!(d.is_finite(), "disconnection must be pre-checked");
+                    Self::record(&mut changed, &mut self.dist, i, j as ElementId, d);
+                }
+            }
+        }
+        EdgeUpdateReport {
+            changed,
+            strategy: if rebuild {
+                RepairStrategy::Rebuilt
+            } else {
+                RepairStrategy::Rescanned {
+                    rows: affected.len(),
+                }
+            },
+        }
+    }
+
+    fn assert_endpoints(&self, u: ElementId, v: ElementId) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge endpoint out of range"
+        );
+        assert!(u != v, "self-loops have no metric meaning");
+    }
+}
+
+impl EdgePerturbableMetric for DynamicGraphMetric {
+    fn set_edge(
+        &mut self,
+        u: ElementId,
+        v: ElementId,
+        weight: f64,
+    ) -> Result<EdgeUpdateReport, DisconnectedGraph> {
+        self.assert_endpoints(u, v);
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "edge weight must be finite and non-negative, got {weight}"
+        );
+        match self.edge_weight(u, v) {
+            Some(old) if weight == old => Ok(EdgeUpdateReport::untouched()),
+            Some(old) if weight > old => {
+                self.upsert_adjacency(u, v, weight);
+                Ok(self.repair_increase(u, v, old))
+            }
+            _ => {
+                // New edge (effective old weight ∞) or a decrease.
+                self.upsert_adjacency(u, v, weight);
+                Ok(self.repair_decrease(u, v, weight))
+            }
+        }
+    }
+
+    fn remove_edge(
+        &mut self,
+        u: ElementId,
+        v: ElementId,
+    ) -> Result<EdgeUpdateReport, DisconnectedGraph> {
+        self.assert_endpoints(u, v);
+        let old = self
+            .edge_weight(u, v)
+            .unwrap_or_else(|| panic!("no edge between {u} and {v} to remove"));
+        if !self.connected_without(u, u, v) {
+            // The metric is untouched; the caller may keep using it.
+            return Err(DisconnectedGraph {
+                u: u.min(v),
+                v: u.max(v),
+            });
+        }
+        self.drop_adjacency(u, v);
+        Ok(self.repair_increase(u, v, old))
+    }
+}
+
+impl Metric for DynamicGraphMetric {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+        self.dist.distance(u, v)
+    }
+
+    fn distance_to_set(&self, u: ElementId, set: &[ElementId]) -> f64 {
+        self.dist.distance_to_set(u, set)
+    }
+
+    fn dispersion(&self, set: &[ElementId]) -> f64 {
+        self.dist.dispersion(set)
+    }
+
+    fn cross_dispersion(&self, xs: &[ElementId], ys: &[ElementId]) -> f64 {
+        self.dist.cross_dispersion(xs, ys)
+    }
+
+    fn accumulate_distances(&self, u: ElementId, out: &mut [f64], factor: f64) {
+        self.dist.accumulate_distances(u, out, factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricAudit;
+
+    /// 0 -1- 1 -2- 2 -3- 3 path plus a 0-3 chord of weight 2.5.
+    fn diamond() -> WeightedGraph {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 2.0)
+            .add_edge(2, 3, 3.0)
+            .add_edge(0, 3, 2.5);
+        g
+    }
+
+    fn assert_matches_rebuild(metric: &DynamicGraphMetric) {
+        let mut g = WeightedGraph::new(metric.len());
+        for (u, v, w) in metric.edges() {
+            g.add_edge(u, v, w);
+        }
+        let rebuilt = g.shortest_path_metric().expect("connected");
+        assert_eq!(
+            metric.matrix().triangle(),
+            rebuilt.triangle(),
+            "repaired matrix diverged from the Floyd–Warshall rebuild"
+        );
+    }
+
+    #[test]
+    fn construction_matches_floyd_warshall() {
+        let metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        assert_eq!(metric.len(), 4);
+        assert_eq!(metric.num_edges(), 4);
+        assert_eq!(metric.distance(0, 3), 2.5);
+        assert_eq!(metric.distance(0, 2), 3.0);
+        assert_matches_rebuild(&metric);
+        MetricAudit::check(&metric).assert_metric();
+    }
+
+    #[test]
+    fn construction_collapses_parallel_edges() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 5.0)
+            .add_edge(1, 0, 2.0)
+            .add_edge(0, 1, 9.0);
+        let metric = DynamicGraphMetric::from_graph(&g).unwrap();
+        assert_eq!(metric.num_edges(), 1);
+        assert_eq!(metric.edge_weight(0, 1), Some(2.0));
+        assert_eq!(metric.distance(1, 0), 2.0);
+    }
+
+    #[test]
+    fn construction_rejects_disconnected_graphs() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0).add_edge(2, 3, 1.0);
+        let err = DynamicGraphMetric::from_graph(&g).unwrap_err();
+        assert!(err.u < err.v);
+    }
+
+    #[test]
+    fn decrease_moves_exactly_the_rerouted_pairs() {
+        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        // Cheaper chord: 0-3 drops 2.5 → 0.5, rerouting 1-3 and 2-3.
+        let report = metric.set_edge(0, 3, 0.5).unwrap();
+        assert!(matches!(report.strategy, RepairStrategy::Relaxed { .. }));
+        assert_eq!(metric.distance(0, 3), 0.5);
+        assert_eq!(metric.distance(1, 3), 1.5); // 1-0-3
+        assert_matches_rebuild(&metric);
+        for c in &report.changed {
+            assert!(c.new < c.old, "decrease must only lower distances");
+            assert_eq!(metric.distance(c.u, c.v), c.new);
+        }
+        // Every changed pair really changed (old values were different).
+        assert!(report.changed.iter().all(|c| c.old != c.new));
+    }
+
+    #[test]
+    fn increase_rescans_only_edge_using_rows() {
+        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        // 0-1 is on shortest paths; raising it rescans affected rows.
+        let report = metric.set_edge(0, 1, 4.0).unwrap();
+        assert!(matches!(
+            report.strategy,
+            RepairStrategy::Rescanned { .. } | RepairStrategy::Rebuilt
+        ));
+        assert_eq!(metric.distance(0, 1), 4.0); // direct still beats 0-3-2-1
+        assert_matches_rebuild(&metric);
+    }
+
+    #[test]
+    fn irrelevant_increase_is_untouched() {
+        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        // Make 2-3 useless first (0-3 chord + 0-1-2 is shorter), then
+        // raise it further: no shortest path uses it.
+        metric.set_edge(2, 3, 30.0).unwrap();
+        let report = metric.set_edge(2, 3, 40.0).unwrap();
+        assert_eq!(report.strategy, RepairStrategy::Untouched);
+        assert!(report.changed.is_empty());
+        assert_matches_rebuild(&metric);
+    }
+
+    #[test]
+    fn setting_the_same_weight_is_untouched() {
+        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        let report = metric.set_edge(1, 2, 2.0).unwrap();
+        assert_eq!(report.strategy, RepairStrategy::Untouched);
+        assert!(report.changed.is_empty());
+    }
+
+    #[test]
+    fn inserting_a_new_edge_is_a_decrease_from_infinity() {
+        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        assert_eq!(metric.edge_weight(1, 3), None);
+        let report = metric.set_edge(1, 3, 0.25).unwrap();
+        assert_eq!(metric.num_edges(), 5);
+        assert!(matches!(report.strategy, RepairStrategy::Relaxed { .. }));
+        assert_eq!(metric.distance(1, 3), 0.25);
+        assert_matches_rebuild(&metric);
+    }
+
+    #[test]
+    fn removal_repairs_or_reports_disconnection() {
+        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        // 2-3 removable: 3 stays reachable via the chord.
+        let report = metric.remove_edge(2, 3).unwrap();
+        assert_eq!(metric.num_edges(), 3);
+        assert_eq!(metric.edge_weight(2, 3), None);
+        assert!(!report.changed.is_empty());
+        assert_matches_rebuild(&metric);
+        // Now 0-3 is a bridge: removal must fail and leave everything
+        // intact.
+        let before = metric.matrix().triangle().to_vec();
+        let err = metric.remove_edge(3, 0).unwrap_err();
+        assert_eq!((err.u, err.v), (0, 3));
+        assert_eq!(metric.edge_weight(0, 3), Some(2.5));
+        assert_eq!(metric.matrix().triangle(), &before[..]);
+        assert_matches_rebuild(&metric);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_supported() {
+        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        metric.set_edge(0, 1, 0.0).unwrap();
+        assert_eq!(metric.distance(0, 1), 0.0);
+        assert_eq!(metric.distance(1, 3), 2.5); // 1-0-3 through the free edge
+        assert_matches_rebuild(&metric);
+    }
+
+    #[test]
+    fn trivial_ground_sets() {
+        let metric = DynamicGraphMetric::from_graph(&WeightedGraph::new(1)).unwrap();
+        assert_eq!(metric.len(), 1);
+        assert_eq!(metric.num_edges(), 0);
+        let metric = DynamicGraphMetric::from_graph(&WeightedGraph::new(0)).unwrap();
+        assert!(metric.is_empty());
+    }
+
+    #[test]
+    fn accumulate_distances_delegates_to_the_matrix() {
+        let metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        let n = metric.len();
+        let mut fast = vec![0.0; n];
+        metric.accumulate_distances(1, &mut fast, 2.0);
+        for (v, &acc) in fast.iter().enumerate() {
+            let expected = if v == 1 {
+                0.0
+            } else {
+                2.0 * metric.distance(1, v as ElementId)
+            };
+            assert_eq!(acc, expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        let _ = metric.set_edge(0, 9, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        let _ = metric.set_edge(2, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weight_panics() {
+        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        let _ = metric.set_edge(0, 1, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge")]
+    fn removing_a_missing_edge_panics() {
+        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
+        let _ = metric.remove_edge(1, 3);
+    }
+}

@@ -61,6 +61,54 @@ impl WeightedGraph {
         self.edges.len()
     }
 
+    /// The raw edge list `(u, v, w)` in insertion order (parallel edges
+    /// retained — [`WeightedGraph::shortest_path_metric`] and
+    /// [`crate::DynamicGraphMetric`] collapse them to the lightest).
+    pub fn edges(&self) -> &[(u32, u32, f64)] {
+        &self.edges
+    }
+
+    /// Sets the weight of the undirected edge `{u, v}`, inserting it when
+    /// absent; parallel copies are collapsed into the single new entry.
+    /// Returns the previous lightest weight, or `None` for a new edge.
+    /// This is the mirror-side mutation of the dynamic-graph equivalence
+    /// suites: rewrite the edge here, rebuild via
+    /// [`WeightedGraph::shortest_path_metric`], compare against the
+    /// incremental repair.
+    ///
+    /// # Panics
+    ///
+    /// As [`WeightedGraph::add_edge`].
+    pub fn set_edge(&mut self, u: u32, v: u32, w: f64) -> Option<f64> {
+        let old = self.remove_edge(u, v);
+        self.add_edge(u, v, w);
+        old
+    }
+
+    /// Removes every copy of the undirected edge `{u, v}`, returning the
+    /// lightest removed weight (or `None` when absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn remove_edge(&mut self, u: u32, v: u32) -> Option<f64> {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge endpoint out of range"
+        );
+        assert!(u != v, "self-loops have no metric meaning");
+        let mut old: Option<f64> = None;
+        self.edges.retain(|&(a, b, w)| {
+            if (a, b) == (u, v) || (a, b) == (v, u) {
+                old = Some(old.map_or(w, |prev: f64| prev.min(w)));
+                false
+            } else {
+                true
+            }
+        });
+        old
+    }
+
     /// Computes the all-pairs shortest-path metric (Floyd–Warshall,
     /// O(n³)).
     ///

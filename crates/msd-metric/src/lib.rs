@@ -14,6 +14,9 @@
 //!   discussion),
 //! * [`graph`] — all-pairs shortest-path metrics of weighted networks,
 //!   the location-theory setting the dispersion literature starts from,
+//! * [`dynamic_graph`] — graph metrics under *edge-weight updates*:
+//!   incremental APSP repair with per-update change reports, the
+//!   perturbation model of network-sourced dynamic instances,
 //! * [`derived`] — metric-preserving transformations, including the
 //!   Gollapudi–Sharma reduction metric `w(u) + w(v) + 2λ·d(u,v)`,
 //! * [`relaxed`] — α-relaxed triangle inequalities (Sydow's `2α` regime,
@@ -29,6 +32,7 @@
 //! never recompute distances from raw features.
 
 pub mod derived;
+pub mod dynamic_graph;
 pub mod functions;
 pub mod graph;
 pub mod matrix;
@@ -37,7 +41,10 @@ pub mod relaxed;
 pub mod validate;
 
 pub use derived::{GollapudiSharmaMetric, ScaledMetric, StarWeightMetric};
-pub use graph::WeightedGraph;
+pub use dynamic_graph::{
+    DistanceChange, DynamicGraphMetric, EdgePerturbableMetric, EdgeUpdateReport, RepairStrategy,
+};
+pub use graph::{DisconnectedGraph, WeightedGraph};
 pub use matrix::{DistanceMatrix, DistanceMatrixBuilder};
 pub use point::Point;
 pub use relaxed::{relaxation_parameter, RelaxedMetricReport};

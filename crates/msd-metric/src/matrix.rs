@@ -165,7 +165,7 @@ impl Metric for DistanceMatrix {
     /// contiguous slice and the `v < u` head walks a closed-form stride, so
     /// the whole sweep does no per-pair index arithmetic.
     ///
-    /// The contiguous row part runs as explicit [`LANES`]-wide chunks with
+    /// The contiguous row part runs as explicit `LANES`-wide (8-lane) chunks with
     /// a scalar tail: fixed-width inner loops over bounds-check-free chunk
     /// slices are the shape LLVM auto-vectorizes reliably, unlike the
     /// variable-length zip it replaced. Each `out[v]` slot still receives

@@ -19,7 +19,7 @@
 //! | [`ModularFunction`] | O(1) | O(1) | O(1) |
 //! | [`CoverageFunction`] | O(Σ_{new/lost topics} degree) | O(1) | O(\|cov(u)\| + \|cov(v)\|) |
 //! | [`FacilityLocationFunction`] | O(n · #changed clients) | O(1) | O(#clients) |
-//! | [`MixtureFunction`] | sum of components | sum | sum |
+//! | [`crate::MixtureFunction`] | sum of components | sum | sum |
 //! | any [`SetFunction`] | O(cost(f)) | O(cost(f)) (+ lazy bounds) | O(cost(f)) |
 //!
 //! The generic fallback ([`GenericOracle`]) additionally exposes *stale
@@ -159,6 +159,26 @@ pub trait IncrementalOracle {
     /// cache-validity hint — it must never affect results.
     fn weight_updates_shift_uniformly(&self) -> bool {
         self.supports_weight_updates()
+    }
+
+    /// `true` when [`swap_gain`](Self::swap_gain) does not depend on the
+    /// rest of the current set: `f(S − v + u) − f(S)` is a function of
+    /// `u` and `v` alone. This holds for the modular family
+    /// (`w(u) − w(v)`), the zero function, and coefficient-weighted
+    /// mixtures of such components; coverage / facility / generic gains
+    /// genuinely interact with `S` and must keep the default `false`.
+    ///
+    /// This is the membership-change contract behind keeping the bounded
+    /// best-swap candidate cache of `msd-core`'s `DynamicSession` warm
+    /// *across committed swaps*: with a membership-independent quality
+    /// part, the swap-gain change of every surviving cache row decomposes
+    /// into a row-uniform term plus a per-candidate term `λ·(d(x, v_in) −
+    /// d(x, u_out))` the session can repair exactly. Like
+    /// [`scan_cost_hint`](Self::scan_cost_hint), this is a cache-validity
+    /// hint — a conservative `false` costs a full scan, never a wrong
+    /// answer.
+    fn swap_gains_are_membership_independent(&self) -> bool {
+        false
     }
 
     /// Invalidates cached per-element state for `elems`, re-deriving it
@@ -326,6 +346,11 @@ impl IncrementalOracle for ModularOracle<'_> {
         Some(old)
     }
 
+    fn swap_gains_are_membership_independent(&self) -> bool {
+        // swap_gain(u, v) = w(u) − w(v) regardless of S.
+        true
+    }
+
     fn invalidate(&mut self, elems: &[ElementId]) {
         for &u in elems {
             self.reload_weight(u);
@@ -388,6 +413,10 @@ impl IncrementalOracle for ZeroOracle {
 
     fn remove(&mut self, u: ElementId) {
         self.members.remove(u);
+    }
+
+    fn swap_gains_are_membership_independent(&self) -> bool {
+        true
     }
 
     fn invalidate(&mut self, _elems: &[ElementId]) {}
@@ -939,6 +968,14 @@ impl<O: IncrementalOracle + ?Sized> IncrementalOracle for MixtureOracle<O> {
                 .all(|(_, p)| p.weight_updates_shift_uniformly())
     }
 
+    fn swap_gains_are_membership_independent(&self) -> bool {
+        // A coefficient-weighted sum of membership-independent gains is
+        // itself membership-independent.
+        self.parts
+            .iter()
+            .all(|(_, p)| p.swap_gains_are_membership_independent())
+    }
+
     fn invalidate(&mut self, elems: &[ElementId]) {
         for (_, p) in &mut self.parts {
             p.invalidate(elems);
@@ -1444,6 +1481,42 @@ mod tests {
         for (i, &v) in [0u32, 1, 3].iter().enumerate() {
             assert!((o.swap_gain(v, 2) - (before[i] - 2.5)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn swap_gain_membership_independence_tracks_the_modular_family() {
+        // The cache-across-swaps validity hint: modular-family swap gains
+        // are w(u) − w(v) regardless of S; coverage / facility / generic
+        // gains interact with the set and must stay conservative.
+        let modular = ModularFunction::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(modular
+            .incremental()
+            .swap_gains_are_membership_independent());
+        assert!(ZeroFunction::new(4)
+            .incremental()
+            .swap_gains_are_membership_independent());
+        let cov = coverage();
+        assert!(!cov.incremental().swap_gains_are_membership_independent());
+        assert!(!facility()
+            .incremental()
+            .swap_gains_are_membership_independent());
+        assert!(!GenericOracle::new(&cov).swap_gains_are_membership_independent());
+        let modular_mix = MixtureFunction::new(4)
+            .with(2.0, ModularFunction::new(vec![1.0, 2.0, 3.0, 4.0]))
+            .with(0.5, ModularFunction::uniform(4, 2.0));
+        assert!(modular_mix
+            .incremental()
+            .swap_gains_are_membership_independent());
+        let mixed = MixtureFunction::new(6)
+            .with(1.0, ModularFunction::uniform(6, 1.0))
+            .with(1.0, coverage());
+        assert!(!mixed.incremental().swap_gains_are_membership_independent());
+        // And the claim itself: the modular swap gain is the same for
+        // every carrier set.
+        let mut o = modular.incremental_from(&[2]);
+        let g = o.swap_gain(0, 2);
+        o.insert(3);
+        assert_eq!(o.swap_gain(0, 2), g);
     }
 
     #[test]

@@ -59,15 +59,18 @@ pub mod prelude {
         exact_max_diversification, greedy_a, greedy_b, hassin_edge_greedy, hassin_matching,
         knapsack_diversify, local_search_matroid, local_search_refine, max_sum_dispersion_greedy,
         mmr_select, stream_diversify, BatchReport, CompactStreamingSession, DiversificationProblem,
-        DynamicInstance, DynamicSession, ElementId, GreedyAConfig, GreedyBConfig, KnapsackConfig,
-        LocalSearchConfig, MmrConfig, Perturbation, PotentialState, ScanExtent,
-        SessionPerturbation, StreamingDiversifier, StreamingSession,
+        DynamicInstance, DynamicSession, ElementId, GraphBatchError, GraphPerturbation,
+        GreedyAConfig, GreedyBConfig, KnapsackConfig, LocalSearchConfig, MmrConfig, Perturbation,
+        PotentialState, ScanExtent, SessionPerturbation, StreamingDiversifier, StreamingSession,
     };
     pub use msd_matroid::{
         GraphicMatroid, LaminarMatroid, Matroid, PartitionMatroid, TransversalMatroid,
         TruncatedMatroid, UniformMatroid,
     };
-    pub use msd_metric::{DistanceMatrix, Metric, PerturbableMetric, Point, WeightedGraph};
+    pub use msd_metric::{
+        DistanceMatrix, DynamicGraphMetric, EdgePerturbableMetric, Metric, PerturbableMetric,
+        Point, WeightedGraph,
+    };
     pub use msd_submodular::{
         ConcaveOverModular, ConcaveShape, CoverageFunction, FacilityLocationFunction,
         LogDetFunction, MixtureFunction, ModularFunction, SetFunction,
