@@ -27,9 +27,12 @@
 //! [`DynamicGraphMetric`] against the O(n³) Floyd–Warshall rebuild (the
 //! `fw_rebuild_ns`/`repair_ns` pair plus a graph-session update). With
 //! `--features parallel`, the cycling families gain a
-//! `perturb_update_parallel` variant, the session family a
-//! `session_parallel` one and the batch family a `batch_parallel` one
-//! (bit-identical outputs; see `msd-core/src/parallel.rs`).
+//! `perturb_update_parallel` variant plus a `perturb_update_forced` one
+//! (`MSD_PARALLEL_THREADS=4`, recording genuinely chunked execution even
+//! on a 1-core host where the plain parallel path collapses to a single
+//! chunk), the session family a `session_parallel` one and the batch
+//! family a `batch_parallel` one (bit-identical outputs; see
+//! `msd-core/src/parallel.rs`).
 //!
 //! Results are written to `BENCH_dynamic.json` at the workspace root so
 //! the dynamic-update perf trajectory is tracked in-repo.
@@ -163,6 +166,21 @@ fn bench_modular(c: &mut Criterion, ns: &[usize]) {
                 d.oblivious_update_parallel()
             },
         );
+        #[cfg(feature = "parallel")]
+        {
+            std::env::set_var("MSD_PARALLEL_THREADS", "4");
+            bench_cycle(
+                &mut group,
+                "perturb_update_forced",
+                &base,
+                &script,
+                |d, pert| {
+                    d.apply(pert);
+                    d.oblivious_update_parallel()
+                },
+            );
+            std::env::remove_var("MSD_PARALLEL_THREADS");
+        }
         group.finish();
     }
 }
@@ -204,6 +222,26 @@ fn bench_generic<F: SetFunction + Sync + Clone>(
                 msd_core::parallel::oblivious_update_step(black_box(problem), solution)
             },
         );
+        // Forced-chunking variant: on a 1-core host the plain parallel
+        // path collapses to a single chunk (scheduling-wise it *is* the
+        // serial scan), so `MSD_PARALLEL_THREADS=4` is the only way to
+        // record what genuinely chunked execution costs here — the
+        // `forced_chunk_ns` column carries the real spawn/merge overhead.
+        #[cfg(feature = "parallel")]
+        {
+            std::env::set_var("MSD_PARALLEL_THREADS", "4");
+            bench_cycle(
+                &mut group,
+                "perturb_update_forced",
+                &base,
+                &script,
+                |(problem, solution), pert| {
+                    apply_to_problem(problem, pert);
+                    msd_core::parallel::oblivious_update_step(black_box(problem), solution)
+                },
+            );
+            std::env::remove_var("MSD_PARALLEL_THREADS");
+        }
         group.finish();
     }
 }
@@ -555,7 +593,7 @@ fn to_json(records: &[BenchRecord]) -> String {
     let _ = writeln!(out, "  \"bench\": \"dynamic\",");
     let _ = writeln!(
         out,
-        "  \"command\": \"cargo bench -p msd-bench --bench dynamic\","
+        "  \"command\": \"cargo bench -p msd-bench --bench dynamic --features parallel\","
     );
     let _ = writeln!(
         out,
@@ -620,11 +658,16 @@ fn to_json(records: &[BenchRecord]) -> String {
         } else {
             let serial = record_mean(records, config, "perturb_update");
             let parallel = record_mean(records, config, "perturb_update_parallel");
+            // `forced_chunk_ns` is the MSD_PARALLEL_THREADS=4 variant:
+            // genuinely chunked scans even on a 1-core host, where
+            // `parallel_ns` measures the single-chunk (serial) schedule.
+            let forced = record_mean(records, config, "perturb_update_forced");
             let _ = writeln!(
                 out,
-                "    {{\"config\": \"{config}\", \"serial_ns\": {}, \"parallel_ns\": {}, \"speedup_serial_over_parallel\": {}}}{tail}",
+                "    {{\"config\": \"{config}\", \"serial_ns\": {}, \"parallel_ns\": {}, \"forced_chunk_ns\": {}, \"speedup_serial_over_parallel\": {}}}{tail}",
                 json_num(serial),
                 json_num(parallel),
+                json_num(forced),
                 json_ratio(serial, parallel),
             );
         }

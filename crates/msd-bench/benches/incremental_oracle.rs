@@ -10,7 +10,11 @@
 //! Knobs:
 //! * `MSD_BENCH_N=1000,5000` restricts the ground sizes (CI smoke uses
 //!   this; the full sweep runs by default).
-//! * building with `--features parallel` adds the thread-parallel variants.
+//! * building with `--features parallel` adds the thread-parallel variants,
+//!   plus a `forced` variant that sets `MSD_PARALLEL_THREADS=4` so the
+//!   chunked scan schedule (and its merge overhead) is measured even on a
+//!   single-core host, where the ambient parallel path collapses to one
+//!   chunk.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -57,6 +61,20 @@ fn bench_greedy(c: &mut Criterion, ns: &[usize]) {
                     msd_core::parallel::greedy_b(black_box(&problem), p, GreedyBConfig::default())
                 })
             });
+            #[cfg(feature = "parallel")]
+            {
+                std::env::set_var("MSD_PARALLEL_THREADS", "4");
+                group.bench_function("forced", |b| {
+                    b.iter(|| {
+                        msd_core::parallel::greedy_b(
+                            black_box(&problem),
+                            p,
+                            GreedyBConfig::default(),
+                        )
+                    })
+                });
+                std::env::remove_var("MSD_PARALLEL_THREADS");
+            }
             group.finish();
         }
         {
@@ -74,6 +92,20 @@ fn bench_greedy(c: &mut Criterion, ns: &[usize]) {
                     msd_core::parallel::greedy_b(black_box(&problem), p, GreedyBConfig::default())
                 })
             });
+            #[cfg(feature = "parallel")]
+            {
+                std::env::set_var("MSD_PARALLEL_THREADS", "4");
+                group.bench_function("forced", |b| {
+                    b.iter(|| {
+                        msd_core::parallel::greedy_b(
+                            black_box(&problem),
+                            p,
+                            GreedyBConfig::default(),
+                        )
+                    })
+                });
+                std::env::remove_var("MSD_PARALLEL_THREADS");
+            }
             group.finish();
         }
     }
@@ -110,6 +142,16 @@ fn bench_local_search(c: &mut Criterion, ns: &[usize]) {
                     msd_core::parallel::local_search_refine(black_box(&problem), &start, config)
                 })
             });
+            #[cfg(feature = "parallel")]
+            {
+                std::env::set_var("MSD_PARALLEL_THREADS", "4");
+                group.bench_function("forced", |b| {
+                    b.iter(|| {
+                        msd_core::parallel::local_search_refine(black_box(&problem), &start, config)
+                    })
+                });
+                std::env::remove_var("MSD_PARALLEL_THREADS");
+            }
             group.finish();
         }
         {
@@ -128,6 +170,16 @@ fn bench_local_search(c: &mut Criterion, ns: &[usize]) {
                     msd_core::parallel::local_search_refine(black_box(&problem), &start, config)
                 })
             });
+            #[cfg(feature = "parallel")]
+            {
+                std::env::set_var("MSD_PARALLEL_THREADS", "4");
+                group.bench_function("forced", |b| {
+                    b.iter(|| {
+                        msd_core::parallel::local_search_refine(black_box(&problem), &start, config)
+                    })
+                });
+                std::env::remove_var("MSD_PARALLEL_THREADS");
+            }
             group.finish();
         }
     }
@@ -141,7 +193,7 @@ fn to_json(family: &str, records: &[BenchRecord]) -> String {
     let _ = writeln!(out, "  \"bench\": \"{family}\",");
     let _ = writeln!(
         out,
-        "  \"command\": \"cargo bench -p msd-bench --bench incremental_oracle\","
+        "  \"command\": \"cargo bench -p msd-bench --bench incremental_oracle --features parallel\","
     );
     let _ = writeln!(out, "  \"unit\": \"ns_per_run\",");
     out.push_str("  \"results\": [\n");
@@ -151,12 +203,14 @@ fn to_json(family: &str, records: &[BenchRecord]) -> String {
         let incremental = record_mean(records, config, "incremental");
         let naive = record_mean(records, config, "naive");
         let parallel = record_mean(records, config, "parallel");
+        let forced = record_mean(records, config, "forced");
         let _ = writeln!(
             out,
-            "    {{\"config\": \"{config}\", \"incremental_ns\": {}, \"naive_ns\": {}, \"parallel_ns\": {}, \"speedup_naive_over_incremental\": {}}}{}",
+            "    {{\"config\": \"{config}\", \"incremental_ns\": {}, \"naive_ns\": {}, \"parallel_ns\": {}, \"forced_chunk_ns\": {}, \"speedup_naive_over_incremental\": {}}}{}",
             json_num(incremental),
             json_num(naive),
             json_num(parallel),
+            json_num(forced),
             json_ratio(naive, incremental),
             if i + 1 < configs.len() { "," } else { "" }
         );

@@ -7,8 +7,8 @@
 
 use criterion::BenchRecord;
 use msd_core::DiversificationProblem;
-use msd_metric::DistanceMatrix;
-use msd_submodular::{CoverageFunction, FacilityLocationFunction};
+use msd_metric::{DistanceMatrix, PointKernel, PointMetric};
+use msd_submodular::{CoverageFunction, FacilityLocationFunction, ModularFunction};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,6 +74,25 @@ pub fn facility_instance(
     let weights: Vec<f64> = (0..clients).map(|_| rng.gen_range(0.5..2.0)).collect();
     let metric = DistanceMatrix::from_fn(n, |_, _| rng.gen_range(1.0..2.0));
     DiversificationProblem::new(metric, FacilityLocationFunction::new(sim, weights), 0.15)
+}
+
+/// Seeded implicit-metric point corpus: `n` points with `dim` coordinates
+/// `U[0,1)` under `kernel`, modular weights `U[0,1)`, `λ = 0.2`. The
+/// metric is compute-on-demand ([`PointMetric`]) — nothing `n²` is ever
+/// materialized, which is what lets the distributed bench and the sharded
+/// equivalence suite run at `n = 10⁵`. Coordinates are drawn row-major
+/// before the weights; same RNG-order contract as [`coverage_instance`].
+pub fn point_instance(
+    seed: u64,
+    n: usize,
+    dim: usize,
+    kernel: PointKernel,
+) -> DiversificationProblem<PointMetric, ModularFunction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coords: Vec<f64> = (0..n * dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let metric = PointMetric::from_flat(kernel, n, dim, coords);
+    DiversificationProblem::new(metric, ModularFunction::new(weights), 0.2)
 }
 
 /// Distinct configuration prefixes of record ids (everything before the

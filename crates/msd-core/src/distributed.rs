@@ -18,8 +18,18 @@
 //! greedy (the dispersion term is the delicate part; see the tests for the
 //! empirical ratio). The partitioner is pluggable so round-robin,
 //! contiguous-shard and random partitions can be compared.
+//!
+//! [`distributed_greedy`] is the *one-shot* entry point: map, reduce,
+//! done. Its persistent counterpart is [`crate::sharded::ShardedEngine`],
+//! which keeps a live [`crate::DynamicSession`] per shard across
+//! perturbation batches and re-runs the reduce **incrementally** — only
+//! when a shard's proposal set actually changed (dirty-shard tracking) or
+//! a perturbation touched the proposal union. The engine reuses this
+//! module's partitioner and `solve_restricted` map round verbatim, so
+//! its round-0 state is element-for-element the one-shot result; the
+//! equivalence suite in `msd-bench` pins that down.
 
-use msd_metric::Metric;
+use msd_metric::{Metric, RestrictedMetric};
 use msd_submodular::SetFunction;
 
 use crate::greedy::{greedy_b, GreedyBConfig};
@@ -156,26 +166,18 @@ pub fn distributed_greedy<M: Metric, F: SetFunction>(
 }
 
 /// Runs Greedy B on the sub-universe `allowed` (ids stay global).
-fn solve_restricted<M: Metric, F: SetFunction>(
+///
+/// `pub(crate)` because the sharded engine seeds its per-shard sessions
+/// through this exact map round, which is what makes its round-0 state
+/// identical to [`distributed_greedy`]'s.
+pub(crate) fn solve_restricted<M: Metric, F: SetFunction>(
     problem: &DiversificationProblem<M, F>,
     allowed: &[ElementId],
     p: usize,
     config: GreedyBConfig,
 ) -> Vec<ElementId> {
-    // View adapters remap the restricted universe 0..k onto global ids.
-    struct MetricView<'a, M> {
-        inner: &'a M,
-        ids: &'a [ElementId],
-    }
-    impl<M: Metric> Metric for MetricView<'_, M> {
-        fn len(&self) -> usize {
-            self.ids.len()
-        }
-        fn distance(&self, u: ElementId, v: ElementId) -> f64 {
-            self.inner
-                .distance(self.ids[u as usize], self.ids[v as usize])
-        }
-    }
+    // View adapters remap the restricted universe 0..k onto global ids
+    // (the metric side is the shared `RestrictedMetric`).
     struct QualityView<'a, F> {
         inner: &'a F,
         ids: &'a [ElementId],
@@ -195,10 +197,7 @@ fn solve_restricted<M: Metric, F: SetFunction>(
     }
 
     let view = DiversificationProblem::new(
-        MetricView {
-            inner: problem.metric(),
-            ids: allowed,
-        },
+        RestrictedMetric::new(problem.metric(), allowed.to_vec()),
         QualityView {
             inner: problem.quality(),
             ids: allowed,

@@ -63,12 +63,23 @@ pub fn greedy_b<M: Metric, F: SetFunction>(
     p: usize,
     config: GreedyBConfig,
 ) -> Vec<ElementId> {
-    let n = problem.ground_size();
+    greedy_b_with_state(PotentialState::new(problem), p, config)
+}
+
+/// The Greedy B selection loop over an already-constructed *empty*
+/// [`PotentialState`] — shared by [`greedy_b`] and the sharded engine's
+/// union-scoped reduce (`crate::sharded`), which must select through this
+/// exact code path to stay equivalent to the one-shot distributed solver.
+pub(crate) fn greedy_b_with_state<M: Metric, Q: IncrementalOracle + ?Sized>(
+    mut state: PotentialState<'_, M, Q>,
+    p: usize,
+    config: GreedyBConfig,
+) -> Vec<ElementId> {
+    let n = state.ground_size();
     let p = p.min(n);
     if p == 0 {
         return Vec::new();
     }
-    let mut state = PotentialState::new(problem);
 
     if config.best_pair_start && p >= 2 {
         // Seed with argmax_{x,y} ½·f({x,y}) + λ·d(x,y) (the pair potential

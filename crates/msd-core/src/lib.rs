@@ -22,6 +22,7 @@
 //! | [`local_search`] | §5, Thm 2 | single-swap local search over matroid bases, 2-approx |
 //! | [`dynamic`] | §6, Thms 3–6 | oblivious single-swap update rule under weight/distance perturbations |
 //! | [`session`] | §6 at scale | persistent dynamic session: incremental oracle kept alive across perturbations, O(Δ) repair per update |
+//! | [`sharded`] | §6 + §8 | persistent sharded engine: live per-shard sessions, incremental union-scoped reduce (dirty-shard tracking) |
 //! | [`exact`] | §7 (OPT columns) | branch-and-bound exact solver for small instances |
 //! | [`mmr`] | §2 | Maximal Marginal Relevance baseline (Carbonell–Goldstein) |
 //! | [`counterexample`] | Appendix | the partition-matroid instance on which greedy is unboundedly bad |
@@ -48,6 +49,7 @@ pub mod parallel;
 pub mod potential;
 pub mod problem;
 pub mod session;
+pub mod sharded;
 pub mod solution;
 pub mod streaming;
 
@@ -65,6 +67,9 @@ pub use problem::DiversificationProblem;
 pub use session::{
     BatchReport, DynamicSession, GraphBatchError, GraphPerturbation, ScanExtent,
     SessionPerturbation, SyncDynamicSession, UpdateReport, DEFAULT_CANDIDATE_CAPACITY,
+};
+pub use sharded::{
+    MergeStats, ShardMetric, ShardedConfig, ShardedEngine, ShardedReport, SyncShardedEngine,
 };
 pub use solution::SolutionState;
 pub use streaming::{

@@ -86,6 +86,25 @@ impl<'a, M: Metric> SyncPotentialState<'a, M> {
 }
 
 impl<'a, M: Metric, Q: IncrementalOracle + ?Sized> PotentialState<'a, M, Q> {
+    /// Empty state over an explicit metric / quality-oracle pair. This is
+    /// the sharded engine's reduce path: the oracle there is a restricted
+    /// view over engine-owned global state, not something derivable from a
+    /// `DiversificationProblem` borrow.
+    pub(crate) fn from_oracle(metric: &'a M, quality: Box<Q>, lambda: f64) -> Self {
+        assert_eq!(
+            metric.len(),
+            quality.ground_size(),
+            "metric and quality oracle must share a ground set"
+        );
+        assert!(quality.is_empty(), "quality oracle must start empty");
+        Self {
+            metric,
+            lambda,
+            dist: SolutionState::empty(metric.len()),
+            quality,
+        }
+    }
+
     /// Ground-set size `n`.
     pub fn ground_size(&self) -> usize {
         self.dist.ground_size()

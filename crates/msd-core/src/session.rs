@@ -572,7 +572,16 @@ impl<'q, M: Metric> SyncDynamicSession<'q, M> {
 }
 
 impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
-    fn from_parts(metric: M, quality: Box<Q>, lambda: f64, initial: &[ElementId]) -> Self {
+    /// Assembles a session from an explicit metric / oracle pair; the
+    /// oracle must already be seeded with `initial`. `pub(crate)` for the
+    /// sharded engine, whose per-shard metrics and restricted oracles are
+    /// not derivable from a single `DiversificationProblem` borrow.
+    pub(crate) fn from_parts(
+        metric: M,
+        quality: Box<Q>,
+        lambda: f64,
+        initial: &[ElementId],
+    ) -> Self {
         assert!(!initial.is_empty(), "initial solution must be non-empty");
         assert_eq!(
             metric.len(),

@@ -1,0 +1,528 @@
+//! Implicit (compute-on-demand) point-backed metrics.
+//!
+//! Every dense path in this workspace bottoms out in [`DistanceMatrix`]'s
+//! `n(n−1)/2` triangle — `O(n²)` memory, which caps instances at `n ≈ 10⁴`
+//! (`n = 10⁶` would need ~4 TB). [`PointMetric`] breaks that wall: it keeps
+//! only the `n·dim` feature coordinates and recomputes distances on demand,
+//! so [`Metric::accumulate_distances`] — the one hot row sweep behind the
+//! Birnbaum–Goldman gain caches — runs as a block-tiled kernel over the
+//! coordinate rows instead of a triangle traversal.
+//!
+//! # Bit-identity contract
+//!
+//! `PointMetric` is *bit-identical* to the reference pipeline
+//! `DistanceMatrix::from_metric(&functions::EuclideanMetric /* or cosine */)`:
+//! every per-pair distance sums dimensions in increasing order with a single
+//! `f64` accumulator (exactly like [`Point::euclidean`] /
+//! [`Point::cosine_distance`]), and `accumulate_distances` issues exactly one
+//! fused `out[v] += factor · d(u, v)` per candidate. The register-blocked
+//! tiling below interleaves *candidates*, never the per-pair dimension order,
+//! so greedy/local-search/session runs over a `PointMetric` select the same
+//! elements as over the materialized matrix. The property suite in
+//! `tests/proptests.rs` pins this down (odd tails, empty rows, negative
+//! factors).
+//!
+//! # Bounded tile cache
+//!
+//! Point reads through [`Metric::distance`] cost `O(dim)`. Scans that
+//! revisit the same rows (swap verification against the `p` members, the
+//! candidate-cache probes of `msd-core`) can opt into a bounded LRU of
+//! materialized row *tiles* ([`PointMetric::with_tile_cache`]): each tile
+//! holds [`TILE_COLS`] consecutive distances of one row, so peak resident
+//! distance storage is `max_tiles · TILE_COLS · 8` bytes — `o(n²)` by
+//! construction and independent of `n`. `accumulate_distances` deliberately
+//! streams past the cache (a full row sweep would evict everything useful).
+//!
+//! [`DistanceMatrix`]: crate::DistanceMatrix
+//! [`Point::euclidean`]: crate::Point::euclidean
+//! [`Point::cosine_distance`]: crate::Point::cosine_distance
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::point::Point;
+use crate::{ElementId, Metric};
+
+/// Distances per cached row tile (2 KiB of `f64`s per tile).
+pub const TILE_COLS: usize = 256;
+
+/// Candidate rows processed per register block of the tiled row kernel.
+const BLOCK: usize = 8;
+
+/// The vector kernel a [`PointMetric`] derives distances from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointKernel {
+    /// Euclidean (ℓ2) distance, matching [`Point::euclidean`].
+    Euclidean,
+    /// Cosine distance `1 − cos_sim`, matching [`Point::cosine_distance`]
+    /// (zero vectors have similarity 0; the similarity is clamped to
+    /// `[-1, 1]` before subtraction).
+    Cosine,
+}
+
+/// Statistics of a [`PointMetric`]'s bounded tile cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileCacheStats {
+    /// Point reads served from a resident tile.
+    pub hits: u64,
+    /// Point reads that materialized a new tile.
+    pub misses: u64,
+    /// Tiles currently resident.
+    pub resident_tiles: usize,
+    /// Maximum resident tiles (the LRU bound).
+    pub capacity: usize,
+    /// Distances per tile ([`TILE_COLS`]).
+    pub tile_cols: usize,
+}
+
+impl TileCacheStats {
+    /// Peak resident distance storage in bytes (`capacity · TILE_COLS · 8`).
+    pub fn bound_bytes(&self) -> usize {
+        self.capacity * self.tile_cols * std::mem::size_of::<f64>()
+    }
+}
+
+/// One materialized row tile: distances `d(row, tile_start..tile_end)`.
+#[derive(Debug)]
+struct TileSlot {
+    key: (ElementId, u32),
+    vals: Box<[f64]>,
+    /// Last-touch tick; eviction takes the minimum (exact LRU).
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct TileCacheInner {
+    /// `(row, tile index) → slot` for resident tiles.
+    map: HashMap<(ElementId, u32), usize>,
+    slots: Vec<TileSlot>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct TileCache {
+    capacity: usize,
+    inner: Mutex<TileCacheInner>,
+}
+
+/// An implicit metric over dense feature points: distances are recomputed
+/// from coordinates on demand, so memory stays `O(n·dim)` instead of the
+/// `O(n²)` of a materialized [`DistanceMatrix`](crate::DistanceMatrix).
+///
+/// See the [module docs](self) for the bit-identity contract and the
+/// optional bounded tile cache.
+#[derive(Debug)]
+pub struct PointMetric {
+    /// Row-major `n × dim` coordinates.
+    coords: Vec<f64>,
+    n: usize,
+    dim: usize,
+    kernel: PointKernel,
+    /// Precomputed ℓ2 norms (cosine kernel only, else empty). Each equals
+    /// [`Point::norm`] of the row bit-for-bit.
+    norms: Vec<f64>,
+    cache: Option<TileCache>,
+}
+
+impl Clone for PointMetric {
+    /// Clones the coordinates and cache *configuration*; the clone starts
+    /// with an empty tile cache (cached tiles are derived data).
+    fn clone(&self) -> Self {
+        Self {
+            coords: self.coords.clone(),
+            n: self.n,
+            dim: self.dim,
+            kernel: self.kernel,
+            norms: self.norms.clone(),
+            cache: self.cache.as_ref().map(|c| TileCache {
+                capacity: c.capacity,
+                inner: Mutex::new(TileCacheInner::default()),
+            }),
+        }
+    }
+}
+
+impl PointMetric {
+    /// Builds an implicit Euclidean metric over `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have inconsistent dimensions.
+    pub fn euclidean(points: &[Point]) -> Self {
+        Self::from_points(points, PointKernel::Euclidean)
+    }
+
+    /// Builds an implicit cosine-distance metric over `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have inconsistent dimensions.
+    pub fn cosine(points: &[Point]) -> Self {
+        Self::from_points(points, PointKernel::Cosine)
+    }
+
+    fn from_points(points: &[Point], kernel: PointKernel) -> Self {
+        let dim = points.first().map_or(0, Point::dim);
+        let mut coords = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            assert_eq!(p.dim(), dim, "dimension mismatch");
+            coords.extend_from_slice(p.coords());
+        }
+        Self::from_flat(kernel, points.len(), dim, coords)
+    }
+
+    /// Builds an implicit metric from row-major flat coordinates
+    /// (`coords.len() == n · dim`), avoiding per-point allocations for
+    /// large corpora.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != n · dim` or any coordinate is non-finite.
+    pub fn from_flat(kernel: PointKernel, n: usize, dim: usize, coords: Vec<f64>) -> Self {
+        assert_eq!(coords.len(), n * dim, "coords must be n·dim row-major");
+        assert!(
+            coords.iter().all(|c| c.is_finite()),
+            "coordinates must be finite"
+        );
+        let norms = match kernel {
+            PointKernel::Euclidean => Vec::new(),
+            PointKernel::Cosine => (0..n)
+                .map(|u| {
+                    let row = &coords[u * dim..(u + 1) * dim];
+                    // Same accumulation as Point::dot(self).sqrt().
+                    row.iter().map(|a| a * a).sum::<f64>().sqrt()
+                })
+                .collect(),
+        };
+        Self {
+            coords,
+            n,
+            dim,
+            kernel,
+            norms,
+            cache: None,
+        }
+    }
+
+    /// Enables a bounded LRU cache of materialized row tiles serving
+    /// [`Metric::distance`] point reads (builder style). `max_tiles = 0`
+    /// disables caching. Peak resident distance storage is
+    /// `max_tiles · TILE_COLS` `f64`s regardless of `n`.
+    pub fn with_tile_cache(mut self, max_tiles: usize) -> Self {
+        self.cache = (max_tiles > 0).then(|| TileCache {
+            capacity: max_tiles,
+            inner: Mutex::new(TileCacheInner::default()),
+        });
+        self
+    }
+
+    /// The vector kernel in use.
+    pub fn kernel(&self) -> PointKernel {
+        self.kernel
+    }
+
+    /// Dimensionality of the backing points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row-major flat coordinates (`n × dim`).
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Tile cache statistics, or `None` when caching is disabled.
+    pub fn tile_cache_stats(&self) -> Option<TileCacheStats> {
+        self.cache.as_ref().map(|c| {
+            let g = c.inner.lock().unwrap();
+            TileCacheStats {
+                hits: g.hits,
+                misses: g.misses,
+                resident_tiles: g.slots.len(),
+                capacity: c.capacity,
+                tile_cols: TILE_COLS,
+            }
+        })
+    }
+
+    /// Per-pair kernel, bit-identical to [`Point::euclidean`] /
+    /// [`Point::cosine_distance`] on the backing rows (`u ≠ v`).
+    #[inline]
+    fn kernel_pair(&self, u: usize, v: usize) -> f64 {
+        let a = &self.coords[u * self.dim..(u + 1) * self.dim];
+        let b = &self.coords[v * self.dim..(v + 1) * self.dim];
+        match self.kernel {
+            PointKernel::Euclidean => {
+                let mut acc = 0.0;
+                for (x, y) in a.iter().zip(b) {
+                    let d = x - y;
+                    acc += d * d;
+                }
+                acc.sqrt()
+            }
+            PointKernel::Cosine => {
+                let mut dot = 0.0;
+                for (x, y) in a.iter().zip(b) {
+                    dot += x * y;
+                }
+                let denom = self.norms[u] * self.norms[v];
+                let sim = if denom == 0.0 {
+                    0.0
+                } else {
+                    (dot / denom).clamp(-1.0, 1.0)
+                };
+                1.0 - sim
+            }
+        }
+    }
+
+    /// Serves `d(u, v)` through the tile cache, materializing (and possibly
+    /// evicting) a [`TILE_COLS`]-wide tile of row `u` on a miss. A resident
+    /// transposed tile (row `v` covering column `u`) is used symmetrically.
+    fn distance_cached(&self, cache: &TileCache, u: usize, v: usize) -> f64 {
+        let key = (u as ElementId, (v / TILE_COLS) as u32);
+        let mirror = (v as ElementId, (u / TILE_COLS) as u32);
+        let mut g = cache.inner.lock().unwrap();
+        g.tick += 1;
+        let tick = g.tick;
+        if let Some(&slot) = g.map.get(&key) {
+            g.hits += 1;
+            g.slots[slot].tick = tick;
+            return g.slots[slot].vals[v % TILE_COLS];
+        }
+        if let Some(&slot) = g.map.get(&mirror) {
+            g.hits += 1;
+            g.slots[slot].tick = tick;
+            return g.slots[slot].vals[u % TILE_COLS];
+        }
+        g.misses += 1;
+        let start = key.1 as usize * TILE_COLS;
+        let end = (start + TILE_COLS).min(self.n);
+        let vals: Box<[f64]> = (start..end)
+            .map(|w| if w == u { 0.0 } else { self.kernel_pair(u, w) })
+            .collect();
+        let slot = if g.slots.len() < cache.capacity {
+            g.slots.push(TileSlot { key, vals, tick });
+            g.slots.len() - 1
+        } else {
+            // Exact LRU: evict the minimum-tick slot. The linear scan is
+            // dwarfed by the TILE_COLS·dim flops of the materialization.
+            let victim = g
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.tick)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            let old = g.slots[victim].key;
+            g.map.remove(&old);
+            g.slots[victim] = TileSlot { key, vals, tick };
+            victim
+        };
+        g.map.insert(key, slot);
+        g.slots[slot].vals[v % TILE_COLS]
+    }
+}
+
+impl Metric for PointMetric {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+        let (u, v) = (u as usize, v as usize);
+        assert!(u < self.n && v < self.n, "element out of range");
+        if u == v {
+            return 0.0;
+        }
+        match &self.cache {
+            Some(cache) => self.distance_cached(cache, u, v),
+            None => self.kernel_pair(u, v),
+        }
+    }
+
+    /// Block-tiled row sweep: candidates are processed `BLOCK` rows at a
+    /// time so the pivot row is loaded once per block and the `BLOCK`
+    /// accumulators stay in registers. Per-candidate dimension order is
+    /// sequential, so every written value is bit-identical to
+    /// `factor · kernel(u, v)` — see the module docs. Streams past the tile
+    /// cache by design.
+    fn accumulate_distances(&self, u: ElementId, out: &mut [f64], factor: f64) {
+        let n = self.n;
+        let dim = self.dim;
+        let u = u as usize;
+        assert!(u < n, "element out of range");
+        assert!(out.len() >= n, "output buffer too small");
+        let a = &self.coords[u * dim..(u + 1) * dim];
+        let mut v0 = 0;
+        while v0 < n {
+            let bl = BLOCK.min(n - v0);
+            let rows = &self.coords[v0 * dim..(v0 + bl) * dim];
+            let mut acc = [0.0f64; BLOCK];
+            match self.kernel {
+                PointKernel::Euclidean => {
+                    for (k, &ak) in a.iter().enumerate() {
+                        for (j, accj) in acc[..bl].iter_mut().enumerate() {
+                            let d = ak - rows[j * dim + k];
+                            *accj += d * d;
+                        }
+                    }
+                    for (j, &accj) in acc[..bl].iter().enumerate() {
+                        let v = v0 + j;
+                        if v != u {
+                            out[v] += factor * accj.sqrt();
+                        }
+                    }
+                }
+                PointKernel::Cosine => {
+                    for (k, &ak) in a.iter().enumerate() {
+                        for (j, accj) in acc[..bl].iter_mut().enumerate() {
+                            *accj += ak * rows[j * dim + k];
+                        }
+                    }
+                    let nu = self.norms[u];
+                    for (j, &dot) in acc[..bl].iter().enumerate() {
+                        let v = v0 + j;
+                        if v == u {
+                            continue;
+                        }
+                        let denom = nu * self.norms[v];
+                        let sim = if denom == 0.0 {
+                            0.0
+                        } else {
+                            (dot / denom).clamp(-1.0, 1.0)
+                        };
+                        out[v] += factor * (1.0 - sim);
+                    }
+                }
+            }
+            v0 += bl;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::{CosineMetric, EuclideanMetric};
+    use crate::DistanceMatrix;
+
+    fn sample_points(n: usize, dim: usize) -> Vec<Point> {
+        (0..n)
+            .map(|u| {
+                Point::new(
+                    (0..dim)
+                        .map(|k| ((u * 31 + k * 7) % 17) as f64 * 0.25 - 2.0)
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn euclidean_matches_lazy_wrapper_bitwise() {
+        let pts = sample_points(13, 5);
+        let implicit = PointMetric::euclidean(&pts);
+        let lazy = EuclideanMetric::new(pts);
+        for u in 0..13u32 {
+            for v in 0..13u32 {
+                if u == v {
+                    assert_eq!(implicit.distance(u, v), 0.0);
+                } else {
+                    assert_eq!(implicit.distance(u, v), lazy.distance(u, v), "({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_matches_lazy_wrapper_off_diagonal() {
+        let pts = sample_points(11, 4);
+        let implicit = PointMetric::cosine(&pts);
+        let lazy = CosineMetric::new(pts);
+        for u in 0..11u32 {
+            for v in 0..11u32 {
+                if u != v {
+                    assert_eq!(implicit.distance(u, v), lazy.distance(u, v), "({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_is_bit_identical_to_materialized_matrix() {
+        for (n, dim) in [(1usize, 3usize), (7, 1), (8, 4), (9, 4), (23, 6)] {
+            let pts = sample_points(n, dim);
+            for metric in [PointMetric::euclidean(&pts), PointMetric::cosine(&pts)] {
+                let dense = DistanceMatrix::from_metric(&metric);
+                for u in 0..n as ElementId {
+                    let mut got = vec![0.1; n];
+                    let mut want = vec![0.1; n];
+                    metric.accumulate_distances(u, &mut got, -0.75);
+                    dense.accumulate_distances(u, &mut want, -0.75);
+                    assert_eq!(got, want, "n={n} dim={dim} u={u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_cache_serves_identical_values_and_stays_bounded() {
+        let pts = sample_points(40, 3);
+        let plain = PointMetric::euclidean(&pts);
+        let cached = PointMetric::euclidean(&pts).with_tile_cache(2);
+        for round in 0..3 {
+            for u in 0..40u32 {
+                for v in 0..40u32 {
+                    assert_eq!(cached.distance(u, v), plain.distance(u, v), "r{round}");
+                }
+            }
+        }
+        let stats = cached.tile_cache_stats().unwrap();
+        assert!(stats.resident_tiles <= 2);
+        assert!(stats.hits > 0 && stats.misses > 0);
+        assert_eq!(stats.bound_bytes(), 2 * TILE_COLS * 8);
+    }
+
+    #[test]
+    fn tile_cache_uses_transposed_tiles() {
+        let pts = sample_points(10, 2);
+        let m = PointMetric::euclidean(&pts).with_tile_cache(4);
+        let d1 = m.distance(3, 7);
+        let before = m.tile_cache_stats().unwrap();
+        let d2 = m.distance(7, 3); // row 7 tile absent; mirror (row 3) resident
+        let after = m.tile_cache_stats().unwrap();
+        assert_eq!(d1, d2);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.hits, before.hits + 1);
+    }
+
+    #[test]
+    fn clone_resets_cache_but_keeps_configuration() {
+        let pts = sample_points(6, 2);
+        let m = PointMetric::euclidean(&pts).with_tile_cache(3);
+        let _ = m.distance(0, 5);
+        let c = m.clone();
+        let stats = c.tile_cache_stats().unwrap();
+        assert_eq!(stats.resident_tiles, 0);
+        assert_eq!(stats.capacity, 3);
+        assert_eq!(c.distance(0, 5), m.distance(0, 5));
+    }
+
+    #[test]
+    fn zero_dim_and_zero_vectors_are_well_defined() {
+        let m = PointMetric::from_flat(PointKernel::Cosine, 3, 0, Vec::new());
+        assert_eq!(m.distance(0, 0), 0.0);
+        assert_eq!(m.distance(0, 1), 1.0); // zero vectors: sim 0 → d = 1
+        let e = PointMetric::from_flat(PointKernel::Euclidean, 2, 0, Vec::new());
+        assert_eq!(e.distance(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "coords must be n·dim")]
+    fn flat_length_mismatch_panics() {
+        let _ = PointMetric::from_flat(PointKernel::Euclidean, 3, 2, vec![0.0; 5]);
+    }
+}

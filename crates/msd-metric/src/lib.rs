@@ -12,6 +12,15 @@
 //! * [`functions`] — standard metrics (Euclidean, Manhattan, Chebyshev,
 //!   cosine distance, the `{1,2}` metric central to the paper's hardness
 //!   discussion),
+//! * [`implicit`] — compute-on-demand point-backed metrics (Euclidean /
+//!   cosine) whose block-tiled row kernel is bit-identical to the
+//!   materialized matrix while using `O(n·dim)` memory, breaking the `n²`
+//!   wall for `n = 10⁵–10⁶` ground sets,
+//! * [`overlay`] — sparse perturbation overlays that give *any* base metric
+//!   a [`PerturbableMetric`] implementation (the dynamic engine's route to
+//!   perturbing implicit metrics),
+//! * [`restricted`] — sub-universe views under a local id remap (the
+//!   building block of the composable/sharded distributed paths),
 //! * [`graph`] — all-pairs shortest-path metrics of weighted networks,
 //!   the location-theory setting the dispersion literature starts from,
 //! * [`dynamic_graph`] — graph metrics under *edge-weight updates*:
@@ -35,9 +44,12 @@ pub mod derived;
 pub mod dynamic_graph;
 pub mod functions;
 pub mod graph;
+pub mod implicit;
 pub mod matrix;
+pub mod overlay;
 pub mod point;
 pub mod relaxed;
+pub mod restricted;
 pub mod validate;
 
 pub use derived::{GollapudiSharmaMetric, ScaledMetric, StarWeightMetric};
@@ -45,9 +57,12 @@ pub use dynamic_graph::{
     DistanceChange, DynamicGraphMetric, EdgePerturbableMetric, EdgeUpdateReport, RepairStrategy,
 };
 pub use graph::{DisconnectedGraph, WeightedGraph};
+pub use implicit::{PointKernel, PointMetric, TileCacheStats};
 pub use matrix::{DistanceMatrix, DistanceMatrixBuilder};
+pub use overlay::OverlayMetric;
 pub use point::Point;
 pub use relaxed::{relaxation_parameter, RelaxedMetricReport};
+pub use restricted::RestrictedMetric;
 pub use validate::{MetricAudit, MetricViolation};
 
 /// Identifier of a ground-set element.

@@ -25,19 +25,51 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
+    /// Number of strict-upper-triangle entries for a ground set of `n`
+    /// elements, or `None` when `n(n-1)/2` overflows `usize`.
+    ///
+    /// Dense storage needs `n·(n−1)` to fit in `usize` *before* the halving
+    /// (the row-offset arithmetic in `index()` computes `a·n` for `a < n`,
+    /// so the same bound keeps every intermediate product in range). On
+    /// 64-bit targets the boundary sits at `n = 2³²`: the capacity itself
+    /// still fits, while `n = 2³² + 1` overflows. Either is far beyond what
+    /// dense `O(n²)` storage can serve — use the implicit metrics in
+    /// [`crate::implicit`] for such ground sets.
+    pub fn triangle_len_checked(n: usize) -> Option<usize> {
+        n.checked_mul(n.saturating_sub(1)).map(|sq| sq / 2)
+    }
+
+    /// Checked capacity with the documented out-of-range panic shared by
+    /// the constructors.
+    fn triangle_len(n: usize) -> usize {
+        Self::triangle_len_checked(n).unwrap_or_else(|| {
+            panic!("dense triangle capacity n(n-1)/2 overflows usize for n = {n}")
+        })
+    }
+
     /// Creates an all-zeros matrix for `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the triangle capacity `n(n-1)/2` overflows `usize` (see
+    /// [`DistanceMatrix::triangle_len_checked`]).
     pub fn zeros(n: usize) -> Self {
         Self {
             n,
-            data: vec![0.0; n * n.saturating_sub(1) / 2],
+            data: vec![0.0; Self::triangle_len(n)],
         }
     }
 
     /// Builds a matrix by evaluating `dist` on every unordered pair.
     ///
     /// `dist` is called exactly once per pair `(u, v)` with `u < v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the triangle capacity `n(n-1)/2` overflows `usize` (see
+    /// [`DistanceMatrix::triangle_len_checked`]).
     pub fn from_fn(n: usize, mut dist: impl FnMut(ElementId, ElementId) -> f64) -> Self {
-        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        let mut data = Vec::with_capacity(Self::triangle_len(n));
         for u in 0..n {
             for v in (u + 1)..n {
                 data.push(dist(u as ElementId, v as ElementId));
@@ -439,5 +471,30 @@ mod tests {
         assert_eq!(m.distance(1, 0), 4.0);
         assert_eq!(m.distance(2, 0), 5.0);
         assert_eq!(m.distance(1, 2), 0.0);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn triangle_capacity_is_checked_near_the_overflow_boundary() {
+        assert_eq!(DistanceMatrix::triangle_len_checked(0), Some(0));
+        assert_eq!(DistanceMatrix::triangle_len_checked(1), Some(0));
+        assert_eq!(DistanceMatrix::triangle_len_checked(5), Some(10));
+        // On 64-bit, n·(n−1) last fits at n = 2³²: the capacity is
+        // 2⁶³ − 2³¹; one element more overflows the product.
+        let boundary = 1usize << 32;
+        assert_eq!(
+            DistanceMatrix::triangle_len_checked(boundary),
+            Some((1usize << 63) - (1usize << 31))
+        );
+        assert_eq!(DistanceMatrix::triangle_len_checked(boundary + 1), None);
+        assert_eq!(DistanceMatrix::triangle_len_checked(usize::MAX), None);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    #[should_panic(expected = "overflows usize")]
+    fn zeros_panics_instead_of_wrapping_past_the_boundary() {
+        // Panics on the checked capacity before any allocation is attempted.
+        let _ = DistanceMatrix::zeros((1usize << 32) + 1);
     }
 }

@@ -1,0 +1,216 @@
+//! Sparse perturbation overlays over arbitrary base metrics.
+//!
+//! The dynamic-update setting rewrites individual distances, but an implicit
+//! metric such as [`PointMetric`](crate::PointMetric) has no storage to
+//! rewrite — its distances are derived from coordinates. [`OverlayMetric`]
+//! closes that gap: it wraps *any* [`Metric`] and keeps the rewritten pairs
+//! in a sparse side table, giving every base metric a
+//! [`PerturbableMetric`] implementation at `O(#overrides)` extra memory.
+//! This is what lets the sharded dynamic engine in `msd-core` run
+//! perturbation streams over ground sets that never materialize `n²`
+//! distances.
+//!
+//! # Bit-identity contract
+//!
+//! `OverlayMetric` behaves exactly like a materialized copy of the base
+//! metric with [`set_distance`](PerturbableMetric::set_distance) applied:
+//! reads return the override verbatim (or the base value bit-for-bit), and
+//! [`Metric::accumulate_distances`] issues exactly one fused
+//! `out[v] += factor · d(u, v)` per candidate. Rows without overrides
+//! delegate straight to the base kernel; rows with overrides stream the base
+//! row into a scratch buffer with `factor = 1` (which yields the raw
+//! distances exactly, since `0 + 1.0·d = d`), patch the overridden entries,
+//! and then apply the single fused multiply-add per slot.
+
+use std::collections::HashMap;
+
+use crate::{ElementId, Metric, PerturbableMetric};
+
+/// Key of an overridden unordered pair, normalized to `(min, max)`.
+#[inline]
+fn pair_key(u: ElementId, v: ElementId) -> (ElementId, ElementId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// A [`Metric`] plus a sparse set of rewritten pairwise distances.
+///
+/// See the [module docs](self) for the equivalence contract.
+#[derive(Debug, Clone)]
+pub struct OverlayMetric<M> {
+    inner: M,
+    /// `(min, max) → d` for every rewritten pair.
+    overrides: HashMap<(ElementId, ElementId), f64>,
+    /// `u → partners v` with an override on `{u, v}` (both directions), so
+    /// the row sweep can tell override-free rows apart in O(1).
+    partners: HashMap<ElementId, Vec<ElementId>>,
+}
+
+impl<M: Metric> OverlayMetric<M> {
+    /// Wraps `inner` with an empty overlay (behaves exactly like `inner`).
+    pub fn new(inner: M) -> Self {
+        Self {
+            inner,
+            overrides: HashMap::new(),
+            partners: HashMap::new(),
+        }
+    }
+
+    /// The wrapped base metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Consumes the overlay, returning the base metric.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    /// Number of rewritten pairs.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Drops every override, reverting to the base metric.
+    pub fn clear_overrides(&mut self) {
+        self.overrides.clear();
+        self.partners.clear();
+    }
+}
+
+impl<M: Metric> Metric for OverlayMetric<M> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+        if u == v {
+            return self.inner.distance(u, v); // keep base bounds checks
+        }
+        match self.overrides.get(&pair_key(u, v)) {
+            Some(&d) => d,
+            None => self.inner.distance(u, v),
+        }
+    }
+
+    fn accumulate_distances(&self, u: ElementId, out: &mut [f64], factor: f64) {
+        match self.partners.get(&u) {
+            None => self.inner.accumulate_distances(u, out, factor),
+            Some(parts) => {
+                let n = self.inner.len();
+                assert!(out.len() >= n, "output buffer too small");
+                // Stream the base row at factor 1 (exact raw distances),
+                // patch overrides, then one fused += factor·d per slot.
+                let mut scratch = vec![0.0; n];
+                self.inner.accumulate_distances(u, &mut scratch, 1.0);
+                for &v in parts {
+                    scratch[v as usize] = self.overrides[&pair_key(u, v)];
+                }
+                for (v, &d) in scratch.iter().enumerate() {
+                    if v != u as usize {
+                        out[v] += factor * d;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<M: Metric> PerturbableMetric for OverlayMetric<M> {
+    fn set_distance(&mut self, u: ElementId, v: ElementId, value: f64) -> f64 {
+        assert!(u != v, "cannot set diagonal distance d({u},{u})");
+        let n = self.inner.len();
+        assert!((u as usize) < n && (v as usize) < n, "element out of range");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "distance must be finite and non-negative"
+        );
+        let key = pair_key(u, v);
+        match self.overrides.insert(key, value) {
+            Some(prev) => prev,
+            None => {
+                self.partners.entry(u).or_default().push(v);
+                self.partners.entry(v).or_default().push(u);
+                self.inner.distance(u, v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DistanceMatrix;
+
+    fn base() -> DistanceMatrix {
+        DistanceMatrix::from_fn(6, |u, v| 1.0 + f64::from(u + v) * 0.5)
+    }
+
+    #[test]
+    fn empty_overlay_is_transparent() {
+        let m = base();
+        let o = OverlayMetric::new(m.clone());
+        for u in 0..6u32 {
+            let mut got = vec![0.0; 6];
+            let mut want = vec![0.0; 6];
+            o.accumulate_distances(u, &mut got, 2.5);
+            m.accumulate_distances(u, &mut want, 2.5);
+            assert_eq!(got, want);
+            for v in 0..6u32 {
+                assert_eq!(o.distance(u, v), m.distance(u, v));
+            }
+        }
+        assert_eq!(o.override_count(), 0);
+    }
+
+    #[test]
+    fn overlay_matches_materialized_perturbed_matrix_bitwise() {
+        let mut dense = base();
+        let mut o = OverlayMetric::new(base());
+        let edits = [(0u32, 3u32, 9.25), (3, 5, 0.0), (0, 3, 4.5), (2, 1, 7.75)];
+        for (u, v, d) in edits {
+            let prev_dense = dense.distance(u, v);
+            dense.set(u, v, d);
+            assert_eq!(o.set_distance(u, v, d), prev_dense);
+        }
+        for u in 0..6u32 {
+            let mut got = vec![0.5; 6];
+            let mut want = vec![0.5; 6];
+            o.accumulate_distances(u, &mut got, -1.75);
+            dense.accumulate_distances(u, &mut want, -1.75);
+            assert_eq!(got, want, "row {u}");
+            for v in 0..6u32 {
+                assert_eq!(o.distance(u, v), dense.distance(u, v), "({u},{v})");
+            }
+        }
+        assert_eq!(o.override_count(), 3); // (0,3) rewritten twice
+        o.clear_overrides();
+        assert_eq!(o.distance(0, 3), base().distance(0, 3));
+    }
+
+    #[test]
+    fn set_distance_returns_previous_override() {
+        let mut o = OverlayMetric::new(base());
+        let prev = o.set_distance(1, 4, 3.0);
+        assert_eq!(prev, base().distance(1, 4));
+        assert_eq!(o.set_distance(4, 1, 8.0), 3.0);
+        assert_eq!(o.distance(1, 4), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_set_panics() {
+        let mut o = OverlayMetric::new(base());
+        o.set_distance(2, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_distance_panics() {
+        let mut o = OverlayMetric::new(base());
+        o.set_distance(0, 1, -1.0);
+    }
+}

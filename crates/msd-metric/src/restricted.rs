@@ -1,0 +1,94 @@
+//! Sub-universe views of a metric under a local id remap.
+//!
+//! The composable-greedy and sharded-engine paths in `msd-core` repeatedly
+//! solve the diversification problem restricted to a subset of the ground
+//! set (one machine's shard, or the union of per-shard proposals).
+//! [`RestrictedMetric`] is that restriction as a [`Metric`]: local element
+//! `i` maps to global element `ids[i]`, and every distance is delegated to
+//! the wrapped metric. Nothing is copied — the view is `O(|ids|)` memory on
+//! top of the base metric, so restrictions of implicit metrics stay
+//! implicit.
+
+use crate::{ElementId, Metric};
+
+/// A [`Metric`] over the sub-universe `{0, .., ids.len()-1}` where local
+/// element `i` denotes global element `ids[i]` of the wrapped metric.
+///
+/// The order of `ids` defines the local indexing; `ids` need not be sorted.
+#[derive(Debug, Clone)]
+pub struct RestrictedMetric<M> {
+    inner: M,
+    ids: Vec<ElementId>,
+}
+
+impl<M: Metric> RestrictedMetric<M> {
+    /// Builds the view. Every id must be in range for `inner`; duplicate
+    /// ids are permitted but make the view a semi-metric (zero distances
+    /// between distinct local elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range for `inner`.
+    pub fn new(inner: M, ids: Vec<ElementId>) -> Self {
+        let n = inner.len();
+        assert!(
+            ids.iter().all(|&u| (u as usize) < n),
+            "restricted id out of range"
+        );
+        Self { inner, ids }
+    }
+
+    /// The global id of local element `u`.
+    #[inline]
+    pub fn global(&self, u: ElementId) -> ElementId {
+        self.ids[u as usize]
+    }
+
+    /// The local → global id map.
+    pub fn ids(&self) -> &[ElementId] {
+        &self.ids
+    }
+
+    /// The wrapped metric.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Metric> Metric for RestrictedMetric<M> {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+        self.inner.distance(self.global(u), self.global(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DistanceMatrix;
+
+    #[test]
+    fn view_remaps_ids_and_inherits_row_sweeps() {
+        let dense = DistanceMatrix::from_fn(8, |u, v| f64::from(u * 10 + v));
+        let view = RestrictedMetric::new(&dense, vec![6, 1, 4]);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.distance(0, 1), dense.distance(6, 1));
+        assert_eq!(view.distance(2, 0), dense.distance(4, 6));
+        assert_eq!(view.distance(1, 1), 0.0);
+        let mut out = vec![0.0; 3];
+        view.accumulate_distances(0, &mut out, 1.0);
+        assert_eq!(out, vec![0.0, dense.distance(6, 1), dense.distance(6, 4)]);
+        assert_eq!(view.global(2), 4);
+        assert_eq!(view.ids(), &[6, 1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        let dense = DistanceMatrix::zeros(3);
+        let _ = RestrictedMetric::new(&dense, vec![0, 3]);
+    }
+}

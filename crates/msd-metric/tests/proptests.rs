@@ -191,3 +191,115 @@ proptest! {
         }
     }
 }
+
+/// Properties of the implicit point-backed metrics and perturbation
+/// overlays: both must be *bit-identical* to the materialized
+/// [`DistanceMatrix`] reference — see `implicit`/`overlay` module docs.
+mod implicit_metrics {
+    use super::*;
+    use msd_metric::{OverlayMetric, PerturbableMetric, Point, PointMetric};
+
+    fn point_metrics(coords: &[f64], n: usize, dim: usize) -> Vec<PointMetric> {
+        let pts: Vec<Point> = (0..n)
+            .map(|u| Point::new(coords[u * dim..(u + 1) * dim].to_vec()))
+            .collect();
+        vec![PointMetric::euclidean(&pts), PointMetric::cosine(&pts)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Point reads and the block-tiled row kernel match the
+        /// materialized matrix bit-for-bit, across odd tails (n not a
+        /// multiple of the block), empty rows (n = 1), negative and zero
+        /// factors, and both kernels.
+        #[test]
+        fn tiled_row_kernel_is_bit_identical_to_materialized(
+            n in 1usize..27,
+            dim in 0usize..6,
+            fi in 0usize..5,
+            raw in prop::collection::vec(-4.0f64..4.0, 1..163),
+        ) {
+            let factor = [-2.5f64, -1.0, 0.0, 1.0, 0.375][fi];
+            let mut it = raw.into_iter().cycle();
+            let coords: Vec<f64> = (0..n * dim).map(|_| it.next().unwrap()).collect();
+            for metric in point_metrics(&coords, n, dim) {
+                let dense = DistanceMatrix::from_metric(&metric);
+                for u in 0..n as u32 {
+                    let mut got = vec![0.25; n + 2];
+                    let mut want = vec![0.25; n + 2];
+                    metric.accumulate_distances(u, &mut got, factor);
+                    dense.accumulate_distances(u, &mut want, factor);
+                    prop_assert_eq!(&got, &want, "row {}", u);
+                    for v in 0..n as u32 {
+                        prop_assert_eq!(metric.distance(u, v), dense.distance(u, v));
+                    }
+                }
+            }
+        }
+
+        /// The bounded tile cache changes nothing observable: every point
+        /// read equals the uncached metric, and residency never exceeds
+        /// the configured bound.
+        #[test]
+        fn tile_cache_is_transparent_and_bounded(
+            n in 1usize..40,
+            cap in 1usize..5,
+            reads in prop::collection::vec((0u32..40, 0u32..40), 1..60),
+            raw in prop::collection::vec(-3.0f64..3.0, 1..121),
+        ) {
+            let dim = 3usize;
+            let mut it = raw.into_iter().cycle();
+            let coords: Vec<f64> = (0..n * dim).map(|_| it.next().unwrap()).collect();
+            let pts: Vec<Point> = (0..n)
+                .map(|u| Point::new(coords[u * dim..(u + 1) * dim].to_vec()))
+                .collect();
+            let plain = PointMetric::euclidean(&pts);
+            let cached = PointMetric::euclidean(&pts).with_tile_cache(cap);
+            for (u, v) in reads {
+                let (u, v) = (u % n as u32, v % n as u32);
+                prop_assert_eq!(cached.distance(u, v), plain.distance(u, v));
+                let stats = cached.tile_cache_stats().unwrap();
+                prop_assert!(stats.resident_tiles <= cap);
+            }
+        }
+
+        /// An overlay over an implicit metric equals a materialized matrix
+        /// with the same `set` calls applied — reads and row kernel alike.
+        #[test]
+        fn overlay_matches_perturbed_materialized_matrix(
+            n in 2usize..20,
+            edits in prop::collection::vec((0u32..20, 0u32..20, 0.0f64..9.0), 0..24),
+            fi in 0usize..3,
+            raw in prop::collection::vec(-2.0f64..2.0, 1..81),
+        ) {
+            let factor = [-1.0f64, 1.0, 2.25][fi];
+            let dim = 2usize;
+            let mut it = raw.into_iter().cycle();
+            let coords: Vec<f64> = (0..n * dim).map(|_| it.next().unwrap()).collect();
+            for base in point_metrics(&coords, n, dim) {
+                let mut dense = DistanceMatrix::from_metric(&base);
+                let mut overlay = OverlayMetric::new(base);
+                for &(u, v, d) in &edits {
+                    let (u, v) = (u % n as u32, v % n as u32);
+                    if u == v {
+                        continue;
+                    }
+                    let prev_dense = dense.distance(u, v);
+                    dense.set(u, v, d);
+                    prop_assert_eq!(overlay.set_distance(u, v, d), prev_dense);
+                }
+                for u in 0..n as u32 {
+                    let mut got = vec![-0.5; n];
+                    let mut want = vec![-0.5; n];
+                    overlay.accumulate_distances(u, &mut got, factor);
+                    dense.accumulate_distances(u, &mut want, factor);
+                    prop_assert_eq!(&got, &want, "row {}", u);
+                    for v in 0..n as u32 {
+                        prop_assert_eq!(overlay.distance(u, v), dense.distance(u, v));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@ pub mod incremental;
 pub mod logdet;
 pub mod mixture;
 pub mod modular;
+pub mod restricted;
 pub mod saturated;
 
 pub use coverage::CoverageFunction;
@@ -42,6 +43,7 @@ pub use incremental::{
 pub use logdet::LogDetFunction;
 pub use mixture::MixtureFunction;
 pub use modular::ModularFunction;
+pub use restricted::RestrictedOracle;
 pub use saturated::{ConcaveOverModular, ConcaveShape};
 
 /// Identifier of a ground-set element (shared with `msd-metric`).

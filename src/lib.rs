@@ -56,20 +56,22 @@ pub use msd_submodular as submodular;
 /// metric + quality function, wrap them in a problem, run an algorithm.
 pub mod prelude {
     pub use msd_core::{
-        exact_max_diversification, greedy_a, greedy_b, hassin_edge_greedy, hassin_matching,
-        knapsack_diversify, local_search_matroid, local_search_refine, max_sum_dispersion_greedy,
-        mmr_select, stream_diversify, BatchReport, CompactStreamingSession, DiversificationProblem,
+        distributed_greedy, exact_max_diversification, greedy_a, greedy_b, hassin_edge_greedy,
+        hassin_matching, knapsack_diversify, local_search_matroid, local_search_refine,
+        max_sum_dispersion_greedy, mmr_select, stream_diversify, BatchReport,
+        CompactStreamingSession, DistributedConfig, DistributedResult, DiversificationProblem,
         DynamicInstance, DynamicSession, ElementId, GraphBatchError, GraphPerturbation,
-        GreedyAConfig, GreedyBConfig, KnapsackConfig, LocalSearchConfig, MmrConfig, Perturbation,
-        PotentialState, ScanExtent, SessionPerturbation, StreamingDiversifier, StreamingSession,
+        GreedyAConfig, GreedyBConfig, KnapsackConfig, LocalSearchConfig, MergeStats, MmrConfig,
+        PartitionScheme, Perturbation, PotentialState, ScanExtent, SessionPerturbation,
+        ShardedConfig, ShardedEngine, ShardedReport, StreamingDiversifier, StreamingSession,
     };
     pub use msd_matroid::{
         GraphicMatroid, LaminarMatroid, Matroid, PartitionMatroid, TransversalMatroid,
         TruncatedMatroid, UniformMatroid,
     };
     pub use msd_metric::{
-        DistanceMatrix, DynamicGraphMetric, EdgePerturbableMetric, Metric, PerturbableMetric,
-        Point, WeightedGraph,
+        DistanceMatrix, DynamicGraphMetric, EdgePerturbableMetric, Metric, OverlayMetric,
+        PerturbableMetric, Point, PointKernel, PointMetric, TileCacheStats, WeightedGraph,
     };
     pub use msd_submodular::{
         ConcaveOverModular, ConcaveShape, CoverageFunction, FacilityLocationFunction,
