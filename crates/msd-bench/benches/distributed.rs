@@ -24,12 +24,12 @@
 //!   persistent engine's headline win: re-solve cost vs incremental
 //!   batch cost at the same `n`.
 //! * `perturb_stabilize_forced` (`--features parallel`) — the same
-//!   stream through [`SyncShardedEngine::apply_batch_parallel`] with
-//!   `MSD_PARALLEL_THREADS=4` forcing genuinely chunked scans, so the
-//!   recorded number carries real chunk/merge overhead even on a 1-core
-//!   host (without the override a 1-core box collapses every scan to a
-//!   single chunk and the "parallel" column silently measures the serial
-//!   path).
+//!   stream through [`SyncShardedEngine::apply_batch_parallel`] on an
+//!   explicit 4-thread [`msd_core::ScanPool`] forcing genuinely chunked
+//!   scans, so the recorded number carries real chunk/merge overhead even
+//!   on a 1-core host (without a forced pool a 1-core box collapses every
+//!   scan to a single chunk and the "parallel" column silently measures
+//!   the serial path).
 //!
 //! Results go to `BENCH_distributed.json` at the workspace root.
 //! `MSD_BENCH_N` restricts the ground sizes (CI smoke); the default is
@@ -142,9 +142,10 @@ fn bench_kernel(c: &mut Criterion, name: &str, kernel: PointKernel, ns: &[usize]
         }
         #[cfg(feature = "parallel")]
         {
-            std::env::set_var("MSD_PARALLEL_THREADS", "4");
+            let pool = std::sync::Arc::new(msd_core::ScanPool::new(4));
             let mut engine =
-                msd_core::SyncShardedEngine::new_sync(&problem, p, sharded_config(machines));
+                msd_core::SyncShardedEngine::new_sync(&problem, p, sharded_config(machines))
+                    .with_scan_pool(pool);
             let mut rng = StdRng::seed_from_u64(rng_seed);
             group.bench_function("perturb_stabilize_forced", |b| {
                 b.iter(|| {
@@ -153,7 +154,6 @@ fn bench_kernel(c: &mut Criterion, name: &str, kernel: PointKernel, ns: &[usize]
                     black_box(engine.apply_batch_parallel(black_box(&batch)))
                 })
             });
-            std::env::remove_var("MSD_PARALLEL_THREADS");
         }
         group.finish();
     }

@@ -168,18 +168,17 @@ fn bench_modular(c: &mut Criterion, ns: &[usize]) {
         );
         #[cfg(feature = "parallel")]
         {
-            std::env::set_var("MSD_PARALLEL_THREADS", "4");
+            let pool = msd_core::ScanPool::new(4);
             bench_cycle(
                 &mut group,
                 "perturb_update_forced",
                 &base,
                 &script,
-                |d, pert| {
+                move |d, pert| {
                     d.apply(pert);
-                    d.oblivious_update_parallel()
+                    d.oblivious_update_parallel_in(&pool)
                 },
             );
-            std::env::remove_var("MSD_PARALLEL_THREADS");
         }
         group.finish();
     }
@@ -224,23 +223,27 @@ fn bench_generic<F: SetFunction + Sync + Clone>(
         );
         // Forced-chunking variant: on a 1-core host the plain parallel
         // path collapses to a single chunk (scheduling-wise it *is* the
-        // serial scan), so `MSD_PARALLEL_THREADS=4` is the only way to
+        // serial scan), so a forced 4-thread pool is the only way to
         // record what genuinely chunked execution costs here — the
-        // `forced_chunk_ns` column carries the real spawn/merge overhead.
+        // `forced_chunk_ns` column carries the real dispatch/merge
+        // overhead.
         #[cfg(feature = "parallel")]
         {
-            std::env::set_var("MSD_PARALLEL_THREADS", "4");
+            let pool = msd_core::ScanPool::new(4);
             bench_cycle(
                 &mut group,
                 "perturb_update_forced",
                 &base,
                 &script,
-                |(problem, solution), pert| {
+                move |(problem, solution), pert| {
                     apply_to_problem(problem, pert);
-                    msd_core::parallel::oblivious_update_step(black_box(problem), solution)
+                    msd_core::parallel::oblivious_update_step_in(
+                        &pool,
+                        black_box(problem),
+                        solution,
+                    )
                 },
             );
-            std::env::remove_var("MSD_PARALLEL_THREADS");
         }
         group.finish();
     }

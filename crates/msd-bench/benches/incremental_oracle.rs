@@ -11,10 +11,10 @@
 //! * `MSD_BENCH_N=1000,5000` restricts the ground sizes (CI smoke uses
 //!   this; the full sweep runs by default).
 //! * building with `--features parallel` adds the thread-parallel variants,
-//!   plus a `forced` variant that sets `MSD_PARALLEL_THREADS=4` so the
-//!   chunked scan schedule (and its merge overhead) is measured even on a
-//!   single-core host, where the ambient parallel path collapses to one
-//!   chunk.
+//!   plus a `forced` variant running on an explicit 4-thread
+//!   [`msd_core::ScanPool`] so the chunked scan schedule (and its merge
+//!   overhead) is measured even on a single-core host, where the ambient
+//!   parallel path collapses to one chunk.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -63,17 +63,17 @@ fn bench_greedy(c: &mut Criterion, ns: &[usize]) {
             });
             #[cfg(feature = "parallel")]
             {
-                std::env::set_var("MSD_PARALLEL_THREADS", "4");
+                let pool = msd_core::ScanPool::new(4);
                 group.bench_function("forced", |b| {
                     b.iter(|| {
-                        msd_core::parallel::greedy_b(
+                        msd_core::parallel::greedy_b_in(
+                            &pool,
                             black_box(&problem),
                             p,
                             GreedyBConfig::default(),
                         )
                     })
                 });
-                std::env::remove_var("MSD_PARALLEL_THREADS");
             }
             group.finish();
         }
@@ -94,17 +94,17 @@ fn bench_greedy(c: &mut Criterion, ns: &[usize]) {
             });
             #[cfg(feature = "parallel")]
             {
-                std::env::set_var("MSD_PARALLEL_THREADS", "4");
+                let pool = msd_core::ScanPool::new(4);
                 group.bench_function("forced", |b| {
                     b.iter(|| {
-                        msd_core::parallel::greedy_b(
+                        msd_core::parallel::greedy_b_in(
+                            &pool,
                             black_box(&problem),
                             p,
                             GreedyBConfig::default(),
                         )
                     })
                 });
-                std::env::remove_var("MSD_PARALLEL_THREADS");
             }
             group.finish();
         }
@@ -144,13 +144,17 @@ fn bench_local_search(c: &mut Criterion, ns: &[usize]) {
             });
             #[cfg(feature = "parallel")]
             {
-                std::env::set_var("MSD_PARALLEL_THREADS", "4");
+                let pool = msd_core::ScanPool::new(4);
                 group.bench_function("forced", |b| {
                     b.iter(|| {
-                        msd_core::parallel::local_search_refine(black_box(&problem), &start, config)
+                        msd_core::parallel::local_search_refine_in(
+                            &pool,
+                            black_box(&problem),
+                            &start,
+                            config,
+                        )
                     })
                 });
-                std::env::remove_var("MSD_PARALLEL_THREADS");
             }
             group.finish();
         }
@@ -172,13 +176,17 @@ fn bench_local_search(c: &mut Criterion, ns: &[usize]) {
             });
             #[cfg(feature = "parallel")]
             {
-                std::env::set_var("MSD_PARALLEL_THREADS", "4");
+                let pool = msd_core::ScanPool::new(4);
                 group.bench_function("forced", |b| {
                     b.iter(|| {
-                        msd_core::parallel::local_search_refine(black_box(&problem), &start, config)
+                        msd_core::parallel::local_search_refine_in(
+                            &pool,
+                            black_box(&problem),
+                            &start,
+                            config,
+                        )
                     })
                 });
-                std::env::remove_var("MSD_PARALLEL_THREADS");
             }
             group.finish();
         }

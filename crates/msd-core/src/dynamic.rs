@@ -342,16 +342,25 @@ impl DynamicInstance {
 
 /// Thread-parallel scans for the dynamic-update rules (`parallel`
 /// feature). Chunking and merge discipline come from
-/// [`crate::parallel::par_scan_chunks`]; every candidate's gain is the
+/// `ScanPool::scan_chunks`; every candidate's gain is the
 /// exact serial expression, so outputs are bit-identical to
 /// [`DynamicInstance::oblivious_update`] /
-/// [`DynamicInstance::oblivious_update_double`].
+/// [`DynamicInstance::oblivious_update_double`]. The plain variants run
+/// on [`crate::pool::ScanPool::global`]; the `_in` variants take an
+/// explicit pool (the env-free route tests and benches use to force a
+/// chunk schedule).
 #[cfg(feature = "parallel")]
 impl DynamicInstance {
     /// Parallel [`DynamicInstance::oblivious_update`]: the O(n·p) swap
     /// scan runs chunked over the incoming candidate `v`.
     pub fn oblivious_update_parallel(&mut self) -> UpdateOutcome {
-        match self.best_single_swap_parallel() {
+        self.oblivious_update_parallel_in(crate::pool::ScanPool::global())
+    }
+
+    /// [`DynamicInstance::oblivious_update_parallel`] on an explicit
+    /// [`crate::pool::ScanPool`].
+    pub fn oblivious_update_parallel_in(&mut self, pool: &crate::pool::ScanPool) -> UpdateOutcome {
+        match self.best_single_swap_parallel(pool) {
             Some((u, v, gain)) => {
                 self.state.swap(self.problem.metric(), v, u);
                 UpdateOutcome {
@@ -372,19 +381,31 @@ impl DynamicInstance {
     /// traversal order and runs the full outsider-pair inner loops), and
     /// the baseline single-swap scan runs chunked over candidates.
     pub fn oblivious_update_double_parallel(&mut self) -> UpdateOutcome {
-        let single = self.best_single_swap_parallel();
-        let best_double = self.best_double_swap_parallel();
+        self.oblivious_update_double_parallel_in(crate::pool::ScanPool::global())
+    }
+
+    /// [`DynamicInstance::oblivious_update_double_parallel`] on an
+    /// explicit [`crate::pool::ScanPool`].
+    pub fn oblivious_update_double_parallel_in(
+        &mut self,
+        pool: &crate::pool::ScanPool,
+    ) -> UpdateOutcome {
+        let single = self.best_single_swap_parallel(pool);
+        let best_double = self.best_double_swap_parallel(pool);
         self.commit_double(single, best_double)
     }
 
     /// Parallel counterpart of `best_single_swap`, chunked over `v`.
-    /// Falls back to the serial scan below the work floor where spawning
+    /// Falls back to the serial scan below the work floor where chunking
     /// does not amortize (identical result either way). The modular
     /// per-candidate evaluation is O(1) arithmetic — scan cost hint 1 —
     /// so the raw candidate count is the weighted work.
-    fn best_single_swap_parallel(&self) -> Option<(ElementId, ElementId, f64)> {
+    fn best_single_swap_parallel(
+        &self,
+        pool: &crate::pool::ScanPool,
+    ) -> Option<(ElementId, ElementId, f64)> {
         let n = self.problem.ground_size();
-        if !crate::parallel::par_worthwhile(n.saturating_mul(self.state.len())) {
+        if !pool.worthwhile(n.saturating_mul(self.state.len())) {
             return self.best_single_swap();
         }
         let members = self.state.members();
@@ -392,7 +413,7 @@ impl DynamicInstance {
         let quality = self.problem.quality();
         let lambda = self.problem.lambda();
         let state = &self.state;
-        crate::parallel::par_scan_chunks(
+        pool.scan_chunks(
             n,
             |lo, hi| {
                 scan_swap_chunk(
@@ -413,11 +434,14 @@ impl DynamicInstance {
     /// Parallel counterpart of `best_double_swap`, chunked over the
     /// member-pair list (p(p−1)/2 units of O(n²) work each). Falls back
     /// to the serial scan below the work floor (identical result).
-    fn best_double_swap_parallel(&self) -> Option<([ElementId; 2], [ElementId; 2], f64)> {
+    fn best_double_swap_parallel(
+        &self,
+        pool: &crate::pool::ScanPool,
+    ) -> Option<([ElementId; 2], [ElementId; 2], f64)> {
         let p = self.state.len();
         let out = self.problem.ground_size() - p;
         let ops = (p * p / 2).saturating_mul(out).saturating_mul(out) / 2;
-        if !crate::parallel::par_worthwhile(ops) {
+        if !pool.worthwhile(ops) {
             return self.best_double_swap();
         }
         let members = self.state.members();
@@ -431,7 +455,7 @@ impl DynamicInstance {
             .collect();
         let this = self;
         let outsiders = &outsiders;
-        crate::parallel::par_scan_chunks(
+        pool.scan_chunks(
             pairs.len(),
             |lo, hi| {
                 let mut best: Option<([ElementId; 2], [ElementId; 2], f64)> = None;

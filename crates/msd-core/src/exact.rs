@@ -204,8 +204,12 @@ impl<M: Metric, F: SetFunction> Search<'_, M, F> {
                 self.singletons[u as usize] + lambda * state.distance_gain(u)
             })
             .collect();
-        // Partial selection of the k largest scores.
-        scores.sort_unstable_by(|a, b| b.partial_cmp(a).expect("scores must be comparable"));
+        // Partial selection of the k largest scores. `total_cmp` keeps a
+        // NaN score (e.g. from a degenerate quality oracle) from
+        // panicking the sort; a NaN reaching the top-k makes the bound
+        // NaN, whose `<=` comparison is false — the branch is explored
+        // rather than mis-pruned.
+        scores.sort_unstable_by(|a, b| b.total_cmp(a));
         let completion: f64 = scores[..k].iter().sum();
         let internal = lambda * self.d_max * (k * (k - 1) / 2) as f64;
         if phi_s + completion + internal <= self.best_val + 1e-12 {
@@ -340,5 +344,31 @@ mod tests {
         let r = enumerate_exact(&problem, 4);
         assert_eq!(r.set.len(), 4);
         assert_eq!(r.nodes, 1);
+    }
+
+    #[test]
+    fn nan_quality_weight_does_not_panic_the_bound_sort() {
+        use msd_submodular::SetFunction;
+        // Modular-style quality with one NaN weight — invalid input
+        // (ModularFunction rejects it at construction), but a custom
+        // oracle can still feed it through. The completion-bound sort
+        // used to panic via `partial_cmp().expect`; with `total_cmp` the
+        // NaN merely poisons the bound (comparisons are false, so the
+        // branch explores instead of mis-pruning).
+        struct NanWeights(Vec<f64>);
+        impl SetFunction for NanWeights {
+            fn ground_size(&self) -> usize {
+                self.0.len()
+            }
+            fn value(&self, set: &[ElementId]) -> f64 {
+                set.iter().map(|&u| self.0[u as usize]).sum()
+            }
+        }
+        let mut weights = vec![1.0; 6];
+        weights[2] = f64::NAN;
+        let metric = DistanceMatrix::from_fn(6, |u, v| 1.0 + f64::from(u + v) * 0.1);
+        let problem = DiversificationProblem::new(metric, NanWeights(weights), 0.2);
+        let r = exact_max_diversification(&problem, 3);
+        assert_eq!(r.set.len(), 3);
     }
 }

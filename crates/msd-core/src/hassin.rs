@@ -82,7 +82,10 @@ pub fn hassin_matching<M: Metric>(metric: &M, p: usize) -> Vec<ElementId> {
             edges.push((metric.distance(u, v), u, v));
         }
     }
-    edges.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("distances must be comparable"));
+    // `total_cmp` keeps a NaN distance (a misbehaving metric oracle) from
+    // panicking the sort; the ordering is total, so the search still
+    // terminates with a well-defined matching.
+    edges.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
 
     /// DFS state for the exact `k`-edge matching search. The completion
     /// bound uses the next `need` edges' weights regardless of
@@ -275,5 +278,28 @@ mod tests {
         assert!(hassin_matching(&m, 0).is_empty());
         assert_eq!(hassin_edge_greedy(&m, 99).len(), 4);
         assert_eq!(hassin_matching(&m, 99).len(), 4);
+    }
+
+    #[test]
+    fn nan_distance_does_not_panic() {
+        // A distance oracle with one NaN pair — invalid per the Metric
+        // contract, but the edge sort must not panic on it
+        // (`partial_cmp().expect` used to; `total_cmp` is total).
+        struct NanEdge(DistanceMatrix);
+        impl Metric for NanEdge {
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+                if (u.min(v), u.max(v)) == (0, 1) {
+                    f64::NAN
+                } else {
+                    self.0.distance(u, v)
+                }
+            }
+        }
+        let m = NanEdge(pseudo_random_metric(3, 6));
+        assert_eq!(hassin_matching(&m, 4).len(), 4);
+        assert_eq!(hassin_edge_greedy(&m, 4).len(), 4);
     }
 }

@@ -46,8 +46,11 @@ pub mod local_search;
 pub mod mmr;
 #[cfg(feature = "parallel")]
 pub mod parallel;
+#[cfg(feature = "parallel")]
+pub mod pool;
 pub mod potential;
 pub mod problem;
+pub mod serving;
 pub mod session;
 pub mod sharded;
 pub mod solution;
@@ -62,8 +65,13 @@ pub use hassin::{hassin_edge_greedy, hassin_matching};
 pub use knapsack::{knapsack_diversify, KnapsackConfig, KnapsackResult};
 pub use local_search::{local_search_matroid, local_search_refine, LocalSearchConfig};
 pub use mmr::{mmr_select, MmrConfig};
+#[cfg(feature = "parallel")]
+pub use pool::ScanPool;
 pub use potential::{PotentialState, SyncPotentialState};
 pub use problem::DiversificationProblem;
+pub use serving::{
+    QueryResponse, ServingFrontend, ServingRequest, SyncServingFrontend, TenantId, TenantStats,
+};
 pub use session::{
     BatchReport, DynamicSession, GraphBatchError, GraphPerturbation, ScanExtent,
     SessionPerturbation, SyncDynamicSession, UpdateReport, DEFAULT_CANDIDATE_CAPACITY,

@@ -6,8 +6,14 @@
 //! rule's O(n·p) single-swap and O(n²p²) double-swap scans — are
 //! embarrassingly parallel once every candidate evaluation is an O(1)
 //! cache read (see [`crate::potential`]). This module distributes them
-//! over `std::thread::scope` workers (no external dependencies; the build
-//! environment has no registry access, so rayon is deliberately not used).
+//! over the persistent [`ScanPool`] workers (no external dependencies;
+//! the build environment has no registry access, so rayon is deliberately
+//! not used). Every public entry point has an `_in` twin taking an
+//! explicit `&ScanPool` — the plain version runs on [`ScanPool::global`],
+//! whose worker count is fixed once at first use (`MSD_PARALLEL_THREADS`
+//! or the hardware count); tests and benches that need a specific chunk
+//! schedule construct their own pool instead of mutating the process
+//! environment.
 //!
 //! **Determinism.** Every scan breaks ties toward the *lowest index* (for
 //! pair scans: lexicographically smallest pair; for swap scans: smallest
@@ -27,79 +33,25 @@
 //!   `oblivious_update_parallel` / `oblivious_update_double_parallel`,
 //!   built on the same chunked reduction)
 
-use std::num::NonZeroUsize;
-
 use msd_matroid::Matroid;
 use msd_metric::Metric;
 use msd_submodular::SetFunction;
 
 use crate::local_search::{LocalSearchConfig, LocalSearchResult, PivotRule};
+use crate::pool::ScanPool;
 use crate::potential::SyncPotentialState;
 use crate::problem::DiversificationProblem;
 use crate::{ElementId, GreedyBConfig};
 
-/// Worker count for a scan over `work` candidates, clamped to the
-/// available hardware and to 16 (beyond that the per-step spawn cost
-/// outweighs the scan for every realistic `n`).
-///
-/// `MSD_PARALLEL_THREADS` overrides the hardware count (still clamped to
-/// the work size, but not to the spawn-overhead heuristic). Besides
-/// operational tuning, this is how the equivalence suites force genuinely
-/// chunked execution on few-core machines — without it, a 1-core CI
-/// runner would collapse every scan to a single chunk and the
-/// determinism-critical merge logic would go untested.
-fn num_threads(work: usize) -> usize {
-    if let Some(forced) = forced_threads() {
-        return forced.clamp(1, work.max(1)).min(64);
-    }
-    let hw = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    hw.min(16).min(work.div_ceil(32).max(1)).max(1)
-}
-
-/// Explicit `MSD_PARALLEL_THREADS` worker-count override, if set.
-fn forced_threads() -> Option<usize> {
-    std::env::var("MSD_PARALLEL_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-}
-
-/// Minimum estimated *weighted* scalar operations in a scan before
-/// spawning workers amortizes: candidate evaluations × the quality
-/// oracle's `scan_cost_hint` (1 for the O(1) modular arithmetic, the
-/// client count for facility location, and so on — see
-/// `IncrementalOracle::scan_cost_hint`).
-///
-/// The floor is calibrated on the dynamic-update scans: a modular n=5000,
-/// p=50 single-swap scan is 250k cost-1 candidate reads, which is
-/// memory-bandwidth-bound and measurably *loses* to serial when chunked
-/// (`BENCH_dynamic.json` recorded 0.87×), while the same candidate count
-/// under coverage or facility quality carries one-to-three orders of
-/// magnitude more work per read and wins. Weighting by the oracle hint
-/// lets one floor serve every quality family. Scans under the floor run
-/// the serial code path — outputs are bit-identical either way, so this
-/// is purely a scheduling decision.
-const MIN_PAR_OPS: usize = 1 << 21;
-
-/// `true` when a scan of `ops` estimated weighted scalar operations (see
-/// [`MIN_PAR_OPS`]) should be distributed. An explicit
-/// `MSD_PARALLEL_THREADS` override always distributes — besides tuning,
-/// that is how the equivalence suites force the chunked paths on small
-/// test instances.
-pub(crate) fn par_worthwhile(ops: usize) -> bool {
-    forced_threads().is_some() || ops >= MIN_PAR_OPS
-}
-
 /// Deterministic parallel argmax over `0..n`: highest score wins, ties go
 /// to the lowest index. `score` returns `None` for excluded candidates.
-/// A thin wrapper over [`par_scan_chunks`] so the determinism-critical
-/// chunk/merge logic exists exactly once.
-fn par_argmax<F>(n: usize, score: F) -> Option<(ElementId, f64)>
+/// A thin wrapper over [`ScanPool::scan_chunks`] so the
+/// determinism-critical chunk/merge logic exists exactly once.
+fn par_argmax<F>(pool: &ScanPool, n: usize, score: F) -> Option<(ElementId, f64)>
 where
     F: Fn(ElementId) -> Option<f64> + Sync,
 {
-    par_scan_chunks(
+    pool.scan_chunks(
         n,
         |lo, hi| {
             let mut best: Option<(ElementId, f64)> = None;
@@ -116,101 +68,19 @@ where
     )
 }
 
-/// Generic deterministic parallel reduction over the chunked range
-/// `0..n`: each worker folds its chunk with `scan` (which must itself
-/// break ties toward earlier candidates), and chunks merge in index order
-/// with strictly-greater comparison on the score extracted by `key`.
-/// Crate-visible so the dynamic-update scans in [`crate::dynamic`] reuse
-/// the exact same chunk/merge discipline.
-pub(crate) fn par_scan_chunks<T, S, K>(n: usize, scan: S, key: K) -> Option<T>
-where
-    T: Send,
-    S: Fn(usize, usize) -> Option<T> + Sync,
-    K: Fn(&T) -> f64,
-{
-    let threads = num_threads(n);
-    if threads <= 1 {
-        return scan(0, n);
-    }
-    let chunk = n.div_ceil(threads);
-    let per_chunk: Vec<Option<T>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let scan = &scan;
-                // Clamp *both* bounds: an over-provisioned worker count
-                // (e.g. a forced MSD_PARALLEL_THREADS exceeding n/chunk)
-                // would otherwise hand trailing workers lo > n — fatal
-                // for slice-indexed scans, harmless only for range loops.
-                s.spawn(move || scan((t * chunk).min(n), ((t + 1) * chunk).min(n)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scan worker panicked"))
-            .collect()
-    });
-    let mut best: Option<T> = None;
-    for candidate in per_chunk.into_iter().flatten() {
-        if best.as_ref().is_none_or(|b| key(&candidate) > key(b)) {
-            best = Some(candidate);
-        }
-    }
-    best
-}
-
-/// Generic deterministic parallel *fold* over the chunked range `0..n`:
-/// each worker maps its chunk with `scan`, and the per-chunk results are
-/// folded left-to-right in **index order** with `merge`. Unlike
-/// [`par_scan_chunks`] (which selects one winner by a score key), this
-/// combines every chunk's result — the shape needed when a scan also
-/// *collects* side state, e.g. the session's per-member top-K candidate
-/// tables built during a full swap scan. `merge(a, b)` always receives
-/// `a` from earlier indices than `b`, so an order-sensitive merge (stable
-/// tie-breaks toward earlier candidates) reproduces the serial traversal
-/// exactly.
-pub(crate) fn par_fold_chunks<T, S, Me>(n: usize, scan: S, merge: Me) -> T
-where
-    T: Send,
-    S: Fn(usize, usize) -> T + Sync,
-    Me: Fn(T, T) -> T,
-{
-    let threads = num_threads(n);
-    if threads <= 1 {
-        return scan(0, n);
-    }
-    let chunk = n.div_ceil(threads);
-    let per_chunk: Vec<T> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let scan = &scan;
-                // Both bounds clamped, as in `par_scan_chunks`.
-                s.spawn(move || scan((t * chunk).min(n), ((t + 1) * chunk).min(n)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fold worker panicked"))
-            .collect()
-    });
-    per_chunk
-        .into_iter()
-        .reduce(merge)
-        .expect("at least one chunk")
-}
-
-/// Runs `scan` chunked over workers when `chunked`, or as one inline
+/// Runs `scan` chunked over the pool when `chunked`, or as one inline
 /// `scan(0, n)` call when not — the sub-work-floor fallback that reuses
 /// the caller's already-built caches instead of delegating to a serial
 /// entry point that would rebuild them. Identical output either way
 /// (one chunk *is* the serial traversal).
-fn scan_maybe_par<T, S, K>(n: usize, chunked: bool, scan: S, key: K) -> Option<T>
+fn scan_maybe_par<T, S, K>(pool: &ScanPool, n: usize, chunked: bool, scan: S, key: K) -> Option<T>
 where
     T: Send,
     S: Fn(usize, usize) -> Option<T> + Sync,
     K: Fn(&T) -> f64,
 {
     if chunked {
-        par_scan_chunks(n, scan, key)
+        pool.scan_chunks(n, scan, key)
     } else {
         scan(0, n)
     }
@@ -220,8 +90,23 @@ where
 ///
 /// Each step evaluates the exact potential `φ'_u(S)` of every candidate
 /// concurrently (O(1) reads for structured quality oracles) and merges
-/// with the deterministic lowest-index tie-break.
+/// with the deterministic lowest-index tie-break. Runs on the ambient
+/// [`ScanPool::global`] pool; [`greedy_b_in`] takes an explicit pool.
 pub fn greedy_b<M, F>(
+    problem: &DiversificationProblem<M, F>,
+    p: usize,
+    config: GreedyBConfig,
+) -> Vec<ElementId>
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+{
+    greedy_b_in(ScanPool::global(), problem, p, config)
+}
+
+/// [`greedy_b`] on an explicit [`ScanPool`].
+pub fn greedy_b_in<M, F>(
+    pool: &ScanPool,
     problem: &DiversificationProblem<M, F>,
     p: usize,
     config: GreedyBConfig,
@@ -242,7 +127,7 @@ where
         // traversal inside a chunk is the serial lexicographic order.
         let seed = {
             let st = &state;
-            par_scan_chunks(
+            pool.scan_chunks(
                 n,
                 |lo, hi| {
                     let mut best: Option<(ElementId, ElementId, f64)> = None;
@@ -268,7 +153,7 @@ where
     while state.len() < p {
         let next = {
             let st = &state;
-            par_argmax(n, |u| (!st.contains(u)).then(|| st.potential(u)))
+            par_argmax(pool, n, |u| (!st.contains(u)).then(|| st.potential(u)))
         };
         match next {
             Some((u, _)) => state.insert(u),
@@ -294,6 +179,19 @@ where
     M: Metric + Sync,
     F: SetFunction + Sync,
 {
+    greedy_b_pairs_in(ScanPool::global(), problem, p)
+}
+
+/// [`greedy_b_pairs`] on an explicit [`ScanPool`].
+pub fn greedy_b_pairs_in<M, F>(
+    pool: &ScanPool,
+    problem: &DiversificationProblem<M, F>,
+    p: usize,
+) -> Vec<ElementId>
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+{
     let n = problem.ground_size();
     let p = p.min(n);
     if p == 0 {
@@ -304,12 +202,13 @@ where
     // cost-weighted amortization floor the same scans run inline over the
     // same state (one chunk is the serial traversal — bit-identical, no
     // spawn cost and no second cache construction).
-    let chunked = par_worthwhile(n.saturating_mul(n).saturating_mul(state.scan_cost_hint()));
+    let chunked = pool.worthwhile(n.saturating_mul(n).saturating_mul(state.scan_cost_hint()));
 
     while state.len() + 2 <= p {
         let best = {
             let st = &state;
             scan_maybe_par(
+                pool,
                 n,
                 chunked,
                 |lo, hi| {
@@ -348,6 +247,7 @@ where
         let next = {
             let st = &state;
             scan_maybe_par(
+                pool,
                 n,
                 chunked,
                 |lo, hi| {
@@ -388,6 +288,19 @@ where
     M: Metric + Sync,
     F: SetFunction + Sync,
 {
+    oblivious_update_step_in(ScanPool::global(), problem, solution)
+}
+
+/// [`oblivious_update_step`] on an explicit [`ScanPool`].
+pub fn oblivious_update_step_in<M, F>(
+    pool: &ScanPool,
+    problem: &DiversificationProblem<M, F>,
+    solution: &mut Vec<ElementId>,
+) -> crate::dynamic::UpdateOutcome
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+{
     let n = problem.ground_size();
     let mut state = SyncPotentialState::new_sync(problem);
     for &u in solution.iter() {
@@ -403,8 +316,9 @@ where
     let best = {
         let st = &state;
         scan_maybe_par(
+            pool,
             n,
-            par_worthwhile(work),
+            pool.worthwhile(work),
             |lo, hi| {
                 crate::dynamic::scan_swap_chunk(
                     lo as ElementId,
@@ -423,14 +337,38 @@ where
 /// Parallel dispersion greedy (Corollary 1), bit-identical to
 /// [`crate::max_sum_dispersion_greedy`].
 pub fn max_sum_dispersion_greedy<M: Metric + Sync>(metric: &M, p: usize) -> Vec<ElementId> {
+    max_sum_dispersion_greedy_in(ScanPool::global(), metric, p)
+}
+
+/// [`max_sum_dispersion_greedy`] on an explicit [`ScanPool`].
+pub fn max_sum_dispersion_greedy_in<M: Metric + Sync>(
+    pool: &ScanPool,
+    metric: &M,
+    p: usize,
+) -> Vec<ElementId> {
     let problem =
         DiversificationProblem::new(metric, msd_submodular::ZeroFunction::new(metric.len()), 1.0);
-    greedy_b(&problem, p, GreedyBConfig::default())
+    greedy_b_in(pool, &problem, p, GreedyBConfig::default())
 }
 
 /// Parallel Theorem 2 local search, bit-identical to
 /// [`crate::local_search_matroid`].
 pub fn local_search_matroid<M, F, Mat>(
+    problem: &DiversificationProblem<M, F>,
+    matroid: &Mat,
+    config: LocalSearchConfig,
+) -> LocalSearchResult
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+    Mat: Matroid + Sync,
+{
+    local_search_matroid_in(ScanPool::global(), problem, matroid, config)
+}
+
+/// [`local_search_matroid`] on an explicit [`ScanPool`].
+pub fn local_search_matroid_in<M, F, Mat>(
+    pool: &ScanPool,
     problem: &DiversificationProblem<M, F>,
     matroid: &Mat,
     config: LocalSearchConfig,
@@ -459,7 +397,7 @@ where
     // Initialization mirrors the serial code; the pair scan is the
     // parallelized O(n²) part.
     let seed: Vec<ElementId> = if rank >= 2 {
-        let best = par_scan_chunks(
+        let best = pool.scan_chunks(
             n,
             |lo, hi| {
                 let mut best: Option<(ElementId, ElementId, f64)> = None;
@@ -496,7 +434,7 @@ where
         best.map(|x| vec![x]).unwrap_or_default()
     };
     let basis = matroid.extend_to_basis(&seed);
-    refine_par(problem, matroid, basis, config)
+    refine_par(pool, problem, matroid, basis, config)
 }
 
 /// Parallel budgeted refinement, bit-identical to
@@ -510,13 +448,28 @@ where
     M: Metric + Sync,
     F: SetFunction + Sync,
 {
+    local_search_refine_in(ScanPool::global(), problem, initial, config)
+}
+
+/// [`local_search_refine`] on an explicit [`ScanPool`].
+pub fn local_search_refine_in<M, F>(
+    pool: &ScanPool,
+    problem: &DiversificationProblem<M, F>,
+    initial: &[ElementId],
+    config: LocalSearchConfig,
+) -> LocalSearchResult
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+{
     let matroid = msd_matroid::UniformMatroid::new(problem.ground_size(), initial.len());
-    refine_par(problem, &matroid, initial.to_vec(), config)
+    refine_par(pool, problem, &matroid, initial.to_vec(), config)
 }
 
 /// Parallel core swap loop: the best-improvement (or first-improvement)
 /// scan over `(u, v)` pairs runs chunked over `u`.
 fn refine_par<M, F, Mat>(
+    pool: &ScanPool,
     problem: &DiversificationProblem<M, F>,
     matroid: &Mat,
     initial: Vec<ElementId>,
@@ -550,7 +503,7 @@ where
         let threshold = config.epsilon * objective.abs().max(1.0);
         let chosen = {
             let st = &state;
-            par_scan_chunks(
+            pool.scan_chunks(
                 n,
                 |lo, hi| {
                     let members = st.members();
@@ -773,20 +726,13 @@ mod tests {
 
     #[test]
     fn overprovisioned_forced_worker_count_is_safe() {
-        // Regression: a forced MSD_PARALLEL_THREADS exceeding the chunk
-        // grid (7 workers over 15 member pairs → trailing lo of 18) used
-        // to panic the slice-indexed double-swap scan. Thread count never
-        // affects results, so racing this env var with the other tests in
-        // this binary is benign.
-        struct EnvGuard;
-        impl Drop for EnvGuard {
-            fn drop(&mut self) {
-                std::env::remove_var("MSD_PARALLEL_THREADS");
-            }
-        }
-        std::env::set_var("MSD_PARALLEL_THREADS", "7");
-        let _guard = EnvGuard;
+        // Regression: a forced worker count exceeding the chunk grid
+        // (7 workers over 15 member pairs → trailing lo of 18) used to
+        // panic the slice-indexed double-swap scan. Exercised through an
+        // explicit over-provisioned pool — no env mutation, safe under
+        // the default multi-threaded test harness.
         use crate::dynamic::{DynamicInstance, Perturbation};
+        let pool = ScanPool::new(7);
         let problem = modular_instance(77, 20);
         let init: Vec<ElementId> = (0..6).collect();
         let mut ser = DynamicInstance::new(problem.clone(), &init);
@@ -796,7 +742,7 @@ mod tests {
         }
         assert_eq!(
             ser.oblivious_update_double(),
-            par.oblivious_update_double_parallel()
+            par.oblivious_update_double_parallel_in(&pool)
         );
         assert_eq!(ser.solution(), par.solution());
     }

@@ -1,0 +1,531 @@
+//! Multi-tenant query serving over one shared corpus.
+//!
+//! The paper frames max-sum diversification as a *query-time* problem:
+//! many users issue queries with different `p`, `λ` and quality `f` over
+//! one corpus. Running a [`DynamicSession`] per user used to cost a full
+//! metric clone each (`O(n²)` for a dense matrix). [`ServingFrontend`]
+//! removes that: every tenant session reads one immutable `Arc<M>` base
+//! metric through a private copy-on-write [`OverlayMetric`], so a
+//! tenant's `set_distance` perturbations land in its overlay — never the
+//! shared base — and resident memory is `O(n²) + k·O(Δ)` for `k` tenants
+//! with `Δ` perturbed pairs each, instead of `k·O(n²)`. Weight
+//! perturbations repair the tenant's own incremental oracle (session
+//! state by construction), so quality state never crosses tenants
+//! either.
+//!
+//! The frontend consumes a **tagged request stream**
+//! ([`ServingRequest`]): perturbations are queued per tenant and
+//! coalesced into a single [`DynamicSession::apply_batch`] call when
+//! that tenant's next query arrives — the batch path scans at most once
+//! over the union scope, which is where the perturb→query throughput
+//! comes from.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use msd_core::{ServingFrontend, ServingRequest, SessionPerturbation};
+//! use msd_metric::{DistanceMatrix, Metric};
+//! use msd_submodular::ModularFunction;
+//!
+//! let base = Arc::new(DistanceMatrix::from_fn(8, |u, v| {
+//!     1.0 + f64::from((u + v) % 4) * 0.25
+//! }));
+//! let quality = ModularFunction::new(vec![0.9, 0.3, 0.8, 0.2, 0.7, 0.1, 0.6, 0.4]);
+//!
+//! let mut frontend = ServingFrontend::new(Arc::clone(&base));
+//! let alice = frontend.add_tenant(&quality, 0.3, &[0, 2, 4]);
+//! let bob = frontend.add_tenant(&quality, 1.5, &[1, 3, 5]);
+//!
+//! let responses = frontend.process([
+//!     ServingRequest::Perturb {
+//!         tenant: alice,
+//!         perturbation: SessionPerturbation::SetDistance { u: 0, v: 5, value: 1.9 },
+//!     },
+//!     ServingRequest::Query { tenant: alice },
+//!     ServingRequest::Query { tenant: bob },
+//! ]);
+//! assert_eq!(responses.len(), 2);
+//! assert_eq!(responses[0].flushed, 1); // alice's pending batch coalesced
+//! // The shared base is untouched by alice's perturbation.
+//! assert_eq!(base.distance(0, 5), 1.0 + 0.25);
+//! ```
+
+use std::sync::Arc;
+
+use msd_metric::{Metric, OverlayMetric};
+use msd_submodular::{IncrementalOracle, SetFunction};
+
+use crate::session::{BatchReport, DynamicSession, SessionPerturbation, SyncDynamicSession};
+use crate::ElementId;
+
+/// Index of a tenant session inside a [`ServingFrontend`] (assignment
+/// order of [`ServingFrontend::add_tenant`]).
+pub type TenantId = usize;
+
+/// One tagged request in a serving stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServingRequest {
+    /// Queue a perturbation for `tenant`; it is repaired lazily, as part
+    /// of the coalesced batch flushed by that tenant's next query.
+    Perturb {
+        /// Target session.
+        tenant: TenantId,
+        /// The perturbation to queue.
+        perturbation: SessionPerturbation,
+    },
+    /// Flush `tenant`'s queued perturbations (one `apply_batch`),
+    /// stabilize, and read the maintained solution.
+    Query {
+        /// Target session.
+        tenant: TenantId,
+    },
+}
+
+/// Answer to one [`ServingRequest::Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The queried tenant.
+    pub tenant: TenantId,
+    /// The maintained solution (insertion order, as
+    /// [`DynamicSession::solution`]).
+    pub solution: Vec<ElementId>,
+    /// Objective `φ(S)` under the tenant's `λ` and quality oracle.
+    pub objective: f64,
+    /// Perturbations coalesced into the flush (0 for a pure read).
+    pub flushed: usize,
+    /// Oblivious swaps committed while stabilizing this query.
+    pub swaps: usize,
+}
+
+/// Cumulative per-tenant counters (see [`ServingFrontend::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Queries answered.
+    pub queries: usize,
+    /// Perturbations ingested (across all flushed batches).
+    pub perturbations: usize,
+    /// Coalesced non-empty batches flushed.
+    pub batches: usize,
+    /// Oblivious swaps committed.
+    pub swaps: usize,
+}
+
+/// Per-tenant state: a session over the shared base plus the pending
+/// (not yet flushed) perturbation queue.
+struct Tenant<'q, M: Metric, Q: IncrementalOracle + ?Sized> {
+    session: DynamicSession<'q, OverlayMetric<Arc<M>>, Q>,
+    pending: Vec<SessionPerturbation>,
+    stats: TenantStats,
+}
+
+/// Multi-tenant serving frontend: `k` independent dynamic sessions over
+/// one shared immutable base metric. See the [module docs](self).
+///
+/// Generic over the boxed oracle type exactly like [`DynamicSession`]:
+/// the default serves serial sessions, [`SyncServingFrontend`] serves
+/// thread-shareable ones (enabling the `parallel`-feature
+/// `query_parallel` entry point).
+pub struct ServingFrontend<
+    'q,
+    M: Metric,
+    Q: IncrementalOracle + ?Sized = dyn IncrementalOracle + 'q,
+> {
+    base: Arc<M>,
+    tenants: Vec<Tenant<'q, M, Q>>,
+    /// Hard cap on stabilization swaps per query (defensive; the
+    /// oblivious rule converges in ≤ p swaps on every workload the
+    /// equivalence suites drive).
+    max_updates_per_query: usize,
+}
+
+/// [`ServingFrontend`] whose tenant oracles are shareable across threads
+/// (required by the `parallel`-feature `query_parallel` entry point).
+pub type SyncServingFrontend<'q, M> =
+    ServingFrontend<'q, M, dyn IncrementalOracle + Send + Sync + 'q>;
+
+impl<M: Metric, Q: IncrementalOracle + ?Sized> std::fmt::Debug for ServingFrontend<'_, M, Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingFrontend")
+            .field("tenants", &self.tenants.len())
+            .field("ground_size", &self.base.len())
+            .finish()
+    }
+}
+
+/// Default cap on stabilization swaps per query.
+const DEFAULT_MAX_UPDATES_PER_QUERY: usize = 256;
+
+impl<'q, M: Metric> ServingFrontend<'q, M> {
+    /// A frontend over `base` with no tenants yet.
+    pub fn new(base: Arc<M>) -> Self {
+        Self {
+            base,
+            tenants: Vec::new(),
+            max_updates_per_query: DEFAULT_MAX_UPDATES_PER_QUERY,
+        }
+    }
+
+    /// Opens a tenant session seeded with `initial` (typically Greedy B's
+    /// output for that tenant's `p`, `λ` and quality — sessions do not
+    /// re-solve). The quality function stays borrowed for the frontend's
+    /// lifetime; its incremental oracle state is tenant-local.
+    ///
+    /// # Panics
+    ///
+    /// As [`DynamicSession::new`].
+    pub fn add_tenant<F: SetFunction>(
+        &mut self,
+        quality: &'q F,
+        lambda: f64,
+        initial: &[ElementId],
+    ) -> TenantId {
+        self.push_tenant(DynamicSession::new_shared(
+            &self.base, quality, lambda, initial,
+        ))
+    }
+}
+
+impl<'q, M: Metric> SyncServingFrontend<'q, M> {
+    /// A thread-shareable frontend over `base` with no tenants yet.
+    pub fn new_sync(base: Arc<M>) -> Self {
+        Self {
+            base,
+            tenants: Vec::new(),
+            max_updates_per_query: DEFAULT_MAX_UPDATES_PER_QUERY,
+        }
+    }
+
+    /// Thread-shareable variant of [`ServingFrontend::add_tenant`].
+    pub fn add_tenant_sync<F: SetFunction + Sync>(
+        &mut self,
+        quality: &'q F,
+        lambda: f64,
+        initial: &[ElementId],
+    ) -> TenantId {
+        self.push_tenant(SyncDynamicSession::new_shared_sync(
+            &self.base, quality, lambda, initial,
+        ))
+    }
+}
+
+impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
+    fn push_tenant(&mut self, session: DynamicSession<'q, OverlayMetric<Arc<M>>, Q>) -> TenantId {
+        self.tenants.push(Tenant {
+            session,
+            pending: Vec::new(),
+            stats: TenantStats::default(),
+        });
+        self.tenants.len() - 1
+    }
+
+    /// The shared base metric.
+    pub fn base(&self) -> &Arc<M> {
+        &self.base
+    }
+
+    /// Number of tenant sessions.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Caps the stabilization swaps spent per query (builder style;
+    /// default 256 — far above the ≤ p swaps the oblivious rule needs in
+    /// practice).
+    pub fn with_max_updates_per_query(mut self, max_updates: usize) -> Self {
+        self.max_updates_per_query = max_updates;
+        self
+    }
+
+    /// Queues a perturbation for `tenant` without flushing — it is
+    /// repaired as part of the coalesced batch at that tenant's next
+    /// query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn submit(&mut self, tenant: TenantId, perturbation: SessionPerturbation) {
+        self.tenants[tenant].pending.push(perturbation);
+    }
+
+    /// Number of queued (unflushed) perturbations for `tenant`.
+    pub fn pending(&self, tenant: TenantId) -> usize {
+        self.tenants[tenant].pending.len()
+    }
+
+    /// The tenant's maintained solution, without flushing its queue.
+    pub fn solution(&self, tenant: TenantId) -> &[ElementId] {
+        self.tenants[tenant].session.solution()
+    }
+
+    /// The tenant's session (read access; perturb through
+    /// [`submit`](Self::submit) so coalescing stays intact).
+    pub fn session(&self, tenant: TenantId) -> &DynamicSession<'q, OverlayMetric<Arc<M>>, Q> {
+        &self.tenants[tenant].session
+    }
+
+    /// Cumulative counters for `tenant`.
+    pub fn stats(&self, tenant: TenantId) -> TenantStats {
+        self.tenants[tenant].stats
+    }
+
+    /// Flushes `tenant`'s queued perturbations as one coalesced
+    /// [`DynamicSession::apply_batch`], stabilizes, and answers with the
+    /// maintained solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn query(&mut self, tenant: TenantId) -> QueryResponse {
+        let max_updates = self.max_updates_per_query;
+        let t = &mut self.tenants[tenant];
+        let report = Self::flush_pending(t, |session, batch| session.apply_batch(batch));
+        Self::respond(t, tenant, report, max_updates)
+    }
+
+    /// Runs a tagged request stream in order, answering every
+    /// [`ServingRequest::Query`]. Perturbations between a tenant's
+    /// queries coalesce into one batch regardless of how other tenants'
+    /// requests interleave.
+    pub fn process<I>(&mut self, stream: I) -> Vec<QueryResponse>
+    where
+        I: IntoIterator<Item = ServingRequest>,
+    {
+        let mut responses = Vec::new();
+        for request in stream {
+            match request {
+                ServingRequest::Perturb {
+                    tenant,
+                    perturbation,
+                } => self.submit(tenant, perturbation),
+                ServingRequest::Query { tenant } => responses.push(self.query(tenant)),
+            }
+        }
+        responses
+    }
+
+    /// Applies the pending queue (if any) through `apply`, clearing it.
+    fn flush_pending(
+        t: &mut Tenant<'q, M, Q>,
+        apply: impl FnOnce(
+            &mut DynamicSession<'q, OverlayMetric<Arc<M>>, Q>,
+            &[SessionPerturbation],
+        ) -> BatchReport,
+    ) -> Option<BatchReport> {
+        if t.pending.is_empty() {
+            return None;
+        }
+        let report = apply(&mut t.session, &t.pending);
+        t.pending.clear();
+        Some(report)
+    }
+
+    /// Stabilizes and assembles the response + stats after a flush.
+    fn respond(
+        t: &mut Tenant<'q, M, Q>,
+        tenant: TenantId,
+        report: Option<BatchReport>,
+        max_updates: usize,
+    ) -> QueryResponse {
+        let mut swaps = 0usize;
+        let mut flushed = 0usize;
+        if let Some(report) = report {
+            flushed = report.ingested;
+            if report.outcome.swap.is_some() {
+                swaps += 1;
+            }
+            t.stats.batches += 1;
+            t.stats.perturbations += flushed;
+        }
+        swaps += t
+            .session
+            .update_until_stable(max_updates.saturating_sub(swaps));
+        t.stats.queries += 1;
+        t.stats.swaps += swaps;
+        QueryResponse {
+            tenant,
+            solution: t.session.solution().to_vec(),
+            objective: t.session.objective(),
+            flushed,
+            swaps,
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl<'q, M: Metric + Send + Sync> SyncServingFrontend<'q, M> {
+    /// [`ServingFrontend::query`] with the flush and stabilization
+    /// running the session's thread-parallel scans (bit-identical
+    /// responses — chunking is scheduling only).
+    pub fn query_parallel(&mut self, tenant: TenantId) -> QueryResponse {
+        let max_updates = self.max_updates_per_query;
+        let t = &mut self.tenants[tenant];
+        let report = Self::flush_pending(t, |session, batch| session.apply_batch_parallel(batch));
+        Self::respond(t, tenant, report, max_updates)
+    }
+
+    /// Routes every tenant session's parallel scans through an explicit
+    /// [`crate::pool::ScanPool`] (builder style): one persistent worker
+    /// set serves all tenants. Results are bit-identical for any pool.
+    pub fn with_scan_pool(mut self, pool: Arc<crate::pool::ScanPool>) -> Self {
+        for t in &mut self.tenants {
+            t.session.set_scan_pool(Arc::clone(&pool));
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{greedy_b, GreedyBConfig};
+    use crate::problem::DiversificationProblem;
+    use msd_metric::DistanceMatrix;
+    use msd_submodular::ModularFunction;
+
+    fn base_and_quality(n: usize) -> (Arc<DistanceMatrix>, ModularFunction) {
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let metric = DistanceMatrix::from_fn(n, |_, _| 1.0 + next());
+        let weights: Vec<f64> = (0..n).map(|_| next()).collect();
+        (Arc::new(metric), ModularFunction::new(weights))
+    }
+
+    #[test]
+    fn queries_coalesce_pending_perturbations() {
+        let (base, quality) = base_and_quality(24);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 5, GreedyBConfig::default());
+        let mut frontend = ServingFrontend::new(Arc::clone(&base));
+        let t = frontend.add_tenant(&quality, 0.3, &init);
+
+        frontend.submit(
+            t,
+            SessionPerturbation::SetDistance {
+                u: 0,
+                v: 7,
+                value: 3.0,
+            },
+        );
+        frontend.submit(t, SessionPerturbation::SetWeight { u: 23, value: 4.0 });
+        assert_eq!(frontend.pending(t), 2);
+
+        let response = frontend.query(t);
+        assert_eq!(response.flushed, 2);
+        assert_eq!(frontend.pending(t), 0);
+        assert_eq!(response.solution.len(), 5);
+        let stats = frontend.stats(t);
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.perturbations, 2);
+
+        // A pure read flushes nothing and answers from the caches.
+        let read = frontend.query(t);
+        assert_eq!(read.flushed, 0);
+        assert_eq!(read.solution, response.solution);
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_base_is_untouched() {
+        let (base, quality) = base_and_quality(20);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.25);
+        let init = greedy_b(&problem, 4, GreedyBConfig::default());
+        let original = base.distance(1, 5);
+
+        let mut frontend = ServingFrontend::new(Arc::clone(&base));
+        let a = frontend.add_tenant(&quality, 0.25, &init);
+        let b = frontend.add_tenant(&quality, 0.25, &init);
+
+        // Conflicting rewrites of the same pair.
+        frontend.submit(
+            a,
+            SessionPerturbation::SetDistance {
+                u: 1,
+                v: 5,
+                value: 0.5,
+            },
+        );
+        frontend.submit(
+            b,
+            SessionPerturbation::SetDistance {
+                u: 1,
+                v: 5,
+                value: 9.0,
+            },
+        );
+        frontend.query(a);
+        frontend.query(b);
+
+        assert_eq!(frontend.session(a).metric().distance(1, 5), 0.5);
+        assert_eq!(frontend.session(b).metric().distance(1, 5), 9.0);
+        assert_eq!(base.distance(1, 5), original);
+    }
+
+    #[test]
+    fn stream_processing_interleaves_tenants() {
+        let (base, quality) = base_and_quality(16);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.4);
+        let init = greedy_b(&problem, 3, GreedyBConfig::default());
+        let mut frontend = ServingFrontend::new(Arc::clone(&base));
+        let a = frontend.add_tenant(&quality, 0.4, &init);
+        let b = frontend.add_tenant(&quality, 1.0, &init);
+
+        let responses = frontend.process([
+            ServingRequest::Perturb {
+                tenant: a,
+                perturbation: SessionPerturbation::SetWeight { u: 15, value: 3.0 },
+            },
+            ServingRequest::Perturb {
+                tenant: b,
+                perturbation: SessionPerturbation::SetDistance {
+                    u: 0,
+                    v: 9,
+                    value: 2.0,
+                },
+            },
+            ServingRequest::Perturb {
+                tenant: a,
+                perturbation: SessionPerturbation::SetDistance {
+                    u: 2,
+                    v: 3,
+                    value: 1.5,
+                },
+            },
+            ServingRequest::Query { tenant: a },
+            ServingRequest::Query { tenant: b },
+        ]);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].tenant, a);
+        assert_eq!(responses[0].flushed, 2); // a's two perturbations coalesced
+        assert_eq!(responses[1].tenant, b);
+        assert_eq!(responses[1].flushed, 1);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_queries_match_serial_with_forced_pool() {
+        let (base, quality) = base_and_quality(40);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 6, GreedyBConfig::default());
+
+        let mut serial = ServingFrontend::new(Arc::clone(&base));
+        let ts = serial.add_tenant(&quality, 0.3, &init);
+        let mut par = SyncServingFrontend::new_sync(Arc::clone(&base));
+        let tp = par.add_tenant_sync(&quality, 0.3, &init);
+        // A forced pool chunks every scan even at this test size.
+        let mut par = par.with_scan_pool(Arc::new(crate::pool::ScanPool::new(4)));
+
+        for (u, v, value) in [(0u32, 7u32, 3.0), (4, 12, 0.2), (1, 2, 2.5)] {
+            serial.submit(ts, SessionPerturbation::SetDistance { u, v, value });
+            par.submit(tp, SessionPerturbation::SetDistance { u, v, value });
+            let rs = serial.query(ts);
+            let rp = par.query_parallel(tp);
+            assert_eq!(rs.solution, rp.solution);
+            assert_eq!(rs.objective, rp.objective);
+            assert_eq!(rs.flushed, rp.flushed);
+        }
+    }
+}

@@ -115,7 +115,8 @@
 //! ```
 
 use msd_metric::{
-    DisconnectedGraph, EdgePerturbableMetric, EdgeUpdateReport, Metric, PerturbableMetric,
+    DisconnectedGraph, EdgePerturbableMetric, EdgeUpdateReport, Metric, OverlayMetric,
+    PerturbableMetric,
 };
 use msd_submodular::{IncrementalOracle, SetFunction};
 
@@ -505,6 +506,10 @@ pub struct DynamicSession<'q, M: Metric, Q: IncrementalOracle + ?Sized = dyn Inc
     stable: bool,
     /// Bounded best-swap candidate cache (see the module docs).
     cache: CandidateCache,
+    /// Explicit scan pool for the `parallel` entry points; `None` uses
+    /// the ambient [`crate::pool::ScanPool::global`] pool.
+    #[cfg(feature = "parallel")]
+    scan_pool: Option<std::sync::Arc<crate::pool::ScanPool>>,
     _quality_fn: std::marker::PhantomData<&'q ()>,
 }
 
@@ -571,6 +576,56 @@ impl<'q, M: Metric> SyncDynamicSession<'q, M> {
     }
 }
 
+impl<'q, M: Metric> DynamicSession<'q, OverlayMetric<std::sync::Arc<M>>> {
+    /// Opens a session over a **shared** base metric: the `Arc` corpus is
+    /// referenced, not cloned, and the session's distance perturbations
+    /// land in a private copy-on-write [`OverlayMetric`] at
+    /// O(#overrides) memory — `k` sessions over one `n²` corpus cost
+    /// O(n²) + k·O(Δ) instead of k·O(n²). The quality function stays
+    /// borrowed; weight perturbations repair its session-local oracle
+    /// (e.g. `ModularOracle`'s owned weights), so quality state never
+    /// leaks across sessions either.
+    ///
+    /// # Panics
+    ///
+    /// As [`DynamicSession::new`].
+    pub fn new_shared<F: SetFunction>(
+        base: &std::sync::Arc<M>,
+        quality: &'q F,
+        lambda: f64,
+        initial: &[ElementId],
+    ) -> Self {
+        Self::from_parts(
+            OverlayMetric::new(std::sync::Arc::clone(base)),
+            quality.incremental_from(initial),
+            lambda,
+            initial,
+        )
+    }
+}
+
+impl<'q, M: Metric> SyncDynamicSession<'q, OverlayMetric<std::sync::Arc<M>>> {
+    /// Thread-shareable variant of [`DynamicSession::new_shared`]
+    /// (enables the `parallel` entry points when `M: Send + Sync`).
+    pub fn new_shared_sync<F: SetFunction + Sync>(
+        base: &std::sync::Arc<M>,
+        quality: &'q F,
+        lambda: f64,
+        initial: &[ElementId],
+    ) -> Self {
+        let mut oracle = quality.incremental_sync();
+        for &u in initial {
+            oracle.insert(u);
+        }
+        Self::from_parts(
+            OverlayMetric::new(std::sync::Arc::clone(base)),
+            oracle,
+            lambda,
+            initial,
+        )
+    }
+}
+
 impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
     /// Assembles a session from an explicit metric / oracle pair; the
     /// oracle must already be seeded with `initial`. `pub(crate)` for the
@@ -603,6 +658,8 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
             dist,
             quality,
             stable: false,
+            #[cfg(feature = "parallel")]
+            scan_pool: None,
             _quality_fn: std::marker::PhantomData,
         }
     }
@@ -623,6 +680,32 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
     /// The candidate cache's per-member capacity `K` (0 = disabled).
     pub fn candidate_cache_capacity(&self) -> usize {
         self.cache.k
+    }
+
+    /// Routes this session's parallel scans through an explicit
+    /// [`crate::pool::ScanPool`] (builder style). Sessions sharing one
+    /// pool share its persistent workers; without this the `parallel`
+    /// entry points use the ambient [`crate::pool::ScanPool::global`]
+    /// pool. Purely a scheduling knob — results are bit-identical for
+    /// any pool.
+    #[cfg(feature = "parallel")]
+    pub fn with_scan_pool(mut self, pool: std::sync::Arc<crate::pool::ScanPool>) -> Self {
+        self.scan_pool = Some(pool);
+        self
+    }
+
+    /// In-place form of [`DynamicSession::with_scan_pool`].
+    #[cfg(feature = "parallel")]
+    pub fn set_scan_pool(&mut self, pool: std::sync::Arc<crate::pool::ScanPool>) {
+        self.scan_pool = Some(pool);
+    }
+
+    /// The pool serving this session's parallel scans.
+    #[cfg(feature = "parallel")]
+    fn pool(&self) -> &crate::pool::ScanPool {
+        self.scan_pool
+            .as_deref()
+            .unwrap_or_else(|| crate::pool::ScanPool::global())
     }
 
     /// The current solution (insertion order; swaps reorder like
@@ -1468,9 +1551,11 @@ impl<'q, M: EdgePerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession
 
 /// Thread-parallel session scan (`parallel` feature): the full swap scan
 /// runs chunked over the incoming candidate via
-/// [`crate::parallel::par_scan_chunks`], with the work floor weighted by
-/// the oracle's [`IncrementalOracle::scan_cost_hint`] — bit-identical
-/// outputs to [`DynamicSession::apply`] either way.
+/// `ScanPool::scan_chunks` (the session's explicit pool
+/// when [`DynamicSession::with_scan_pool`] was used, the ambient global
+/// pool otherwise), with the work floor weighted by the oracle's
+/// [`IncrementalOracle::scan_cost_hint`] — bit-identical outputs to
+/// [`DynamicSession::apply`] either way.
 #[cfg(feature = "parallel")]
 impl<'q, M: PerturbableMetric + Sync> SyncDynamicSession<'q, M> {
     /// Parallel [`DynamicSession::apply`].
@@ -1539,11 +1624,11 @@ impl<'q, M: Metric + Sync> SyncDynamicSession<'q, M> {
         let work = n
             .saturating_mul(self.dist.len())
             .saturating_mul(self.quality.scan_cost_hint());
-        if !crate::parallel::par_worthwhile(work) {
+        if !self.pool().worthwhile(work) {
             return self.scan_full();
         }
         let this = self;
-        crate::parallel::par_scan_chunks(
+        self.pool().scan_chunks(
             n,
             |lo, hi| {
                 crate::dynamic::scan_swap_chunk(
@@ -1572,11 +1657,11 @@ impl<'q, M: Metric + Sync> SyncDynamicSession<'q, M> {
         let work = n
             .saturating_mul(self.dist.len())
             .saturating_mul(self.quality.scan_cost_hint());
-        if !crate::parallel::par_worthwhile(work) {
+        if !self.pool().worthwhile(work) {
             return self.scan_full_collect();
         }
         let this = self;
-        let (best, coll) = crate::parallel::par_fold_chunks(
+        let (best, coll) = self.pool().fold_chunks(
             n,
             |lo, hi| this.scan_chunk_collect(lo as ElementId, hi as ElementId),
             |(best_l, coll_l), (best_r, coll_r)| {

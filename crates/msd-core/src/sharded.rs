@@ -669,6 +669,16 @@ impl<'q, M: Metric + Sync> SyncShardedEngine<'q, M> {
             session.apply_batch_parallel(batch)
         })
     }
+
+    /// Routes every shard session's parallel scans through an explicit
+    /// [`crate::pool::ScanPool`] (builder style) — the env-free route for
+    /// forcing a chunk schedule; results are bit-identical for any pool.
+    pub fn with_scan_pool(mut self, pool: std::sync::Arc<crate::pool::ScanPool>) -> Self {
+        for session in self.sessions.iter_mut().flatten() {
+            session.set_scan_pool(std::sync::Arc::clone(&pool));
+        }
+        self
+    }
 }
 
 #[cfg(test)]

@@ -201,6 +201,40 @@ impl<M: Metric + ?Sized> Metric for &M {
     }
 }
 
+/// Shared-ownership view of a base metric: any number of consumers (e.g.
+/// per-tenant [`OverlayMetric`] sessions in `msd-core`'s serving layer)
+/// read one immutable corpus without cloning its `O(n²)` (or `O(n·dim)`)
+/// storage. `Arc<M>` has no [`PerturbableMetric`] impl by design — the
+/// base is immutable; perturbations belong in a per-consumer
+/// [`OverlayMetric`] wrapped around the `Arc`.
+impl<M: Metric + ?Sized> Metric for std::sync::Arc<M> {
+    #[inline]
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    #[inline]
+    fn distance(&self, u: ElementId, v: ElementId) -> f64 {
+        (**self).distance(u, v)
+    }
+
+    fn distance_to_set(&self, u: ElementId, set: &[ElementId]) -> f64 {
+        (**self).distance_to_set(u, set)
+    }
+
+    fn dispersion(&self, set: &[ElementId]) -> f64 {
+        (**self).dispersion(set)
+    }
+
+    fn cross_dispersion(&self, xs: &[ElementId], ys: &[ElementId]) -> f64 {
+        (**self).cross_dispersion(xs, ys)
+    }
+
+    fn accumulate_distances(&self, u: ElementId, out: &mut [f64], factor: f64) {
+        (**self).accumulate_distances(u, out, factor)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

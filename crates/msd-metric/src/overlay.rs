@@ -17,10 +17,11 @@
 //! reads return the override verbatim (or the base value bit-for-bit), and
 //! [`Metric::accumulate_distances`] issues exactly one fused
 //! `out[v] += factor · d(u, v)` per candidate. Rows without overrides
-//! delegate straight to the base kernel; rows with overrides stream the base
-//! row into a scratch buffer with `factor = 1` (which yields the raw
-//! distances exactly, since `0 + 1.0·d = d`), patch the overridden entries,
-//! and then apply the single fused multiply-add per slot.
+//! delegate straight to the base kernel; rows with overrides save the
+//! overridden slots' incoming values, run the base kernel over the whole
+//! row, and rewrite just those slots as `saved + factor · d_override` — so
+//! every slot's final value is its incoming value plus exactly one fused
+//! multiply-add, at clean-row cost plus `O(Δ_row)`.
 
 use std::collections::HashMap;
 
@@ -44,18 +45,27 @@ pub struct OverlayMetric<M> {
     inner: M,
     /// `(min, max) → d` for every rewritten pair.
     overrides: HashMap<(ElementId, ElementId), f64>,
-    /// `u → partners v` with an override on `{u, v}` (both directions), so
-    /// the row sweep can tell override-free rows apart in O(1).
+    /// `u → sorted partners v` with an override on `{u, v}` (both
+    /// directions), so the row sweep can tell override-free rows apart in
+    /// O(1) and patch overridden slots in one ordered pass.
     partners: HashMap<ElementId, Vec<ElementId>>,
+    /// `dirty_row[u]` ⟺ some override touches row `u`. Point reads on
+    /// clean rows — the overwhelming majority under sparse perturbation —
+    /// skip the hash lookup entirely (one indexed load instead), keeping
+    /// per-candidate `distance` reads on shared-corpus sessions at the
+    /// base metric's cost.
+    dirty_row: Vec<bool>,
 }
 
 impl<M: Metric> OverlayMetric<M> {
     /// Wraps `inner` with an empty overlay (behaves exactly like `inner`).
     pub fn new(inner: M) -> Self {
+        let n = inner.len();
         Self {
             inner,
             overrides: HashMap::new(),
             partners: HashMap::new(),
+            dirty_row: vec![false; n],
         }
     }
 
@@ -78,6 +88,7 @@ impl<M: Metric> OverlayMetric<M> {
     pub fn clear_overrides(&mut self) {
         self.overrides.clear();
         self.partners.clear();
+        self.dirty_row.fill(false);
     }
 }
 
@@ -86,9 +97,15 @@ impl<M: Metric> Metric for OverlayMetric<M> {
         self.inner.len()
     }
 
+    #[inline]
     fn distance(&self, u: ElementId, v: ElementId) -> f64 {
         if u == v {
             return self.inner.distance(u, v); // keep base bounds checks
+        }
+        // Clean-row fast path: one indexed load instead of a hash probe.
+        // Out-of-range `u` falls through to the base oracle's bounds check.
+        if !self.dirty_row.get(u as usize).copied().unwrap_or(false) {
+            return self.inner.distance(u, v);
         }
         match self.overrides.get(&pair_key(u, v)) {
             Some(&d) => d,
@@ -97,22 +114,28 @@ impl<M: Metric> Metric for OverlayMetric<M> {
     }
 
     fn accumulate_distances(&self, u: ElementId, out: &mut [f64], factor: f64) {
+        // Same clean-row fast path as `distance`: override-free rows
+        // delegate without touching the hash maps.
+        if !self.dirty_row.get(u as usize).copied().unwrap_or(false) {
+            return self.inner.accumulate_distances(u, out, factor);
+        }
         match self.partners.get(&u) {
             None => self.inner.accumulate_distances(u, out, factor),
             Some(parts) => {
                 let n = self.inner.len();
                 assert!(out.len() >= n, "output buffer too small");
-                // Stream the base row at factor 1 (exact raw distances),
-                // patch overrides, then one fused += factor·d per slot.
-                let mut scratch = vec![0.0; n];
-                self.inner.accumulate_distances(u, &mut scratch, 1.0);
-                for &v in parts {
-                    scratch[v as usize] = self.overrides[&pair_key(u, v)];
-                }
-                for (v, &d) in scratch.iter().enumerate() {
-                    if v != u as usize {
-                        out[v] += factor * d;
-                    }
+                // Save the overridden slots' incoming values, run the
+                // base row kernel over the whole row (vectorized,
+                // clean-row cost), then rewrite each overridden slot as
+                // `saved + factor · d_override`. Every slot's final value
+                // is its incoming value plus exactly one fused
+                // `factor · d(u, v)`, so the result stays bit-identical
+                // to a materialized perturbed copy while a dirty row
+                // costs only `O(Δ_row)` over a clean one.
+                let saved: Vec<f64> = parts.iter().map(|&v| out[v as usize]).collect();
+                self.inner.accumulate_distances(u, out, factor);
+                for (&v, &prev) in parts.iter().zip(&saved) {
+                    out[v as usize] = prev + factor * self.overrides[&pair_key(u, v)];
                 }
             }
         }
@@ -132,8 +155,17 @@ impl<M: Metric> PerturbableMetric for OverlayMetric<M> {
         match self.overrides.insert(key, value) {
             Some(prev) => prev,
             None => {
-                self.partners.entry(u).or_default().push(v);
-                self.partners.entry(v).or_default().push(u);
+                // Partner lists stay sorted: iteration order (and with
+                // it the row sweep's slot-rewrite order) is then
+                // deterministic regardless of insertion history.
+                for (row, partner) in [(u, v), (v, u)] {
+                    let list = self.partners.entry(row).or_default();
+                    if let Err(pos) = list.binary_search(&partner) {
+                        list.insert(pos, partner);
+                    }
+                }
+                self.dirty_row[u as usize] = true;
+                self.dirty_row[v as usize] = true;
                 self.inner.distance(u, v)
             }
         }
@@ -198,6 +230,31 @@ mod tests {
         assert_eq!(prev, base().distance(1, 4));
         assert_eq!(o.set_distance(4, 1, 8.0), 3.0);
         assert_eq!(o.distance(1, 4), 8.0);
+    }
+
+    #[test]
+    fn shared_arc_base_overlays_are_isolated() {
+        // Two overlays over one `Arc` base: conflicting rewrites of the
+        // same pair never leak across overlays or into the base.
+        let base = std::sync::Arc::new(base());
+        let mut a = OverlayMetric::new(std::sync::Arc::clone(&base));
+        let mut b = OverlayMetric::new(std::sync::Arc::clone(&base));
+        let original = base.distance(1, 4);
+        assert_eq!(a.set_distance(1, 4, 2.0), original);
+        assert_eq!(b.set_distance(4, 1, 9.0), original);
+        assert_eq!(a.distance(1, 4), 2.0);
+        assert_eq!(b.distance(1, 4), 9.0);
+        assert_eq!(base.distance(1, 4), original);
+        // Row kernels diverge per overlay, clean rows stay bit-identical.
+        for u in 0..6u32 {
+            let mut got_a = vec![0.0; 6];
+            let mut got_b = vec![0.0; 6];
+            a.accumulate_distances(u, &mut got_a, 1.5);
+            b.accumulate_distances(u, &mut got_b, 1.5);
+            if u != 1 && u != 4 {
+                assert_eq!(got_a, got_b, "clean row {u}");
+            }
+        }
     }
 
     #[test]

@@ -161,6 +161,46 @@ impl<F: SetFunction + ?Sized> SetFunction for &F {
     // pay the fallback. Prefer owned qualities for `parallel`.
 }
 
+/// Shared-ownership quality: one corpus-wide function driving any number
+/// of tenant sessions (the multi-tenant serving layer in `msd-core`)
+/// without cloning its weight/coverage/similarity tables. Oracle
+/// construction forwards to the inner function's specialized override, so
+/// an `Arc<ModularFunction>` still gets the O(1) modular oracle — each
+/// oracle instance keeps its *own* session-local mutable state (e.g.
+/// [`ModularOracle`]'s copy-on-write weights), so per-tenant weight
+/// perturbations never touch the shared base.
+impl<F: SetFunction + ?Sized> SetFunction for std::sync::Arc<F> {
+    fn ground_size(&self) -> usize {
+        (**self).ground_size()
+    }
+
+    fn value(&self, set: &[ElementId]) -> f64 {
+        (**self).value(set)
+    }
+
+    fn marginal(&self, u: ElementId, set: &[ElementId]) -> f64 {
+        (**self).marginal(u, set)
+    }
+
+    fn singleton(&self, u: ElementId) -> f64 {
+        (**self).singleton(u)
+    }
+
+    fn swap_gain(&self, u: ElementId, v: ElementId, set: &[ElementId]) -> f64 {
+        (**self).swap_gain(u, v, set)
+    }
+
+    fn incremental<'a>(&'a self) -> Box<dyn IncrementalOracle + 'a> {
+        (**self).incremental()
+    }
+
+    // As with `&F`, `incremental_sync` cannot forward (`Arc<F>: Sync`
+    // does not let the solver conclude `F: Sync`); `Arc`-typed qualities
+    // fall back to the generic oracle on the parallel path. The serving
+    // layer borrows `&F` per tenant instead, which dispatches on the
+    // owned function's override.
+}
+
 /// The identically-zero function.
 ///
 /// With `f ≡ 0` the diversification objective degenerates to max-sum

@@ -55,6 +55,8 @@ pub use msd_submodular as submodular;
 /// Convenient glob-import surface covering the common workflow: build a
 /// metric + quality function, wrap them in a problem, run an algorithm.
 pub mod prelude {
+    #[cfg(feature = "parallel")]
+    pub use msd_core::ScanPool;
     pub use msd_core::{
         distributed_greedy, exact_max_diversification, greedy_a, greedy_b, hassin_edge_greedy,
         hassin_matching, knapsack_diversify, local_search_matroid, local_search_refine,
@@ -62,8 +64,9 @@ pub mod prelude {
         CompactStreamingSession, DistributedConfig, DistributedResult, DiversificationProblem,
         DynamicInstance, DynamicSession, ElementId, GraphBatchError, GraphPerturbation,
         GreedyAConfig, GreedyBConfig, KnapsackConfig, LocalSearchConfig, MergeStats, MmrConfig,
-        PartitionScheme, Perturbation, PotentialState, ScanExtent, SessionPerturbation,
-        ShardedConfig, ShardedEngine, ShardedReport, StreamingDiversifier, StreamingSession,
+        PartitionScheme, Perturbation, PotentialState, QueryResponse, ScanExtent, ServingFrontend,
+        ServingRequest, SessionPerturbation, ShardedConfig, ShardedEngine, ShardedReport,
+        StreamingDiversifier, StreamingSession, SyncServingFrontend, TenantId, TenantStats,
     };
     pub use msd_matroid::{
         GraphicMatroid, LaminarMatroid, Matroid, PartitionMatroid, TransversalMatroid,
