@@ -146,14 +146,13 @@ pub fn distributed_greedy<M: Metric, F: SetFunction>(
             reduce_won: true,
         }
     } else {
+        // `total_cmp` keeps the winner selection total on NaN objectives
+        // (ordered above +∞) — a corrupted proposal cannot panic the
+        // reduce step, only lose to scrutiny downstream. Ties keep the
+        // last (highest-index) proposal, matching `Iterator::max_by`.
         let winner = proposals
             .iter()
-            .max_by(|a, b| {
-                problem
-                    .objective(a)
-                    .partial_cmp(&problem.objective(b))
-                    .expect("objectives must be comparable")
-            })
+            .max_by(|a, b| problem.objective(a).total_cmp(&problem.objective(b)))
             .cloned()
             .unwrap_or_default();
         DistributedResult {

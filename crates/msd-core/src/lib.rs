@@ -70,11 +70,13 @@ pub use pool::ScanPool;
 pub use potential::{PotentialState, SyncPotentialState};
 pub use problem::DiversificationProblem;
 pub use serving::{
-    QueryResponse, ServingFrontend, ServingRequest, SyncServingFrontend, TenantId, TenantStats,
+    AdmissionPolicy, QueryResponse, ServingFrontend, ServingRequest, SubmitError,
+    SyncServingFrontend, TenantId, TenantStats,
 };
 pub use session::{
-    BatchReport, DynamicSession, GraphBatchError, GraphPerturbation, ScanExtent,
-    SessionPerturbation, SyncDynamicSession, UpdateReport, DEFAULT_CANDIDATE_CAPACITY,
+    BatchReport, DynamicSession, GraphBatchError, GraphPerturbation, PerturbationError, ScanExtent,
+    SessionCheckpoint, SessionError, SessionPerturbation, SyncDynamicSession, UpdateReport,
+    DEFAULT_CANDIDATE_CAPACITY,
 };
 pub use sharded::{
     MergeStats, ShardMetric, ShardedConfig, ShardedEngine, ShardedReport, SyncShardedEngine,

@@ -136,14 +136,18 @@ pub fn local_search_matroid<M: Metric, F: SetFunction, Mat: Matroid>(
             None => Vec::new(),
         }
     } else {
+        // `total_cmp` keeps the argmax total (and the seed deterministic)
+        // even on NaN singleton values, which it orders above +∞; the
+        // validated ingestion paths reject NaN upstream, so this is a
+        // determinism backstop, not a semantic choice. Ties keep the
+        // highest index (`max_by` returns the last maximum).
         let best = (0..n as ElementId)
             .filter(|&x| matroid.is_independent(&[x]))
             .max_by(|&a, &b| {
                 problem
                     .quality()
                     .singleton(a)
-                    .partial_cmp(&problem.quality().singleton(b))
-                    .expect("quality values must be comparable")
+                    .total_cmp(&problem.quality().singleton(b))
             });
         best.map(|x| vec![x]).unwrap_or_default()
     };
@@ -418,8 +422,7 @@ mod tests {
                 problem
                     .quality()
                     .weight(a)
-                    .partial_cmp(&problem.quality().weight(b))
-                    .unwrap()
+                    .total_cmp(&problem.quality().weight(b))
             })
             .unwrap();
         assert_eq!(r.set, vec![best]);

@@ -90,13 +90,13 @@ pub fn mmr_select<M: Metric>(
     // max_sim[u] = max_{j ∈ S} sim2(u, j), maintained incrementally.
     let mut max_sim = vec![f64::NEG_INFINITY; n];
 
-    // First pick: most relevant.
+    // First pick: most relevant. Relevance comes straight from the
+    // caller, so the argmax uses `total_cmp`: a NaN score (ordered above
+    // +∞) deterministically wins the first pick instead of panicking the
+    // comparator, and ties keep the highest index (`max_by` returns the
+    // last maximum).
     let first = (0..n as ElementId)
-        .max_by(|&a, &b| {
-            relevance[a as usize]
-                .partial_cmp(&relevance[b as usize])
-                .expect("relevance must be comparable")
-        })
+        .max_by(|&a, &b| relevance[a as usize].total_cmp(&relevance[b as usize]))
         .expect("non-empty ground set");
     selected.push(first);
     in_sel[first as usize] = true;
@@ -117,7 +117,13 @@ pub fn mmr_select<M: Metric>(
                 best = Some(u);
             }
         }
-        let u = best.expect("p <= n guarantees a candidate");
+        // `score > best_score` is false for NaN scores, so a fully
+        // NaN-poisoned round ends with no winner; fall back to the
+        // lowest-index unselected element — deterministic, and unreachable
+        // from validated inputs (NaN relevance never passes ingestion).
+        let u = best
+            .or_else(|| (0..n as ElementId).find(|&u| !in_sel[u as usize]))
+            .expect("p <= n guarantees a candidate");
         selected.push(u);
         in_sel[u as usize] = true;
         for v in 0..n as ElementId {
@@ -188,6 +194,30 @@ mod tests {
         let (m, rel) = clustered();
         assert!(mmr_select(&m, &rel, 0, MmrConfig::default()).is_empty());
         assert_eq!(mmr_select(&m, &rel, 10, MmrConfig::default()).len(), 4);
+    }
+
+    #[test]
+    fn nan_relevance_does_not_panic_and_stays_deterministic() {
+        // Relevance is raw caller input (no validated ingestion path in
+        // front of it). The first-pick argmax used to panic through
+        // `partial_cmp().expect`; `total_cmp` orders NaN above +∞, so the
+        // poisoned element wins the first pick deterministically and the
+        // remaining MMR sweep (plain `>` comparisons, false on NaN)
+        // proceeds without panicking.
+        let (m, _) = clustered();
+        let rel = vec![1.0, f64::NAN, 0.8, 0.7];
+        let a = mmr_select(&m, &rel, 3, MmrConfig::default());
+        let b = mmr_select(&m, &rel, 3, MmrConfig::default());
+        assert_eq!(a, b, "NaN input must not destroy determinism");
+        assert_eq!(
+            a[0], 1,
+            "total_cmp ranks the NaN score above every finite one"
+        );
+        assert_eq!(a.len(), 3);
+        // All-NaN relevance still terminates with p distinct picks.
+        let s = mmr_select(&m, &[f64::NAN; 4], 2, MmrConfig::default());
+        assert_eq!(s.len(), 2);
+        assert_ne!(s[0], s[1]);
     }
 
     #[test]

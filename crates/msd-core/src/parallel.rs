@@ -422,14 +422,15 @@ where
             None => Vec::new(),
         }
     } else {
+        // Total order on NaN (see the serial seed in `local_search`):
+        // identical tie semantics keep the parallel path bit-compatible.
         let best = (0..n as ElementId)
             .filter(|&x| matroid.is_independent(&[x]))
             .max_by(|&a, &b| {
                 problem
                     .quality()
                     .singleton(a)
-                    .partial_cmp(&problem.quality().singleton(b))
-                    .expect("quality values must be comparable")
+                    .total_cmp(&problem.quality().singleton(b))
             });
         best.map(|x| vec![x]).unwrap_or_default()
     };

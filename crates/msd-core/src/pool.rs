@@ -333,13 +333,21 @@ impl ScanPool {
             drop(state);
             shared.work_ready.notify_all();
         }
-        inline();
+        // Chunk 0 runs under `catch_unwind` too: unwinding out of this
+        // function before the latch drains would free the scoped result
+        // slots while workers can still write them. The panic is re-raised
+        // only after every queued job has finished.
+        let inline_outcome = catch_unwind(AssertUnwindSafe(inline));
         let mut st = latch.state.lock().expect("latch poisoned");
         while st.0 > 0 {
             st = latch.done.wait(st).expect("latch poisoned");
         }
-        if let Some(payload) = st.1.take() {
-            drop(st);
+        let worker_payload = st.1.take();
+        drop(st);
+        if let Err(payload) = inline_outcome {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_payload {
             resume_unwind(payload);
         }
     }
@@ -453,6 +461,30 @@ mod tests {
         }));
         assert!(boom.is_err(), "panic must propagate to the caller");
         // The pool remains usable for later scans.
+        let best = pool.scan_chunks(10, |lo, hi| chunk_argmax(lo, hi, |i| i as f64), |&(_, s)| s);
+        assert_eq!(best, Some((9, 9.0)));
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_inline_chunk() {
+        // Chunk 0 runs on the submitting thread; its panic must not
+        // unwind past the latch while workers still borrow the scoped
+        // result slots (use-after-free), and must still reach the caller.
+        let pool = ScanPool::new(3);
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            pool.scan_chunks::<(), _, _>(
+                100,
+                |lo, _| {
+                    if lo == 0 {
+                        panic!("inline chunk exploded");
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    None
+                },
+                |_| 0.0,
+            )
+        }));
+        assert!(boom.is_err(), "inline panic must propagate to the caller");
         let best = pool.scan_chunks(10, |lo, hi| chunk_argmax(lo, hi, |i| i as f64), |&(_, s)| s);
         assert_eq!(best, Some((9, 9.0)));
     }

@@ -15,10 +15,28 @@
 //!
 //! The frontend consumes a **tagged request stream**
 //! ([`ServingRequest`]): perturbations are queued per tenant and
-//! coalesced into a single [`DynamicSession::apply_batch`] call when
-//! that tenant's next query arrives — the batch path scans at most once
-//! over the union scope, which is where the perturb→query throughput
-//! comes from.
+//! coalesced into a single validated batch application
+//! ([`DynamicSession::try_apply_batch`]) when that tenant's next query
+//! arrives — the batch path scans at most once over the union scope,
+//! which is where the perturb→query throughput comes from.
+//!
+//! # Fault tolerance and admission control
+//!
+//! The frontend is an *ingestion boundary*: request content is
+//! untrusted, so no submitted perturbation can panic it. Malformed
+//! batches (NaN distances, out-of-range ids, availability violations)
+//! are rejected whole at flush time — the tenant's session rolls back
+//! bit-for-bit and the query answers from the last good state, carrying
+//! the typed error in [`QueryResponse::rejected`]. An optional
+//! [`AdmissionPolicy`] adds backpressure ([`SubmitError::QueueFull`]
+//! from [`ServingFrontend::try_submit`] when a tenant's queue is at
+//! depth), burst-spreading (each query flushes at most
+//! `max_flush_per_query` entries, the lag reported as
+//! [`TenantStats::staleness`]), and quarantine: a tenant whose flushes
+//! keep failing is isolated — queue dropped, submissions refused,
+//! queries still served from its last good checkpoint — without
+//! perturbing any other tenant, and re-opened via
+//! [`ServingFrontend::recover`].
 //!
 //! ```
 //! use std::sync::Arc;
@@ -48,13 +66,64 @@
 //! // The shared base is untouched by alice's perturbation.
 //! assert_eq!(base.distance(0, 5), 1.0 + 0.25);
 //! ```
+//!
+//! The fault path, end to end — a rejected batch rolls back whole, a
+//! repeat poisoner is quarantined, recovery restores service:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use msd_core::{AdmissionPolicy, ServingFrontend, SessionPerturbation, SubmitError};
+//! use msd_metric::DistanceMatrix;
+//! use msd_submodular::ModularFunction;
+//!
+//! let base = Arc::new(DistanceMatrix::from_fn(8, |u, v| {
+//!     1.0 + f64::from((u + v) % 4) * 0.25
+//! }));
+//! let quality = ModularFunction::new(vec![0.9, 0.3, 0.8, 0.2, 0.7, 0.1, 0.6, 0.4]);
+//!
+//! let mut frontend = ServingFrontend::new(Arc::clone(&base));
+//! let mallory = frontend.add_tenant(&quality, 0.3, &[0, 2, 4]);
+//! let mut frontend = frontend.with_admission_policy(AdmissionPolicy {
+//!     max_flush_per_query: Some(16),
+//!     max_pending: Some(64),
+//!     quarantine_after: Some(2),
+//! });
+//!
+//! let poison = SessionPerturbation::SetDistance { u: 0, v: 1, value: f64::NAN };
+//! let baseline = frontend.query(mallory).solution;
+//! for _ in 0..2 {
+//!     frontend.try_submit(mallory, poison).unwrap();
+//!     let response = frontend.query(mallory);
+//!     // Rejected whole: the answer is the last good state, with the
+//!     // typed error attached.
+//!     assert!(response.rejected.is_some());
+//!     assert_eq!(response.solution, baseline);
+//! }
+//! // Two consecutive rejected flushes: quarantined, submissions refused.
+//! assert!(frontend.is_quarantined(mallory));
+//! assert!(matches!(
+//!     frontend.try_submit(mallory, poison),
+//!     Err(SubmitError::Quarantined { .. })
+//! ));
+//! // Recovery re-opens the tenant from its last good checkpoint.
+//! assert!(frontend.recover(mallory));
+//! let ok = SessionPerturbation::SetDistance { u: 0, v: 1, value: 1.9 };
+//! frontend.try_submit(mallory, ok).unwrap();
+//! assert!(frontend.query(mallory).rejected.is_none());
+//! ```
+
+// Ingestion boundary: faults arrive here as values, never as panics.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::sync::Arc;
 
 use msd_metric::{Metric, OverlayMetric};
 use msd_submodular::{IncrementalOracle, SetFunction};
 
-use crate::session::{BatchReport, DynamicSession, SessionPerturbation, SyncDynamicSession};
+use crate::session::{
+    BatchReport, DynamicSession, SessionCheckpoint, SessionError, SessionPerturbation,
+    SyncDynamicSession,
+};
 use crate::ElementId;
 
 /// Index of a tenant session inside a [`ServingFrontend`] (assignment
@@ -94,6 +163,11 @@ pub struct QueryResponse {
     pub flushed: usize,
     /// Oblivious swaps committed while stabilizing this query.
     pub swaps: usize,
+    /// `Some(error)` when this query's flush was rejected: the drained
+    /// batch was discarded and the session rolled back, bit-for-bit, to
+    /// its pre-flush state — the `solution`/`objective` in this response
+    /// are the last good answer, not a partial commit.
+    pub rejected: Option<SessionError>,
 }
 
 /// Cumulative per-tenant counters (see [`ServingFrontend::stats`]).
@@ -107,14 +181,102 @@ pub struct TenantStats {
     pub batches: usize,
     /// Oblivious swaps committed.
     pub swaps: usize,
+    /// Perturbations still queued after this tenant's most recent query
+    /// — how far the served answer lags the submitted stream when
+    /// [`AdmissionPolicy::max_flush_per_query`] spreads a burst across
+    /// queries. 0 once the queue has drained.
+    pub staleness: usize,
+    /// Flush batches rejected by validation (each one rolled back
+    /// whole; see [`QueryResponse::rejected`]).
+    pub rejected: usize,
 }
 
+/// Admission control for a [`ServingFrontend`]: bounds on how much
+/// un-validated work one tenant can push into the shared serving loop.
+///
+/// The default (`None` everywhere) reproduces the unbounded legacy
+/// behavior at zero overhead: no checkpoints are taken, queues are
+/// unbounded, and every query flushes its whole queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Per-query flush bound: a query drains at most this many queued
+    /// perturbations (front first), spreading a burst across queries so
+    /// one tenant's backlog cannot monopolize a serving tick. The
+    /// remainder stays queued and is reported as
+    /// [`TenantStats::staleness`].
+    pub max_flush_per_query: Option<usize>,
+    /// Pending-queue depth bound: [`ServingFrontend::try_submit`]
+    /// answers [`SubmitError::QueueFull`] (backpressure) once a tenant
+    /// has this many queued perturbations.
+    pub max_pending: Option<usize>,
+    /// Quarantine threshold: after this many *consecutive* rejected
+    /// flush batches the tenant is quarantined — its queue is dropped,
+    /// new submissions answer [`SubmitError::Quarantined`], and queries
+    /// keep serving the last good state until
+    /// [`ServingFrontend::recover`]. Enabling this also turns on
+    /// per-tenant [`SessionCheckpoint`]s (refreshed on every successful
+    /// flush) so recovery is anchored to the last known-good state.
+    pub quarantine_after: Option<usize>,
+}
+
+/// Rejected [`ServingFrontend::try_submit`] — the backpressure signal of
+/// the admission layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The tenant's pending queue is at [`AdmissionPolicy::max_pending`];
+    /// retry after the tenant's next query drains it.
+    QueueFull {
+        /// The tenant whose queue is full.
+        tenant: TenantId,
+        /// The configured depth bound.
+        max_pending: usize,
+    },
+    /// The tenant is quarantined (see
+    /// [`AdmissionPolicy::quarantine_after`]); call
+    /// [`ServingFrontend::recover`] first.
+    Quarantined {
+        /// The quarantined tenant.
+        tenant: TenantId,
+    },
+    /// No such tenant.
+    UnknownTenant {
+        /// The out-of-range id.
+        tenant: TenantId,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SubmitError::QueueFull {
+                tenant,
+                max_pending,
+            } => write!(
+                f,
+                "tenant {tenant}: pending queue full ({max_pending} perturbations)"
+            ),
+            SubmitError::Quarantined { tenant } => {
+                write!(f, "tenant {tenant} is quarantined; recover() it first")
+            }
+            SubmitError::UnknownTenant { tenant } => write!(f, "no tenant {tenant}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Per-tenant state: a session over the shared base plus the pending
-/// (not yet flushed) perturbation queue.
+/// (not yet flushed) perturbation queue and its fault-tolerance state.
 struct Tenant<'q, M: Metric, Q: IncrementalOracle + ?Sized> {
     session: DynamicSession<'q, OverlayMetric<Arc<M>>, Q>,
     pending: Vec<SessionPerturbation>,
     stats: TenantStats,
+    /// Last known-good snapshot (maintained only when
+    /// [`AdmissionPolicy::quarantine_after`] is set).
+    checkpoint: Option<SessionCheckpoint<OverlayMetric<Arc<M>>>>,
+    /// Rejected flush batches since the last successful one.
+    consecutive_rejects: usize,
+    quarantined: bool,
 }
 
 /// Multi-tenant serving frontend: `k` independent dynamic sessions over
@@ -135,6 +297,7 @@ pub struct ServingFrontend<
     /// oblivious rule converges in ≤ p swaps on every workload the
     /// equivalence suites drive).
     max_updates_per_query: usize,
+    policy: AdmissionPolicy,
 }
 
 /// [`ServingFrontend`] whose tenant oracles are shareable across threads
@@ -161,6 +324,7 @@ impl<'q, M: Metric> ServingFrontend<'q, M> {
             base,
             tenants: Vec::new(),
             max_updates_per_query: DEFAULT_MAX_UPDATES_PER_QUERY,
+            policy: AdmissionPolicy::default(),
         }
     }
 
@@ -191,6 +355,7 @@ impl<'q, M: Metric> SyncServingFrontend<'q, M> {
             base,
             tenants: Vec::new(),
             max_updates_per_query: DEFAULT_MAX_UPDATES_PER_QUERY,
+            policy: AdmissionPolicy::default(),
         }
     }
 
@@ -209,10 +374,20 @@ impl<'q, M: Metric> SyncServingFrontend<'q, M> {
 
 impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
     fn push_tenant(&mut self, session: DynamicSession<'q, OverlayMetric<Arc<M>>, Q>) -> TenantId {
+        // With quarantine enabled every tenant starts with a known-good
+        // anchor, so recovery works even before the first clean flush.
+        let checkpoint = self
+            .policy
+            .quarantine_after
+            .is_some()
+            .then(|| session.checkpoint());
         self.tenants.push(Tenant {
             session,
             pending: Vec::new(),
             stats: TenantStats::default(),
+            checkpoint,
+            consecutive_rejects: 0,
+            quarantined: false,
         });
         self.tenants.len() - 1
     }
@@ -235,15 +410,107 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
         self
     }
 
+    /// Installs an [`AdmissionPolicy`] (builder style; default
+    /// unbounded). When [`AdmissionPolicy::quarantine_after`] is set this
+    /// also anchors every *existing* tenant with a checkpoint of its
+    /// current state.
+    pub fn with_admission_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        if policy.quarantine_after.is_some() {
+            for t in &mut self.tenants {
+                if t.checkpoint.is_none() {
+                    t.checkpoint = Some(t.session.checkpoint());
+                }
+            }
+        }
+        self
+    }
+
+    /// The active [`AdmissionPolicy`].
+    pub fn admission_policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
     /// Queues a perturbation for `tenant` without flushing — it is
     /// repaired as part of the coalesced batch at that tenant's next
     /// query.
     ///
     /// # Panics
     ///
-    /// Panics if `tenant` is out of range.
+    /// Panics if `tenant` is out of range, its queue is full, or it is
+    /// quarantined — use [`try_submit`](Self::try_submit) when the
+    /// stream is untrusted or an [`AdmissionPolicy`] is active.
     pub fn submit(&mut self, tenant: TenantId, perturbation: SessionPerturbation) {
-        self.tenants[tenant].pending.push(perturbation);
+        if let Err(e) = self.try_submit(tenant, perturbation) {
+            panic!("submit rejected: {e}");
+        }
+    }
+
+    /// Queues a perturbation for `tenant`, subject to the
+    /// [`AdmissionPolicy`]. This is the backpressure-aware ingestion
+    /// path: no input can panic the frontend through it.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownTenant`], [`SubmitError::Quarantined`], or
+    /// [`SubmitError::QueueFull`] (the queue drains at the tenant's next
+    /// query). Malformed perturbation *contents* are not checked here —
+    /// they are validated (and rejected batch-at-a-time, with rollback)
+    /// at flush time.
+    pub fn try_submit(
+        &mut self,
+        tenant: TenantId,
+        perturbation: SessionPerturbation,
+    ) -> Result<(), SubmitError> {
+        let Some(t) = self.tenants.get_mut(tenant) else {
+            return Err(SubmitError::UnknownTenant { tenant });
+        };
+        if t.quarantined {
+            return Err(SubmitError::Quarantined { tenant });
+        }
+        if let Some(max_pending) = self.policy.max_pending {
+            if t.pending.len() >= max_pending {
+                return Err(SubmitError::QueueFull {
+                    tenant,
+                    max_pending,
+                });
+            }
+        }
+        t.pending.push(perturbation);
+        Ok(())
+    }
+
+    /// `true` when `tenant` is quarantined (consecutive rejected flushes
+    /// reached [`AdmissionPolicy::quarantine_after`]).
+    pub fn is_quarantined(&self, tenant: TenantId) -> bool {
+        self.tenants[tenant].quarantined
+    }
+
+    /// Lifts `tenant`'s quarantine: drops whatever is still queued,
+    /// rolls the session back to its last known-good checkpoint (when
+    /// one is maintained), and re-opens submissions. Returns `true` when
+    /// a checkpoint was restored.
+    ///
+    /// Other tenants are untouched — their sessions never shared mutable
+    /// state with the quarantined one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn recover(&mut self, tenant: TenantId) -> bool {
+        let t = &mut self.tenants[tenant];
+        let restored = match &t.checkpoint {
+            Some(checkpoint) => {
+                t.session.rollback_to(checkpoint);
+                true
+            }
+            None => false,
+        };
+        t.pending.clear();
+        t.stats.staleness = 0;
+        t.quarantined = false;
+        t.consecutive_rejects = 0;
+        restored
     }
 
     /// Number of queued (unflushed) perturbations for `tenant`.
@@ -267,18 +534,26 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
         self.tenants[tenant].stats
     }
 
-    /// Flushes `tenant`'s queued perturbations as one coalesced
-    /// [`DynamicSession::apply_batch`], stabilizes, and answers with the
-    /// maintained solution.
+    /// Flushes (up to [`AdmissionPolicy::max_flush_per_query`] of)
+    /// `tenant`'s queued perturbations as one coalesced, *validated*
+    /// [`DynamicSession::try_apply_batch`], stabilizes, and answers with
+    /// the maintained solution.
+    ///
+    /// A rejected batch is discarded whole — the session rolls back
+    /// bit-for-bit and the response carries the typed error in
+    /// [`QueryResponse::rejected`]; a quarantined tenant answers from
+    /// its last good state without flushing. No request content can
+    /// panic this entry point.
     ///
     /// # Panics
     ///
     /// Panics if `tenant` is out of range.
     pub fn query(&mut self, tenant: TenantId) -> QueryResponse {
         let max_updates = self.max_updates_per_query;
+        let policy = self.policy;
         let t = &mut self.tenants[tenant];
-        let report = Self::flush_pending(t, |session, batch| session.apply_batch(batch));
-        Self::respond(t, tenant, report, max_updates)
+        let flush = Self::flush_pending(t, policy, |session, batch| session.try_apply_batch(batch));
+        Self::respond(t, tenant, flush, max_updates, policy)
     }
 
     /// Runs a tagged request stream in order, answering every
@@ -302,50 +577,92 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
         responses
     }
 
-    /// Applies the pending queue (if any) through `apply`, clearing it.
+    /// Drains the admission-bounded front of the pending queue through
+    /// `apply` (a validating, all-or-nothing batch application). A
+    /// quarantined tenant flushes nothing. Returns the successful report
+    /// or the rejection; `(None, None)` when there was nothing to flush.
     fn flush_pending(
         t: &mut Tenant<'q, M, Q>,
+        policy: AdmissionPolicy,
         apply: impl FnOnce(
             &mut DynamicSession<'q, OverlayMetric<Arc<M>>, Q>,
             &[SessionPerturbation],
-        ) -> BatchReport,
-    ) -> Option<BatchReport> {
-        if t.pending.is_empty() {
-            return None;
+        ) -> Result<BatchReport, SessionError>,
+    ) -> (Option<BatchReport>, Option<SessionError>) {
+        if t.quarantined || t.pending.is_empty() {
+            return (None, None);
         }
-        let report = apply(&mut t.session, &t.pending);
-        t.pending.clear();
-        Some(report)
+        let take = policy
+            .max_flush_per_query
+            .map_or(t.pending.len(), |cap| cap.min(t.pending.len()));
+        if take == 0 {
+            return (None, None);
+        }
+        let batch: Vec<SessionPerturbation> = t.pending.drain(..take).collect();
+        match apply(&mut t.session, &batch) {
+            Ok(report) => (Some(report), None),
+            Err(error) => (None, Some(error)),
+        }
     }
 
-    /// Stabilizes and assembles the response + stats after a flush.
+    /// Stabilizes and assembles the response + fault-tolerance
+    /// bookkeeping after a flush attempt.
     fn respond(
         t: &mut Tenant<'q, M, Q>,
         tenant: TenantId,
-        report: Option<BatchReport>,
+        flush: (Option<BatchReport>, Option<SessionError>),
         max_updates: usize,
+        policy: AdmissionPolicy,
     ) -> QueryResponse {
+        let (report, rejected) = flush;
         let mut swaps = 0usize;
         let mut flushed = 0usize;
-        if let Some(report) = report {
+        if let Some(report) = &report {
             flushed = report.ingested;
             if report.outcome.swap.is_some() {
                 swaps += 1;
             }
             t.stats.batches += 1;
             t.stats.perturbations += flushed;
+            t.consecutive_rejects = 0;
+        }
+        if rejected.is_some() {
+            // The batch was discarded and the session rolled back by
+            // `try_apply_batch`; track the failure streak.
+            t.stats.rejected += 1;
+            t.consecutive_rejects += 1;
+            if let Some(threshold) = policy.quarantine_after {
+                if t.consecutive_rejects >= threshold {
+                    t.quarantined = true;
+                    // The rest of the queue came from the same source as
+                    // the poison — drop it, and re-anchor on the last
+                    // known-good checkpoint.
+                    t.pending.clear();
+                    if let Some(checkpoint) = &t.checkpoint {
+                        t.session.rollback_to(checkpoint);
+                    }
+                }
+            }
         }
         swaps += t
             .session
             .update_until_stable(max_updates.saturating_sub(swaps));
+        if rejected.is_none() && policy.quarantine_after.is_some() && report.is_some() {
+            // Known-good, stabilized state: refresh the recovery anchor
+            // (only maintained when quarantine is enabled — the clone is
+            // not free).
+            t.checkpoint = Some(t.session.checkpoint());
+        }
         t.stats.queries += 1;
         t.stats.swaps += swaps;
+        t.stats.staleness = t.pending.len();
         QueryResponse {
             tenant,
             solution: t.session.solution().to_vec(),
             objective: t.session.objective(),
             flushed,
             swaps,
+            rejected,
         }
     }
 }
@@ -354,12 +671,16 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
 impl<'q, M: Metric + Send + Sync> SyncServingFrontend<'q, M> {
     /// [`ServingFrontend::query`] with the flush and stabilization
     /// running the session's thread-parallel scans (bit-identical
-    /// responses — chunking is scheduling only).
+    /// responses — chunking is scheduling only; validation and rollback
+    /// semantics are identical to the serial path).
     pub fn query_parallel(&mut self, tenant: TenantId) -> QueryResponse {
         let max_updates = self.max_updates_per_query;
+        let policy = self.policy;
         let t = &mut self.tenants[tenant];
-        let report = Self::flush_pending(t, |session, batch| session.apply_batch_parallel(batch));
-        Self::respond(t, tenant, report, max_updates)
+        let flush = Self::flush_pending(t, policy, |session, batch| {
+            session.try_apply_batch_parallel(batch)
+        });
+        Self::respond(t, tenant, flush, max_updates, policy)
     }
 
     /// Routes every tenant session's parallel scans through an explicit
@@ -502,6 +823,189 @@ mod tests {
         assert_eq!(responses[0].flushed, 2); // a's two perturbations coalesced
         assert_eq!(responses[1].tenant, b);
         assert_eq!(responses[1].flushed, 1);
+    }
+
+    #[test]
+    fn bounded_flush_spreads_a_burst_and_reports_staleness() {
+        let (base, quality) = base_and_quality(20);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 4, GreedyBConfig::default());
+        let mut frontend =
+            ServingFrontend::new(Arc::clone(&base)).with_admission_policy(AdmissionPolicy {
+                max_flush_per_query: Some(3),
+                max_pending: Some(10),
+                quarantine_after: None,
+            });
+        let t = frontend.add_tenant(&quality, 0.3, &init);
+        for i in 0..10u32 {
+            frontend
+                .try_submit(
+                    t,
+                    SessionPerturbation::SetDistance {
+                        u: i,
+                        v: i + 10,
+                        value: 1.0 + f64::from(i) * 0.125,
+                    },
+                )
+                .unwrap();
+        }
+        // Queue is at depth: backpressure, not growth.
+        let err = frontend
+            .try_submit(t, SessionPerturbation::SetWeight { u: 0, value: 1.0 })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::QueueFull {
+                tenant: t,
+                max_pending: 10
+            }
+        );
+        assert!(err.to_string().contains("queue full"));
+        // Each query drains at most 3, front first; staleness falls
+        // monotonically to zero.
+        let mut last_staleness = usize::MAX;
+        let mut total_flushed = 0usize;
+        while frontend.pending(t) > 0 {
+            let r = frontend.query(t);
+            assert!(r.flushed <= 3);
+            assert!(r.rejected.is_none());
+            total_flushed += r.flushed;
+            let staleness = frontend.stats(t).staleness;
+            assert!(staleness < last_staleness, "staleness must shrink");
+            last_staleness = staleness;
+        }
+        assert_eq!(total_flushed, 10);
+        assert_eq!(frontend.stats(t).staleness, 0);
+        // The spread-out answer matches an unbounded frontend fed the
+        // same stream.
+        let mut unbounded = ServingFrontend::new(Arc::clone(&base));
+        let u = unbounded.add_tenant(&quality, 0.3, &init);
+        for i in 0..10u32 {
+            unbounded.submit(
+                u,
+                SessionPerturbation::SetDistance {
+                    u: i,
+                    v: i + 10,
+                    value: 1.0 + f64::from(i) * 0.125,
+                },
+            );
+        }
+        let ru = unbounded.query(u);
+        assert_eq!(frontend.query(t).solution, ru.solution);
+    }
+
+    #[test]
+    fn rejected_flushes_answer_last_good_state_and_quarantine_isolates() {
+        let (base, quality) = base_and_quality(24);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 5, GreedyBConfig::default());
+        let mut frontend =
+            ServingFrontend::new(Arc::clone(&base)).with_admission_policy(AdmissionPolicy {
+                max_flush_per_query: None,
+                max_pending: None,
+                quarantine_after: Some(2),
+            });
+        let poisoner = frontend.add_tenant(&quality, 0.3, &init);
+        let healthy = frontend.add_tenant(&quality, 0.3, &init);
+        // Mirror of the healthy tenant in a frontend that never sees the
+        // poisoner: its answers must be bit-identical throughout.
+        let mut mirror_frontend = ServingFrontend::new(Arc::clone(&base));
+        let mirror = mirror_frontend.add_tenant(&quality, 0.3, &init);
+
+        // A good flush establishes the checkpoint.
+        frontend.submit(
+            poisoner,
+            SessionPerturbation::SetDistance {
+                u: 0,
+                v: 9,
+                value: 2.5,
+            },
+        );
+        let good = frontend.query(poisoner);
+        assert!(good.rejected.is_none());
+
+        // Two consecutive poisoned batches → quarantine.
+        for _ in 0..2 {
+            frontend.submit(
+                poisoner,
+                SessionPerturbation::SetDistance {
+                    u: 1,
+                    v: 2,
+                    value: f64::NAN,
+                },
+            );
+            frontend.submit(healthy, SessionPerturbation::SetWeight { u: 3, value: 2.0 });
+            mirror_frontend.submit(mirror, SessionPerturbation::SetWeight { u: 3, value: 2.0 });
+            let rp = frontend.query(poisoner);
+            assert!(matches!(
+                rp.rejected,
+                Some(SessionError::Rejected { index: 0, .. })
+            ));
+            // Degraded, not down: the poisoner still gets its last good
+            // answer.
+            assert_eq!(rp.solution, good.solution);
+            assert_eq!(rp.objective, good.objective);
+            // The healthy tenant is untouched by its neighbor's faults.
+            let rh = frontend.query(healthy);
+            let rm = mirror_frontend.query(mirror);
+            assert_eq!(rh.solution, rm.solution);
+            assert_eq!(rh.objective.to_bits(), rm.objective.to_bits());
+            assert!(rh.rejected.is_none());
+        }
+        assert!(frontend.is_quarantined(poisoner));
+        assert!(!frontend.is_quarantined(healthy));
+        assert_eq!(frontend.stats(poisoner).rejected, 2);
+
+        // Quarantined: submissions refused, queries served, others fine.
+        assert_eq!(
+            frontend
+                .try_submit(
+                    poisoner,
+                    SessionPerturbation::SetWeight { u: 0, value: 1.0 }
+                )
+                .unwrap_err(),
+            SubmitError::Quarantined { tenant: poisoner }
+        );
+        let rq = frontend.query(poisoner);
+        assert_eq!(rq.solution, good.solution);
+        assert_eq!(rq.flushed, 0);
+
+        // Recovery restores the last good checkpoint and re-opens the
+        // tenant; subsequent valid traffic flows normally.
+        assert!(frontend.recover(poisoner));
+        assert!(!frontend.is_quarantined(poisoner));
+        assert_eq!(frontend.solution(poisoner), &good.solution[..]);
+        frontend
+            .try_submit(
+                poisoner,
+                SessionPerturbation::SetWeight { u: 5, value: 3.0 },
+            )
+            .unwrap();
+        let back = frontend.query(poisoner);
+        assert!(back.rejected.is_none());
+        assert_eq!(back.flushed, 1);
+
+        // Unknown tenants are an error, not a panic, through try_submit.
+        assert_eq!(
+            frontend
+                .try_submit(99, SessionPerturbation::SetWeight { u: 0, value: 1.0 })
+                .unwrap_err(),
+            SubmitError::UnknownTenant { tenant: 99 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "submit rejected")]
+    fn legacy_submit_panics_on_full_queue() {
+        let (base, quality) = base_and_quality(8);
+        let mut frontend =
+            ServingFrontend::new(Arc::clone(&base)).with_admission_policy(AdmissionPolicy {
+                max_pending: Some(1),
+                ..AdmissionPolicy::default()
+            });
+        let t = frontend.add_tenant(&quality, 0.3, &[0, 1]);
+        frontend.submit(t, SessionPerturbation::SetWeight { u: 0, value: 1.0 });
+        frontend.submit(t, SessionPerturbation::SetWeight { u: 1, value: 1.0 });
     }
 
     #[cfg(feature = "parallel")]

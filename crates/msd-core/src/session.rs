@@ -114,11 +114,18 @@
 //! assert_eq!(session.solution().len(), 3);
 //! ```
 
+// Perturbation-ingestion module: untrusted tenant input flows through
+// here, so a stray `unwrap`/`expect` on the non-test paths is a
+// denial-of-service vector for every co-resident tenant. Invariant
+// violations that genuinely cannot happen are spelled `unreachable!`
+// with their reasoning; data faults are typed errors.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use msd_metric::{
-    DisconnectedGraph, EdgePerturbableMetric, EdgeUpdateReport, Metric, OverlayMetric,
+    EdgePerturbableMetric, EdgeUpdateError, EdgeUpdateReport, Metric, OverlayMetric,
     PerturbableMetric,
 };
-use msd_submodular::{IncrementalOracle, SetFunction};
+use msd_submodular::{IncrementalOracle, OracleState, SetFunction};
 
 use crate::dynamic::{Perturbation, UpdateOutcome};
 use crate::problem::DiversificationProblem;
@@ -254,17 +261,21 @@ pub struct UpdateReport {
     pub scan: ScanExtent,
 }
 
-/// Error of [`DynamicSession::apply_graph_batch`]: a disconnecting
-/// removal stopped ingestion mid-batch. The session itself remains
+/// Error of [`DynamicSession::apply_graph_batch`]: a rejected edge
+/// update stopped ingestion mid-batch — the **partial-commit** mode of
+/// the [`SessionError`] hierarchy. The session itself remains
 /// consistent — the first [`ingested`](Self::ingested) perturbations'
 /// repairs (including the listed [`refills`](Self::refills)) are in
 /// effect, the failing update is not — and this error carries the
 /// partial report those perturbations produced, so a caller mirroring
-/// membership from reports stays in sync even on the error path.
+/// membership from reports stays in sync even on the error path. For
+/// all-or-nothing semantics use
+/// [`DynamicSession::try_apply_graph_batch`] instead, which rolls the
+/// session back to its pre-batch checkpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphBatchError {
     /// The metric's witness error for the rejected update.
-    pub error: DisconnectedGraph,
+    pub error: EdgeUpdateError,
     /// Perturbations successfully ingested before the failure.
     pub ingested: usize,
     /// Elements greedily inserted while ingesting those perturbations
@@ -288,6 +299,168 @@ impl std::error::Error for GraphBatchError {
     }
 }
 
+/// Typed rejection of one perturbation by the validating session entry
+/// points ([`DynamicSession::try_apply`] /
+/// [`DynamicSession::try_apply_batch`] and the graph counterparts).
+///
+/// Every variant is detected **before** the offending perturbation
+/// mutates any session state; the panicking entry points
+/// ([`DynamicSession::apply`] and friends) treat the same conditions as
+/// programmer error. The variants mirror exactly the malformed shapes an
+/// untrusted perturbation stream can take: non-finite or negative
+/// numerics, out-of-range ids, and availability-state violations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PerturbationError {
+    /// An element id is outside the ground set `0..n`.
+    ElementOutOfRange {
+        /// The offending element.
+        u: ElementId,
+        /// Ground-set size.
+        n: usize,
+    },
+    /// A distance value is NaN, infinite, or negative.
+    InvalidDistance {
+        /// First endpoint.
+        u: ElementId,
+        /// Second endpoint.
+        v: ElementId,
+        /// The offending distance.
+        value: f64,
+    },
+    /// A distance rewrite targets the diagonal (`u == v`), which a metric
+    /// pins to zero.
+    DiagonalDistance {
+        /// The repeated endpoint.
+        u: ElementId,
+    },
+    /// A weight value is NaN, infinite, or negative.
+    InvalidWeight {
+        /// The element whose weight was rewritten.
+        u: ElementId,
+        /// The offending weight.
+        value: f64,
+    },
+    /// A weight rewrite against a quality oracle with no modular weight
+    /// data ([`IncrementalOracle::supports_weight_updates`] is `false`).
+    WeightUpdatesUnsupported {
+        /// The element whose weight was rewritten.
+        u: ElementId,
+    },
+    /// An arrival of an element that is already resident (taking the
+    /// batch's earlier arrivals/departures into account).
+    DuplicateArrival {
+        /// The arriving element.
+        u: ElementId,
+    },
+    /// A departure of an element that is not resident (taking the batch's
+    /// earlier arrivals/departures into account).
+    DepartureOfAbsent {
+        /// The departing element.
+        u: ElementId,
+    },
+    /// A rejected edge update (graph-backed sessions): malformed edge
+    /// data caught up front, or a runtime rejection (missing edge,
+    /// disconnecting removal) that triggered the batch rollback.
+    Edge(EdgeUpdateError),
+}
+
+impl std::fmt::Display for PerturbationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ElementOutOfRange { u, n } => {
+                write!(f, "element {u} out of range (ground set size {n})")
+            }
+            Self::InvalidDistance { u, v, value } => write!(
+                f,
+                "distance d({u}, {v}) = {value} must be finite and non-negative"
+            ),
+            Self::DiagonalDistance { u } => {
+                write!(f, "cannot set diagonal distance d({u},{u})")
+            }
+            Self::InvalidWeight { u, value } => {
+                write!(f, "weight w({u}) = {value} must be finite and non-negative")
+            }
+            Self::WeightUpdatesUnsupported { u } => write!(
+                f,
+                "quality oracle does not support weight updates (element {u})"
+            ),
+            Self::DuplicateArrival { u } => {
+                write!(f, "arrival of element {u} which is already resident")
+            }
+            Self::DepartureOfAbsent { u } => {
+                write!(f, "departure of element {u} which is not resident")
+            }
+            Self::Edge(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PerturbationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Edge(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EdgeUpdateError> for PerturbationError {
+    fn from(e: EdgeUpdateError) -> Self {
+        Self::Edge(e)
+    }
+}
+
+/// Error of the validating batch entry points — the session-level
+/// hierarchy above [`PerturbationError`], with one variant per failure
+/// *mode*.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// All-or-nothing mode ([`DynamicSession::try_apply_batch`] /
+    /// [`DynamicSession::try_apply_graph_batch`]): perturbation `index`
+    /// was rejected and the session is **bit-identical to its pre-batch
+    /// state** — either never mutated (malformed input is detected before
+    /// ingestion) or restored from the pre-batch [`SessionCheckpoint`].
+    Rejected {
+        /// Position of the rejected perturbation in the submitted batch.
+        index: usize,
+        /// Why it was rejected.
+        error: PerturbationError,
+    },
+    /// Explicit partial-commit mode (the [`GraphBatchError`] contract of
+    /// [`DynamicSession::apply_graph_batch`]): the first
+    /// [`GraphBatchError::ingested`] perturbations remain applied.
+    PartialCommit(GraphBatchError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Rejected { index, error } => {
+                write!(
+                    f,
+                    "perturbation {index} rejected (batch rolled back): {error}"
+                )
+            }
+            Self::PartialCommit(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Rejected { error, .. } => Some(error),
+            Self::PartialCommit(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphBatchError> for SessionError {
+    fn from(e: GraphBatchError) -> Self {
+        Self::PartialCommit(e)
+    }
+}
+
 /// Outcome of one [`DynamicSession::apply_batch`] call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchReport {
@@ -301,6 +474,51 @@ pub struct BatchReport {
     pub scan: ScanExtent,
     /// Number of perturbations ingested (`perturbations.len()`).
     pub ingested: usize,
+}
+
+/// A bit-exact snapshot of a [`DynamicSession`]'s mutable state: the
+/// perturbed metric (overlay deltas for shared-corpus sessions), the
+/// solution with its Birnbaum–Goldman gain caches, the availability
+/// mask, the stability flag, and the quality oracle's
+/// [`OracleState`] (owned weights for the modular family).
+///
+/// Taken by [`DynamicSession::checkpoint`] and restored — any number of
+/// times — by [`DynamicSession::rollback_to`]. This is the
+/// transactional-batch primitive: incremental *undo* (re-applying the
+/// displaced values of [`PerturbableMetric::set_distance`] /
+/// [`IncrementalOracle::try_set_weight`] in reverse) restores the metric
+/// exactly but re-derives the running float sums of the solution and
+/// oracle caches through a different accumulation history, so only a
+/// snapshot restores the whole session bit-for-bit. Cost: O(Δ) for
+/// overlay-metric sessions plus O(n + p + oracle state) — the dominant
+/// term is the metric clone (O(n²) only when the session *owns* a dense
+/// matrix).
+pub struct SessionCheckpoint<M> {
+    metric: M,
+    dist: SolutionState,
+    active: Vec<bool>,
+    p: usize,
+    stable: bool,
+    oracle: OracleState,
+}
+
+impl<M> SessionCheckpoint<M> {
+    /// The checkpointed solution, in insertion order — what
+    /// [`DynamicSession::rollback_to`] will restore as
+    /// [`DynamicSession::solution`].
+    pub fn solution(&self) -> &[ElementId] {
+        self.dist.members()
+    }
+}
+
+impl<M> std::fmt::Debug for SessionCheckpoint<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionCheckpoint")
+            .field("members", &self.dist.members())
+            .field("p", &self.p)
+            .field("stable", &self.stable)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Default per-member capacity `K` of the bounded best-swap candidate
@@ -347,7 +565,9 @@ impl TopKCollector {
                 }
                 return;
             }
-            let (_, dropped) = row.pop().expect("row is full");
+            let Some((_, dropped)) = row.pop() else {
+                unreachable!("row is full (len == k >= 1), pop cannot fail")
+            };
             if dropped > self.overflow[pos] {
                 self.overflow[pos] = dropped;
             }
@@ -377,7 +597,9 @@ impl TopKCollector {
                     (None, Some(_)) => false,
                     (None, None) => break,
                 };
-                let entry = if take_left { l.next() } else { r.next() }.expect("peeked");
+                let Some(entry) = (if take_left { l.next() } else { r.next() }) else {
+                    unreachable!("the chosen side was just peeked non-empty")
+                };
                 if merged.len() < self.k {
                     merged.push(entry);
                 } else if entry.1 > overflow {
@@ -897,10 +1119,9 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
         let mut targets = pending.cols.clone();
         targets.extend_from_slice(&self.cache.dirty);
         for &m in &pending.rows {
-            let pos = members
-                .iter()
-                .position(|&x| x == m)
-                .expect("broken row must still be a member (membership changes invalidate)");
+            let Some(pos) = members.iter().position(|&x| x == m) else {
+                unreachable!("broken row must still be a member (membership changes invalidate)")
+            };
             targets.push(self.cached_row_representative(pos)?);
         }
         targets.sort_unstable();
@@ -1223,12 +1444,9 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
     fn commit(&mut self, best: Option<(ElementId, ElementId, f64)>) -> UpdateOutcome {
         match best {
             Some((u_out, v_in, gain)) => {
-                let idx = self
-                    .dist
-                    .members()
-                    .iter()
-                    .position(|&x| x == u_out)
-                    .expect("swap winner must be a member");
+                let Some(idx) = self.dist.members().iter().position(|&x| x == u_out) else {
+                    unreachable!("swap winner must be a member")
+                };
                 self.dist.swap(&self.metric, v_in, u_out);
                 self.quality.remove(u_out);
                 self.quality.insert(v_in);
@@ -1331,6 +1549,128 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
         self.cache.invalidate();
         Some(w)
     }
+
+    // -- validation helpers shared by the `try_*` entry points ----------
+
+    fn check_in_range(&self, u: ElementId) -> Result<(), PerturbationError> {
+        let n = self.dist.ground_size();
+        if (u as usize) < n {
+            Ok(())
+        } else {
+            Err(PerturbationError::ElementOutOfRange { u, n })
+        }
+    }
+
+    fn validate_weight(&self, u: ElementId, value: f64) -> Result<(), PerturbationError> {
+        self.check_in_range(u)?;
+        if !self.quality.supports_weight_updates() {
+            return Err(PerturbationError::WeightUpdatesUnsupported { u });
+        }
+        if !(value.is_finite() && value >= 0.0) {
+            return Err(PerturbationError::InvalidWeight { u, value });
+        }
+        Ok(())
+    }
+
+    fn validate_distance(
+        &self,
+        u: ElementId,
+        v: ElementId,
+        value: f64,
+    ) -> Result<(), PerturbationError> {
+        self.check_in_range(u)?;
+        self.check_in_range(v)?;
+        if u == v {
+            return Err(PerturbationError::DiagonalDistance { u });
+        }
+        if !(value.is_finite() && value >= 0.0) {
+            return Err(PerturbationError::InvalidDistance { u, v, value });
+        }
+        Ok(())
+    }
+
+    /// `sim` overlays the batch's earlier (validated) arrivals and
+    /// departures onto the live availability mask, so duplicate-arrival /
+    /// absent-departure detection sees exactly the state the perturbation
+    /// would execute against — without mutating the session during
+    /// validation.
+    fn simulated_resident(
+        &self,
+        u: ElementId,
+        sim: &std::collections::HashMap<ElementId, bool>,
+    ) -> bool {
+        sim.get(&u).copied().unwrap_or(self.active[u as usize])
+    }
+
+    fn validate_arrival(
+        &self,
+        u: ElementId,
+        sim: &mut std::collections::HashMap<ElementId, bool>,
+    ) -> Result<(), PerturbationError> {
+        self.check_in_range(u)?;
+        if self.simulated_resident(u, sim) {
+            return Err(PerturbationError::DuplicateArrival { u });
+        }
+        sim.insert(u, true);
+        Ok(())
+    }
+
+    fn validate_departure(
+        &self,
+        u: ElementId,
+        sim: &mut std::collections::HashMap<ElementId, bool>,
+    ) -> Result<(), PerturbationError> {
+        self.check_in_range(u)?;
+        if !self.simulated_resident(u, sim) {
+            return Err(PerturbationError::DepartureOfAbsent { u });
+        }
+        sim.insert(u, false);
+        Ok(())
+    }
+}
+
+impl<'q, M: Metric + Clone, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
+    /// Captures a [`SessionCheckpoint`]: the session's complete mutable
+    /// state, bit-for-bit. See the checkpoint type for the cost model.
+    pub fn checkpoint(&self) -> SessionCheckpoint<M> {
+        SessionCheckpoint {
+            metric: self.metric.clone(),
+            dist: self.dist.clone(),
+            active: self.active.clone(),
+            p: self.p,
+            stable: self.stable,
+            oracle: self.quality.save_state(),
+        }
+    }
+
+    /// Restores the session to `checkpoint`, bit-for-bit: metric,
+    /// solution and gain caches, availability mask, stability flag, and
+    /// oracle state. The bounded best-swap candidate cache is dropped
+    /// rather than restored — it is a scheduling accelerator whose
+    /// contents never affect which swap wins, so a rolled-back session
+    /// answers every query identically to one that never left the
+    /// checkpoint (the fault-injection suite asserts this), though an
+    /// individual scan may report [`ScanExtent::Full`] where the pristine
+    /// session reports a narrower extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `checkpoint` was taken over a different ground set —
+    /// a checkpoint/session pairing bug, not a data fault.
+    pub fn rollback_to(&mut self, checkpoint: &SessionCheckpoint<M>) {
+        assert_eq!(
+            checkpoint.active.len(),
+            self.dist.ground_size(),
+            "checkpoint from a different ground set"
+        );
+        self.metric = checkpoint.metric.clone();
+        self.dist = checkpoint.dist.clone();
+        self.active.clone_from(&checkpoint.active);
+        self.p = checkpoint.p;
+        self.stable = checkpoint.stable;
+        self.quality.restore_state(&checkpoint.oracle);
+        self.cache.invalidate();
+    }
 }
 
 impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
@@ -1371,6 +1711,112 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
     /// As [`DynamicSession::apply`], per ingested perturbation.
     pub fn apply_batch(&mut self, perturbations: &[SessionPerturbation]) -> BatchReport {
         self.apply_batch_via(perturbations, Self::scan_full_collect)
+    }
+
+    /// Validating [`DynamicSession::apply`]: rejects a malformed
+    /// perturbation with a typed [`PerturbationError`] instead of
+    /// panicking, leaving the session untouched.
+    ///
+    /// # Errors
+    ///
+    /// NaN / infinite / negative distances and weights, out-of-range
+    /// ids, weight rewrites against an oracle without modular weight
+    /// data, arrivals of resident elements, and departures of
+    /// non-resident elements. (The panicking [`DynamicSession::apply`]
+    /// silently ignores the latter two; an untrusted stream containing
+    /// them is malformed, so the validating path rejects.)
+    pub fn try_apply(
+        &mut self,
+        perturbation: SessionPerturbation,
+    ) -> Result<UpdateReport, PerturbationError> {
+        match self.try_apply_batch(std::slice::from_ref(&perturbation)) {
+            Ok(report) => Ok(UpdateReport {
+                outcome: report.outcome,
+                refill: report.refills.last().copied(),
+                scan: report.scan,
+            }),
+            Err(SessionError::Rejected { error, .. }) => Err(error),
+            Err(SessionError::PartialCommit(_)) => {
+                unreachable!("matrix batches are all-or-nothing")
+            }
+        }
+    }
+
+    /// Validating, **transactional** [`DynamicSession::apply_batch`]:
+    /// the whole batch is checked up front and either every perturbation
+    /// ingests (one union-scoped scan, the `apply_batch` contract) or
+    /// none does — all-or-nothing over untrusted input.
+    ///
+    /// Every malformed shape a matrix perturbation can take (see
+    /// [`DynamicSession::try_apply`]) is statically detectable, including
+    /// availability violations against the batch's own earlier
+    /// arrivals/departures (validation simulates the mask), so a
+    /// rejected batch provably never mutated the session — no undo log
+    /// or checkpoint is spent on the happy path. Graph batches, whose
+    /// failures depend on in-batch connectivity, roll back through a
+    /// [`SessionCheckpoint`] instead (see
+    /// [`DynamicSession::try_apply_graph_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Rejected`] carrying the offending index and the
+    /// typed [`PerturbationError`]; the session state is bit-identical
+    /// to the pre-call state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use msd_core::{
+    ///     greedy_b, DiversificationProblem, DynamicSession, GreedyBConfig, PerturbationError,
+    ///     SessionError, SessionPerturbation,
+    /// };
+    /// use msd_metric::DistanceMatrix;
+    /// use msd_submodular::ModularFunction;
+    ///
+    /// let metric = DistanceMatrix::from_fn(6, |u, v| 1.0 + f64::from(u + v) * 0.1);
+    /// let quality = ModularFunction::new(vec![0.6, 0.5, 0.4, 0.3, 0.2, 0.1]);
+    /// let problem = DiversificationProblem::new(metric, quality, 0.5);
+    /// let init = greedy_b(&problem, 3, GreedyBConfig::default());
+    /// let mut session = DynamicSession::new(&problem, &init);
+    ///
+    /// let before = (session.solution().to_vec(), session.objective());
+    /// let err = session
+    ///     .try_apply_batch(&[
+    ///         SessionPerturbation::SetDistance { u: 0, v: 1, value: 1.7 }, // valid
+    ///         SessionPerturbation::SetDistance { u: 2, v: 3, value: f64::NAN },
+    ///     ])
+    ///     .unwrap_err();
+    /// assert!(matches!(
+    ///     err,
+    ///     SessionError::Rejected { index: 1, error: PerturbationError::InvalidDistance { .. } }
+    /// ));
+    /// // All-or-nothing: the valid first entry did not commit either.
+    /// assert_eq!((session.solution().to_vec(), session.objective()), before);
+    /// ```
+    pub fn try_apply_batch(
+        &mut self,
+        perturbations: &[SessionPerturbation],
+    ) -> Result<BatchReport, SessionError> {
+        self.validate_batch(perturbations)?;
+        Ok(self.apply_batch(perturbations))
+    }
+
+    fn validate_batch(&self, perturbations: &[SessionPerturbation]) -> Result<(), SessionError> {
+        let mut sim = std::collections::HashMap::new();
+        for (index, &p) in perturbations.iter().enumerate() {
+            let check = match p {
+                SessionPerturbation::SetWeight { u, value } => self.validate_weight(u, value),
+                SessionPerturbation::SetDistance { u, v, value } => {
+                    self.validate_distance(u, v, value)
+                }
+                SessionPerturbation::Arrive { u } => self.validate_arrival(u, &mut sim),
+                SessionPerturbation::Depart { u } => self.validate_departure(u, &mut sim),
+            };
+            if let Err(error) = check {
+                return Err(SessionError::Rejected { index, error });
+            }
+        }
+        Ok(())
     }
 
     /// Shared batched repair + scan driver; `full_scan` supplies the
@@ -1432,18 +1878,18 @@ impl<'q, M: EdgePerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession
     ///
     /// # Errors
     ///
-    /// A [`GraphPerturbation::RemoveEdge`] that would disconnect the
-    /// graph fails with the metric's witness error; the metric and every
-    /// session cache are left untouched.
+    /// An edge update the metric rejects (disconnecting removal, missing
+    /// edge, invalid endpoints or weight) fails with the metric's typed
+    /// [`EdgeUpdateError`]; the metric and every session cache are left
+    /// untouched.
     ///
     /// # Panics
     ///
-    /// As [`DynamicSession::apply`], plus the metric's edge-update
-    /// validations (unknown edge, invalid endpoints or weight).
+    /// As [`DynamicSession::apply`].
     pub fn apply_graph(
         &mut self,
         perturbation: GraphPerturbation,
-    ) -> Result<UpdateReport, DisconnectedGraph> {
+    ) -> Result<UpdateReport, EdgeUpdateError> {
         let report = self
             .apply_graph_batch(std::slice::from_ref(&perturbation))
             .map_err(|e| {
@@ -1522,7 +1968,7 @@ impl<'q, M: EdgePerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession
         perturbation: GraphPerturbation,
         pending: &mut PendingScan,
         refills: &mut Vec<ElementId>,
-    ) -> Result<(), DisconnectedGraph> {
+    ) -> Result<(), EdgeUpdateError> {
         match perturbation {
             GraphPerturbation::SetEdge { u, v, weight } => {
                 let report = self.metric.set_edge(u, v, weight)?;
@@ -1546,6 +1992,120 @@ impl<'q, M: EdgePerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession
         for change in &report.changed {
             self.ingest_distance_delta(change.u, change.v, change.new - change.old, pending);
         }
+    }
+}
+
+/// Validating, transactional graph entry points (`M: Clone` buys the
+/// pre-batch [`SessionCheckpoint`]).
+impl<'q, M: EdgePerturbableMetric + Clone, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
+    /// Validating [`DynamicSession::apply_graph`]: rejects malformed
+    /// perturbations and metric-rejected edge updates with a typed
+    /// [`PerturbationError`] instead of panicking, leaving the session
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// As [`DynamicSession::try_apply`], plus every
+    /// [`EdgeUpdateError`] shape (wrapped as
+    /// [`PerturbationError::Edge`]).
+    pub fn try_apply_graph(
+        &mut self,
+        perturbation: GraphPerturbation,
+    ) -> Result<UpdateReport, PerturbationError> {
+        match self.try_apply_graph_batch(std::slice::from_ref(&perturbation)) {
+            Ok(report) => Ok(UpdateReport {
+                outcome: report.outcome,
+                refill: report.refills.last().copied(),
+                scan: report.scan,
+            }),
+            Err(SessionError::Rejected { error, .. }) => Err(error),
+            Err(SessionError::PartialCommit(_)) => {
+                unreachable!("the transactional graph path never partial-commits")
+            }
+        }
+    }
+
+    /// Validating, **transactional** counterpart of
+    /// [`DynamicSession::apply_graph_batch`]: all-or-nothing over
+    /// untrusted input. Malformed shapes (invalid weights, out-of-range
+    /// endpoints, self-loops, availability violations) are rejected up
+    /// front without mutating anything; runtime rejections — a removal
+    /// of a missing edge or one that would disconnect the graph, both of
+    /// which depend on the connectivity state earlier batch entries
+    /// created — roll the session back to a pre-batch
+    /// [`SessionCheckpoint`], bit-for-bit. The checkpoint is only taken
+    /// when the batch contains a [`GraphPerturbation::RemoveEdge`] (the
+    /// one shape that can fail after validation), so purely additive
+    /// batches pay no clone.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Rejected`] carrying the offending index and the
+    /// typed [`PerturbationError`]; the session state is bit-identical
+    /// to the pre-call state. (The partial-commit mode remains available
+    /// through [`DynamicSession::apply_graph_batch`].)
+    pub fn try_apply_graph_batch(
+        &mut self,
+        perturbations: &[GraphPerturbation],
+    ) -> Result<BatchReport, SessionError> {
+        let needs_checkpoint = self.validate_graph_batch(perturbations)?;
+        let checkpoint = needs_checkpoint.then(|| self.checkpoint());
+        self.apply_graph_batch(perturbations).map_err(|e| {
+            let Some(checkpoint) = checkpoint else {
+                unreachable!("only RemoveEdge fails post-validation, and it forces a checkpoint")
+            };
+            self.rollback_to(&checkpoint);
+            SessionError::Rejected {
+                index: e.ingested,
+                error: PerturbationError::Edge(e.error),
+            }
+        })
+    }
+
+    /// Static validation pass; `Ok(true)` when the batch needs a
+    /// pre-batch checkpoint (it contains a removal, whose missing-edge /
+    /// disconnection rejections are only discoverable at ingest time).
+    fn validate_graph_batch(
+        &self,
+        perturbations: &[GraphPerturbation],
+    ) -> Result<bool, SessionError> {
+        let mut sim = std::collections::HashMap::new();
+        let mut needs_checkpoint = false;
+        for (index, &p) in perturbations.iter().enumerate() {
+            let check = match p {
+                GraphPerturbation::SetEdge { u, v, weight } => {
+                    self.validate_edge_endpoints(u, v).and_then(|()| {
+                        if weight.is_finite() && weight >= 0.0 {
+                            Ok(())
+                        } else {
+                            Err(EdgeUpdateError::InvalidWeight { u, v, weight }.into())
+                        }
+                    })
+                }
+                GraphPerturbation::RemoveEdge { u, v } => {
+                    needs_checkpoint = true;
+                    self.validate_edge_endpoints(u, v)
+                }
+                GraphPerturbation::SetWeight { u, value } => self.validate_weight(u, value),
+                GraphPerturbation::Arrive { u } => self.validate_arrival(u, &mut sim),
+                GraphPerturbation::Depart { u } => self.validate_departure(u, &mut sim),
+            };
+            if let Err(error) = check {
+                return Err(SessionError::Rejected { index, error });
+            }
+        }
+        Ok(needs_checkpoint)
+    }
+
+    fn validate_edge_endpoints(&self, u: ElementId, v: ElementId) -> Result<(), PerturbationError> {
+        let n = self.dist.ground_size();
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(EdgeUpdateError::EndpointOutOfRange { u, v, n }.into());
+        }
+        if u == v {
+            return Err(EdgeUpdateError::SelfLoop { u }.into());
+        }
+        Ok(())
     }
 }
 
@@ -1591,7 +2151,7 @@ impl<'q, M: EdgePerturbableMetric + Sync> SyncDynamicSession<'q, M> {
     pub fn apply_graph_parallel(
         &mut self,
         perturbation: GraphPerturbation,
-    ) -> Result<UpdateReport, DisconnectedGraph> {
+    ) -> Result<UpdateReport, EdgeUpdateError> {
         let report = self
             .apply_graph_batch_parallel(std::slice::from_ref(&perturbation))
             .map_err(|e| e.error)?;
@@ -1612,6 +2172,52 @@ impl<'q, M: EdgePerturbableMetric + Sync> SyncDynamicSession<'q, M> {
         perturbations: &[GraphPerturbation],
     ) -> Result<BatchReport, GraphBatchError> {
         self.apply_graph_batch_via(perturbations, Self::scan_full_collect_parallel)
+    }
+}
+
+/// Parallel counterparts of the validating entry points — same
+/// validation and rollback semantics, chunked full scans.
+#[cfg(feature = "parallel")]
+impl<'q, M: PerturbableMetric + Sync> SyncDynamicSession<'q, M> {
+    /// Parallel [`DynamicSession::try_apply_batch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DynamicSession::try_apply_batch`].
+    pub fn try_apply_batch_parallel(
+        &mut self,
+        perturbations: &[SessionPerturbation],
+    ) -> Result<BatchReport, SessionError> {
+        self.validate_batch(perturbations)?;
+        Ok(self.apply_batch_parallel(perturbations))
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl<'q, M: EdgePerturbableMetric + Clone + Sync> SyncDynamicSession<'q, M> {
+    /// Parallel [`DynamicSession::try_apply_graph_batch`]: same
+    /// all-or-nothing contract (checkpoint before removal-bearing
+    /// batches, bit-exact rollback on rejection).
+    ///
+    /// # Errors
+    ///
+    /// As [`DynamicSession::try_apply_graph_batch`].
+    pub fn try_apply_graph_batch_parallel(
+        &mut self,
+        perturbations: &[GraphPerturbation],
+    ) -> Result<BatchReport, SessionError> {
+        let needs_checkpoint = self.validate_graph_batch(perturbations)?;
+        let checkpoint = needs_checkpoint.then(|| self.checkpoint());
+        self.apply_graph_batch_parallel(perturbations).map_err(|e| {
+            let Some(checkpoint) = checkpoint else {
+                unreachable!("only RemoveEdge fails post-validation, and it forces a checkpoint")
+            };
+            self.rollback_to(&checkpoint);
+            SessionError::Rejected {
+                index: e.ingested,
+                error: PerturbationError::Edge(e.error),
+            }
+        })
     }
 }
 
@@ -1834,7 +2440,7 @@ mod tests {
             (0..12u32)
                 .filter(|x| x != &leaving && !remaining.contains(x))
                 .map(|w| (w, problem.marginal(w, &remaining)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(&b.1))
                 .unwrap()
                 .0
         };
@@ -2286,7 +2892,10 @@ mod tests {
         let err = session
             .apply_graph(GraphPerturbation::RemoveEdge { u: 0, v: 1 })
             .unwrap_err();
-        assert_eq!((err.u, err.v), (0, 1));
+        assert_eq!(
+            err,
+            msd_metric::EdgeUpdateError::Disconnected(msd_metric::DisconnectedGraph { u: 0, v: 1 })
+        );
         assert_eq!(session.solution(), &before[..]);
         assert!(
             session.is_stable(),
@@ -2329,7 +2938,10 @@ mod tests {
             GraphPerturbation::SetWeight { u: 3, value: 9.0 }, // never reached
         ];
         let err = s.apply_graph_batch(&batch).unwrap_err();
-        assert_eq!((err.error.u, err.error.v), (1, 2));
+        assert_eq!(
+            err.error,
+            msd_metric::EdgeUpdateError::Disconnected(msd_metric::DisconnectedGraph { u: 1, v: 2 })
+        );
         assert_eq!(err.ingested, 1, "only the departure was ingested");
         assert_eq!(err.refills.len(), 1, "the departure's refill is committed");
         assert!(s.contains(err.refills[0]));
@@ -2361,5 +2973,390 @@ mod tests {
         assert!(s.contains(4));
         let direct = problem.objective(s.solution());
         assert!((s.objective() - direct).abs() < 1e-9);
+    }
+
+    /// Bit-level fingerprint of a matrix-backed session's observable
+    /// state: metric triangle, solution, availability, objective bits,
+    /// stability.
+    fn fingerprint(
+        s: &DynamicSession<'_, DistanceMatrix>,
+    ) -> (Vec<u64>, Vec<ElementId>, Vec<bool>, u64, bool) {
+        (
+            s.metric().triangle().iter().map(|d| d.to_bits()).collect(),
+            s.solution().to_vec(),
+            (0..s.metric().len() as ElementId)
+                .map(|u| s.is_active(u))
+                .collect(),
+            s.objective().to_bits(),
+            s.is_stable(),
+        )
+    }
+
+    #[test]
+    fn try_apply_rejects_every_malformed_shape_without_mutation() {
+        let problem = instance(3, 12);
+        let mut s = DynamicSession::new(&problem, &[0, 1, 2, 3]);
+        s.apply(SessionPerturbation::Depart { u: 7 });
+        s.update_until_stable(20);
+        let before = fingerprint(&s);
+        let cases: Vec<(SessionPerturbation, PerturbationError)> = vec![
+            (
+                SessionPerturbation::SetDistance {
+                    u: 0,
+                    v: 5,
+                    value: f64::NAN,
+                },
+                PerturbationError::InvalidDistance {
+                    u: 0,
+                    v: 5,
+                    value: f64::NAN,
+                },
+            ),
+            (
+                SessionPerturbation::SetDistance {
+                    u: 2,
+                    v: 4,
+                    value: f64::INFINITY,
+                },
+                PerturbationError::InvalidDistance {
+                    u: 2,
+                    v: 4,
+                    value: f64::INFINITY,
+                },
+            ),
+            (
+                SessionPerturbation::SetDistance {
+                    u: 1,
+                    v: 3,
+                    value: -0.5,
+                },
+                PerturbationError::InvalidDistance {
+                    u: 1,
+                    v: 3,
+                    value: -0.5,
+                },
+            ),
+            (
+                SessionPerturbation::SetDistance {
+                    u: 6,
+                    v: 6,
+                    value: 1.0,
+                },
+                PerturbationError::DiagonalDistance { u: 6 },
+            ),
+            (
+                SessionPerturbation::SetDistance {
+                    u: 0,
+                    v: 40,
+                    value: 1.0,
+                },
+                PerturbationError::ElementOutOfRange { u: 40, n: 12 },
+            ),
+            (
+                SessionPerturbation::SetWeight {
+                    u: 2,
+                    value: f64::NAN,
+                },
+                PerturbationError::InvalidWeight {
+                    u: 2,
+                    value: f64::NAN,
+                },
+            ),
+            (
+                SessionPerturbation::SetWeight { u: 2, value: -1.0 },
+                PerturbationError::InvalidWeight { u: 2, value: -1.0 },
+            ),
+            (
+                SessionPerturbation::Arrive { u: 0 },
+                PerturbationError::DuplicateArrival { u: 0 },
+            ),
+            (
+                SessionPerturbation::Depart { u: 7 },
+                PerturbationError::DepartureOfAbsent { u: 7 },
+            ),
+            (
+                SessionPerturbation::Arrive { u: 99 },
+                PerturbationError::ElementOutOfRange { u: 99, n: 12 },
+            ),
+        ];
+        for (pert, want) in cases {
+            let err = s.try_apply(pert).unwrap_err();
+            // NaN payloads compare unequal under `==`; match on rendering.
+            assert_eq!(err.to_string(), want.to_string(), "{pert:?}");
+            assert_eq!(
+                fingerprint(&s),
+                before,
+                "rejected {pert:?} mutated the session"
+            );
+        }
+        // A NaN-carrying error's Display names the offending value.
+        assert!(PerturbationError::InvalidDistance {
+            u: 0,
+            v: 5,
+            value: f64::NAN
+        }
+        .to_string()
+        .contains("NaN"));
+        // The session is still live: a valid perturbation goes through.
+        let report = s
+            .try_apply(SessionPerturbation::SetWeight { u: 2, value: 4.0 })
+            .unwrap();
+        let _ = report.scan;
+    }
+
+    #[test]
+    fn try_apply_batch_is_all_or_nothing_over_simulated_availability() {
+        let problem = instance(11, 10);
+        let mut s = DynamicSession::new(&problem, &[0, 1, 2]);
+        s.apply(SessionPerturbation::Depart { u: 9 });
+        s.update_until_stable(20);
+        let before = fingerprint(&s);
+        // Index 2 re-arrives an element the batch itself already brought
+        // back: only the simulated mask catches it.
+        let batch = [
+            SessionPerturbation::Arrive { u: 9 },
+            SessionPerturbation::SetDistance {
+                u: 0,
+                v: 9,
+                value: 2.0,
+            },
+            SessionPerturbation::Arrive { u: 9 },
+        ];
+        let err = s.try_apply_batch(&batch).unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Rejected {
+                index: 2,
+                error: PerturbationError::DuplicateArrival { u: 9 }
+            }
+        ));
+        assert_eq!(
+            fingerprint(&s),
+            before,
+            "rejected batch must not commit a prefix"
+        );
+        // The departure/arrival pair is legal in one batch (the mask
+        // tracks the intermediate state), as is departing a batch arrival.
+        let batch = [
+            SessionPerturbation::Arrive { u: 9 },
+            SessionPerturbation::Depart { u: 9 },
+            SessionPerturbation::Arrive { u: 9 },
+        ];
+        let report = s.try_apply_batch(&batch).unwrap();
+        assert_eq!(report.ingested, 3);
+        assert!(s.is_active(9));
+        // Error indices point at the first offender.
+        let err = s
+            .try_apply_batch(&[
+                SessionPerturbation::SetWeight { u: 1, value: 2.0 },
+                SessionPerturbation::SetDistance {
+                    u: 3,
+                    v: 3,
+                    value: 1.0,
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Rejected { index: 1, .. }));
+    }
+
+    #[test]
+    fn checkpoint_rollback_is_bit_exact_under_interleaved_batches() {
+        let problem = instance(17, 14);
+        let mut live = DynamicSession::new(&problem, &[0, 1, 2, 3]);
+        let mut pristine = DynamicSession::new(&problem, &[0, 1, 2, 3]);
+        let prefix = [
+            SessionPerturbation::SetDistance {
+                u: 2,
+                v: 9,
+                value: 3.5,
+            },
+            SessionPerturbation::Depart { u: 5 },
+            SessionPerturbation::SetWeight { u: 8, value: 2.25 },
+        ];
+        for &p in &prefix {
+            live.apply(p);
+            pristine.apply(p);
+        }
+        live.update_until_stable(30);
+        pristine.update_until_stable(30);
+        let cp = live.checkpoint();
+        // Diverge the live session with interleaved availability churn,
+        // distance rewrites, and weight updates…
+        live.apply_batch(&[
+            SessionPerturbation::Arrive { u: 5 },
+            SessionPerturbation::SetDistance {
+                u: 0,
+                v: 5,
+                value: 9.0,
+            },
+            SessionPerturbation::Depart {
+                u: live.solution()[0],
+            },
+            SessionPerturbation::SetWeight { u: 1, value: 0.01 },
+            SessionPerturbation::SetDistance {
+                u: 3,
+                v: 11,
+                value: 0.25,
+            },
+        ]);
+        live.update_until_stable(30);
+        assert_ne!(fingerprint(&live), fingerprint(&pristine));
+        // …then roll back: every observable bit matches a session that
+        // never diverged.
+        live.rollback_to(&cp);
+        assert_eq!(fingerprint(&live), fingerprint(&pristine));
+        // The checkpoint is reusable and the rolled-back session answers
+        // the future identically to the pristine one.
+        let suffix = [
+            SessionPerturbation::Depart { u: 0 },
+            SessionPerturbation::SetDistance {
+                u: 4,
+                v: 10,
+                value: 5.0,
+            },
+        ];
+        for &p in &suffix {
+            let a = live.apply(p);
+            let b = pristine.apply(p);
+            assert_eq!(a.outcome.swap, b.outcome.swap);
+            assert_eq!(a.refill, b.refill);
+        }
+        assert_eq!(fingerprint(&live), fingerprint(&pristine));
+        live.rollback_to(&cp);
+        assert_eq!(live.solution().len(), cp.solution().len());
+    }
+
+    #[test]
+    fn try_apply_graph_batch_rolls_back_to_the_pre_batch_state() {
+        use msd_metric::{DynamicGraphMetric, EdgeUpdateError, WeightedGraph};
+        // Path 0-1-2-3 (same instance as the partial-commit test above):
+        // the transactional path must leave no trace of the prefix.
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0)
+            .add_edge(1, 2, 1.0)
+            .add_edge(2, 3, 1.0);
+        let metric = DynamicGraphMetric::from_graph(&g).unwrap();
+        let problem = DiversificationProblem::new(
+            metric,
+            ModularFunction::new(vec![1.0, 0.8, 0.6, 0.4]),
+            0.1,
+        );
+        let mut s = DynamicSession::new(&problem, &[0, 1]);
+        s.update_until_stable(8);
+        let leaving = s.solution()[0];
+        let before_solution = s.solution().to_vec();
+        let before_triangle: Vec<u64> = s
+            .metric()
+            .matrix()
+            .triangle()
+            .iter()
+            .map(|d| d.to_bits())
+            .collect();
+        let before_objective = s.objective().to_bits();
+        let batch = [
+            GraphPerturbation::Depart { u: leaving },
+            GraphPerturbation::RemoveEdge { u: 1, v: 2 },
+            GraphPerturbation::SetWeight { u: 3, value: 9.0 },
+        ];
+        let err = s.try_apply_graph_batch(&batch).unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Rejected {
+                index: 1,
+                error: PerturbationError::Edge(EdgeUpdateError::Disconnected(_))
+            }
+        ));
+        assert_eq!(s.solution(), &before_solution[..]);
+        assert!(
+            s.contains(leaving),
+            "the ingested departure was rolled back"
+        );
+        assert!(s.is_active(leaving));
+        assert!(s.is_stable(), "rollback restores the stability flag");
+        assert_eq!(s.objective().to_bits(), before_objective);
+        let after_triangle: Vec<u64> = s
+            .metric()
+            .matrix()
+            .triangle()
+            .iter()
+            .map(|d| d.to_bits())
+            .collect();
+        assert_eq!(
+            after_triangle, before_triangle,
+            "metric rolled back bit-for-bit"
+        );
+        // Malformed shapes are rejected statically — before the checkpoint
+        // is even taken — with the metric's own typed errors.
+        let err = s
+            .try_apply_graph(GraphPerturbation::SetEdge {
+                u: 0,
+                v: 1,
+                weight: f64::NAN,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PerturbationError::Edge(EdgeUpdateError::InvalidWeight { u: 0, v: 1, .. })
+        ));
+        let err = s
+            .try_apply_graph(GraphPerturbation::RemoveEdge { u: 2, v: 2 })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PerturbationError::Edge(EdgeUpdateError::SelfLoop { u: 2 })
+        ));
+        let err = s
+            .try_apply_graph(GraphPerturbation::SetEdge {
+                u: 0,
+                v: 9,
+                weight: 1.0,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PerturbationError::Edge(EdgeUpdateError::EndpointOutOfRange { u: 0, v: 9, n: 4 })
+        ));
+        assert_eq!(s.objective().to_bits(), before_objective);
+        // A removal that keeps the graph connected commits normally
+        // (checkpoint taken, then discarded).
+        s.try_apply_graph(GraphPerturbation::SetEdge {
+            u: 0,
+            v: 3,
+            weight: 2.0,
+        })
+        .unwrap();
+        s.try_apply_graph(GraphPerturbation::RemoveEdge { u: 2, v: 3 })
+            .unwrap();
+        assert_eq!(s.metric().edge_weight(2, 3), None);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_try_paths_match_serial_validation_and_rollback() {
+        let problem = instance(23, 12);
+        let mut serial = DynamicSession::new(&problem, &[0, 1, 2]);
+        let mut par = DynamicSession::new_sync(&problem, &[0, 1, 2]);
+        let batch = [
+            SessionPerturbation::SetDistance {
+                u: 0,
+                v: 7,
+                value: 4.0,
+            },
+            SessionPerturbation::Depart { u: 2 },
+        ];
+        let a = serial.try_apply_batch(&batch).unwrap();
+        let b = par.try_apply_batch_parallel(&batch).unwrap();
+        assert_eq!(a.outcome.swap, b.outcome.swap);
+        assert_eq!(a.refills, b.refills);
+        assert_eq!(serial.solution(), par.solution());
+        let bad = [SessionPerturbation::Depart { u: 2 }];
+        assert!(matches!(
+            par.try_apply_batch_parallel(&bad),
+            Err(SessionError::Rejected {
+                index: 0,
+                error: PerturbationError::DepartureOfAbsent { u: 2 }
+            })
+        ));
+        assert_eq!(serial.solution(), par.solution());
     }
 }

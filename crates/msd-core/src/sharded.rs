@@ -46,6 +46,9 @@
 //! this, along with per-shard agreement with naive stabilization across
 //! perturbation rounds.
 
+// Ingestion boundary: faults arrive here as values, never as panics.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use msd_metric::{Metric, OverlayMetric, PerturbableMetric, RestrictedMetric};
 use msd_submodular::{IncrementalOracle, RestrictedOracle, SetFunction};
 
@@ -53,7 +56,9 @@ use crate::distributed::{solve_restricted, PartitionScheme};
 use crate::greedy::{greedy_b_with_state, GreedyBConfig};
 use crate::potential::PotentialState;
 use crate::problem::DiversificationProblem;
-use crate::session::{BatchReport, DynamicSession, SessionPerturbation};
+use crate::session::{
+    BatchReport, DynamicSession, PerturbationError, SessionError, SessionPerturbation,
+};
 use crate::ElementId;
 
 /// Metric owned by one shard session: a perturbation overlay over the
@@ -529,9 +534,9 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ShardedEngine<'q, M, Q> {
         let mut dirty: Vec<usize> = Vec::new();
         for &s in &perturbed {
             let new_proposal: Vec<ElementId> = {
-                let session = self.sessions[s]
-                    .as_ref()
-                    .expect("perturbed shard has a session");
+                let Some(session) = self.sessions[s].as_ref() else {
+                    unreachable!("perturbed shard has a session")
+                };
                 let ids = &self.shard_ids[s];
                 session
                     .solution()
@@ -589,6 +594,119 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ShardedEngine<'q, M, Q> {
         self.ingest(perturbations, &mut |session, batch| {
             session.apply_batch(batch)
         })
+    }
+
+    /// Validating [`ShardedEngine::apply`]: rejects a malformed
+    /// perturbation with a typed [`PerturbationError`] instead of
+    /// panicking, leaving the engine untouched.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedEngine::try_apply_batch`], unwrapped to the single
+    /// perturbation's error.
+    pub fn try_apply(
+        &mut self,
+        perturbation: SessionPerturbation,
+    ) -> Result<ShardedReport, PerturbationError> {
+        self.try_apply_batch(std::slice::from_ref(&perturbation))
+            .map_err(|e| match e {
+                SessionError::Rejected { error, .. } => error,
+                SessionError::PartialCommit(_) => {
+                    unreachable!("sharded matrix batches are all-or-nothing")
+                }
+            })
+    }
+
+    /// Validating, **all-or-nothing** counterpart of
+    /// [`ShardedEngine::apply_batch`]: every perturbation is checked up
+    /// front (ranges, finite non-negative values, weight-update support,
+    /// arrival/departure consistency against the availability the batch
+    /// itself produces) and the whole batch is rejected — engine,
+    /// overlays, shard sessions and merged solution untouched — on the
+    /// first offender. Every failure here is statically checkable, so
+    /// rejection costs no checkpoint and no rollback.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Rejected`] with the offending index and typed
+    /// [`PerturbationError`].
+    pub fn try_apply_batch(
+        &mut self,
+        perturbations: &[SessionPerturbation],
+    ) -> Result<ShardedReport, SessionError> {
+        self.validate_batch(perturbations)?;
+        Ok(self.apply_batch(perturbations))
+    }
+
+    /// Static pre-validation for [`ShardedEngine::try_apply_batch`].
+    fn validate_batch(&self, perturbations: &[SessionPerturbation]) -> Result<(), SessionError> {
+        let n = self.shard_of.len();
+        // Overlays the batch's earlier arrivals/departures onto the live
+        // per-shard availability, as `DynamicSession::try_apply_batch`.
+        let mut sim: std::collections::HashMap<ElementId, bool> = std::collections::HashMap::new();
+        let resident = |engine: &Self, u: ElementId, sim: &std::collections::HashMap<_, _>| {
+            sim.get(&u).copied().unwrap_or_else(|| {
+                let s = engine.shard_of[u as usize] as usize;
+                engine.sessions[s]
+                    .as_ref()
+                    // A p = 0 shard keeps no session (and drops the
+                    // perturbation on apply); treat its elements as
+                    // resident so arrivals there are flagged rather than
+                    // silently double-admitted.
+                    .is_none_or(|session| session.is_active(engine.local_of[u as usize]))
+            })
+        };
+        let check_range = |u: ElementId| {
+            if (u as usize) < n {
+                Ok(())
+            } else {
+                Err(PerturbationError::ElementOutOfRange { u, n })
+            }
+        };
+        for (index, &pert) in perturbations.iter().enumerate() {
+            let check = match pert {
+                SessionPerturbation::SetWeight { u, value } => check_range(u).and_then(|()| {
+                    if !self.reduce_oracle.supports_weight_updates() {
+                        Err(PerturbationError::WeightUpdatesUnsupported { u })
+                    } else if !(value.is_finite() && value >= 0.0) {
+                        Err(PerturbationError::InvalidWeight { u, value })
+                    } else {
+                        Ok(())
+                    }
+                }),
+                SessionPerturbation::SetDistance { u, v, value } => {
+                    check_range(u).and_then(|()| check_range(v)).and_then(|()| {
+                        if u == v {
+                            Err(PerturbationError::DiagonalDistance { u })
+                        } else if !(value.is_finite() && value >= 0.0) {
+                            Err(PerturbationError::InvalidDistance { u, v, value })
+                        } else {
+                            Ok(())
+                        }
+                    })
+                }
+                SessionPerturbation::Arrive { u } => check_range(u).and_then(|()| {
+                    if resident(self, u, &sim) {
+                        Err(PerturbationError::DuplicateArrival { u })
+                    } else {
+                        sim.insert(u, true);
+                        Ok(())
+                    }
+                }),
+                SessionPerturbation::Depart { u } => check_range(u).and_then(|()| {
+                    if !resident(self, u, &sim) {
+                        Err(PerturbationError::DepartureOfAbsent { u })
+                    } else {
+                        sim.insert(u, false);
+                        Ok(())
+                    }
+                }),
+            };
+            if let Err(error) = check {
+                return Err(SessionError::Rejected { index, error });
+            }
+        }
+        Ok(())
     }
 
     /// The merged solution (global ids).
@@ -670,6 +788,20 @@ impl<'q, M: Metric + Sync> SyncShardedEngine<'q, M> {
         })
     }
 
+    /// Parallel [`ShardedEngine::try_apply_batch`] — same static
+    /// validation, same all-or-nothing contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedEngine::try_apply_batch`].
+    pub fn try_apply_batch_parallel(
+        &mut self,
+        perturbations: &[SessionPerturbation],
+    ) -> Result<ShardedReport, SessionError> {
+        self.validate_batch(perturbations)?;
+        Ok(self.apply_batch_parallel(perturbations))
+    }
+
     /// Routes every shard session's parallel scans through an explicit
     /// [`crate::pool::ScanPool`] (builder style) — the env-free route for
     /// forcing a chunk schedule; results are bit-identical for any pool.
@@ -732,6 +864,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_apply_batch_rejects_malformed_batches_without_mutation() {
+        let problem = instance(5, 30);
+        let mut engine = ShardedEngine::new(&problem, 5, config(3, PartitionScheme::RoundRobin));
+        engine.apply(SessionPerturbation::Depart { u: 17 });
+        let before_solution = engine.solution().to_vec();
+        let before_objective = engine.objective().to_bits();
+        let before_proposals = engine.proposals().to_vec();
+        let cases: Vec<(Vec<SessionPerturbation>, usize)> = vec![
+            // NaN distance behind a valid prefix entry.
+            (
+                vec![
+                    SessionPerturbation::SetWeight { u: 0, value: 2.0 },
+                    SessionPerturbation::SetDistance {
+                        u: 1,
+                        v: 2,
+                        value: f64::NAN,
+                    },
+                ],
+                1,
+            ),
+            (
+                vec![SessionPerturbation::SetDistance {
+                    u: 4,
+                    v: 4,
+                    value: 1.0,
+                }],
+                0,
+            ),
+            (
+                vec![SessionPerturbation::SetWeight { u: 99, value: 1.0 }],
+                0,
+            ),
+            (vec![SessionPerturbation::Arrive { u: 3 }], 0), // already resident
+            (vec![SessionPerturbation::Depart { u: 17 }], 0), // already gone
+            // The sim mask sees the batch's own arrival.
+            (
+                vec![
+                    SessionPerturbation::Arrive { u: 17 },
+                    SessionPerturbation::Arrive { u: 17 },
+                ],
+                1,
+            ),
+        ];
+        for (batch, want_index) in cases {
+            let err = engine.try_apply_batch(&batch).unwrap_err();
+            let SessionError::Rejected { index, .. } = err else {
+                panic!("sharded matrix batches never partial-commit: {err:?}");
+            };
+            assert_eq!(index, want_index, "{batch:?}");
+            assert_eq!(engine.solution(), &before_solution[..]);
+            assert_eq!(engine.objective().to_bits(), before_objective);
+            assert_eq!(engine.proposals(), &before_proposals[..]);
+        }
+        // Valid traffic (including the arrival/departure round-trip the
+        // rejected batches circled) still flows, identical to the
+        // panicking path.
+        let report = engine
+            .try_apply_batch(&[
+                SessionPerturbation::Arrive { u: 17 },
+                SessionPerturbation::SetWeight { u: 0, value: 2.0 },
+            ])
+            .unwrap();
+        let _ = report.reduce_ran;
+        let err = engine
+            .try_apply(SessionPerturbation::Arrive { u: 17 })
+            .unwrap_err();
+        assert_eq!(err, PerturbationError::DuplicateArrival { u: 17 });
     }
 
     #[test]

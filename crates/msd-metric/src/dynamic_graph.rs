@@ -115,6 +115,85 @@ impl EdgeUpdateReport {
     }
 }
 
+/// Typed rejection of an edge perturbation.
+///
+/// Every variant leaves the metric **unchanged** — a rejected update can
+/// never corrupt the APSP matrix, so callers ingesting untrusted edge
+/// streams keep serving from the pre-update metric. Until PR 8 the
+/// malformed-input variants were `assert!` panics deep inside
+/// [`DynamicGraphMetric`]; a typed error is what lets a multi-tenant
+/// frontend reject one tenant's poisoned batch without taking the
+/// process down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeUpdateError {
+    /// Removing the edge would disconnect the graph: no finite induced
+    /// metric exists. Carries the witness pair.
+    Disconnected(DisconnectedGraph),
+    /// The edge weight is NaN, infinite, or negative — admitting it would
+    /// poison every shortest path through the edge.
+    InvalidWeight {
+        /// Edge endpoints as submitted.
+        u: ElementId,
+        /// Second endpoint.
+        v: ElementId,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// An endpoint lies outside the ground set `0..n`.
+    EndpointOutOfRange {
+        /// Edge endpoints as submitted.
+        u: ElementId,
+        /// Second endpoint.
+        v: ElementId,
+        /// Ground-set size.
+        n: usize,
+    },
+    /// `u == v` — self-loops have no metric meaning.
+    SelfLoop {
+        /// The repeated endpoint.
+        u: ElementId,
+    },
+    /// [`EdgePerturbableMetric::remove_edge`] on a pair with no edge.
+    MissingEdge {
+        /// Edge endpoints as submitted.
+        u: ElementId,
+        /// Second endpoint.
+        v: ElementId,
+    },
+}
+
+impl std::fmt::Display for EdgeUpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Disconnected(e) => e.fmt(f),
+            Self::InvalidWeight { u, v, weight } => write!(
+                f,
+                "edge weight {weight} for {{{u}, {v}}} must be finite and non-negative"
+            ),
+            Self::EndpointOutOfRange { u, v, n } => {
+                write!(f, "edge endpoint out of range: {{{u}, {v}}} with n = {n}")
+            }
+            Self::SelfLoop { u } => write!(f, "self-loop {{{u}, {u}}} has no metric meaning"),
+            Self::MissingEdge { u, v } => write!(f, "no edge between {u} and {v} to remove"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeUpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Disconnected(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DisconnectedGraph> for EdgeUpdateError {
+    fn from(e: DisconnectedGraph) -> Self {
+        Self::Disconnected(e)
+    }
+}
+
 /// A metric whose distances are induced by an updatable structure (a
 /// weighted graph) rather than stored per pair: one edge update moves a
 /// whole *set* of pairwise distances and reports it.
@@ -132,22 +211,17 @@ pub trait EdgePerturbableMetric: Metric {
     ///
     /// # Errors
     ///
-    /// Implementations that cannot represent the post-update metric
-    /// return an error and leave the metric **unchanged**. (Shortest-path
-    /// metrics never fail here — a weight change keeps the graph
-    /// connected — but the signature is shared with
-    /// [`remove_edge`](Self::remove_edge).)
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u == v`, either endpoint is out of range, or `weight`
-    /// is negative or non-finite.
+    /// Rejects NaN / infinite / negative weights, out-of-range endpoints,
+    /// and self-loops with a typed [`EdgeUpdateError`], leaving the
+    /// metric **unchanged**. (Shortest-path metrics never disconnect on a
+    /// weight change; the [`EdgeUpdateError::Disconnected`] variant is
+    /// shared with [`remove_edge`](Self::remove_edge).)
     fn set_edge(
         &mut self,
         u: ElementId,
         v: ElementId,
         weight: f64,
-    ) -> Result<EdgeUpdateReport, DisconnectedGraph>;
+    ) -> Result<EdgeUpdateReport, EdgeUpdateError>;
 
     /// Removes the edge `{u, v}`, repairs the induced metric, and reports
     /// every moved pair.
@@ -155,16 +229,13 @@ pub trait EdgePerturbableMetric: Metric {
     /// # Errors
     ///
     /// Returns an error — leaving the metric **unchanged** — when the
-    /// removal would disconnect the graph (no finite metric exists).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the edge does not exist or the endpoints are invalid.
+    /// removal would disconnect the graph (no finite metric exists), the
+    /// edge does not exist, or the endpoints are invalid.
     fn remove_edge(
         &mut self,
         u: ElementId,
         v: ElementId,
-    ) -> Result<EdgeUpdateReport, DisconnectedGraph>;
+    ) -> Result<EdgeUpdateReport, EdgeUpdateError>;
 }
 
 /// Min-heap entry for the Dijkstra sweeps (finite non-negative keys, so
@@ -516,12 +587,14 @@ impl DynamicGraphMetric {
         }
     }
 
-    fn assert_endpoints(&self, u: ElementId, v: ElementId) {
-        assert!(
-            (u as usize) < self.n && (v as usize) < self.n,
-            "edge endpoint out of range"
-        );
-        assert!(u != v, "self-loops have no metric meaning");
+    fn check_endpoints(&self, u: ElementId, v: ElementId) -> Result<(), EdgeUpdateError> {
+        if (u as usize) >= self.n || (v as usize) >= self.n {
+            return Err(EdgeUpdateError::EndpointOutOfRange { u, v, n: self.n });
+        }
+        if u == v {
+            return Err(EdgeUpdateError::SelfLoop { u });
+        }
+        Ok(())
     }
 }
 
@@ -531,12 +604,13 @@ impl EdgePerturbableMetric for DynamicGraphMetric {
         u: ElementId,
         v: ElementId,
         weight: f64,
-    ) -> Result<EdgeUpdateReport, DisconnectedGraph> {
-        self.assert_endpoints(u, v);
-        assert!(
-            weight.is_finite() && weight >= 0.0,
-            "edge weight must be finite and non-negative, got {weight}"
-        );
+    ) -> Result<EdgeUpdateReport, EdgeUpdateError> {
+        self.check_endpoints(u, v)?;
+        if !(weight.is_finite() && weight >= 0.0) {
+            // Rejected before any adjacency or APSP mutation: one NaN
+            // admitted here would propagate through every Dijkstra relax.
+            return Err(EdgeUpdateError::InvalidWeight { u, v, weight });
+        }
         match self.edge_weight(u, v) {
             Some(old) if weight == old => Ok(EdgeUpdateReport::untouched()),
             Some(old) if weight > old => {
@@ -555,17 +629,17 @@ impl EdgePerturbableMetric for DynamicGraphMetric {
         &mut self,
         u: ElementId,
         v: ElementId,
-    ) -> Result<EdgeUpdateReport, DisconnectedGraph> {
-        self.assert_endpoints(u, v);
-        let old = self
-            .edge_weight(u, v)
-            .unwrap_or_else(|| panic!("no edge between {u} and {v} to remove"));
+    ) -> Result<EdgeUpdateReport, EdgeUpdateError> {
+        self.check_endpoints(u, v)?;
+        let Some(old) = self.edge_weight(u, v) else {
+            return Err(EdgeUpdateError::MissingEdge { u, v });
+        };
         if !self.connected_without(u, u, v) {
             // The metric is untouched; the caller may keep using it.
-            return Err(DisconnectedGraph {
+            return Err(EdgeUpdateError::Disconnected(DisconnectedGraph {
                 u: u.min(v),
                 v: u.max(v),
-            });
+            }));
         }
         self.drop_adjacency(u, v);
         Ok(self.repair_increase(u, v, old))
@@ -732,7 +806,10 @@ mod tests {
         // intact.
         let before = metric.matrix().triangle().to_vec();
         let err = metric.remove_edge(3, 0).unwrap_err();
-        assert_eq!((err.u, err.v), (0, 3));
+        assert_eq!(
+            err,
+            EdgeUpdateError::Disconnected(DisconnectedGraph { u: 0, v: 3 })
+        );
         assert_eq!(metric.edge_weight(0, 3), Some(2.5));
         assert_eq!(metric.matrix().triangle(), &before[..]);
         assert_matches_rebuild(&metric);
@@ -773,30 +850,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn out_of_range_edge_panics() {
+    fn malformed_edge_updates_are_rejected_without_mutation() {
+        // Each malformed update must return its typed error and leave the
+        // adjacency *and* the APSP matrix bit-identical — the fault-
+        // tolerance contract the serving stack builds on.
         let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
-        let _ = metric.set_edge(0, 9, 1.0);
-    }
+        let before = metric.matrix().triangle().to_vec();
+        let edges_before = metric.num_edges();
 
-    #[test]
-    #[should_panic(expected = "self-loops")]
-    fn self_loop_panics() {
-        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
-        let _ = metric.set_edge(2, 2, 1.0);
-    }
+        assert_eq!(
+            metric.set_edge(0, 9, 1.0),
+            Err(EdgeUpdateError::EndpointOutOfRange { u: 0, v: 9, n: 4 })
+        );
+        assert_eq!(
+            metric.set_edge(2, 2, 1.0),
+            Err(EdgeUpdateError::SelfLoop { u: 2 })
+        );
+        for bad in [-0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = metric.set_edge(0, 1, bad).unwrap_err();
+            match err {
+                EdgeUpdateError::InvalidWeight { u: 0, v: 1, weight } => {
+                    assert!(weight.is_nan() == bad.is_nan() && (weight == bad || bad.is_nan()));
+                }
+                other => panic!("expected InvalidWeight, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            metric.remove_edge(1, 3),
+            Err(EdgeUpdateError::MissingEdge { u: 1, v: 3 })
+        );
+        assert_eq!(
+            metric.remove_edge(1, 9),
+            Err(EdgeUpdateError::EndpointOutOfRange { u: 1, v: 9, n: 4 })
+        );
 
-    #[test]
-    #[should_panic(expected = "finite and non-negative")]
-    fn negative_weight_panics() {
-        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
-        let _ = metric.set_edge(0, 1, -0.5);
-    }
-
-    #[test]
-    #[should_panic(expected = "no edge")]
-    fn removing_a_missing_edge_panics() {
-        let mut metric = DynamicGraphMetric::from_graph(&diamond()).unwrap();
-        let _ = metric.remove_edge(1, 3);
+        assert_eq!(metric.num_edges(), edges_before);
+        assert_eq!(metric.matrix().triangle(), &before[..]);
+        assert_matches_rebuild(&metric);
     }
 }

@@ -54,7 +54,8 @@ pub mod validate;
 
 pub use derived::{GollapudiSharmaMetric, ScaledMetric, StarWeightMetric};
 pub use dynamic_graph::{
-    DistanceChange, DynamicGraphMetric, EdgePerturbableMetric, EdgeUpdateReport, RepairStrategy,
+    DistanceChange, DynamicGraphMetric, EdgePerturbableMetric, EdgeUpdateError, EdgeUpdateReport,
+    RepairStrategy,
 };
 pub use graph::{DisconnectedGraph, WeightedGraph};
 pub use implicit::{PointKernel, PointMetric, TileCacheStats};

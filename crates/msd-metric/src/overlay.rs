@@ -84,6 +84,17 @@ impl<M: Metric> OverlayMetric<M> {
         self.overrides.len()
     }
 
+    /// The overlay deltas: every rewritten pair `(u, v)` (with `u < v`)
+    /// and its override distance, in unspecified order.
+    ///
+    /// This is the audit hook behind transactional rollback in
+    /// `msd-core`: a checkpoint restores a session's overlay by clone,
+    /// and the fault-injection suite asserts via this iterator that the
+    /// restored delta set matches the pre-batch one exactly.
+    pub fn overrides(&self) -> impl Iterator<Item = ((ElementId, ElementId), f64)> + '_ {
+        self.overrides.iter().map(|(&pair, &d)| (pair, d))
+    }
+
     /// Drops every override, reverting to the base metric.
     pub fn clear_overrides(&mut self) {
         self.overrides.clear();

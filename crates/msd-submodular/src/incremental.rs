@@ -34,10 +34,50 @@
 //! structured functions override those hooks to return their specialized
 //! oracles.
 
+use std::any::Any;
+use std::fmt;
+
 use crate::coverage::CoverageFunction;
 use crate::facility::FacilityLocationFunction;
 use crate::modular::ModularFunction;
 use crate::{ElementId, SetFunction, ZeroFunction};
+
+/// Opaque, bit-exact snapshot of an [`IncrementalOracle`]'s mutable state.
+///
+/// Produced by [`IncrementalOracle::save_state`] and consumed *by
+/// reference* — one snapshot can be restored any number of times — by
+/// [`IncrementalOracle::restore_state`]. The payload is type-erased so a
+/// session holding `Box<dyn IncrementalOracle>` can checkpoint without
+/// naming the concrete oracle type; each implementation downcasts its own
+/// payload back on restore.
+///
+/// Snapshots capture only the *mutable* fields (membership, cached
+/// marginals, running value sums, copy-on-write weight overrides); the
+/// borrowed function data is shared and immutable, so saving is
+/// `O(mutable state)` regardless of the wrapped function's size.
+pub struct OracleState(Box<dyn Any + Send + Sync>);
+
+impl OracleState {
+    fn new<T: Any + Send + Sync>(payload: T) -> Self {
+        Self(Box::new(payload))
+    }
+
+    /// # Panics
+    ///
+    /// Panics when the payload is not a `T` — the snapshot was produced
+    /// by a different oracle type, a checkpoint/session pairing bug.
+    fn downcast<T: Any>(&self) -> &T {
+        self.0
+            .downcast_ref::<T>()
+            .expect("oracle state snapshot does not match this oracle type")
+    }
+}
+
+impl fmt::Debug for OracleState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("OracleState(..)")
+    }
+}
 
 /// A stateful value oracle over a mutable set `S`, with incrementally
 /// maintained marginal gains.
@@ -191,6 +231,27 @@ pub trait IncrementalOracle {
     /// authoritative weights of the wrapped function, undoing any
     /// [`try_set_weight`](Self::try_set_weight) overrides.
     fn invalidate(&mut self, elems: &[ElementId]);
+
+    /// Captures a bit-exact snapshot of the oracle's mutable state.
+    ///
+    /// Together with [`restore_state`](Self::restore_state) this is the
+    /// transactional-rollback hook behind `msd-core`'s
+    /// `SessionCheckpoint`. Replaying *inverse* mutations (`insert`
+    /// undoing `remove`, `try_set_weight` re-applying a displaced value)
+    /// re-derives the cached floats through a different accumulation
+    /// history, so it is not IEEE-round-trip safe — only a state snapshot
+    /// restores the running value sums and marginal caches bit-for-bit.
+    fn save_state(&self) -> OracleState;
+
+    /// Restores mutable state captured by
+    /// [`save_state`](Self::save_state) on this oracle (or on an oracle
+    /// of the same type over the same function data).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` was produced by an incompatible oracle — a
+    /// checkpoint/session pairing bug, not a data fault.
+    fn restore_state(&mut self, state: &OracleState);
 }
 
 /// Shared membership bookkeeping for the oracle implementations.
@@ -226,6 +287,56 @@ impl Membership {
         self.in_set[u as usize] = false;
         self.size -= 1;
     }
+}
+
+// Per-oracle [`OracleState`] payloads. Private named structs (rather than
+// tuples) so a snapshot can never downcast into a different oracle type
+// that happens to share the same field shape.
+
+#[derive(Clone)]
+struct ModularState {
+    own: Vec<f64>,
+    members: Membership,
+    value: f64,
+}
+
+#[derive(Clone)]
+struct ZeroState {
+    members: Membership,
+}
+
+#[derive(Clone)]
+struct CoverageState {
+    members: Membership,
+    count: Vec<u32>,
+    cache: Vec<f64>,
+    value: f64,
+}
+
+#[derive(Clone)]
+struct FacilityState {
+    members: Membership,
+    member_list: Vec<ElementId>,
+    best: Vec<f64>,
+    provider: Vec<ElementId>,
+    second: Vec<f64>,
+    cache: Vec<f64>,
+    value: f64,
+}
+
+struct MixtureState {
+    parts: Vec<OracleState>,
+    members: Membership,
+}
+
+#[derive(Clone)]
+struct GenericState {
+    members: Vec<ElementId>,
+    in_set: Vec<bool>,
+    value: f64,
+    bound: Vec<f64>,
+    stamp: Vec<u64>,
+    version: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -356,6 +467,21 @@ impl IncrementalOracle for ModularOracle<'_> {
             self.reload_weight(u);
         }
     }
+
+    fn save_state(&self) -> OracleState {
+        OracleState::new(ModularState {
+            own: self.own.clone(),
+            members: self.members.clone(),
+            value: self.value,
+        })
+    }
+
+    fn restore_state(&mut self, state: &OracleState) {
+        let s: &ModularState = state.downcast();
+        self.own.clone_from(&s.own);
+        self.members.clone_from(&s.members);
+        self.value = s.value;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -420,6 +546,17 @@ impl IncrementalOracle for ZeroOracle {
     }
 
     fn invalidate(&mut self, _elems: &[ElementId]) {}
+
+    fn save_state(&self) -> OracleState {
+        OracleState::new(ZeroState {
+            members: self.members.clone(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &OracleState) {
+        let s: &ZeroState = state.downcast();
+        self.members.clone_from(&s.members);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -584,6 +721,23 @@ impl IncrementalOracle for CoverageOracle<'_> {
             }
             self.cache[u as usize] = m;
         }
+    }
+
+    fn save_state(&self) -> OracleState {
+        OracleState::new(CoverageState {
+            members: self.members.clone(),
+            count: self.count.clone(),
+            cache: self.cache.clone(),
+            value: self.value,
+        })
+    }
+
+    fn restore_state(&mut self, state: &OracleState) {
+        let s: &CoverageState = state.downcast();
+        self.members.clone_from(&s.members);
+        self.count.clone_from(&s.count);
+        self.cache.clone_from(&s.cache);
+        self.value = s.value;
     }
 }
 
@@ -821,6 +975,29 @@ impl IncrementalOracle for FacilityOracle<'_> {
             self.cache[u as usize] = m;
         }
     }
+
+    fn save_state(&self) -> OracleState {
+        OracleState::new(FacilityState {
+            members: self.members.clone(),
+            member_list: self.member_list.clone(),
+            best: self.best.clone(),
+            provider: self.provider.clone(),
+            second: self.second.clone(),
+            cache: self.cache.clone(),
+            value: self.value,
+        })
+    }
+
+    fn restore_state(&mut self, state: &OracleState) {
+        let s: &FacilityState = state.downcast();
+        self.members.clone_from(&s.members);
+        self.member_list.clone_from(&s.member_list);
+        self.best.clone_from(&s.best);
+        self.provider.clone_from(&s.provider);
+        self.second.clone_from(&s.second);
+        self.cache.clone_from(&s.cache);
+        self.value = s.value;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -981,6 +1158,26 @@ impl<O: IncrementalOracle + ?Sized> IncrementalOracle for MixtureOracle<O> {
             p.invalidate(elems);
         }
     }
+
+    fn save_state(&self) -> OracleState {
+        OracleState::new(MixtureState {
+            parts: self.parts.iter().map(|(_, p)| p.save_state()).collect(),
+            members: self.members.clone(),
+        })
+    }
+
+    fn restore_state(&mut self, state: &OracleState) {
+        let s: &MixtureState = state.downcast();
+        assert_eq!(
+            s.parts.len(),
+            self.parts.len(),
+            "mixture snapshot component count mismatch"
+        );
+        for ((_, p), part_state) in self.parts.iter_mut().zip(&s.parts) {
+            p.restore_state(part_state);
+        }
+        self.members.clone_from(&s.members);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1120,6 +1317,27 @@ impl<F: SetFunction + ?Sized> IncrementalOracle for GenericOracle<'_, F> {
             self.bound[u as usize] = f64::INFINITY;
             self.stamp[u as usize] = u64::MAX;
         }
+    }
+
+    fn save_state(&self) -> OracleState {
+        OracleState::new(GenericState {
+            members: self.members.clone(),
+            in_set: self.in_set.clone(),
+            value: self.value,
+            bound: self.bound.clone(),
+            stamp: self.stamp.clone(),
+            version: self.version,
+        })
+    }
+
+    fn restore_state(&mut self, state: &OracleState) {
+        let s: &GenericState = state.downcast();
+        self.members.clone_from(&s.members);
+        self.in_set.clone_from(&s.in_set);
+        self.value = s.value;
+        self.bound.clone_from(&s.bound);
+        self.stamp.clone_from(&s.stamp);
+        self.version = s.version;
     }
 }
 
@@ -1412,6 +1630,66 @@ mod tests {
             }
             assert!((oracle.value() - f.value(&mirror)).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn save_restore_round_trips_bit_exactly() {
+        // Snapshot → further mutations → restore must reproduce the
+        // saved value, membership, and every marginal with == equality
+        // (the SessionCheckpoint contract), across all oracle families.
+        let cov = coverage();
+        let fac = facility();
+        let modular = ModularFunction::new(vec![0.5, 2.0, 0.0, 3.25, 1.0, 0.75]);
+        let mix = MixtureFunction::new(6)
+            .with(0.5, modular.clone())
+            .with(2.0, coverage());
+        let zero = ZeroFunction::new(6);
+        let mut oracles: Vec<Box<dyn IncrementalOracle + '_>> = vec![
+            cov.incremental(),
+            fac.incremental(),
+            modular.incremental(),
+            mix.incremental(),
+            Box::new(GenericOracle::new(&cov)),
+            Box::new(ZeroOracle::new(&zero)),
+        ];
+        for oracle in &mut oracles {
+            let n = oracle.ground_size() as ElementId;
+            oracle.insert(1);
+            oracle.insert(3);
+            if oracle.supports_weight_updates() {
+                oracle.try_set_weight(3, 9.5);
+            }
+            let saved = oracle.save_state();
+            let value = oracle.value();
+            let marginals: Vec<f64> = (0..n).map(|u| oracle.marginal(u)).collect();
+            let members: Vec<bool> = (0..n).map(|u| oracle.contains(u)).collect();
+            // Diverge: swap membership around, poke weights.
+            oracle.remove(3);
+            oracle.insert(0);
+            oracle.insert(4);
+            if oracle.supports_weight_updates() {
+                oracle.try_set_weight(0, 0.125);
+            }
+            oracle.restore_state(&saved);
+            assert_eq!(oracle.len(), 2);
+            assert!(oracle.value() == value, "value not bit-identical");
+            for u in 0..n {
+                assert!(
+                    oracle.marginal(u) == marginals[u as usize],
+                    "marginal({u}) not bit-identical after restore"
+                );
+                assert_eq!(oracle.contains(u), members[u as usize]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match this oracle type")]
+    fn restore_rejects_foreign_snapshots() {
+        let cov = coverage();
+        let mut o = cov.incremental();
+        let zero = ZeroOracle::new(&ZeroFunction::new(6)).save_state();
+        o.restore_state(&zero);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use coverage::CoverageFunction;
 pub use facility::FacilityLocationFunction;
 pub use incremental::{
     CoverageOracle, FacilityOracle, GenericOracle, IncrementalOracle, MixtureOracle, ModularOracle,
-    SyncMixtureOracle, ZeroOracle,
+    OracleState, SyncMixtureOracle, ZeroOracle,
 };
 pub use logdet::LogDetFunction;
 pub use mixture::MixtureFunction;

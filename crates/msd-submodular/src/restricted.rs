@@ -175,6 +175,16 @@ impl<O: IncrementalOracle + ?Sized, B: BorrowMut<O>> IncrementalOracle for Restr
         let globals: Vec<ElementId> = elems.iter().map(|&u| self.global(u)).collect();
         self.inner_mut().invalidate(&globals);
     }
+
+    fn save_state(&self) -> crate::incremental::OracleState {
+        // The id map is immutable; the inner oracle is the only mutable
+        // state, so its snapshot (global-id addressed) is the view's.
+        self.inner().save_state()
+    }
+
+    fn restore_state(&mut self, state: &crate::incremental::OracleState) {
+        self.inner_mut().restore_state(state);
+    }
 }
 
 #[cfg(test)]

@@ -60,21 +60,23 @@ pub mod prelude {
     pub use msd_core::{
         distributed_greedy, exact_max_diversification, greedy_a, greedy_b, hassin_edge_greedy,
         hassin_matching, knapsack_diversify, local_search_matroid, local_search_refine,
-        max_sum_dispersion_greedy, mmr_select, stream_diversify, BatchReport,
+        max_sum_dispersion_greedy, mmr_select, stream_diversify, AdmissionPolicy, BatchReport,
         CompactStreamingSession, DistributedConfig, DistributedResult, DiversificationProblem,
         DynamicInstance, DynamicSession, ElementId, GraphBatchError, GraphPerturbation,
         GreedyAConfig, GreedyBConfig, KnapsackConfig, LocalSearchConfig, MergeStats, MmrConfig,
-        PartitionScheme, Perturbation, PotentialState, QueryResponse, ScanExtent, ServingFrontend,
-        ServingRequest, SessionPerturbation, ShardedConfig, ShardedEngine, ShardedReport,
-        StreamingDiversifier, StreamingSession, SyncServingFrontend, TenantId, TenantStats,
+        PartitionScheme, Perturbation, PerturbationError, PotentialState, QueryResponse,
+        ScanExtent, ServingFrontend, ServingRequest, SessionCheckpoint, SessionError,
+        SessionPerturbation, ShardedConfig, ShardedEngine, ShardedReport, StreamingDiversifier,
+        StreamingSession, SubmitError, SyncServingFrontend, TenantId, TenantStats,
     };
     pub use msd_matroid::{
         GraphicMatroid, LaminarMatroid, Matroid, PartitionMatroid, TransversalMatroid,
         TruncatedMatroid, UniformMatroid,
     };
     pub use msd_metric::{
-        DistanceMatrix, DynamicGraphMetric, EdgePerturbableMetric, Metric, OverlayMetric,
-        PerturbableMetric, Point, PointKernel, PointMetric, TileCacheStats, WeightedGraph,
+        DistanceMatrix, DynamicGraphMetric, EdgePerturbableMetric, EdgeUpdateError, Metric,
+        OverlayMetric, PerturbableMetric, Point, PointKernel, PointMetric, TileCacheStats,
+        WeightedGraph,
     };
     pub use msd_submodular::{
         ConcaveOverModular, ConcaveShape, CoverageFunction, FacilityLocationFunction,
