@@ -25,7 +25,14 @@
 //! `dynamic/graph/*` family driving edge-weight churn on road-like and
 //! clustered networks through the incremental APSP repair of
 //! [`DynamicGraphMetric`] against the O(n³) Floyd–Warshall rebuild (the
-//! `fw_rebuild_ns`/`repair_ns` pair plus a graph-session update). With
+//! `fw_rebuild_ns`/`repair_ns` pair plus a graph-session update), and a
+//! `dynamic/constrained/*` family driving the same steady-state cycle
+//! through **constrained** sessions ([`ConstraintPolicy`]: matroid
+//! exchange scans over uniform and partition matroids, knapsack density
+//! scans) against the per-cycle rebuild references
+//! ([`oblivious_update_step_matroid`] / [`oblivious_update_step_knapsack`],
+//! which reconstruct the potential caches every cycle) — the same
+//! `rebuild_ns`/`session_ns` row shape as the session family. With
 //! `--features parallel`, the cycling families gain a
 //! `perturb_update_parallel` variant plus a `perturb_update_forced` one
 //! (`MSD_PARALLEL_THREADS=4`, recording genuinely chunked execution even
@@ -49,10 +56,12 @@ use msd_bench::support::{
     record_mean, workspace_root,
 };
 use msd_core::{
-    greedy_b, oblivious_update_step, DiversificationProblem, DynamicInstance, DynamicSession,
-    GraphPerturbation, GreedyBConfig, Perturbation, SessionPerturbation,
+    greedy_b, oblivious_update_step, oblivious_update_step_knapsack, oblivious_update_step_matroid,
+    DiversificationProblem, DynamicInstance, DynamicSession, GraphPerturbation, GreedyBConfig,
+    Perturbation, SessionPerturbation,
 };
 use msd_data::SyntheticConfig;
+use msd_matroid::{Matroid, PartitionMatroid, UniformMatroid};
 use msd_metric::{DistanceMatrix, DynamicGraphMetric, EdgePerturbableMetric, WeightedGraph};
 use msd_submodular::{CoverageFunction, FacilityLocationFunction, ModularFunction, SetFunction};
 use rand::rngs::StdRng;
@@ -465,6 +474,170 @@ fn bench_batch<F: SetFunction + Sync + Clone>(
     }
 }
 
+/// Applies one modular-script perturbation to an owned modular problem
+/// (the constrained rebuild references mutate the instance in place).
+fn apply_modular(
+    problem: &mut DiversificationProblem<DistanceMatrix, ModularFunction>,
+    pert: Perturbation,
+) {
+    match pert {
+        Perturbation::SetWeight { u, value } => problem.quality_mut().set_weight(u, value),
+        Perturbation::SetDistance { u, v, value } => problem.metric_mut().set(u, v, value),
+    }
+}
+
+/// Constrained-session family: the steady-state perturb→update cycle
+/// under a `ConstraintPolicy` — matroid exchange scans (uniform and
+/// partition families) and knapsack density scans through the session's
+/// persistent caches — against the per-cycle rebuild references
+/// ([`oblivious_update_step_matroid`] / [`oblivious_update_step_knapsack`],
+/// which reconstruct the potential caches every cycle). Same
+/// rebuild/session/session_parallel variant discipline (and JSON row
+/// shape) as `dynamic/session/*`.
+fn bench_constrained(c: &mut Criterion, ns: &[usize]) {
+    for &n in ns {
+        let p = P.min(n / 2);
+        let families: Vec<(&str, Box<dyn Matroid + Sync>)> = vec![
+            ("uniform", Box::new(UniformMatroid::new(n, p))),
+            (
+                "partition",
+                Box::new(PartitionMatroid::new(
+                    (0..n as u32).map(|u| u % 5).collect(),
+                    vec![p as u32 / 5; 5],
+                )),
+            ),
+        ];
+        for (family, matroid) in &families {
+            let problem = SyntheticConfig::paper(n).generate(37 + n as u64);
+            // Matroid-feasible start, driven to exchange-stability so both
+            // variants measure the maintained steady state.
+            let mut init = matroid.extend_to_basis(&[]);
+            for _ in 0..10 * p {
+                if oblivious_update_step_matroid(&problem, matroid.as_ref(), &mut init)
+                    .swap
+                    .is_none()
+                {
+                    break;
+                }
+            }
+            let rng_seed = 41 + n as u64;
+            let mut group = c.benchmark_group(format!("dynamic/constrained/{family}/n{n}/p{p}"));
+            {
+                let mut state = (problem.clone(), init.clone());
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                group.bench_function("rebuild", |b| {
+                    b.iter(|| {
+                        let pert = draw_perturbation(&mut rng, n, true);
+                        let (prob, sol) = &mut state;
+                        apply_modular(prob, pert);
+                        oblivious_update_step_matroid(black_box(prob), matroid.as_ref(), sol)
+                    })
+                });
+            }
+            {
+                let session_problem = problem.clone();
+                let mut session =
+                    DynamicSession::new(&session_problem, &init).with_matroid(matroid.as_ref());
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                group.bench_function("session", |b| {
+                    b.iter(|| {
+                        let mut last = None;
+                        for _ in 0..SESSION_BATCH {
+                            let pert = draw_perturbation(&mut rng, n, true);
+                            last = Some(session.apply(black_box(pert.into())));
+                        }
+                        last
+                    })
+                });
+            }
+            #[cfg(feature = "parallel")]
+            {
+                let session_problem = problem.clone();
+                let mut session = msd_core::SyncDynamicSession::new_sync(&session_problem, &init)
+                    .with_matroid(matroid.as_ref());
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                group.bench_function("session_parallel", |b| {
+                    b.iter(|| {
+                        let mut last = None;
+                        for _ in 0..SESSION_BATCH {
+                            let pert = draw_perturbation(&mut rng, n, true);
+                            last = Some(session.apply_parallel(black_box(pert.into())));
+                        }
+                        last
+                    })
+                });
+            }
+            group.finish();
+        }
+        // Knapsack: random costs, budget slightly above the seed load so
+        // density repairs actually bind.
+        {
+            let problem = SyntheticConfig::paper(n).generate(43 + n as u64);
+            let mut cost_rng = StdRng::seed_from_u64(53 + n as u64);
+            let costs: Vec<f64> = (0..n).map(|_| cost_rng.gen_range(0.5..1.5)).collect();
+            let mut init = greedy_b(&problem, p, GreedyBConfig::default());
+            let budget = init.iter().map(|&u| costs[u as usize]).sum::<f64>() + 2.0;
+            for _ in 0..10 * p {
+                if oblivious_update_step_knapsack(&problem, &costs, budget, &mut init)
+                    .swap
+                    .is_none()
+                {
+                    break;
+                }
+            }
+            let rng_seed = 47 + n as u64;
+            let mut group = c.benchmark_group(format!("dynamic/constrained/knapsack/n{n}/p{p}"));
+            {
+                let mut state = (problem.clone(), init.clone());
+                let costs = costs.clone();
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                group.bench_function("rebuild", |b| {
+                    b.iter(|| {
+                        let pert = draw_perturbation(&mut rng, n, true);
+                        let (prob, sol) = &mut state;
+                        apply_modular(prob, pert);
+                        oblivious_update_step_knapsack(black_box(prob), &costs, budget, sol)
+                    })
+                });
+            }
+            {
+                let session_problem = problem.clone();
+                let mut session = DynamicSession::new(&session_problem, &init)
+                    .with_knapsack(costs.clone(), budget);
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                group.bench_function("session", |b| {
+                    b.iter(|| {
+                        let mut last = None;
+                        for _ in 0..SESSION_BATCH {
+                            let pert = draw_perturbation(&mut rng, n, true);
+                            last = Some(session.apply(black_box(pert.into())));
+                        }
+                        last
+                    })
+                });
+            }
+            #[cfg(feature = "parallel")]
+            {
+                let session_problem = problem.clone();
+                let mut session = msd_core::SyncDynamicSession::new_sync(&session_problem, &init)
+                    .with_knapsack(costs.clone(), budget);
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                group.bench_function("session_parallel", |b| {
+                    b.iter(|| {
+                        let mut last = None;
+                        for _ in 0..SESSION_BATCH {
+                            let pert = draw_perturbation(&mut rng, n, true);
+                            last = Some(session.apply_parallel(black_box(pert.into())));
+                        }
+                        last
+                    })
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
 /// Graph-metric family: edge-churn on connected sparse networks
 /// (road-like grids and clustered communities from `msd_data::graphs`),
 /// n ∈ {1000, 5000}. Each measured iteration redraws one random edge's
@@ -611,9 +784,10 @@ fn to_json(records: &[BenchRecord]) -> String {
     out.push_str("  \"results\": [\n");
     // Record ids look like `dynamic/coverage/n1000/p50/perturb_update`,
     // `dynamic/session/coverage/n1000/p50/rebuild`,
+    // `dynamic/constrained/partition/n5000/p50/session`,
     // `dynamic/batch/modular/n5000/p50/batch` or
-    // `dynamic/graph/road/n5000/repair`; session configs emit a
-    // rebuild-vs-session pair, batch configs a per-apply-vs-batch pair,
+    // `dynamic/graph/road/n5000/repair`; session and constrained configs
+    // emit a rebuild-vs-session pair, batch configs a per-apply-vs-batch pair,
     // graph configs a Floyd–Warshall-vs-repair pair (plus the
     // graph-session update), the others a serial-vs-parallel pair.
     let configs = record_configs(records);
@@ -710,6 +884,7 @@ fn main() {
     );
     bench_batch(&mut c, "coverage", coverage, &ns, false);
     bench_batch(&mut c, "facility", facility, &ns, false);
+    bench_constrained(&mut c, &ns);
     bench_graph(&mut c, &ns);
     let records = c.take_records();
 

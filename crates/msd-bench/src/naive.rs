@@ -21,8 +21,25 @@
 //!   plain rule does empirically.
 
 use msd_core::{DiversificationProblem, ElementId, GreedyBConfig, LocalSearchConfig};
+use msd_matroid::Matroid;
 use msd_metric::Metric;
 use msd_submodular::SetFunction;
+
+/// Gain-per-cost density, mirroring the documented rule of the core's
+/// knapsack scans: positive potential at zero cost is infinitely dense;
+/// non-positive potential at zero cost keeps its raw value so it still
+/// loses to any strictly positive score.
+fn density(potential: f64, cost: f64) -> f64 {
+    if cost == 0.0 {
+        if potential > 0.0 {
+            f64::INFINITY
+        } else {
+            potential
+        }
+    } else {
+        potential / cost
+    }
+}
 
 /// One slice-based greedy step: the lowest-index argmax of the potential
 /// `φ'_u(S)` over `u ∉ members`, recomputed from scratch. Shared by every
@@ -262,9 +279,11 @@ pub fn session_update_step_naive<M: Metric, F: SetFunction>(
 /// or `max_updates` steps ran, returning the swaps in order — the
 /// slice-recomputing stabilization tail of the **batch reference**: apply
 /// a burst's repairs to a mirrored instance (weights/distances mutated,
-/// availability mask and refills replayed in ingestion order), then call
-/// this to reach the single-swap optimum `DynamicSession::apply_batch`
-/// followed by `update_until_stable` must reproduce swap for swap.
+/// availability mask replayed in ingestion order, the greedy refill loop
+/// replayed once at batch end — the session's deferred-refill contract),
+/// then call this to reach the single-swap optimum
+/// `DynamicSession::apply_batch` followed by `update_until_stable` must
+/// reproduce swap for swap.
 pub fn session_stabilize_naive<M: Metric, F: SetFunction>(
     problem: &DiversificationProblem<M, F>,
     active: &[bool],
@@ -297,6 +316,143 @@ pub fn session_refill_naive<M: Metric, F: SetFunction>(
             continue;
         }
         let score = problem.marginal(w, solution);
+        if best.is_none_or(|(_, b)| score > b) {
+            best = Some((w, score));
+        }
+    }
+    let (w, _) = best?;
+    solution.push(w);
+    Some(w)
+}
+
+/// [`session_update_step_naive`] restricted to matroid exchange-feasible
+/// swaps — the slice-recomputing ground truth for a `DynamicSession`
+/// carrying [`ConstraintPolicy::Matroid`](msd_core::ConstraintPolicy).
+/// Infeasible cells are skipped, which under the strictly-positive
+/// threshold is indistinguishable from the core's `NEG_INFINITY`
+/// sentinel; traversal order and tie-breaks are unchanged.
+pub fn session_update_step_matroid_naive<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    matroid: &(impl Matroid + ?Sized),
+    active: &[bool],
+    solution: &mut Vec<ElementId>,
+) -> Option<(ElementId, ElementId)> {
+    let n = problem.ground_size();
+    let mut best: Option<(usize, ElementId, f64)> = None;
+    for v in 0..n as ElementId {
+        if !active[v as usize] || solution.contains(&v) {
+            continue;
+        }
+        for (idx, &u) in solution.iter().enumerate() {
+            if !matroid.can_swap(v, u, solution) {
+                continue;
+            }
+            let gain = problem.swap_gain(v, u, solution);
+            if gain > best.map_or(0.0, |(_, _, g)| g) {
+                best = Some((idx, v, gain));
+            }
+        }
+    }
+    let (idx, v, _) = best?;
+    let u = solution[idx];
+    solution.swap_remove(idx);
+    solution.push(v);
+    Some((u, v))
+}
+
+/// [`session_update_step_naive`] under a knapsack budget: cells must keep
+/// the post-swap load within budget and improve the objective, and rank
+/// by gain-per-cost `density` — the slice-recomputing ground truth for
+/// a `DynamicSession` carrying
+/// [`ConstraintPolicy::Knapsack`](msd_core::ConstraintPolicy). The
+/// returned swap is the densest strictly-improving feasible exchange
+/// (lowest candidate, then earliest member, on density ties).
+pub fn session_update_step_knapsack_naive<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    costs: &[f64],
+    budget: f64,
+    active: &[bool],
+    solution: &mut Vec<ElementId>,
+) -> Option<(ElementId, ElementId)> {
+    let n = problem.ground_size();
+    let load: f64 = solution.iter().map(|&u| costs[u as usize]).sum();
+    let mut best: Option<(usize, ElementId, f64)> = None;
+    for v in 0..n as ElementId {
+        if !active[v as usize] || solution.contains(&v) {
+            continue;
+        }
+        for (idx, &u) in solution.iter().enumerate() {
+            if load - costs[u as usize] + costs[v as usize] > budget {
+                continue;
+            }
+            let gain = problem.swap_gain(v, u, solution);
+            if gain <= 0.0 {
+                continue;
+            }
+            let score = density(gain, costs[v as usize]);
+            if score > best.map_or(0.0, |(_, _, s)| s) {
+                best = Some((idx, v, score));
+            }
+        }
+    }
+    let (idx, v, _) = best?;
+    let u = solution[idx];
+    solution.swap_remove(idx);
+    solution.push(v);
+    Some((u, v))
+}
+
+/// [`session_refill_naive`] restricted to additions that keep the set
+/// independent — the reference for the constrained session's
+/// departure-refill rule under a matroid.
+pub fn session_refill_matroid_naive<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    matroid: &(impl Matroid + ?Sized),
+    active: &[bool],
+    solution: &mut Vec<ElementId>,
+) -> Option<ElementId> {
+    let n = problem.ground_size();
+    let mut best: Option<(ElementId, f64)> = None;
+    for w in 0..n as ElementId {
+        if !active[w as usize] || solution.contains(&w) {
+            continue;
+        }
+        if !matroid.can_add(w, solution) {
+            continue;
+        }
+        let score = problem.marginal(w, solution);
+        if best.is_none_or(|(_, b)| score > b) {
+            best = Some((w, score));
+        }
+    }
+    let (w, _) = best?;
+    solution.push(w);
+    Some(w)
+}
+
+/// [`session_refill_naive`] under a knapsack budget: affordable outsiders
+/// rank by the `density` of the *potential* `φ'_w = ½·f_w + λ·d_w`
+/// (the same accept rule as `knapsack_diversify`'s greedy completion) —
+/// the reference for the constrained session's refill under a budget.
+pub fn session_refill_knapsack_naive<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    costs: &[f64],
+    budget: f64,
+    active: &[bool],
+    solution: &mut Vec<ElementId>,
+) -> Option<ElementId> {
+    let n = problem.ground_size();
+    let load: f64 = solution.iter().map(|&u| costs[u as usize]).sum();
+    let mut best: Option<(ElementId, f64)> = None;
+    for w in 0..n as ElementId {
+        if !active[w as usize] || solution.contains(&w) {
+            continue;
+        }
+        let c = costs[w as usize];
+        if load + c > budget {
+            continue;
+        }
+        let score = density(problem.potential(w, solution), c);
         if best.is_none_or(|(_, b)| score > b) {
             best = Some((w, score));
         }

@@ -2,12 +2,15 @@
 //! best-swap candidate cache.
 //!
 //! **Batch semantics.** `apply_batch` ingests every perturbation's O(Δ)
-//! repair in order (departure removals and greedy refills included) and
-//! defers the swap work behind one union-scoped scan. The bit-identical
-//! reference is therefore *sequential ingestion with deferred swaps*:
+//! repair in order (departure removals included), then runs **one**
+//! batch-final greedy refill pass toward `p` over the union state
+//! (ROADMAP follow-up (e)) and defers the swap work behind one
+//! union-scoped scan. The bit-identical reference is therefore
+//! *sequential ingestion with deferred refills and deferred swaps*:
 //! apply each perturbation of the batch, in order, to a mirrored
-//! instance (weights/distances mutated, availability mask and refills
-//! replayed), then stabilize with the slice-recomputing oblivious rule
+//! instance (weights/distances mutated, availability mask replayed),
+//! replay the greedy refill loop once at batch end, then stabilize with
+//! the slice-recomputing oblivious rule
 //! ([`session_stabilize_naive`]). The batch's single swap plus its
 //! `update_until_stable` tail must reproduce that reference swap for
 //! swap and solution for solution — across random scripts of mixed
@@ -117,8 +120,9 @@ fn random_batch(
 }
 
 /// Replays one batch's ingestion onto the mirrored reference state:
-/// problem mutation, availability mask, and greedy refills in the
-/// session's ingestion order.
+/// problem mutation and availability mask in the session's ingestion
+/// order, then the **batch-final** greedy refill loop toward `p` over
+/// the union state (the deferred-refill contract of `apply_batch`).
 fn ingest_into_mirror<F: SetFunction>(
     batch: &[SessionPerturbation],
     mirror: &mut DiversificationProblem<DistanceMatrix, F>,
@@ -127,6 +131,7 @@ fn ingest_into_mirror<F: SetFunction>(
     sol: &mut Vec<ElementId>,
     p: usize,
 ) {
+    let mut refill = false;
     for &pert in batch {
         match pert {
             SessionPerturbation::SetWeight { u, value } => set_weight(mirror, u, value),
@@ -136,11 +141,7 @@ fn ingest_into_mirror<F: SetFunction>(
             SessionPerturbation::Arrive { u } => {
                 if !active[u as usize] {
                     active[u as usize] = true;
-                    while sol.len() < p {
-                        if msd_bench::naive::session_refill_naive(mirror, active, sol).is_none() {
-                            break;
-                        }
-                    }
+                    refill |= sol.len() < p;
                 }
             }
             SessionPerturbation::Depart { u } => {
@@ -148,9 +149,16 @@ fn ingest_into_mirror<F: SetFunction>(
                     active[u as usize] = false;
                     if let Some(idx) = sol.iter().position(|&x| x == u) {
                         sol.swap_remove(idx);
-                        msd_bench::naive::session_refill_naive(mirror, active, sol);
+                        refill = true;
                     }
                 }
+            }
+        }
+    }
+    if refill {
+        while sol.len() < p {
+            if msd_bench::naive::session_refill_naive(mirror, active, sol).is_none() {
+                break;
             }
         }
     }

@@ -545,6 +545,7 @@ mod serving_faults {
             max_flush_per_query: None,
             max_pending: Some(64),
             quarantine_after: Some(2),
+            checkpoint_every: 1,
         };
         let mut frontend = ServingFrontend::new(Arc::clone(&base));
         let healthy = frontend.add_tenant(&quality, 0.3, &init);
@@ -646,6 +647,7 @@ mod serving_faults {
             max_flush_per_query: None,
             max_pending: Some(64),
             quarantine_after: Some(2),
+            checkpoint_every: 1,
         };
         let mut frontend = SyncServingFrontend::new_sync(Arc::clone(&base));
         let healthy = frontend.add_tenant_sync(&quality, 0.3, &init);

@@ -219,9 +219,10 @@ fn drive_stream(
 
         // Per-shard naive replay, matching the session's ingestion
         // semantics exactly: perturbations applied *in batch order* to
-        // the materialized sub-problem (so a refill triggered mid-batch
-        // sees exactly the mutations that preceded it), then the
-        // slice-recomputing stabilization.
+        // the materialized sub-problem, then the session's **batch-final**
+        // greedy refill pass (deferred refills see the whole batch's
+        // mutations — ROADMAP follow-up (e)), then the slice-recomputing
+        // stabilization.
         for &s in &touched {
             let ids = engine.shard_members(s).to_vec();
             // Built from the PRE-batch mirror; this batch's mutations are
@@ -232,6 +233,7 @@ fn drive_stream(
             let mut active: Vec<bool> = ids.iter().map(|&g| mirror.active[g as usize]).collect();
             let mut sol: Vec<ElementId> =
                 mirror.solutions[s].iter().map(|&g| to_local(g)).collect();
+            let mut refill = false;
             for &pert in &batch {
                 match pert {
                     SessionPerturbation::SetWeight { u, value } if engine.shard_of(u) == s => {
@@ -248,17 +250,7 @@ fn drive_stream(
                         let lu = to_local(u) as usize;
                         if !active[lu] {
                             active[lu] = true;
-                            while sol.len() < shard_p {
-                                if msd_bench::naive::session_refill_naive(
-                                    &shard_problem,
-                                    &active,
-                                    &mut sol,
-                                )
-                                .is_none()
-                                {
-                                    break;
-                                }
-                            }
+                            refill |= sol.len() < shard_p;
                         }
                     }
                     SessionPerturbation::Depart { u } if engine.shard_of(u) == s => {
@@ -267,15 +259,20 @@ fn drive_stream(
                             active[lu] = false;
                             if let Some(idx) = sol.iter().position(|&x| x as usize == lu) {
                                 sol.swap_remove(idx);
-                                msd_bench::naive::session_refill_naive(
-                                    &shard_problem,
-                                    &active,
-                                    &mut sol,
-                                );
+                                refill = true;
                             }
                         }
                     }
                     _ => {}
+                }
+            }
+            if refill {
+                while sol.len() < shard_p {
+                    if msd_bench::naive::session_refill_naive(&shard_problem, &active, &mut sol)
+                        .is_none()
+                    {
+                        break;
+                    }
                 }
             }
             session_stabilize_naive(&shard_problem, &active, &mut sol, 300);

@@ -81,12 +81,14 @@ fn descending_gain_offer_order_keeps_parity() {
         let n = 32;
         let problem = tie_instance(seed, n);
         let mut order: Vec<ElementId> = (0..n as ElementId).collect();
+        // Descending by weight via `total_cmp` (NaN-total: a NaN weight
+        // would sort below every finite weight instead of panicking);
+        // equal weights break toward the lower element id.
         order.sort_by(|&a, &b| {
             problem
                 .quality()
                 .weight(b)
-                .partial_cmp(&problem.quality().weight(a))
-                .unwrap()
+                .total_cmp(&problem.quality().weight(a))
                 .then(a.cmp(&b))
         });
         assert_decision_parity("descending", &problem, &order, 6);
@@ -187,14 +189,15 @@ fn adversarial_orders_keep_parity_across_quality_families() {
 
     fn run_family<F: SetFunction>(label: &str, problem: DiversificationProblem<DistanceMatrix, F>) {
         let n = problem.ground_size();
-        // Descending singleton quality, ties toward lower index.
+        // Descending singleton quality via `total_cmp` (NaN-total: a NaN
+        // singleton would sort below every finite value instead of
+        // panicking), ties toward lower index.
         let mut descending: Vec<ElementId> = (0..n as ElementId).collect();
         descending.sort_by(|&a, &b| {
             problem
                 .quality()
                 .singleton(b)
-                .partial_cmp(&problem.quality().singleton(a))
-                .unwrap()
+                .total_cmp(&problem.quality().singleton(a))
                 .then(a.cmp(&b))
         });
         assert_decision_parity(label, &problem, &descending, 5);

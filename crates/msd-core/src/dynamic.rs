@@ -24,6 +24,7 @@
 //! responsible (the Figure 1 driver redraws from `[1, 2]`, which always
 //! stays metric).
 
+use msd_matroid::Matroid;
 use msd_metric::{DistanceMatrix, Metric};
 use msd_submodular::{ModularFunction, SetFunction};
 
@@ -569,6 +570,93 @@ pub(crate) fn apply_step_outcome(
             gain: 0.0,
         },
     }
+}
+
+/// [`oblivious_update_step`] under a matroid constraint: the scan visits
+/// exactly the same `(v ∉ S, u ∈ S)` pairs in the same order, but a pair
+/// only competes when the exchange `S − u + v` is independent
+/// ([`Matroid::exchange_feasible`]). Applying the best strictly-positive
+/// feasible swap keeps a feasible solution feasible, so repeated steps
+/// walk the matroid's base-exchange graph.
+///
+/// This is the rebuild reference for `DynamicSession` matroid sessions:
+/// it rebuilds all caches from scratch each call, which the session's
+/// delta-patched scan must match swap-for-swap.
+///
+/// The caller is responsible for `solution` being independent in
+/// `matroid`; infeasible inputs make the scan's filter meaningless rather
+/// than erroring.
+pub fn oblivious_update_step_matroid<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    matroid: &(impl Matroid + ?Sized),
+    solution: &mut Vec<ElementId>,
+) -> UpdateOutcome {
+    let n = problem.ground_size();
+    let state = PotentialState::from_set(problem, solution);
+    let best = scan_swap_chunk(
+        0,
+        n as ElementId,
+        state.members(),
+        |v| !state.contains(v),
+        |v, u| {
+            if matroid.exchange_feasible(state.members(), u, v) {
+                state.swap_gain(v, u)
+            } else {
+                f64::NEG_INFINITY
+            }
+        },
+    );
+    apply_step_outcome(solution, best)
+}
+
+/// [`oblivious_update_step`] under a knapsack constraint
+/// `Σ cost(u) ≤ budget`: same pair enumeration, but a swap only competes
+/// when it stays within budget AND strictly improves the objective, and
+/// competing swaps are ranked by **gain per unit cost** of the incoming
+/// element (`density_score`, mirroring [`knapsack_diversify`]'s greedy
+/// accept rule — zero-cost improvements dominate). The applied swap's
+/// reported gain is the true objective delta, not the density score.
+///
+/// This is the rebuild reference for `DynamicSession` knapsack sessions.
+///
+/// The caller is responsible for `solution` fitting the budget; `costs`
+/// must cover the ground set (checked).
+///
+/// # Panics
+///
+/// Panics if `costs.len() != problem.ground_size()`.
+///
+/// [`knapsack_diversify`]: crate::knapsack::knapsack_diversify
+pub fn oblivious_update_step_knapsack<M: Metric, F: SetFunction>(
+    problem: &DiversificationProblem<M, F>,
+    costs: &[f64],
+    budget: f64,
+    solution: &mut Vec<ElementId>,
+) -> UpdateOutcome {
+    let n = problem.ground_size();
+    assert_eq!(costs.len(), n, "one cost per element required");
+    let state = PotentialState::from_set(problem, solution);
+    let load: f64 = state.members().iter().map(|&u| costs[u as usize]).sum();
+    let best = scan_swap_chunk(
+        0,
+        n as ElementId,
+        state.members(),
+        |v| !state.contains(v),
+        |v, u| {
+            if load - costs[u as usize] + costs[v as usize] > budget {
+                return f64::NEG_INFINITY;
+            }
+            let gain = state.swap_gain(v, u);
+            if gain > 0.0 {
+                crate::knapsack::density_score(gain, costs[v as usize])
+            } else {
+                f64::NEG_INFINITY
+            }
+        },
+    );
+    // `best.2` is a density score; report the true objective delta.
+    let best = best.map(|(u, v, _)| (u, v, state.swap_gain(v, u)));
+    apply_step_outcome(solution, best)
 }
 
 /// Theorem 4's bound on the number of updates needed after a weight

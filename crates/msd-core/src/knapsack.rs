@@ -15,12 +15,33 @@
 //! open question — but the solver is exact-tested on small instances and
 //! behaves well empirically (see the `ablations` binary).
 
+// Constraint-scan module (the dynamic session's knapsack policy funnels
+// through `density_score`): no panicking shortcuts outside tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use msd_metric::Metric;
 use msd_submodular::SetFunction;
 
 use crate::problem::DiversificationProblem;
 use crate::solution::SolutionState;
 use crate::ElementId;
+
+/// The density accept rule shared by [`knapsack_diversify`]'s greedy
+/// completion and the dynamic session's knapsack-constrained scans:
+/// potential per unit cost, with zero-cost elements dominating whenever
+/// their potential is positive (and compared by raw potential otherwise,
+/// so a zero-cost dud never outranks anything useful).
+pub(crate) fn density_score(potential: f64, cost: f64) -> f64 {
+    if cost == 0.0 {
+        if potential > 0.0 {
+            f64::INFINITY
+        } else {
+            potential
+        }
+    } else {
+        potential / cost
+    }
+}
 
 /// Configuration for the knapsack heuristic.
 #[derive(Debug, Clone, Copy)]
@@ -152,16 +173,7 @@ fn complete_greedily<M: Metric, F: SetFunction>(
                 let potential =
                     0.5 * quality.marginal(u, &members) + lambda * state.distance_gain(u);
                 let score = if density {
-                    // Zero-cost elements with positive potential dominate.
-                    if costs[u as usize] == 0.0 {
-                        if potential > 0.0 {
-                            f64::INFINITY
-                        } else {
-                            potential
-                        }
-                    } else {
-                        potential / costs[u as usize]
-                    }
+                    density_score(potential, costs[u as usize])
                 } else {
                     potential
                 };

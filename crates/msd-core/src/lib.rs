@@ -57,7 +57,10 @@ pub mod solution;
 pub mod streaming;
 
 pub use distributed::{distributed_greedy, DistributedConfig, DistributedResult, PartitionScheme};
-pub use dynamic::{oblivious_update_step, DynamicInstance, Perturbation, UpdateOutcome};
+pub use dynamic::{
+    oblivious_update_step, oblivious_update_step_knapsack, oblivious_update_step_matroid,
+    DynamicInstance, Perturbation, UpdateOutcome,
+};
 pub use exact::{exact_max_diversification, BranchAndBound};
 pub use gollapudi_sharma::{greedy_a, GreedyAConfig};
 pub use greedy::{greedy_b, greedy_b_pairs, max_sum_dispersion_greedy, GreedyBConfig};
@@ -74,9 +77,9 @@ pub use serving::{
     SyncServingFrontend, TenantId, TenantStats,
 };
 pub use session::{
-    BatchReport, DynamicSession, GraphBatchError, GraphPerturbation, PerturbationError, ScanExtent,
-    SessionCheckpoint, SessionError, SessionPerturbation, SyncDynamicSession, UpdateReport,
-    DEFAULT_CANDIDATE_CAPACITY,
+    BatchReport, ConstraintPolicy, DynamicSession, GraphBatchError, GraphPerturbation,
+    PerturbationError, ScanExtent, SessionCheckpoint, SessionError, SessionPerturbation,
+    SyncDynamicSession, UpdateReport, DEFAULT_CANDIDATE_CAPACITY,
 };
 pub use sharded::{
     MergeStats, ShardMetric, ShardedConfig, ShardedEngine, ShardedReport, SyncShardedEngine,

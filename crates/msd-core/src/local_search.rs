@@ -24,6 +24,11 @@
 //! local optimum or a wall-clock budget is hit ("terminated … when the
 //! algorithm runs for ten times the time of the Greedy B initialization").
 
+// Constraint-scan module (shares the matroid exchange fast path with the
+// dynamic session's constrained scans): no panicking shortcuts outside
+// tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::time::{Duration, Instant};
 
 use msd_matroid::Matroid;
@@ -201,7 +206,10 @@ fn refine<M: Metric, F: SetFunction, Mat: Matroid>(
             }
             let members = state.members();
             for &v in members {
-                if !matroid.can_swap(u, v, members) {
+                // `exchange_feasible` is `can_swap(u, v, members)` with
+                // the per-family fast paths (uniform O(1), partition
+                // O(1) same-block) engaged in this hot loop.
+                if !matroid.exchange_feasible(members, v, u) {
                     continue;
                 }
                 // Δφ = f-swap-gain + λ·(d_u(S) − d(u,v) − d_v(S)) — both

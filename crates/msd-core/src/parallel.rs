@@ -334,6 +334,147 @@ where
     crate::dynamic::apply_step_outcome(solution, best)
 }
 
+/// Parallel matroid-constrained repair step: bit-identical to
+/// [`crate::dynamic::oblivious_update_step_matroid`].
+///
+/// Chunked over the candidate `v` like [`oblivious_update_step`];
+/// exchange-infeasible cells score `NEG_INFINITY` inside the chunk, so
+/// the deterministic merge sees the exact serial score surface and keeps
+/// the serial winner.
+pub fn oblivious_update_step_matroid<M, F, Mat>(
+    problem: &DiversificationProblem<M, F>,
+    matroid: &Mat,
+    solution: &mut Vec<ElementId>,
+) -> crate::dynamic::UpdateOutcome
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+    Mat: Matroid + Sync + ?Sized,
+{
+    oblivious_update_step_matroid_in(ScanPool::global(), problem, matroid, solution)
+}
+
+/// [`oblivious_update_step_matroid`] on an explicit [`ScanPool`].
+pub fn oblivious_update_step_matroid_in<M, F, Mat>(
+    pool: &ScanPool,
+    problem: &DiversificationProblem<M, F>,
+    matroid: &Mat,
+    solution: &mut Vec<ElementId>,
+) -> crate::dynamic::UpdateOutcome
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+    Mat: Matroid + Sync + ?Sized,
+{
+    let n = problem.ground_size();
+    let mut state = SyncPotentialState::new_sync(problem);
+    for &u in solution.iter() {
+        state.insert(u);
+    }
+    let work = n
+        .saturating_mul(solution.len())
+        .saturating_mul(state.scan_cost_hint());
+    let best = {
+        let st = &state;
+        scan_maybe_par(
+            pool,
+            n,
+            pool.worthwhile(work),
+            |lo, hi| {
+                crate::dynamic::scan_swap_chunk(
+                    lo as ElementId,
+                    hi as ElementId,
+                    st.members(),
+                    |v| !st.contains(v),
+                    |v, u| {
+                        if matroid.exchange_feasible(st.members(), u, v) {
+                            st.swap_gain(v, u)
+                        } else {
+                            f64::NEG_INFINITY
+                        }
+                    },
+                )
+            },
+            |&(_, _, gain)| gain,
+        )
+    };
+    crate::dynamic::apply_step_outcome(solution, best)
+}
+
+/// Parallel knapsack-constrained repair step: bit-identical to
+/// [`crate::dynamic::oblivious_update_step_knapsack`].
+///
+/// Cells rank by gain-per-cost density (budget-infeasible and
+/// non-improving cells score `NEG_INFINITY`); the winning swap's reported
+/// gain is remapped to the true objective gain after the merge, exactly
+/// as in the serial step.
+pub fn oblivious_update_step_knapsack<M, F>(
+    problem: &DiversificationProblem<M, F>,
+    costs: &[f64],
+    budget: f64,
+    solution: &mut Vec<ElementId>,
+) -> crate::dynamic::UpdateOutcome
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+{
+    oblivious_update_step_knapsack_in(ScanPool::global(), problem, costs, budget, solution)
+}
+
+/// [`oblivious_update_step_knapsack`] on an explicit [`ScanPool`].
+pub fn oblivious_update_step_knapsack_in<M, F>(
+    pool: &ScanPool,
+    problem: &DiversificationProblem<M, F>,
+    costs: &[f64],
+    budget: f64,
+    solution: &mut Vec<ElementId>,
+) -> crate::dynamic::UpdateOutcome
+where
+    M: Metric + Sync,
+    F: SetFunction + Sync,
+{
+    let n = problem.ground_size();
+    assert_eq!(costs.len(), n, "one cost per element required");
+    let mut state = SyncPotentialState::new_sync(problem);
+    for &u in solution.iter() {
+        state.insert(u);
+    }
+    let load: f64 = state.members().iter().map(|&u| costs[u as usize]).sum();
+    let work = n
+        .saturating_mul(solution.len())
+        .saturating_mul(state.scan_cost_hint());
+    let best = {
+        let st = &state;
+        scan_maybe_par(
+            pool,
+            n,
+            pool.worthwhile(work),
+            |lo, hi| {
+                crate::dynamic::scan_swap_chunk(
+                    lo as ElementId,
+                    hi as ElementId,
+                    st.members(),
+                    |v| !st.contains(v),
+                    |v, u| {
+                        if load - costs[u as usize] + costs[v as usize] > budget {
+                            return f64::NEG_INFINITY;
+                        }
+                        let gain = st.swap_gain(v, u);
+                        if gain > 0.0 {
+                            crate::knapsack::density_score(gain, costs[v as usize])
+                        } else {
+                            f64::NEG_INFINITY
+                        }
+                    },
+                )
+            },
+            |&(_, _, score)| score,
+        )
+    };
+    let best = best.map(|(u, v, _)| (u, v, state.swap_gain(v, u)));
+    crate::dynamic::apply_step_outcome(solution, best)
+}
+
 /// Parallel dispersion greedy (Corollary 1), bit-identical to
 /// [`crate::max_sum_dispersion_greedy`].
 pub fn max_sum_dispersion_greedy<M: Metric + Sync>(metric: &M, p: usize) -> Vec<ElementId> {
@@ -514,7 +655,10 @@ where
                             continue;
                         }
                         for &v in members {
-                            if !matroid.can_swap(u, v, members) {
+                            // Same test as the serial refine's hot loop:
+                            // `exchange_feasible` engages the per-family
+                            // fast paths.
+                            if !matroid.exchange_feasible(members, v, u) {
                                 continue;
                             }
                             let gain = st.swap_gain(u, v);
@@ -759,6 +903,53 @@ mod tests {
                 let sb = oblivious_update_step(&problem, &mut b);
                 assert_eq!(sa, sb, "seed {seed} step outcome diverged");
                 assert_eq!(a, b, "seed {seed} solution diverged");
+                if sa.swap.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matroid_update_step_matches_serial_exactly() {
+        use msd_matroid::PartitionMatroid;
+        let pool = ScanPool::new(4);
+        for seed in 0..5u64 {
+            let problem = modular_instance(seed + 500, 45);
+            let matroid = PartitionMatroid::new((0..45u32).map(|u| u % 3).collect(), vec![3, 2, 2]);
+            let mut a: Vec<ElementId> = vec![0, 3, 6, 1, 4, 2, 5];
+            let mut b = a.clone();
+            for _ in 0..4 {
+                let sa = crate::dynamic::oblivious_update_step_matroid(&problem, &matroid, &mut a);
+                let sb = oblivious_update_step_matroid_in(&pool, &problem, &matroid, &mut b);
+                assert_eq!(sa, sb, "seed {seed} step outcome diverged");
+                assert_eq!(a, b, "seed {seed} solution diverged");
+                assert!(matroid.is_independent(&a), "seed {seed} left the matroid");
+                if sa.swap.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_knapsack_update_step_matches_serial_exactly() {
+        let pool = ScanPool::new(4);
+        for seed in 0..5u64 {
+            let problem = modular_instance(seed + 600, 45);
+            let costs: Vec<f64> = (0..45).map(|u| 1.0 + f64::from(u % 5u32)).collect();
+            let budget = 16.0;
+            let mut a: Vec<ElementId> = (0..6).collect();
+            let mut b = a.clone();
+            for _ in 0..4 {
+                let sa = crate::dynamic::oblivious_update_step_knapsack(
+                    &problem, &costs, budget, &mut a,
+                );
+                let sb = oblivious_update_step_knapsack_in(&pool, &problem, &costs, budget, &mut b);
+                assert_eq!(sa, sb, "seed {seed} step outcome diverged");
+                assert_eq!(a, b, "seed {seed} solution diverged");
+                let load: f64 = a.iter().map(|&u| costs[u as usize]).sum();
+                assert!(load <= budget, "seed {seed} broke the budget");
                 if sa.swap.is_none() {
                     break;
                 }

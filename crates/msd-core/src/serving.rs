@@ -87,6 +87,7 @@
 //!     max_flush_per_query: Some(16),
 //!     max_pending: Some(64),
 //!     quarantine_after: Some(2),
+//!     checkpoint_every: 1,
 //! });
 //!
 //! let poison = SessionPerturbation::SetDistance { u: 0, v: 1, value: f64::NAN };
@@ -197,7 +198,7 @@ pub struct TenantStats {
 /// The default (`None` everywhere) reproduces the unbounded legacy
 /// behavior at zero overhead: no checkpoints are taken, queues are
 /// unbounded, and every query flushes its whole queue.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdmissionPolicy {
     /// Per-query flush bound: a query drains at most this many queued
     /// perturbations (front first), spreading a burst across queries so
@@ -214,9 +215,32 @@ pub struct AdmissionPolicy {
     /// new submissions answer [`SubmitError::Quarantined`], and queries
     /// keep serving the last good state until
     /// [`ServingFrontend::recover`]. Enabling this also turns on
-    /// per-tenant [`SessionCheckpoint`]s (refreshed on every successful
-    /// flush) so recovery is anchored to the last known-good state.
+    /// per-tenant [`SessionCheckpoint`]s (refreshed every
+    /// [`checkpoint_every`](Self::checkpoint_every) successful flushes)
+    /// so recovery is anchored to the last known-good state.
     pub quarantine_after: Option<usize>,
+    /// Checkpoint cadence: with quarantine enabled, the recovery anchor
+    /// is re-snapshotted every this-many successful flushes instead of
+    /// after each one (a checkpoint clones the full session state — at
+    /// cadence 1 that O(n + p) copy dominated light per-query flushes).
+    /// Between snapshots the successfully-flushed batches are kept in a
+    /// bounded replay log (at most `checkpoint_every − 1` batches), and
+    /// quarantine rollback / [`ServingFrontend::recover`] restore the
+    /// checkpoint then replay that tail — landing bit-for-bit on the
+    /// last known-good stabilized state. `0` is treated as `1` (the
+    /// legacy refresh-every-flush behavior, which is also the default).
+    pub checkpoint_every: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_flush_per_query: None,
+            max_pending: None,
+            quarantine_after: None,
+            checkpoint_every: 1,
+        }
+    }
 }
 
 /// Rejected [`ServingFrontend::try_submit`] — the backpressure signal of
@@ -274,6 +298,14 @@ struct Tenant<'q, M: Metric, Q: IncrementalOracle + ?Sized> {
     /// Last known-good snapshot (maintained only when
     /// [`AdmissionPolicy::quarantine_after`] is set).
     checkpoint: Option<SessionCheckpoint<OverlayMetric<Arc<M>>>>,
+    /// Successfully-flushed batches since the checkpoint was last
+    /// re-snapshotted — the bounded tail (at most
+    /// [`AdmissionPolicy::checkpoint_every`]` − 1` batches) that
+    /// recovery replays on top of the checkpoint to reach the last
+    /// known-good state.
+    replay_log: Vec<Vec<SessionPerturbation>>,
+    /// Successful flushes since the last checkpoint refresh.
+    flushes_since_checkpoint: usize,
     /// Rejected flush batches since the last successful one.
     consecutive_rejects: usize,
     quarantined: bool,
@@ -386,6 +418,8 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
             pending: Vec::new(),
             stats: TenantStats::default(),
             checkpoint,
+            replay_log: Vec::new(),
+            flushes_since_checkpoint: 0,
             consecutive_rejects: 0,
             quarantined: false,
         });
@@ -498,19 +532,35 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
     ///
     /// Panics if `tenant` is out of range.
     pub fn recover(&mut self, tenant: TenantId) -> bool {
+        let max_updates = self.max_updates_per_query;
         let t = &mut self.tenants[tenant];
-        let restored = match &t.checkpoint {
-            Some(checkpoint) => {
-                t.session.rollback_to(checkpoint);
-                true
-            }
-            None => false,
-        };
+        let restored = Self::restore_last_known_good(t, max_updates);
         t.pending.clear();
         t.stats.staleness = 0;
         t.quarantined = false;
         t.consecutive_rejects = 0;
         restored
+    }
+
+    /// Rolls the session back to its checkpoint and replays the logged
+    /// known-good tail (each batch re-stabilized exactly as
+    /// [`respond`](Self::respond) did when it first succeeded), landing
+    /// bit-for-bit on the last known-good state. `false` when no
+    /// checkpoint is maintained.
+    fn restore_last_known_good(t: &mut Tenant<'q, M, Q>, max_updates: usize) -> bool {
+        let Some(checkpoint) = &t.checkpoint else {
+            return false;
+        };
+        t.session.rollback_to(checkpoint);
+        for batch in &t.replay_log {
+            // The batch validated when it first flushed, so the
+            // unvalidated replay applies the identical mutations.
+            let report = t.session.apply_batch(batch);
+            let swaps = usize::from(report.outcome.swap.is_some());
+            t.session
+                .update_until_stable(max_updates.saturating_sub(swaps));
+        }
+        true
     }
 
     /// Number of queued (unflushed) perturbations for `tenant`.
@@ -580,7 +630,9 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
     /// Drains the admission-bounded front of the pending queue through
     /// `apply` (a validating, all-or-nothing batch application). A
     /// quarantined tenant flushes nothing. Returns the successful report
-    /// or the rejection; `(None, None)` when there was nothing to flush.
+    /// (with the flushed batch, for the recovery replay log) or the
+    /// rejection; `(None, None)` when there was nothing to flush.
+    #[allow(clippy::type_complexity)]
     fn flush_pending(
         t: &mut Tenant<'q, M, Q>,
         policy: AdmissionPolicy,
@@ -588,7 +640,10 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
             &mut DynamicSession<'q, OverlayMetric<Arc<M>>, Q>,
             &[SessionPerturbation],
         ) -> Result<BatchReport, SessionError>,
-    ) -> (Option<BatchReport>, Option<SessionError>) {
+    ) -> (
+        Option<(BatchReport, Vec<SessionPerturbation>)>,
+        Option<SessionError>,
+    ) {
         if t.quarantined || t.pending.is_empty() {
             return (None, None);
         }
@@ -600,7 +655,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
         }
         let batch: Vec<SessionPerturbation> = t.pending.drain(..take).collect();
         match apply(&mut t.session, &batch) {
-            Ok(report) => (Some(report), None),
+            Ok(report) => (Some((report, batch)), None),
             Err(error) => (None, Some(error)),
         }
     }
@@ -610,14 +665,17 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
     fn respond(
         t: &mut Tenant<'q, M, Q>,
         tenant: TenantId,
-        flush: (Option<BatchReport>, Option<SessionError>),
+        flush: (
+            Option<(BatchReport, Vec<SessionPerturbation>)>,
+            Option<SessionError>,
+        ),
         max_updates: usize,
         policy: AdmissionPolicy,
     ) -> QueryResponse {
         let (report, rejected) = flush;
         let mut swaps = 0usize;
         let mut flushed = 0usize;
-        if let Some(report) = &report {
+        if let Some((report, _)) = &report {
             flushed = report.ingested;
             if report.outcome.swap.is_some() {
                 swaps += 1;
@@ -636,22 +694,34 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
                     t.quarantined = true;
                     // The rest of the queue came from the same source as
                     // the poison — drop it, and re-anchor on the last
-                    // known-good checkpoint.
+                    // known-good state (checkpoint plus the logged
+                    // since-checkpoint tail; the rejection rollback
+                    // already restored it, this is the defensive path).
                     t.pending.clear();
-                    if let Some(checkpoint) = &t.checkpoint {
-                        t.session.rollback_to(checkpoint);
-                    }
+                    Self::restore_last_known_good(t, max_updates);
                 }
             }
         }
         swaps += t
             .session
             .update_until_stable(max_updates.saturating_sub(swaps));
-        if rejected.is_none() && policy.quarantine_after.is_some() && report.is_some() {
-            // Known-good, stabilized state: refresh the recovery anchor
-            // (only maintained when quarantine is enabled — the clone is
-            // not free).
-            t.checkpoint = Some(t.session.checkpoint());
+        if rejected.is_none() && policy.quarantine_after.is_some() {
+            if let Some((_, batch)) = report {
+                // Known-good, stabilized state. Refresh the recovery
+                // anchor only every `checkpoint_every` successful
+                // flushes (the snapshot clones the full session state —
+                // ROADMAP iv-b); between refreshes the batch joins the
+                // bounded replay tail recovery re-applies on top of the
+                // checkpoint.
+                t.flushes_since_checkpoint += 1;
+                if t.flushes_since_checkpoint >= policy.checkpoint_every.max(1) {
+                    t.checkpoint = Some(t.session.checkpoint());
+                    t.replay_log.clear();
+                    t.flushes_since_checkpoint = 0;
+                } else {
+                    t.replay_log.push(batch);
+                }
+            }
         }
         t.stats.queries += 1;
         t.stats.swaps += swaps;
@@ -835,6 +905,7 @@ mod tests {
                 max_flush_per_query: Some(3),
                 max_pending: Some(10),
                 quarantine_after: None,
+                checkpoint_every: 1,
             });
         let t = frontend.add_tenant(&quality, 0.3, &init);
         for i in 0..10u32 {
@@ -904,6 +975,7 @@ mod tests {
                 max_flush_per_query: None,
                 max_pending: None,
                 quarantine_after: Some(2),
+                checkpoint_every: 1,
             });
         let poisoner = frontend.add_tenant(&quality, 0.3, &init);
         let healthy = frontend.add_tenant(&quality, 0.3, &init);
@@ -992,6 +1064,84 @@ mod tests {
                 .unwrap_err(),
             SubmitError::UnknownTenant { tenant: 99 }
         );
+    }
+
+    #[test]
+    fn periodic_checkpoints_recover_bit_identically_to_per_flush_checkpoints() {
+        // Regression for the checkpoint cost fix (ROADMAP iv-b): with
+        // `checkpoint_every > 1` the recovery anchor is stale by up to
+        // `checkpoint_every − 1` good flushes, and recovery must replay
+        // that logged tail — `recover()` has to land bit-for-bit on the
+        // same last-known-good state as the legacy refresh-every-flush
+        // cadence.
+        let (base, quality) = base_and_quality(24);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 5, GreedyBConfig::default());
+        let policy_every = |checkpoint_every: usize| AdmissionPolicy {
+            max_flush_per_query: None,
+            max_pending: None,
+            quarantine_after: Some(2),
+            checkpoint_every,
+        };
+        let mut per_flush =
+            ServingFrontend::new(Arc::clone(&base)).with_admission_policy(policy_every(1));
+        let a = per_flush.add_tenant(&quality, 0.3, &init);
+        let mut periodic =
+            ServingFrontend::new(Arc::clone(&base)).with_admission_policy(policy_every(3));
+        let b = periodic.add_tenant(&quality, 0.3, &init);
+
+        // Five good flushes: the cadence-3 frontend refreshes its anchor
+        // at flush 3 and holds flushes 4–5 in the replay log, so the
+        // checkpoint alone is genuinely stale when the poison arrives.
+        let mut last_good = None;
+        for i in 0..5u32 {
+            let perturbation = SessionPerturbation::SetDistance {
+                u: i,
+                v: i + 7,
+                value: 1.5 + f64::from(i) * 0.25,
+            };
+            per_flush.submit(a, perturbation);
+            periodic.submit(b, perturbation);
+            let ra = per_flush.query(a);
+            let rb = periodic.query(b);
+            assert!(ra.rejected.is_none() && rb.rejected.is_none());
+            assert_eq!(ra.solution, rb.solution);
+            assert_eq!(ra.objective.to_bits(), rb.objective.to_bits());
+            last_good = Some(ra);
+        }
+        let last_good = last_good.unwrap();
+
+        // Two consecutive poisoned batches quarantine both tenants.
+        for _ in 0..2 {
+            let poison = SessionPerturbation::SetDistance {
+                u: 1,
+                v: 2,
+                value: f64::NAN,
+            };
+            per_flush.submit(a, poison);
+            periodic.submit(b, poison);
+            assert!(per_flush.query(a).rejected.is_some());
+            assert!(periodic.query(b).rejected.is_some());
+        }
+        assert!(per_flush.is_quarantined(a) && periodic.is_quarantined(b));
+        // Quarantined answers already come from the last good state.
+        assert_eq!(periodic.query(b).solution, last_good.solution);
+
+        // Recovery: checkpoint + replayed tail ≡ per-flush checkpoint.
+        assert!(per_flush.recover(a));
+        assert!(periodic.recover(b));
+        assert_eq!(per_flush.solution(a), periodic.solution(b));
+        assert_eq!(periodic.solution(b), &last_good.solution[..]);
+
+        // Post-recovery traffic stays bit-identical.
+        let follow = SessionPerturbation::SetWeight { u: 11, value: 3.0 };
+        per_flush.submit(a, follow);
+        periodic.submit(b, follow);
+        let ra = per_flush.query(a);
+        let rb = periodic.query(b);
+        assert!(ra.rejected.is_none() && rb.rejected.is_none());
+        assert_eq!(ra.solution, rb.solution);
+        assert_eq!(ra.objective.to_bits(), rb.objective.to_bits());
     }
 
     #[test]

@@ -113,6 +113,41 @@
 //! assert!(session.is_stable());
 //! assert_eq!(session.solution().len(), 3);
 //! ```
+//!
+//! **Constrained sessions** run the same machinery under a matroid or
+//! knapsack feasibility regime ([`ConstraintPolicy`], builder methods
+//! [`DynamicSession::with_matroid`] / [`DynamicSession::with_knapsack`]):
+//! matroid scans enumerate only exchange-feasible pairs
+//! ([`Matroid::exchange_feasible`]) and refill departures with the best
+//! addable outsider; knapsack scans rank budget-feasible
+//! strictly-improving exchanges by gain-per-cost density (mirroring
+//! [`crate::knapsack::knapsack_diversify`]). Direction analysis, O(Δ)
+//! repairs, union-scoped batch scans and the chunked parallel scans all
+//! carry over; every solution a constrained session exposes is feasible:
+//!
+//! ```
+//! use msd_core::{DiversificationProblem, DynamicSession, SessionPerturbation};
+//! use msd_matroid::{Matroid, PartitionMatroid};
+//! use msd_metric::DistanceMatrix;
+//! use msd_submodular::ModularFunction;
+//!
+//! let metric = DistanceMatrix::from_fn(6, |u, v| 1.0 + f64::from((u + v) % 3) * 0.25);
+//! let quality = ModularFunction::new(vec![0.9, 0.3, 0.8, 0.2, 0.7, 0.1]);
+//! let problem = DiversificationProblem::new(metric, quality, 0.3);
+//!
+//! // At most two picks from {0, 1, 2} and one from {3, 4, 5}.
+//! let matroid = PartitionMatroid::new(vec![0, 0, 0, 1, 1, 1], vec![2, 1]);
+//! let init = matroid.extend_to_basis(&[]);
+//! let mut session = DynamicSession::new(&problem, &init).with_matroid(&matroid);
+//! session.update_until_stable(16);
+//!
+//! // Perturbations flow through the same O(Δ) repairs; every swap the
+//! // exchange scan commits keeps the solution independent.
+//! session.apply(SessionPerturbation::SetWeight { u: 1, value: 2.5 });
+//! session.apply(SessionPerturbation::Depart { u: 4 });
+//! assert!(matroid.is_independent(session.solution()));
+//! assert_eq!(session.solution().len(), 3);
+//! ```
 
 // Perturbation-ingestion module: untrusted tenant input flows through
 // here, so a stray `unwrap`/`expect` on the non-test paths is a
@@ -121,6 +156,7 @@
 // with their reasoning; data faults are typed errors.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+use msd_matroid::Matroid;
 use msd_metric::{
     EdgePerturbableMetric, EdgeUpdateError, EdgeUpdateReport, Metric, OverlayMetric,
     PerturbableMetric,
@@ -698,11 +734,73 @@ struct PendingScan {
     cols: Vec<ElementId>,
     rows: Vec<ElementId>,
     full: bool,
+    /// Some availability event may have left the solution short of `p`:
+    /// run the batch-final greedy refill pass
+    /// ([`DynamicSession::refill_shortfall`]) before the scan.
+    refill: bool,
 }
 
 impl PendingScan {
     fn is_empty(&self) -> bool {
         !self.full && self.cols.is_empty() && self.rows.is_empty()
+    }
+}
+
+/// The feasibility regime a [`DynamicSession`]'s swap scans, commits and
+/// greedy refills respect (ROADMAP: constraint-diverse dynamic sessions).
+///
+/// The default [`ConstraintPolicy::Cardinality`] is exactly the classic
+/// session: every `(v ∉ S, u ∈ S)` exchange is feasible and cells compete
+/// by raw swap gain. [`ConstraintPolicy::Matroid`] restricts the *same*
+/// traversal to exchange-feasible pairs
+/// ([`Matroid::exchange_feasible`]); [`ConstraintPolicy::Knapsack`]
+/// restricts it to budget-feasible pairs and ranks strictly-improving
+/// cells by **gain per unit cost** of the incoming element (mirroring
+/// [`crate::knapsack::knapsack_diversify`]'s greedy accept rule). All
+/// three policies share the direction analysis, O(Δ) repairs,
+/// union-scoped batch scans and chunked parallel scans; the bounded
+/// best-swap candidate cache stays disabled under the constrained
+/// policies (rank order is position-dependent there, so cached
+/// verification would be unsound).
+pub enum ConstraintPolicy<'q> {
+    /// `|S| = p`: every exchange feasible (the classic session).
+    Cardinality,
+    /// Matroid independence: an exchange `S − u + v` competes iff the
+    /// result is independent. Departure refills greedily insert the best
+    /// *addable* ([`Matroid::can_add`]) outsider.
+    Matroid(&'q (dyn Matroid + Sync + 'q)),
+    /// Knapsack `Σ cost(u) ≤ budget`: an exchange competes iff it stays
+    /// within budget **and** strictly improves the objective, ranked by
+    /// gain-per-cost density. Refills insert the best affordable
+    /// outsider by potential density.
+    Knapsack {
+        /// One non-negative finite cost per ground-set element.
+        costs: Vec<f64>,
+        /// The budget (non-negative, finite).
+        budget: f64,
+    },
+}
+
+impl ConstraintPolicy<'_> {
+    fn is_cardinality(&self) -> bool {
+        matches!(self, ConstraintPolicy::Cardinality)
+    }
+}
+
+impl std::fmt::Debug for ConstraintPolicy<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintPolicy::Cardinality => f.write_str("Cardinality"),
+            ConstraintPolicy::Matroid(m) => f
+                .debug_struct("Matroid")
+                .field("ground_size", &m.ground_size())
+                .finish_non_exhaustive(),
+            ConstraintPolicy::Knapsack { costs, budget } => f
+                .debug_struct("Knapsack")
+                .field("elements", &costs.len())
+                .field("budget", budget)
+                .finish(),
+        }
     }
 }
 
@@ -728,6 +826,10 @@ pub struct DynamicSession<'q, M: Metric, Q: IncrementalOracle + ?Sized = dyn Inc
     stable: bool,
     /// Bounded best-swap candidate cache (see the module docs).
     cache: CandidateCache,
+    /// Feasibility regime of scans, commits and refills (default
+    /// [`ConstraintPolicy::Cardinality`] — the classic session,
+    /// bit-identical to pre-policy behavior).
+    constraint: ConstraintPolicy<'q>,
     /// Explicit scan pool for the `parallel` entry points; `None` uses
     /// the ambient [`crate::pool::ScanPool::global`] pool.
     #[cfg(feature = "parallel")]
@@ -748,6 +850,7 @@ impl<M: Metric, Q: IncrementalOracle + ?Sized> std::fmt::Debug for DynamicSessio
             .field("p", &self.p)
             .field("lambda", &self.lambda)
             .field("stable", &self.stable)
+            .field("constraint", &self.constraint)
             .field("objective", &self.objective())
             .finish()
     }
@@ -875,6 +978,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
             active: vec![true; metric.len()],
             p: initial.len(),
             cache: CandidateCache::new(DEFAULT_CANDIDATE_CAPACITY, metric.len()),
+            constraint: ConstraintPolicy::Cardinality,
             metric,
             lambda,
             dist,
@@ -902,6 +1006,76 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
     /// The candidate cache's per-member capacity `K` (0 = disabled).
     pub fn candidate_cache_capacity(&self) -> usize {
         self.cache.k
+    }
+
+    /// Constrains the session to `matroid` (builder style): swap scans
+    /// enumerate only exchange-feasible pairs
+    /// ([`Matroid::exchange_feasible`]) and departure refills insert the
+    /// best addable outsider, so every solution the session ever exposes
+    /// is independent. The bounded candidate cache is disabled for the
+    /// session's lifetime (see [`ConstraintPolicy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matroid's ground set differs from the session's, or
+    /// the current solution is not independent.
+    pub fn with_matroid(mut self, matroid: &'q (dyn Matroid + Sync + 'q)) -> Self {
+        assert_eq!(
+            matroid.ground_size(),
+            self.dist.ground_size(),
+            "matroid and session must share a ground set"
+        );
+        assert!(
+            matroid.is_independent(self.dist.members()),
+            "current solution must be independent in the matroid"
+        );
+        self.cache.invalidate();
+        self.constraint = ConstraintPolicy::Matroid(matroid);
+        self
+    }
+
+    /// Constrains the session to a knapsack `Σ cost(u) ≤ budget`
+    /// (builder style): swap scans rank budget-feasible strictly-improving
+    /// exchanges by gain-per-cost density and refills insert the best
+    /// affordable outsider by potential density (both mirroring
+    /// [`crate::knapsack::knapsack_diversify`]'s accept rule). The
+    /// bounded candidate cache is disabled for the session's lifetime
+    /// (see [`ConstraintPolicy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` does not cover the ground set, any cost is
+    /// negative/non-finite, `budget` is negative/non-finite, or the
+    /// current solution exceeds the budget.
+    pub fn with_knapsack(mut self, costs: Vec<f64>, budget: f64) -> Self {
+        assert_eq!(
+            costs.len(),
+            self.dist.ground_size(),
+            "one cost per element required"
+        );
+        assert!(
+            budget.is_finite() && budget >= 0.0,
+            "budget must be finite and non-negative"
+        );
+        for (u, &c) in costs.iter().enumerate() {
+            assert!(
+                c.is_finite() && c >= 0.0,
+                "cost of element {u} must be finite and non-negative"
+            );
+        }
+        let load: f64 = self.dist.members().iter().map(|&u| costs[u as usize]).sum();
+        assert!(
+            load <= budget,
+            "current solution (load {load}) must fit the budget {budget}"
+        );
+        self.cache.invalidate();
+        self.constraint = ConstraintPolicy::Knapsack { costs, budget };
+        self
+    }
+
+    /// The session's feasibility regime.
+    pub fn constraint(&self) -> &ConstraintPolicy<'q> {
+        &self.constraint
     }
 
     /// Routes this session's parallel scans through an explicit
@@ -1012,17 +1186,63 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
             + self.lambda * self.dist.swap_dispersion_delta(&self.metric, v_in, u_out)
     }
 
+    /// Current knapsack load `Σ cost(member)` (0 for the other
+    /// policies). Computed once per scan pass / refill step — membership
+    /// only changes at commit time, so one sum serves a whole traversal.
+    fn knapsack_load(&self) -> f64 {
+        match &self.constraint {
+            ConstraintPolicy::Knapsack { costs, .. } => {
+                self.dist.members().iter().map(|&u| costs[u as usize]).sum()
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Score of the scan cell `(v in, u out)` under the session's
+    /// constraint, with `load` from [`DynamicSession::knapsack_load`]:
+    /// the raw swap gain (Cardinality, and Matroid when the exchange is
+    /// independent) or the gain-per-cost density of a budget-feasible
+    /// strictly-improving exchange (Knapsack). Infeasible — and, under
+    /// Knapsack, non-improving — cells score `NEG_INFINITY`, which can
+    /// never beat the traversal's 0-seeded running best, so every policy
+    /// inherits [`crate::dynamic::scan_swap_chunk`]'s strict-improvement
+    /// lowest-index tie-break discipline unchanged.
+    fn cell_score(&self, load: f64, v: ElementId, u: ElementId) -> f64 {
+        match &self.constraint {
+            ConstraintPolicy::Cardinality => self.swap_gain(v, u),
+            ConstraintPolicy::Matroid(m) => {
+                if m.exchange_feasible(self.dist.members(), u, v) {
+                    self.swap_gain(v, u)
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+            ConstraintPolicy::Knapsack { costs, budget } => {
+                if load - costs[u as usize] + costs[v as usize] > *budget {
+                    return f64::NEG_INFINITY;
+                }
+                let gain = self.swap_gain(v, u);
+                if gain > 0.0 {
+                    crate::knapsack::density_score(gain, costs[v as usize])
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+        }
+    }
+
     /// Serial full scan: the [`crate::oblivious_update_step`] traversal
     /// ([`crate::dynamic::scan_swap_chunk`]) restricted to active
-    /// candidates.
+    /// candidates, cells scored under the constraint policy.
     fn scan_full(&self) -> Option<(ElementId, ElementId, f64)> {
         let n = self.dist.ground_size();
+        let load = self.knapsack_load();
         crate::dynamic::scan_swap_chunk(
             0,
             n as ElementId,
             self.dist.members(),
             |v| self.active[v as usize] && !self.dist.contains(v),
-            |v, u| self.swap_gain(v, u),
+            |v, u| self.cell_score(load, v, u),
         )
     }
 
@@ -1032,13 +1252,14 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
     /// candidate subset that provably contains every positive cell.
     fn scan_columns(&self, cols: &[ElementId]) -> Option<(ElementId, ElementId, f64)> {
         debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        let load = self.knapsack_load();
         let mut best: Option<(ElementId, ElementId, f64)> = None;
         for &v in cols {
             if !self.active[v as usize] || self.dist.contains(v) {
                 continue;
             }
             for &u in self.dist.members() {
-                let g = self.swap_gain(v, u);
+                let g = self.cell_score(load, v, u);
                 if g > best.map_or(0.0, |(_, _, b)| b) {
                     best = Some((u, v, g));
                 }
@@ -1056,6 +1277,10 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
         lo: ElementId,
         hi: ElementId,
     ) -> (Option<(ElementId, ElementId, f64)>, TopKCollector) {
+        // Collection only ever runs under Cardinality (the constrained
+        // policies never install rank tables), so raw swap gains are the
+        // cell scores here.
+        debug_assert!(self.constraint.is_cardinality());
         let members = self.dist.members();
         let mut coll = TopKCollector::new(self.cache.k, members.len());
         let mut best: Option<(ElementId, ElementId, f64)> = None;
@@ -1080,7 +1305,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
     ///
     /// [`scan_full`]: DynamicSession::scan_full
     fn scan_full_collect(&self) -> (Option<(ElementId, ElementId, f64)>, Option<TopKCollector>) {
-        if self.cache.k == 0 {
+        if self.cache.k == 0 || !self.constraint.is_cardinality() {
             return (self.scan_full(), None);
         }
         let n = self.dist.ground_size() as ElementId;
@@ -1193,6 +1418,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
             .copied()
             .filter(|m| fresh_rows.contains(m))
             .collect();
+        let load = self.knapsack_load();
         let mut best: Option<(ElementId, ElementId, f64)> = None;
         let mut next_col = 0usize;
         for v in 0..self.dist.ground_size() as ElementId {
@@ -1205,7 +1431,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
             }
             let row: &[ElementId] = if in_cols { members } else { &fresh };
             for &u in row {
-                let g = self.swap_gain(v, u);
+                let g = self.cell_score(load, v, u);
                 if g > best.map_or(0.0, |(_, _, b)| b) {
                     best = Some((u, v, g));
                 }
@@ -1374,13 +1600,11 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
     }
 
     /// Arrival repair (the [`SessionPerturbation::Arrive`] arm; shared
-    /// with the graph-backed entry points).
-    fn ingest_arrival(
-        &mut self,
-        u: ElementId,
-        pending: &mut PendingScan,
-        refills: &mut Vec<ElementId>,
-    ) {
+    /// with the graph-backed entry points). Refills are **deferred** to
+    /// the batch-final [`DynamicSession::refill_shortfall`] pass, so a
+    /// short solution greedily refills once against the whole batch's
+    /// union state (ROADMAP follow-up (e)).
+    fn ingest_arrival(&mut self, u: ElementId, pending: &mut PendingScan) {
         if self.active[u as usize] {
             return;
         }
@@ -1388,34 +1612,23 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
         // The element may have been perturbed — or excluded from rank
         // rebuilds — while away: rank-untrustworthy either way.
         self.cache.mark_dirty(u);
-        let mut refilled = false;
-        while self.dist.len() < self.p {
-            match self.refill_once() {
-                Some(w) => {
-                    refills.push(w);
-                    self.stable = false;
-                    refilled = true;
-                }
-                None => break,
-            }
+        if self.dist.len() < self.p {
+            // A standing shortfall (an earlier refill found no feasible
+            // candidate) may now be fillable by the newcomer.
+            pending.refill = true;
         }
-        if !refilled {
-            // Every pre-existing candidate keeps its verified gains;
-            // only the new column can hold a positive swap.
-            pending.cols.push(u);
-        }
-        // A refill changed membership: `stable` is already false, which
-        // forces the full scan.
+        // Every pre-existing candidate keeps its verified gains; only
+        // the new column can hold a positive swap. (If the batch-final
+        // refill inserts `u`, its column is skipped as a member — the
+        // refill itself clears `stable`, forcing the full scan.)
+        pending.cols.push(u);
     }
 
     /// Departure repair (the [`SessionPerturbation::Depart`] arm; shared
-    /// with the graph-backed entry points).
-    fn ingest_departure(
-        &mut self,
-        u: ElementId,
-        pending: &mut PendingScan,
-        refills: &mut Vec<ElementId>,
-    ) {
+    /// with the graph-backed entry points). Like arrivals, the greedy
+    /// refill replacing a departed member is deferred to the batch-final
+    /// [`DynamicSession::refill_shortfall`] pass.
+    fn ingest_departure(&mut self, u: ElementId, pending: &mut PendingScan) {
         if !self.active[u as usize] {
             return;
         }
@@ -1424,9 +1637,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
             self.dist.remove(&self.metric, u);
             self.quality.remove(u);
             self.cache.invalidate();
-            if let Some(w) = self.refill_once() {
-                refills.push(w);
-            }
+            pending.refill = true;
             self.stable = false;
             pending.full = true;
         }
@@ -1442,6 +1653,15 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
     /// repaired across the swap instead of dropped (ROADMAP item (d);
     /// see [`DynamicSession::repair_cache_for_swap`]).
     fn commit(&mut self, best: Option<(ElementId, ElementId, f64)>) -> UpdateOutcome {
+        // Knapsack scans rank by gain-per-cost density, so the winning
+        // cell's score is not the objective delta — re-read the true gain
+        // from the caches before committing it to the report.
+        let best = match (&self.constraint, best) {
+            (ConstraintPolicy::Knapsack { .. }, Some((u_out, v_in, _))) => {
+                Some((u_out, v_in, self.swap_gain(v_in, u_out)))
+            }
+            (_, best) => best,
+        };
         match best {
             Some((u_out, v_in, gain)) => {
                 let Some(idx) = self.dist.members().iter().position(|&x| x == u_out) else {
@@ -1529,16 +1749,42 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
         self.cache.mark_dirty(u_out);
     }
 
-    /// Inserts the active outsider with the best objective marginal
-    /// `φ_w(S) = f_w(S) + λ·d_w(S)` (lowest index on ties), if any.
+    /// Inserts the best *feasible* active outsider (lowest index on
+    /// ties), if any: by objective marginal `φ_w(S) = f_w(S) + λ·d_w(S)`
+    /// under Cardinality and (filtered through [`Matroid::can_add`])
+    /// under a matroid, by potential density
+    /// `(½·f_w(S) + λ·d_w(S)) / cost(w)` over the affordable outsiders
+    /// under a knapsack (the [`crate::knapsack::knapsack_diversify`]
+    /// greedy-completion rule).
     fn refill_once(&mut self) -> Option<ElementId> {
         let n = self.dist.ground_size();
+        let load = self.knapsack_load();
         let mut best: Option<(ElementId, f64)> = None;
         for w in 0..n as ElementId {
             if !self.active[w as usize] || self.dist.contains(w) {
                 continue;
             }
-            let score = self.quality.marginal(w) + self.lambda * self.dist.distance_gain(w);
+            let score = match &self.constraint {
+                ConstraintPolicy::Cardinality => {
+                    self.quality.marginal(w) + self.lambda * self.dist.distance_gain(w)
+                }
+                ConstraintPolicy::Matroid(m) => {
+                    if !m.can_add(w, self.dist.members()) {
+                        continue;
+                    }
+                    self.quality.marginal(w) + self.lambda * self.dist.distance_gain(w)
+                }
+                ConstraintPolicy::Knapsack { costs, budget } => {
+                    let c = costs[w as usize];
+                    if load + c > *budget {
+                        continue;
+                    }
+                    crate::knapsack::density_score(
+                        0.5 * self.quality.marginal(w) + self.lambda * self.dist.distance_gain(w),
+                        c,
+                    )
+                }
+            };
             if best.is_none_or(|(_, b)| score > b) {
                 best = Some((w, score));
             }
@@ -1548,6 +1794,27 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
         self.quality.insert(w);
         self.cache.invalidate();
         Some(w)
+    }
+
+    /// Batch-final greedy refill toward `p` (ROADMAP follow-up (e)): all
+    /// of the batch's departures and arrivals have been ingested when
+    /// this runs, so each greedy pick scores against the *union* state —
+    /// one deferred pass instead of one interleaved refill per
+    /// availability event. A no-op unless some ingested perturbation
+    /// flagged a possible shortfall.
+    fn refill_shortfall(&mut self, pending: &PendingScan, refills: &mut Vec<ElementId>) {
+        if !pending.refill {
+            return;
+        }
+        while self.dist.len() < self.p {
+            match self.refill_once() {
+                Some(w) => {
+                    refills.push(w);
+                    self.stable = false;
+                }
+                None => break,
+            }
+        }
     }
 
     // -- validation helpers shared by the `try_*` entry points ----------
@@ -1831,8 +2098,9 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
         let mut refills = Vec::new();
         let mut pending = PendingScan::default();
         for &p in perturbations {
-            self.ingest(p, &mut pending, &mut refills);
+            self.ingest(p, &mut pending);
         }
+        self.refill_shortfall(&pending, &mut refills);
         self.finish_batch(pending, refills, perturbations.len(), full_scan)
     }
 
@@ -1843,20 +2111,15 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
     /// Candidate-cache dirt (non-uniform single-column changes) is
     /// recorded even for optimality-preserving perturbations — the rank
     /// tables must stay honest for later cached scans.
-    fn ingest(
-        &mut self,
-        perturbation: SessionPerturbation,
-        pending: &mut PendingScan,
-        refills: &mut Vec<ElementId>,
-    ) {
+    fn ingest(&mut self, perturbation: SessionPerturbation, pending: &mut PendingScan) {
         match perturbation {
             SessionPerturbation::SetWeight { u, value } => self.ingest_weight(u, value, pending),
             SessionPerturbation::SetDistance { u, v, value } => {
                 let old = self.metric.set_distance(u, v, value);
                 self.ingest_distance_delta(u, v, value - old, pending);
             }
-            SessionPerturbation::Arrive { u } => self.ingest_arrival(u, pending, refills),
-            SessionPerturbation::Depart { u } => self.ingest_departure(u, pending, refills),
+            SessionPerturbation::Arrive { u } => self.ingest_arrival(u, pending),
+            SessionPerturbation::Depart { u } => self.ingest_departure(u, pending),
         }
     }
 }
@@ -1941,11 +2204,15 @@ impl<'q, M: EdgePerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession
         let mut refills = Vec::new();
         let mut pending = PendingScan::default();
         for (i, &p) in perturbations.iter().enumerate() {
-            if let Err(error) = self.ingest_graph(p, &mut pending, &mut refills) {
+            if let Err(error) = self.ingest_graph(p, &mut pending) {
                 // The failing update left the metric untouched and every
                 // earlier repair is already applied, so the caches stay
                 // consistent — but the accumulated scan scopes are being
-                // dropped, so conservatively forfeit stability.
+                // dropped, so conservatively forfeit stability. Any
+                // departure already ingested still gets its (deferred)
+                // refill, so the partial state honors the solution-size
+                // contract and the error reports the committed refills.
+                self.refill_shortfall(&pending, &mut refills);
                 if i > 0 {
                     self.stable = false;
                 }
@@ -1956,6 +2223,7 @@ impl<'q, M: EdgePerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession
                 });
             }
         }
+        self.refill_shortfall(&pending, &mut refills);
         Ok(self.finish_batch(pending, refills, perturbations.len(), full_scan))
     }
 
@@ -1967,7 +2235,6 @@ impl<'q, M: EdgePerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession
         &mut self,
         perturbation: GraphPerturbation,
         pending: &mut PendingScan,
-        refills: &mut Vec<ElementId>,
     ) -> Result<(), EdgeUpdateError> {
         match perturbation {
             GraphPerturbation::SetEdge { u, v, weight } => {
@@ -1979,8 +2246,8 @@ impl<'q, M: EdgePerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession
                 self.ingest_edge_report(&report, pending);
             }
             GraphPerturbation::SetWeight { u, value } => self.ingest_weight(u, value, pending),
-            GraphPerturbation::Arrive { u } => self.ingest_arrival(u, pending, refills),
-            GraphPerturbation::Depart { u } => self.ingest_departure(u, pending, refills),
+            GraphPerturbation::Arrive { u } => self.ingest_arrival(u, pending),
+            GraphPerturbation::Depart { u } => self.ingest_departure(u, pending),
         }
         Ok(())
     }
@@ -2234,6 +2501,7 @@ impl<'q, M: Metric + Sync> SyncDynamicSession<'q, M> {
             return self.scan_full();
         }
         let this = self;
+        let load = self.knapsack_load();
         self.pool().scan_chunks(
             n,
             |lo, hi| {
@@ -2242,7 +2510,7 @@ impl<'q, M: Metric + Sync> SyncDynamicSession<'q, M> {
                     hi as ElementId,
                     this.dist.members(),
                     |v| this.active[v as usize] && !this.dist.contains(v),
-                    |v, u| this.swap_gain(v, u),
+                    |v, u| this.cell_score(load, v, u),
                 )
             },
             |&(_, _, gain)| gain,
@@ -2256,7 +2524,7 @@ impl<'q, M: Metric + Sync> SyncDynamicSession<'q, M> {
     fn scan_full_collect_parallel(
         &self,
     ) -> (Option<(ElementId, ElementId, f64)>, Option<TopKCollector>) {
-        if self.cache.k == 0 {
+        if self.cache.k == 0 || !self.constraint.is_cardinality() {
             return (self.scan_full_parallel(), None);
         }
         let n = self.dist.ground_size();

@@ -84,6 +84,20 @@ pub trait Matroid {
         self.is_independent(&swapped)
     }
 
+    /// Exchange-feasibility fast path for hot swap scans: `true` iff
+    /// `set − out + inn` is independent, for `out ∈ set`, `inn ∉ set`.
+    ///
+    /// Semantically identical to [`Matroid::can_swap`]`(inn, out, set)` —
+    /// the argument order names the exchange direction explicitly (`out`
+    /// leaves, `inn` enters), matching the enumeration order of the
+    /// dynamic session's constrained scan which probes every candidate
+    /// column against every member. Families with structure cheaper than
+    /// the generic swap test override this (uniform: O(1); partition:
+    /// O(1) for same-block exchanges).
+    fn exchange_feasible(&self, set: &[ElementId], out: ElementId, inn: ElementId) -> bool {
+        self.can_swap(inn, out, set)
+    }
+
     /// Greedily extends `set` to a basis (a maximal independent set)
     /// containing it, scanning elements in id order.
     ///
@@ -137,6 +151,10 @@ impl<M: Matroid + ?Sized> Matroid for &M {
     fn can_swap(&self, u: ElementId, v: ElementId, set: &[ElementId]) -> bool {
         (**self).can_swap(u, v, set)
     }
+
+    fn exchange_feasible(&self, set: &[ElementId], out: ElementId, inn: ElementId) -> bool {
+        (**self).exchange_feasible(set, out, inn)
+    }
 }
 
 #[cfg(test)]
@@ -172,5 +190,56 @@ mod tests {
         assert!(r.is_independent(&[0, 1]));
         assert!(!r.can_add(2, &[0, 1]));
         assert!(r.can_swap(2, 0, &[0, 1]));
+        assert!(r.exchange_feasible(&[0, 1], 0, 2));
+    }
+
+    /// Every `exchange_feasible` override must agree with the generic
+    /// `can_swap` on all (independent-set, out, in) triples of a small
+    /// ground set — the fast paths are pure speedups, never semantics.
+    #[test]
+    fn exchange_feasible_agrees_with_can_swap_across_families() {
+        let n = 6usize;
+        let matroids: Vec<Box<dyn Matroid>> = vec![
+            Box::new(UniformMatroid::new(n, 3)),
+            Box::new(PartitionMatroid::new(vec![0, 0, 1, 1, 2, 2], vec![1, 2, 1])),
+            Box::new(TruncatedMatroid::new(
+                PartitionMatroid::new(vec![0, 0, 0, 1, 1, 1], vec![2, 2]),
+                3,
+            )),
+            Box::new(GraphicMatroid::new(
+                4,
+                vec![(0, 1), (1, 2), (0, 2), (2, 3), (0, 3), (1, 3)],
+            )),
+            Box::new(LaminarMatroid::new(
+                n,
+                vec![((0..n as ElementId).collect(), 3), (vec![0, 1, 2], 2)],
+            )),
+            Box::new(TransversalMatroid::new(
+                n,
+                &[vec![0, 1, 2], vec![2, 3], vec![4, 5]],
+            )),
+        ];
+        for m in &matroids {
+            for mask in 0u32..(1 << n) {
+                let set: Vec<ElementId> = (0..n as ElementId)
+                    .filter(|&i| mask >> i & 1 == 1)
+                    .collect();
+                if !m.is_independent(&set) {
+                    continue;
+                }
+                for &out in &set {
+                    for inn in 0..n as ElementId {
+                        if set.contains(&inn) {
+                            continue;
+                        }
+                        assert_eq!(
+                            m.exchange_feasible(&set, out, inn),
+                            m.can_swap(inn, out, &set),
+                            "{set:?} -{out} +{inn}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

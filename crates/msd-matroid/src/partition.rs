@@ -125,6 +125,19 @@ impl Matroid for PartitionMatroid {
         occupancy < self.capacity[bu as usize]
     }
 
+    /// O(1) for same-block exchanges (a feasible set stays feasible when
+    /// an element is replaced within its own block); O(|S|) otherwise.
+    fn exchange_feasible(&self, set: &[ElementId], out: ElementId, inn: ElementId) -> bool {
+        if (inn as usize) >= self.block_of.len() {
+            return false;
+        }
+        let bi = self.block_of[inn as usize];
+        if self.block_of[out as usize] == bi {
+            return true;
+        }
+        self.can_swap(inn, out, set)
+    }
+
     fn rank(&self) -> usize {
         // Rank = Σ min(|block|, capacity).
         let mut sizes = vec![0u32; self.capacity.len()];

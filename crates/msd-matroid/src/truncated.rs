@@ -48,6 +48,12 @@ impl<M: Matroid> Matroid for TruncatedMatroid<M> {
     fn can_swap(&self, u: ElementId, v: ElementId, set: &[ElementId]) -> bool {
         set.len() <= self.k && self.inner.can_swap(u, v, set)
     }
+
+    /// Delegates to the inner matroid's fast path (a swap never changes
+    /// the cardinality, so the truncation bound cannot newly fail).
+    fn exchange_feasible(&self, set: &[ElementId], out: ElementId, inn: ElementId) -> bool {
+        set.len() <= self.k && self.inner.exchange_feasible(set, out, inn)
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,11 @@ impl Matroid for UniformMatroid {
         (u as usize) < self.n && set.len() <= self.k
     }
 
+    /// O(1): every in-range exchange of a feasible set is feasible.
+    fn exchange_feasible(&self, set: &[ElementId], _out: ElementId, inn: ElementId) -> bool {
+        (inn as usize) < self.n && set.len() <= self.k
+    }
+
     fn rank(&self) -> usize {
         self.k
     }

@@ -60,14 +60,16 @@ pub mod prelude {
     pub use msd_core::{
         distributed_greedy, exact_max_diversification, greedy_a, greedy_b, hassin_edge_greedy,
         hassin_matching, knapsack_diversify, local_search_matroid, local_search_refine,
-        max_sum_dispersion_greedy, mmr_select, stream_diversify, AdmissionPolicy, BatchReport,
-        CompactStreamingSession, DistributedConfig, DistributedResult, DiversificationProblem,
-        DynamicInstance, DynamicSession, ElementId, GraphBatchError, GraphPerturbation,
-        GreedyAConfig, GreedyBConfig, KnapsackConfig, LocalSearchConfig, MergeStats, MmrConfig,
-        PartitionScheme, Perturbation, PerturbationError, PotentialState, QueryResponse,
-        ScanExtent, ServingFrontend, ServingRequest, SessionCheckpoint, SessionError,
-        SessionPerturbation, ShardedConfig, ShardedEngine, ShardedReport, StreamingDiversifier,
-        StreamingSession, SubmitError, SyncServingFrontend, TenantId, TenantStats,
+        max_sum_dispersion_greedy, mmr_select, oblivious_update_step_knapsack,
+        oblivious_update_step_matroid, stream_diversify, AdmissionPolicy, BatchReport,
+        CompactStreamingSession, ConstraintPolicy, DistributedConfig, DistributedResult,
+        DiversificationProblem, DynamicInstance, DynamicSession, ElementId, GraphBatchError,
+        GraphPerturbation, GreedyAConfig, GreedyBConfig, KnapsackConfig, LocalSearchConfig,
+        MergeStats, MmrConfig, PartitionScheme, Perturbation, PerturbationError, PotentialState,
+        QueryResponse, ScanExtent, ServingFrontend, ServingRequest, SessionCheckpoint,
+        SessionError, SessionPerturbation, ShardedConfig, ShardedEngine, ShardedReport,
+        StreamingDiversifier, StreamingSession, SubmitError, SyncServingFrontend, TenantId,
+        TenantStats,
     };
     pub use msd_matroid::{
         GraphicMatroid, LaminarMatroid, Matroid, PartitionMatroid, TransversalMatroid,
