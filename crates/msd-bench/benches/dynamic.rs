@@ -57,9 +57,24 @@ use msd_bench::support::{
 };
 use msd_core::{
     greedy_b, oblivious_update_step, oblivious_update_step_knapsack, oblivious_update_step_matroid,
-    DiversificationProblem, DynamicInstance, DynamicSession, GraphPerturbation, GreedyBConfig,
-    Perturbation, SessionPerturbation,
+    Batch, DiversificationProblem, DynamicInstance, DynamicSession, GraphPerturbation,
+    GreedyBConfig, Perturbation, SessionPerturbation, Validation,
 };
+
+/// The measured ingestion call: the unified API under the legacy
+/// (trusting) regime — the exact work the old `apply`/`apply_batch`
+/// entry points performed, minus the validation pass `Strict` would add.
+fn ingest_legacy<
+    M: msd_metric::PerturbableMetric,
+    Q: msd_submodular::IncrementalOracle + ?Sized,
+>(
+    session: &mut DynamicSession<'_, M, Q>,
+    batch: impl Into<Vec<SessionPerturbation>>,
+) -> msd_core::BatchReport {
+    session
+        .ingest(Batch::new(batch.into()).with_validation(Validation::Legacy))
+        .expect("legacy ingest never rejects")
+}
 use msd_data::SyntheticConfig;
 use msd_matroid::{Matroid, PartitionMatroid, UniformMatroid};
 use msd_metric::{DistanceMatrix, DynamicGraphMetric, EdgePerturbableMetric, WeightedGraph};
@@ -322,7 +337,7 @@ fn bench_session<F: SetFunction + Sync + Clone>(
                     let mut last = None;
                     for _ in 0..SESSION_BATCH {
                         let pert = draw_perturbation(&mut rng, n, with_weights);
-                        last = Some(session.apply(black_box(pert.into())));
+                        last = Some(ingest_legacy(&mut session, vec![black_box(pert.into())]));
                     }
                     last
                 })
@@ -433,7 +448,7 @@ fn bench_batch<F: SetFunction + Sync + Clone>(
                 b.iter(|| {
                     for _ in 0..BATCH {
                         let pert = draw_burst_perturbation(&mut rng, n, with_weights, &hot);
-                        session.apply(black_box(pert.into()));
+                        ingest_legacy(&mut session, vec![black_box(pert.into())]);
                     }
                     session.update_until_stable(BATCH)
                 })
@@ -449,7 +464,7 @@ fn bench_batch<F: SetFunction + Sync + Clone>(
                     let burst: Vec<SessionPerturbation> = (0..BATCH)
                         .map(|_| draw_burst_perturbation(&mut rng, n, with_weights, &hot).into())
                         .collect();
-                    session.apply_batch(black_box(&burst));
+                    ingest_legacy(&mut session, black_box(burst));
                     session.update_until_stable(BATCH)
                 })
             });
@@ -544,7 +559,7 @@ fn bench_constrained(c: &mut Criterion, ns: &[usize]) {
                         let mut last = None;
                         for _ in 0..SESSION_BATCH {
                             let pert = draw_perturbation(&mut rng, n, true);
-                            last = Some(session.apply(black_box(pert.into())));
+                            last = Some(ingest_legacy(&mut session, vec![black_box(pert.into())]));
                         }
                         last
                     })
@@ -610,7 +625,7 @@ fn bench_constrained(c: &mut Criterion, ns: &[usize]) {
                         let mut last = None;
                         for _ in 0..SESSION_BATCH {
                             let pert = draw_perturbation(&mut rng, n, true);
-                            last = Some(session.apply(black_box(pert.into())));
+                            last = Some(ingest_legacy(&mut session, vec![black_box(pert.into())]));
                         }
                         last
                     })

@@ -29,6 +29,16 @@
 //! rewritten pairs) versus `k·O(n²)` for per-tenant metric clones;
 //! `memory_ratio` is owned/shared.
 //!
+//! The `serving/concurrent/*` family drives the same fleet through the
+//! fan-out/join scheduler instead: per round every tenant queues a
+//! burst, then one [`msd_core::ServingFrontend::query_many`] serves the
+//! whole fleet and the join is timed as a unit (`qps` is fleet queries
+//! per second, `p99_fanout_ns` the join tail). These rows run over a
+//! [`msd_core::SharedServingFrontend`], so the quality side shares one
+//! immutable `Arc<[f64]>` weight vector through per-tenant sparse
+//! deltas: the weight memory columns are `O(n) + k·O(Δ_w)` shared vs
+//! `k·O(n)` owned.
+//!
 //! Results go to `BENCH_serving.json` at the workspace root.
 //! `MSD_BENCH_N` restricts the ground sizes (CI smoke); the default is
 //! `n = 5000` with `k ∈ {4, 16}`.
@@ -153,7 +163,7 @@ fn run_config(
 
     let mut frontend = ServingFrontend::new(Arc::clone(base));
     let tenants: Vec<_> = (0..k)
-        .map(|_| frontend.add_tenant(quality, LAMBDA, init))
+        .map(|_| frontend.register_tenant(quality, LAMBDA, init))
         .collect();
     let mut rngs: Vec<StdRng> = (0..k)
         .map(|t| StdRng::seed_from_u64(tenant_seed(n, t)))
@@ -166,7 +176,9 @@ fn run_config(
         // untouched; its samples are discarded.
         let burst = draw_burst(&mut owned_rng, n, owned.solution());
         let start = Instant::now();
-        owned.apply_batch(&burst);
+        owned
+            .ingest(msd_core::Batch::from(&burst[..]).with_validation(msd_core::Validation::Legacy))
+            .expect("legacy ingest never rejects");
         owned.update_until_stable(256);
         let elapsed = start.elapsed().as_nanos() as f64;
         if round > 0 {
@@ -220,12 +232,71 @@ fn run_config(
     )
 }
 
+struct ConcurrentRun {
+    /// Whole-fleet fan-out/join latency per round.
+    fanout: Latency,
+    rounds: usize,
+    /// Overridden weights per tenant overlay after the run (Δ_w).
+    weight_deltas: Vec<usize>,
+    /// Rewritten metric pairs per tenant overlay after the run (Δ).
+    overlay_pairs: Vec<usize>,
+}
+
+/// Drives `k` shared-overlay tenants through the fan-out/join scheduler:
+/// every tenant queues one burst, then a single `query_many` serves the
+/// fleet and the join is timed as a unit. Round 0 is discarded warmup.
+fn run_concurrent(
+    base: &Arc<DistanceMatrix>,
+    quality: &ModularFunction,
+    init: &[ElementId],
+    k: usize,
+) -> ConcurrentRun {
+    let n = base.len();
+    let weights: Arc<[f64]> = quality.weights().to_vec().into();
+    let mut frontend = msd_core::SharedServingFrontend::new_shared(Arc::clone(base));
+    let tenants: Vec<_> = (0..k)
+        .map(|_| frontend.register_tenant_shared(Arc::clone(&weights), LAMBDA, init))
+        .collect();
+    let mut rngs: Vec<StdRng> = (0..k)
+        .map(|t| StdRng::seed_from_u64(tenant_seed(n, t) ^ 0xC0C0))
+        .collect();
+    let mut samples = Vec::with_capacity(ROUNDS);
+    for round in 0..=ROUNDS {
+        for (&t, rng) in tenants.iter().zip(rngs.iter_mut()) {
+            let burst = draw_burst(rng, n, frontend.solution(t));
+            for p in burst {
+                frontend.submit(t, p);
+            }
+        }
+        let start = Instant::now();
+        let responses = frontend.query_many(&tenants);
+        let elapsed = start.elapsed().as_nanos() as f64;
+        assert_eq!(responses.len(), k);
+        if round > 0 {
+            samples.push(elapsed);
+        }
+    }
+    ConcurrentRun {
+        fanout: summarize(samples),
+        rounds: ROUNDS,
+        weight_deltas: tenants
+            .iter()
+            .map(|&t| frontend.weight_delta_count(t))
+            .collect(),
+        overlay_pairs: tenants
+            .iter()
+            .map(|&t| frontend.session(t).metric().override_count())
+            .collect(),
+    }
+}
+
 struct Row {
     n: usize,
     p: usize,
     k: usize,
     shared: SharedRun,
     owned: Latency,
+    concurrent: ConcurrentRun,
 }
 
 fn to_json(rows: &[Row]) -> String {
@@ -246,14 +317,15 @@ fn to_json(rows: &[Row]) -> String {
         std::thread::available_parallelism().map_or(1, usize::from)
     );
     out.push_str("  \"results\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let tail = if i + 1 < rows.len() { "," } else { "" };
+    let mut entries = Vec::new();
+    for row in rows {
         let Row {
             n,
             p,
             k,
             shared,
             owned,
+            concurrent,
         } = row;
         let base_bytes = n * (n - 1) / 2 * 8;
         let delta: usize = shared.overlay_pairs.iter().sum();
@@ -262,9 +334,10 @@ fn to_json(rows: &[Row]) -> String {
         // n-byte dirty-row bitmap per tenant.
         let shared_bytes = base_bytes + delta * 64 + k * n;
         let owned_bytes = k * base_bytes;
-        let _ = writeln!(
-            out,
-            "    {{\"config\": \"serving/modular/n{n}/p{p}/k{k}\", \"tenants\": {k}, \"queries\": {}, \"qps\": {:.1}, \"mean_query_ns\": {:.1}, \"p99_query_ns\": {:.1}, \"tenant0_mean_query_ns\": {:.1}, \"owned_mean_query_ns\": {:.1}, \"owned_p99_query_ns\": {:.1}, \"shared_over_owned_ratio\": {:.3}, \"overlay_pairs_total\": {delta}, \"base_bytes\": {base_bytes}, \"shared_resident_bytes_est\": {shared_bytes}, \"owned_resident_bytes_est\": {owned_bytes}, \"memory_ratio\": {:.2}}}{tail}",
+        let mut entry = String::new();
+        let _ = write!(
+            entry,
+            "    {{\"config\": \"serving/modular/n{n}/p{p}/k{k}\", \"tenants\": {k}, \"queries\": {}, \"qps\": {:.1}, \"mean_query_ns\": {:.1}, \"p99_query_ns\": {:.1}, \"tenant0_mean_query_ns\": {:.1}, \"owned_mean_query_ns\": {:.1}, \"owned_p99_query_ns\": {:.1}, \"shared_over_owned_ratio\": {:.3}, \"overlay_pairs_total\": {delta}, \"base_bytes\": {base_bytes}, \"shared_resident_bytes_est\": {shared_bytes}, \"owned_resident_bytes_est\": {owned_bytes}, \"memory_ratio\": {:.2}}}",
             shared.queries,
             shared.latency.qps,
             shared.latency.mean_ns,
@@ -275,8 +348,32 @@ fn to_json(rows: &[Row]) -> String {
             shared.tenant0.mean_ns / owned.mean_ns,
             owned_bytes as f64 / shared_bytes as f64,
         );
+        entries.push(entry);
+
+        // Fan-out/join rows: one query_many join per round over a
+        // SharedServingFrontend; weight memory is O(n) + k·O(Δ_w)
+        // shared (8 B/base weight, ≈32 B/overridden weight in the
+        // delta map) vs k·O(n) owned.
+        let weight_delta: usize = concurrent.weight_deltas.iter().sum();
+        let metric_delta: usize = concurrent.overlay_pairs.iter().sum();
+        let weight_base_bytes = n * 8;
+        let weight_shared_bytes = weight_base_bytes + weight_delta * 32;
+        let weight_owned_bytes = k * weight_base_bytes;
+        let mut entry = String::new();
+        let _ = write!(
+            entry,
+            "    {{\"config\": \"serving/concurrent/n{n}/p{p}/k{k}\", \"tenants\": {k}, \"fanout_rounds\": {}, \"qps\": {:.1}, \"mean_fanout_ns\": {:.1}, \"p99_fanout_ns\": {:.1}, \"mean_query_ns\": {:.1}, \"overlay_pairs_total\": {metric_delta}, \"weight_deltas_total\": {weight_delta}, \"weight_base_bytes\": {weight_base_bytes}, \"weight_shared_bytes_est\": {weight_shared_bytes}, \"weight_owned_bytes_est\": {weight_owned_bytes}, \"weight_memory_ratio\": {:.2}}}",
+            concurrent.rounds,
+            *k as f64 * 1e9 / concurrent.fanout.mean_ns,
+            concurrent.fanout.mean_ns,
+            concurrent.fanout.p99_ns,
+            concurrent.fanout.mean_ns / *k as f64,
+            weight_owned_bytes as f64 / weight_shared_bytes as f64,
+        );
+        entries.push(entry);
     }
-    out.push_str("  ]\n}\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
     out
 }
 
@@ -298,12 +395,21 @@ fn main() {
                 owned.mean_ns,
                 shared.tenant0.mean_ns / owned.mean_ns,
             );
+            let concurrent = run_concurrent(&base, &quality, &init, k);
+            println!(
+                "serving/concurrent n={n} p={p} k={k}: {:.0} qps (join mean {:.0} ns, p99 {:.0} ns), weight deltas {}",
+                k as f64 * 1e9 / concurrent.fanout.mean_ns,
+                concurrent.fanout.mean_ns,
+                concurrent.fanout.p99_ns,
+                concurrent.weight_deltas.iter().sum::<usize>(),
+            );
             rows.push(Row {
                 n,
                 p,
                 k,
                 shared,
                 owned,
+                concurrent,
             });
         }
     }

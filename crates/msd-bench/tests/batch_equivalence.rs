@@ -35,9 +35,23 @@
 use msd_bench::naive::session_stabilize_naive;
 use msd_bench::support::{coverage_instance, facility_instance};
 use msd_core::{
-    greedy_b, DiversificationProblem, DynamicSession, ElementId, GreedyBConfig, ScanExtent,
-    SessionPerturbation,
+    greedy_b, Batch, DiversificationProblem, DynamicSession, ElementId, GreedyBConfig, ScanExtent,
+    SessionPerturbation, Validation,
 };
+
+/// The old trusting `apply_batch` contract through the unified ingestion
+/// API: legacy validation, one union-scoped scan.
+fn ingest_legacy<
+    M: msd_metric::PerturbableMetric,
+    Q: msd_submodular::IncrementalOracle + ?Sized,
+>(
+    session: &mut DynamicSession<'_, M, Q>,
+    batch: &[SessionPerturbation],
+) -> msd_core::BatchReport {
+    session
+        .ingest(Batch::from(batch).with_validation(Validation::Legacy))
+        .expect("legacy ingest never rejects")
+}
 use msd_data::SyntheticConfig;
 use msd_metric::DistanceMatrix;
 use msd_submodular::{
@@ -194,7 +208,7 @@ fn drive_batches<F: SetFunction>(
         let batch = random_batch(&mut rng, n, with_weights, session.solution());
         saw_empty |= batch.is_empty();
         ingest_into_mirror(&batch, &mut mirror, set_weight, &mut active, &mut sol, p);
-        let report = session.apply_batch(&batch);
+        let report = ingest_legacy(&mut session, &batch);
         assert_eq!(report.ingested, batch.len());
         saw_skip |= report.scan == ScanExtent::Skipped;
         // Batch swap + stabilization tail vs the naive reference, swap
@@ -407,7 +421,10 @@ fn candidate_cache_capacities_agree_on_tie_heavy_instances() {
                     }
                 }
             }
-            let reports: Vec<_> = sessions.iter_mut().map(|s| s.apply(pert)).collect();
+            let reports: Vec<_> = sessions
+                .iter_mut()
+                .map(|s| ingest_legacy(s, std::slice::from_ref(&pert)))
+                .collect();
             let expected = msd_bench::naive::session_update_step_naive(&mirror, &active, &mut sol);
             for (k, report) in ks.iter().zip(&reports) {
                 assert_eq!(
@@ -504,7 +521,7 @@ mod parallel_equivalence {
         let mut rng = StdRng::seed_from_u64(0xBA7C4 ^ n as u64);
         for batch_idx in 0..15 {
             let batch = random_batch(&mut rng, n, with_weights, serial.solution());
-            let a = serial.apply_batch(&batch);
+            let a = ingest_legacy(&mut serial, &batch);
             let b = parallel.apply_batch_parallel(&batch);
             assert_eq!(
                 a, b,

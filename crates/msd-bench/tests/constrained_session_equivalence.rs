@@ -14,9 +14,20 @@ use msd_bench::naive::{
     session_update_step_knapsack_naive, session_update_step_matroid_naive,
 };
 use msd_core::{
-    greedy_b, ConstraintPolicy, DiversificationProblem, DynamicSession, ElementId, GreedyBConfig,
-    SessionPerturbation,
+    greedy_b, Batch, ConstraintPolicy, DiversificationProblem, DynamicSession, ElementId,
+    GreedyBConfig, SessionPerturbation, Validation,
 };
+
+/// One perturbation through the unified ingestion API under the legacy
+/// (trusting) regime — the migration target of the old `apply` contract.
+fn ingest_one<M: msd_metric::PerturbableMetric, Q: msd_submodular::IncrementalOracle + ?Sized>(
+    session: &mut DynamicSession<'_, M, Q>,
+    pert: SessionPerturbation,
+) -> msd_core::BatchReport {
+    session
+        .ingest(Batch::from(pert).with_validation(Validation::Legacy))
+        .expect("legacy ingest never rejects")
+}
 use msd_data::SyntheticConfig;
 use msd_matroid::{
     GraphicMatroid, LaminarMatroid, Matroid, PartitionMatroid, TransversalMatroid,
@@ -317,7 +328,7 @@ fn drive_constrained<F: SetFunction>(
             pert,
             |m, u, value| set_weight(m, u, value),
         );
-        let report = session.apply(pert);
+        let report = ingest_one(&mut session, pert);
         let expected = reference.step(&mirror, &active, &mut sol);
         assert_eq!(
             report.outcome.swap, expected,
@@ -607,9 +618,13 @@ mod parallel_equivalence {
                 pert,
                 no_weights,
             );
-            let a = serial.apply(pert);
+            let a = ingest_one(&mut serial, pert);
             let b = parallel.apply_parallel(pert);
-            assert_eq!(a, b, "{label} seed {seed} step {step}: reports diverged");
+            assert_eq!(
+                (a.outcome, a.refills.last().copied(), a.scan),
+                (b.outcome, b.refill, b.scan),
+                "{label} seed {seed} step {step}: reports diverged"
+            );
             let expected = reference.step(&mirror, &active, &mut sol);
             assert_eq!(
                 a.outcome.swap, expected,

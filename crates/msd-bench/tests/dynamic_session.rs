@@ -8,14 +8,25 @@
 
 use msd_bench::naive::{session_refill_naive, session_update_step_naive};
 use msd_core::{
-    greedy_b, oblivious_update_step, DiversificationProblem, DynamicSession, ElementId,
-    GreedyBConfig, Perturbation, ScanExtent, SessionPerturbation,
+    greedy_b, oblivious_update_step, Batch, BatchReport, DiversificationProblem, DynamicSession,
+    ElementId, GreedyBConfig, Perturbation, ScanExtent, SessionPerturbation, Validation,
 };
 use msd_data::SyntheticConfig;
 use msd_metric::DistanceMatrix;
 use msd_submodular::{CoverageFunction, FacilityLocationFunction, MixtureFunction, SetFunction};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// One perturbation through the unified ingestion API under the legacy
+/// (trusting) regime — the migration target of the old `apply` contract.
+fn ingest_one(
+    session: &mut DynamicSession<'_, DistanceMatrix>,
+    pert: impl Into<SessionPerturbation>,
+) -> BatchReport {
+    session
+        .ingest(Batch::from(pert.into()).with_validation(Validation::Legacy))
+        .expect("legacy ingest never rejects")
+}
 
 fn coverage_instance(
     seed: u64,
@@ -81,7 +92,7 @@ fn assert_session_matches_rebuild<F: SetFunction>(
         if let Perturbation::SetDistance { u, v, value } = pert {
             mirror.metric_mut().set(u, v, value);
         }
-        let report = session.apply(pert.into());
+        let report = ingest_one(&mut session, pert);
         let expected = oblivious_update_step(&mirror, &mut sol);
         assert_eq!(
             report.outcome.swap, expected.swap,
@@ -118,7 +129,7 @@ fn session_matches_rebuild_on_modular_with_mixed_weight_and_distance() {
                 Perturbation::SetWeight { u, value } => mirror.quality_mut().set_weight(u, value),
                 Perturbation::SetDistance { u, v, value } => mirror.metric_mut().set(u, v, value),
             }
-            let report = session.apply(pert.into());
+            let report = ingest_one(&mut session, pert);
             let expected = oblivious_update_step(&mirror, &mut sol);
             assert_eq!(
                 report.outcome.swap, expected.swap,
@@ -168,7 +179,7 @@ fn session_skips_most_scans_once_stable() {
     let mut rng = StdRng::seed_from_u64(99);
     let (mut skipped, mut total) = (0usize, 0usize);
     for _ in 0..200 {
-        let report = session.apply(random_distance(&mut rng, n).into());
+        let report = ingest_one(&mut session, random_distance(&mut rng, n));
         total += 1;
         if report.scan == ScanExtent::Skipped {
             skipped += 1;
@@ -250,7 +261,7 @@ fn drive_membership<F: SetFunction>(
             }
             SessionPerturbation::SetWeight { .. } => unreachable!(),
         }
-        let report = session.apply(pert);
+        let report = ingest_one(&mut session, pert);
         let expected = session_update_step_naive(&mirror, &active, &mut sol);
         assert_eq!(
             report.outcome.swap, expected,
@@ -314,9 +325,13 @@ mod parallel_equivalence {
             if let Perturbation::SetDistance { u, v, value } = pert {
                 mirror.metric_mut().set(u, v, value);
             }
-            let a = serial.apply(pert.into());
+            let a = ingest_one(&mut serial, pert);
             let b = parallel.apply_parallel(pert.into());
-            assert_eq!(a, b, "{label} seed {seed} step {step}: reports diverged");
+            assert_eq!(
+                (a.outcome, a.refills.last().copied(), a.scan),
+                (b.outcome, b.refill, b.scan),
+                "{label} seed {seed} step {step}: reports diverged"
+            );
             let expected = msd_core::parallel::oblivious_update_step(&mirror, &mut sol);
             assert_eq!(
                 a.outcome.swap, expected.swap,

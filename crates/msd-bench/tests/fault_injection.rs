@@ -24,8 +24,8 @@
 //!   restores the quarantined tenant to its last good checkpoint.
 
 use msd_core::{
-    greedy_b, DiversificationProblem, DynamicSession, ElementId, GreedyBConfig, PerturbationError,
-    SessionError, SessionPerturbation,
+    greedy_b, Batch, DiversificationProblem, DynamicSession, ElementId, GreedyBConfig,
+    PerturbationError, SessionError, SessionPerturbation, Validation,
 };
 use msd_data::SyntheticConfig;
 use msd_metric::DistanceMatrix;
@@ -272,7 +272,7 @@ fn drive_family<F: SetFunction>(
             Some(expect_idx) => {
                 let before = fingerprint(&live, n);
                 let err = live
-                    .try_apply_batch(&batch)
+                    .ingest(&batch[..])
                     .expect_err("a salted batch must be rejected");
                 let SessionError::Rejected { index, .. } = err else {
                     panic!("{label} seed {seed} batch {batch_idx}: unexpected error shape {err:?}");
@@ -289,9 +289,11 @@ fn drive_family<F: SetFunction>(
                 poisoned += 1;
             }
             None => {
-                live.try_apply_batch(&batch)
+                live.ingest(&batch[..])
                     .unwrap_or_else(|e| panic!("{label}: clean batch rejected: {e:?}"));
-                mirror.apply_batch(&batch);
+                mirror
+                    .ingest(Batch::from(&batch[..]).with_validation(Validation::Legacy))
+                    .expect("legacy ingest never rejects");
                 live.update_until_stable(STAB);
                 mirror.update_until_stable(STAB);
                 mask = post_mask;
@@ -413,7 +415,9 @@ fn drive_family_parallel<F: SetFunction + Sync>(
             None => {
                 live.try_apply_batch_parallel(&batch)
                     .unwrap_or_else(|e| panic!("{label} parallel: clean batch rejected: {e:?}"));
-                mirror.apply_batch(&batch);
+                mirror
+                    .ingest(Batch::from(&batch[..]).with_validation(Validation::Legacy))
+                    .expect("legacy ingest never rejects");
                 live.update_until_stable(STAB);
                 mirror.update_until_stable(STAB);
                 mask = post_mask;
@@ -482,8 +486,15 @@ fn every_malformed_shape_is_observed_and_classified() {
     for _ in 0..400 {
         let entry = malformed_entry(&mut rng, n, true, &mask);
         let err = session
-            .try_apply(entry)
+            .ingest(entry)
             .expect_err("malformed entries must be rejected");
+        let SessionError::Rejected {
+            index: 0,
+            error: err,
+        } = err
+        else {
+            panic!("single-entry rejection must carry index 0: {err:?}");
+        };
         seen.insert(match err {
             PerturbationError::ElementOutOfRange { .. } => "out-of-range",
             PerturbationError::InvalidDistance { .. } => "invalid-distance",
@@ -546,15 +557,16 @@ mod serving_faults {
             max_pending: Some(64),
             quarantine_after: Some(2),
             checkpoint_every: 1,
+            ..AdmissionPolicy::default()
         };
         let mut frontend = ServingFrontend::new(Arc::clone(&base));
-        let healthy = frontend.add_tenant(&quality, 0.3, &init);
-        let poisoner = frontend.add_tenant(&quality, 0.3, &init);
+        let healthy = frontend.register_tenant(&quality, 0.3, &init);
+        let poisoner = frontend.register_tenant(&quality, 0.3, &init);
         let mut frontend = frontend.with_admission_policy(policy);
 
         // The mirror never hosts the poisoner at all.
         let mut mirror = ServingFrontend::new(Arc::clone(&base));
-        let healthy_mirror = mirror.add_tenant(&quality, 0.3, &init);
+        let healthy_mirror = mirror.register_tenant(&quality, 0.3, &init);
 
         let mut rng = StdRng::seed_from_u64(555);
         let mut last_good_poisoner = None;
@@ -648,10 +660,11 @@ mod serving_faults {
             max_pending: Some(64),
             quarantine_after: Some(2),
             checkpoint_every: 1,
+            ..AdmissionPolicy::default()
         };
         let mut frontend = SyncServingFrontend::new_sync(Arc::clone(&base));
-        let healthy = frontend.add_tenant_sync(&quality, 0.3, &init);
-        let poisoner = frontend.add_tenant_sync(&quality, 0.3, &init);
+        let healthy = frontend.register_tenant_sync(&quality, 0.3, &init);
+        let poisoner = frontend.register_tenant_sync(&quality, 0.3, &init);
         let mut frontend = frontend
             .with_scan_pool(Arc::new(ScanPool::new(4)))
             .with_admission_policy(policy);
@@ -659,7 +672,7 @@ mod serving_faults {
         // Serial poisoner-free mirror: the parallel path must be
         // bit-identical to it under any pool.
         let mut mirror = ServingFrontend::new(Arc::clone(&base));
-        let healthy_mirror = mirror.add_tenant(&quality, 0.3, &init);
+        let healthy_mirror = mirror.register_tenant(&quality, 0.3, &init);
 
         let mut rng = StdRng::seed_from_u64(556);
         for round in 0..ROUNDS {

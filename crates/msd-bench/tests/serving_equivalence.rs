@@ -68,7 +68,9 @@ struct Owned<'q> {
 
 impl<'q> Owned<'q> {
     fn query(&mut self, batch: &[SessionPerturbation]) -> (Vec<ElementId>, f64) {
-        self.session.apply_batch(batch);
+        self.session
+            .ingest(batch)
+            .expect("well-formed serving batch");
         self.session.update_until_stable(256);
         (self.session.solution().to_vec(), self.session.objective())
     }
@@ -91,8 +93,8 @@ fn shared_tenants_match_owned_sessions_serial() {
     };
 
     let mut frontend = ServingFrontend::new(Arc::clone(&base));
-    let ta = frontend.add_tenant(&quality, 0.3, &init);
-    let tb = frontend.add_tenant(&quality, 0.3, &init);
+    let ta = frontend.register_tenant(&quality, 0.3, &init);
+    let tb = frontend.register_tenant(&quality, 0.3, &init);
 
     let mut rng = StdRng::seed_from_u64(77);
     for round in 0..ROUNDS {
@@ -137,8 +139,8 @@ fn shared_tenants_match_owned_sessions_forced_parallel() {
     };
 
     let mut frontend = SyncServingFrontend::new_sync(Arc::clone(&base));
-    let ta = frontend.add_tenant_sync(&quality, 0.3, &init);
-    let tb = frontend.add_tenant_sync(&quality, 0.3, &init);
+    let ta = frontend.register_tenant_sync(&quality, 0.3, &init);
+    let tb = frontend.register_tenant_sync(&quality, 0.3, &init);
     // A forced 4-thread pool chunks every scan even at this test size —
     // the old `MSD_PARALLEL_THREADS` semantics without touching the
     // process environment, so this runs safely under the default

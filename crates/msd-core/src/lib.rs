@@ -73,13 +73,14 @@ pub use pool::ScanPool;
 pub use potential::{PotentialState, SyncPotentialState};
 pub use problem::DiversificationProblem;
 pub use serving::{
-    AdmissionPolicy, QueryResponse, ServingFrontend, ServingRequest, SubmitError,
-    SyncServingFrontend, TenantId, TenantStats,
+    AdmissionPolicy, Clock, QueryResponse, RejectionAudit, ServingFrontend, ServingRequest,
+    SharedServingFrontend, SubmitError, SyncServingFrontend, TenantId, TenantSnapshot, TenantStats,
+    TokenBucket,
 };
 pub use session::{
-    BatchReport, ConstraintPolicy, DynamicSession, GraphBatchError, GraphPerturbation,
+    Batch, BatchReport, ConstraintPolicy, DynamicSession, GraphBatchError, GraphPerturbation,
     PerturbationError, ScanExtent, SessionCheckpoint, SessionError, SessionPerturbation,
-    SyncDynamicSession, UpdateReport, DEFAULT_CANDIDATE_CAPACITY,
+    SyncDynamicSession, UpdateReport, Validation, DEFAULT_CANDIDATE_CAPACITY,
 };
 pub use sharded::{
     MergeStats, ShardMetric, ShardedConfig, ShardedEngine, ShardedReport, SyncShardedEngine,

@@ -292,6 +292,29 @@ impl ScanPool {
         Some(results)
     }
 
+    /// Fan-out/join entry point for *whole-task* jobs (the multi-tenant
+    /// serving frontend's per-tenant flush+stabilize cycles, as opposed to
+    /// the chunked candidate scans above): runs every job to completion
+    /// before returning, with the first job on the calling thread and the
+    /// rest distributed over the persistent workers under the same scoped
+    /// latch/panic discipline as [`run_tasks`](Self::run_tasks). On a
+    /// single-thread pool (no workers) the jobs run inline in order.
+    ///
+    /// Jobs must be *independent* — each touches disjoint state — and must
+    /// not submit scans to this same pool (workers do not steal while a
+    /// job blocks on the latch, so nested submission can deadlock).
+    pub(crate) fn run_jobs<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let mut jobs = jobs;
+        if self.shared.is_none() || jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let first = jobs.remove(0);
+        self.run_tasks(jobs, first);
+    }
+
     /// Scoped execution core: enqueues `tasks` onto the worker queue,
     /// runs `inline` (chunk 0) on the calling thread, then blocks until
     /// every task finished. A panicking task is caught on the worker,

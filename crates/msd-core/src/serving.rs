@@ -16,9 +16,38 @@
 //! The frontend consumes a **tagged request stream**
 //! ([`ServingRequest`]): perturbations are queued per tenant and
 //! coalesced into a single validated batch application
-//! ([`DynamicSession::try_apply_batch`]) when that tenant's next query
+//! ([`DynamicSession::ingest`]) when that tenant's next query
 //! arrives — the batch path scans at most once over the union scope,
-//! which is where the perturb→query throughput comes from.
+//! which is where the perturb→query throughput comes from. Tenants are
+//! addressed by the typed [`TenantId`] handle returned at registration
+//! ([`ServingFrontend::register_tenant`]).
+//!
+//! # Fan-out/join scheduling
+//!
+//! [`ServingFrontend::query_many`] answers a set of distinct tenants in
+//! one call and [`ServingFrontend::drain_all`] runs a flush cycle over
+//! every tenant with queued work. Because tenant sessions share no
+//! mutable state, the `parallel`-feature `query_many_parallel` /
+//! `drain_all_parallel` variants partition the requested tenants into
+//! independent jobs on a persistent `ScanPool` and join
+//! the responses in request order — bit-identical to the serial
+//! per-tenant loop (each job runs the identical serial flush +
+//! stabilize body; the pool only schedules *which thread* serves a
+//! tenant, never what it computes).
+//!
+//! # Shared weight overlays and tenant eviction
+//!
+//! [`SharedServingFrontend`] specializes the quality side the same way
+//! the metric side already is: `k` tenants read one immutable
+//! `Arc<[f64]>` base weight vector through per-tenant sparse
+//! copy-on-write deltas ([`msd_submodular::SharedModularOracle`]), so
+//! quality memory is `O(n) + k·O(Δ_w)` instead of `k·O(n)`. Because
+//! every piece of such a tenant's state is then base + sparse deltas,
+//! the tenant can be **evicted**: [`SharedServingFrontend::evict`]
+//! spills it to a plain-old-data [`TenantSnapshot`] (overlay deltas,
+//! solution state, availability mask, oracle value — raw floats, never
+//! re-derived) and [`SharedServingFrontend::attach`] re-attaches it
+//! bit-identically later.
 //!
 //! # Fault tolerance and admission control
 //!
@@ -36,7 +65,20 @@
 //! keep failing is isolated — queue dropped, submissions refused,
 //! queries still served from its last good checkpoint — without
 //! perturbing any other tenant, and re-opened via
-//! [`ServingFrontend::recover`].
+//! [`ServingFrontend::recover`]. Every rejected batch is kept on a
+//! per-tenant audit channel ([`ServingFrontend::last_rejection`])
+//! together with its typed error, so poison sources can be debugged
+//! after the fact.
+//!
+//! Latency SLOs are enforced against an **injected** [`Clock`]
+//! ([`ServingFrontend::with_clock`] — the frontend is told the time,
+//! it never reads it, so tests drive a fake): with
+//! [`AdmissionPolicy::max_staleness_ticks`] a tenant whose oldest
+//! queued perturbation exceeds the lag budget is quarantined at its
+//! next query (the queue can no longer be served within the SLO; the
+//! session itself is still the last good state, so no rollback
+//! happens), and [`AdmissionPolicy::rate_limit`] meters submissions
+//! through a per-tenant token bucket ([`SubmitError::RateLimited`]).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -50,8 +92,8 @@
 //! let quality = ModularFunction::new(vec![0.9, 0.3, 0.8, 0.2, 0.7, 0.1, 0.6, 0.4]);
 //!
 //! let mut frontend = ServingFrontend::new(Arc::clone(&base));
-//! let alice = frontend.add_tenant(&quality, 0.3, &[0, 2, 4]);
-//! let bob = frontend.add_tenant(&quality, 1.5, &[1, 3, 5]);
+//! let alice = frontend.register_tenant(&quality, 0.3, &[0, 2, 4]);
+//! let bob = frontend.register_tenant(&quality, 1.5, &[1, 3, 5]);
 //!
 //! let responses = frontend.process([
 //!     ServingRequest::Perturb {
@@ -82,12 +124,12 @@
 //! let quality = ModularFunction::new(vec![0.9, 0.3, 0.8, 0.2, 0.7, 0.1, 0.6, 0.4]);
 //!
 //! let mut frontend = ServingFrontend::new(Arc::clone(&base));
-//! let mallory = frontend.add_tenant(&quality, 0.3, &[0, 2, 4]);
+//! let mallory = frontend.register_tenant(&quality, 0.3, &[0, 2, 4]);
 //! let mut frontend = frontend.with_admission_policy(AdmissionPolicy {
 //!     max_flush_per_query: Some(16),
 //!     max_pending: Some(64),
 //!     quarantine_after: Some(2),
-//!     checkpoint_every: 1,
+//!     ..AdmissionPolicy::default()
 //! });
 //!
 //! let poison = SessionPerturbation::SetDistance { u: 0, v: 1, value: f64::NAN };
@@ -112,24 +154,97 @@
 //! frontend.try_submit(mallory, ok).unwrap();
 //! assert!(frontend.query(mallory).rejected.is_none());
 //! ```
+//!
+//! Shared-weight tenants can be spilled and re-attached bit-identically:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use msd_core::{SessionPerturbation, SharedServingFrontend};
+//! use msd_metric::DistanceMatrix;
+//!
+//! let base = Arc::new(DistanceMatrix::from_fn(8, |u, v| {
+//!     1.0 + f64::from((u + v) % 4) * 0.25
+//! }));
+//! let weights: Arc<[f64]> = vec![0.9, 0.3, 0.8, 0.2, 0.7, 0.1, 0.6, 0.4].into();
+//!
+//! let mut frontend = SharedServingFrontend::new_shared(Arc::clone(&base));
+//! let t = frontend.register_tenant_shared(Arc::clone(&weights), 0.3, &[0, 2, 4]);
+//! frontend.submit(t, SessionPerturbation::SetWeight { u: 2, value: 9.0 });
+//! let before = frontend.query(t);
+//!
+//! let snapshot = frontend.evict(t); // plain-old-data: O(Δ) deltas + solution
+//! let t = frontend.attach(snapshot); // bit-identical re-attach
+//! let after = frontend.query(t);
+//! assert_eq!(before.solution, after.solution);
+//! assert_eq!(before.objective.to_bits(), after.objective.to_bits());
+//! ```
 
 // Ingestion boundary: faults arrive here as values, never as panics.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::sync::Arc;
 
-use msd_metric::{Metric, OverlayMetric};
-use msd_submodular::{IncrementalOracle, SetFunction};
+use msd_metric::{Metric, OverlayMetric, PerturbableMetric};
+use msd_submodular::{IncrementalOracle, SetFunction, SharedModularOracle};
 
 use crate::session::{
     BatchReport, DynamicSession, SessionCheckpoint, SessionError, SessionPerturbation,
     SyncDynamicSession,
 };
+use crate::solution::SolutionState;
 use crate::ElementId;
 
-/// Index of a tenant session inside a [`ServingFrontend`] (assignment
-/// order of [`ServingFrontend::add_tenant`]).
-pub type TenantId = usize;
+/// Opaque handle to a tenant session inside a [`ServingFrontend`],
+/// returned by [`ServingFrontend::register_tenant`]. Handles stay valid
+/// across other tenants' registration and eviction (slots are
+/// tombstoned, never shifted); using an evicted tenant's handle
+/// panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(usize);
+
+impl TenantId {
+    /// The underlying slot index (stable for the tenant's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw slot index (e.g. one carried in an
+    /// external request envelope). The frontend re-validates it on use.
+    pub fn from_index(index: usize) -> Self {
+        TenantId(index)
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Injected time source for the admission layer's latency SLOs. The
+/// frontend is *told* the time in abstract ticks — it never reads a
+/// wall clock — so staleness and rate limits are deterministic and
+/// testable with a fake.
+pub trait Clock {
+    /// Monotone tick counter (the unit is the caller's choice; the
+    /// admission bounds are expressed in the same unit).
+    fn now_ticks(&self) -> u64;
+}
+
+/// Per-tenant token-bucket rate limit (see
+/// [`AdmissionPolicy::rate_limit`]): a tenant holds at most `capacity`
+/// tokens, [`ServingFrontend::try_submit`] spends one per submission,
+/// and one token mints every `ticks_per_token` clock ticks.
+///
+/// Refill is driven by the injected [`Clock`]; without one the bucket
+/// never refills after the initial `capacity` submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenBucket {
+    /// Maximum (and initial) token count.
+    pub capacity: u32,
+    /// Ticks needed to mint one token (`0` disables refill).
+    pub ticks_per_token: u64,
+}
 
 /// One tagged request in a serving stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -230,6 +345,21 @@ pub struct AdmissionPolicy {
     /// last known-good stabilized state. `0` is treated as `1` (the
     /// legacy refresh-every-flush behavior, which is also the default).
     pub checkpoint_every: usize,
+    /// Staleness SLO in [`Clock`] ticks: at query time, a tenant whose
+    /// *oldest* queued perturbation has waited longer than this is
+    /// quarantined — its lagging queue is dropped (it can no longer be
+    /// served within the SLO) and submissions are refused until
+    /// [`ServingFrontend::recover`]. The session itself is the last
+    /// good flushed state, so unlike poison quarantine no rollback
+    /// happens. Requires an injected clock
+    /// ([`ServingFrontend::with_clock`]); without one all submissions
+    /// carry tick 0 and never lag.
+    pub max_staleness_ticks: Option<u64>,
+    /// Per-tenant token-bucket submission rate limit:
+    /// [`ServingFrontend::try_submit`] answers
+    /// [`SubmitError::RateLimited`] when the tenant's bucket is empty.
+    /// Refill is metered by the injected [`Clock`].
+    pub rate_limit: Option<TokenBucket>,
 }
 
 impl Default for AdmissionPolicy {
@@ -239,6 +369,8 @@ impl Default for AdmissionPolicy {
             max_pending: None,
             quarantine_after: None,
             checkpoint_every: 1,
+            max_staleness_ticks: None,
+            rate_limit: None,
         }
     }
 }
@@ -262,7 +394,14 @@ pub enum SubmitError {
         /// The quarantined tenant.
         tenant: TenantId,
     },
-    /// No such tenant.
+    /// The tenant's token bucket is empty (see
+    /// [`AdmissionPolicy::rate_limit`]); retry after enough clock ticks
+    /// for a token to mint.
+    RateLimited {
+        /// The rate-limited tenant.
+        tenant: TenantId,
+    },
+    /// No such tenant (never registered, or evicted).
     UnknownTenant {
         /// The out-of-range id.
         tenant: TenantId,
@@ -282,6 +421,9 @@ impl std::fmt::Display for SubmitError {
             SubmitError::Quarantined { tenant } => {
                 write!(f, "tenant {tenant} is quarantined; recover() it first")
             }
+            SubmitError::RateLimited { tenant } => {
+                write!(f, "tenant {tenant}: rate limited (token bucket empty)")
+            }
             SubmitError::UnknownTenant { tenant } => write!(f, "no tenant {tenant}"),
         }
     }
@@ -289,11 +431,94 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// One rejected flush on the per-tenant audit channel
+/// ([`ServingFrontend::last_rejection`]): the drained batch exactly as
+/// it failed validation, plus the typed error. Overwritten by the next
+/// rejection; survives successful flushes so a poison source can be
+/// diagnosed after service has recovered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RejectionAudit {
+    /// The batch that was drained and rejected whole.
+    pub batch: Vec<SessionPerturbation>,
+    /// Why validation rejected it.
+    pub error: SessionError,
+}
+
+/// A spilled shared-weight tenant (see
+/// [`SharedServingFrontend::evict`]): plain-old-data — sparse overlay
+/// deltas against the shared bases plus the session's raw cached floats
+/// (gain vector, dispersion, oracle value), captured verbatim and
+/// restored verbatim by [`SharedServingFrontend::attach`] so the
+/// round-trip is bit-identical. `base_weights` is a handle to the
+/// *shared* corpus weight vector, not tenant state — a serializer would
+/// persist only the deltas and re-bind the base on load.
+///
+/// Checkpoint/replay recovery anchors are intentionally not carried:
+/// [`SharedServingFrontend::attach`] re-anchors recovery at the
+/// restored state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Trade-off `λ`.
+    pub lambda: f64,
+    /// Solution size `p`.
+    pub p: usize,
+    /// Whether the session had (re-)established stability.
+    pub stable: bool,
+    /// Whether the tenant was quarantined when evicted.
+    pub quarantined: bool,
+    /// Solution members in insertion order.
+    pub members: Vec<ElementId>,
+    /// Membership mask over the ground set.
+    pub in_set: Vec<bool>,
+    /// Cached marginal-dispersion vector `d_u(S)`, verbatim.
+    pub gain: Vec<f64>,
+    /// Cached total dispersion `d(S)`, verbatim.
+    pub dispersion: f64,
+    /// Availability mask (`false` ⟺ departed).
+    pub active: Vec<bool>,
+    /// Sparse metric overrides `(u, v, d)` sorted by pair.
+    pub metric_deltas: Vec<(ElementId, ElementId, f64)>,
+    /// Sparse weight overrides `(u, w)` sorted by element.
+    pub weight_deltas: Vec<(ElementId, f64)>,
+    /// The oracle's running `f(S)` accumulator, verbatim.
+    pub oracle_value: f64,
+    /// Handle to the shared base weight vector (corpus data).
+    pub base_weights: Arc<[f64]>,
+    /// Cumulative counters, preserved across the round-trip.
+    pub stats: TenantStats,
+    /// Queued (unflushed) perturbations.
+    pub pending: Vec<SessionPerturbation>,
+    /// Submission ticks parallel to `pending` (staleness SLO state).
+    pub pending_ticks: Vec<u64>,
+}
+
+/// Live token-bucket state (lazily initialized at the first
+/// rate-limited submission).
+#[derive(Debug, Clone, Copy)]
+struct RateState {
+    tokens: u32,
+    last_refill: u64,
+}
+
+/// Outcome of one coalesced flush attempt (see
+/// [`ServingFrontend::query`]): the drained batch rides along in both
+/// non-idle arms — the success arm feeds the recovery replay log, the
+/// rejection arm feeds the audit channel.
+enum FlushAttempt {
+    /// Nothing to flush (empty queue, quarantined, or a zero cap).
+    Idle,
+    Applied(BatchReport, Vec<SessionPerturbation>),
+    Rejected(SessionError, Vec<SessionPerturbation>),
+}
+
 /// Per-tenant state: a session over the shared base plus the pending
 /// (not yet flushed) perturbation queue and its fault-tolerance state.
 struct Tenant<'q, M: Metric, Q: IncrementalOracle + ?Sized> {
     session: DynamicSession<'q, OverlayMetric<Arc<M>>, Q>,
     pending: Vec<SessionPerturbation>,
+    /// Submission tick of each queued perturbation (parallel to
+    /// `pending`) — the staleness SLO measures the front of this queue.
+    pending_ticks: Vec<u64>,
     stats: TenantStats,
     /// Last known-good snapshot (maintained only when
     /// [`AdmissionPolicy::quarantine_after`] is set).
@@ -309,6 +534,10 @@ struct Tenant<'q, M: Metric, Q: IncrementalOracle + ?Sized> {
     /// Rejected flush batches since the last successful one.
     consecutive_rejects: usize,
     quarantined: bool,
+    /// Token-bucket state (only when [`AdmissionPolicy::rate_limit`]).
+    rate: Option<RateState>,
+    /// Audit channel: the most recently rejected batch + typed error.
+    last_rejection: Option<RejectionAudit>,
 }
 
 /// Multi-tenant serving frontend: `k` independent dynamic sessions over
@@ -324,12 +553,21 @@ pub struct ServingFrontend<
     Q: IncrementalOracle + ?Sized = dyn IncrementalOracle + 'q,
 > {
     base: Arc<M>,
-    tenants: Vec<Tenant<'q, M, Q>>,
+    /// Tenant slots; eviction tombstones (`None`) keep every other
+    /// tenant's [`TenantId`] stable.
+    tenants: Vec<Option<Tenant<'q, M, Q>>>,
     /// Hard cap on stabilization swaps per query (defensive; the
     /// oblivious rule converges in ≤ p swaps on every workload the
     /// equivalence suites drive).
     max_updates_per_query: usize,
     policy: AdmissionPolicy,
+    /// Injected time source for the SLO/rate-limit admission bounds.
+    clock: Option<Arc<dyn Clock + Send + Sync>>,
+    /// Pool distributing fan-out jobs (tenant-per-job); per-session
+    /// scan parallelism is routed separately via the sessions' own
+    /// pools.
+    #[cfg(feature = "parallel")]
+    fanout_pool: Option<Arc<crate::pool::ScanPool>>,
 }
 
 /// [`ServingFrontend`] whose tenant oracles are shareable across threads
@@ -337,10 +575,18 @@ pub struct ServingFrontend<
 pub type SyncServingFrontend<'q, M> =
     ServingFrontend<'q, M, dyn IncrementalOracle + Send + Sync + 'q>;
 
+/// [`ServingFrontend`] whose tenants all read one shared immutable base
+/// weight vector through sparse copy-on-write overlays
+/// ([`SharedModularOracle`]) — quality memory `O(n) + k·O(Δ_w)` for `k`
+/// tenants instead of `k·O(n)`, and the only frontend whose tenants can
+/// be [evicted](SharedServingFrontend::evict) to plain-old-data
+/// [`TenantSnapshot`]s.
+pub type SharedServingFrontend<'q, M> = ServingFrontend<'q, M, SharedModularOracle>;
+
 impl<M: Metric, Q: IncrementalOracle + ?Sized> std::fmt::Debug for ServingFrontend<'_, M, Q> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServingFrontend")
-            .field("tenants", &self.tenants.len())
+            .field("tenants", &self.tenants.iter().flatten().count())
             .field("ground_size", &self.base.len())
             .finish()
     }
@@ -352,12 +598,7 @@ const DEFAULT_MAX_UPDATES_PER_QUERY: usize = 256;
 impl<'q, M: Metric> ServingFrontend<'q, M> {
     /// A frontend over `base` with no tenants yet.
     pub fn new(base: Arc<M>) -> Self {
-        Self {
-            base,
-            tenants: Vec::new(),
-            max_updates_per_query: DEFAULT_MAX_UPDATES_PER_QUERY,
-            policy: AdmissionPolicy::default(),
-        }
+        Self::with_base(base)
     }
 
     /// Opens a tenant session seeded with `initial` (typically Greedy B's
@@ -368,7 +609,7 @@ impl<'q, M: Metric> ServingFrontend<'q, M> {
     /// # Panics
     ///
     /// As [`DynamicSession::new`].
-    pub fn add_tenant<F: SetFunction>(
+    pub fn register_tenant<F: SetFunction>(
         &mut self,
         quality: &'q F,
         lambda: f64,
@@ -378,21 +619,27 @@ impl<'q, M: Metric> ServingFrontend<'q, M> {
             &self.base, quality, lambda, initial,
         ))
     }
+
+    /// Renamed to [`register_tenant`](Self::register_tenant).
+    #[deprecated(since = "0.11.0", note = "renamed to `register_tenant`")]
+    pub fn add_tenant<F: SetFunction>(
+        &mut self,
+        quality: &'q F,
+        lambda: f64,
+        initial: &[ElementId],
+    ) -> TenantId {
+        self.register_tenant(quality, lambda, initial)
+    }
 }
 
 impl<'q, M: Metric> SyncServingFrontend<'q, M> {
     /// A thread-shareable frontend over `base` with no tenants yet.
     pub fn new_sync(base: Arc<M>) -> Self {
-        Self {
-            base,
-            tenants: Vec::new(),
-            max_updates_per_query: DEFAULT_MAX_UPDATES_PER_QUERY,
-            policy: AdmissionPolicy::default(),
-        }
+        Self::with_base(base)
     }
 
-    /// Thread-shareable variant of [`ServingFrontend::add_tenant`].
-    pub fn add_tenant_sync<F: SetFunction + Sync>(
+    /// Thread-shareable variant of [`ServingFrontend::register_tenant`].
+    pub fn register_tenant_sync<F: SetFunction + Sync>(
         &mut self,
         quality: &'q F,
         lambda: f64,
@@ -402,9 +649,183 @@ impl<'q, M: Metric> SyncServingFrontend<'q, M> {
             &self.base, quality, lambda, initial,
         ))
     }
+
+    /// Renamed to [`register_tenant_sync`](Self::register_tenant_sync).
+    #[deprecated(since = "0.11.0", note = "renamed to `register_tenant_sync`")]
+    pub fn add_tenant_sync<F: SetFunction + Sync>(
+        &mut self,
+        quality: &'q F,
+        lambda: f64,
+        initial: &[ElementId],
+    ) -> TenantId {
+        self.register_tenant_sync(quality, lambda, initial)
+    }
+}
+
+impl<'q, M: Metric> SharedServingFrontend<'q, M> {
+    /// A shared-weight frontend over `base` with no tenants yet (see
+    /// [`SharedServingFrontend`]).
+    pub fn new_shared(base: Arc<M>) -> Self {
+        Self::with_base(base)
+    }
+
+    /// Opens a tenant whose quality oracle reads `weights` (the shared
+    /// immutable base vector, `f(S) = Σ_{u∈S} w(u)`) through a
+    /// tenant-private sparse overlay: `try_set_weight` perturbations
+    /// cost `O(Δ_w)` per tenant instead of cloning the `O(n)` vector
+    /// per tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` disagrees with the base metric's ground
+    /// set, contains non-finite or negative entries, or `initial` is
+    /// malformed (as [`DynamicSession::new`]).
+    pub fn register_tenant_shared(
+        &mut self,
+        weights: Arc<[f64]>,
+        lambda: f64,
+        initial: &[ElementId],
+    ) -> TenantId {
+        assert_eq!(
+            weights.len(),
+            self.base.len(),
+            "base weights and base metric must share a ground set"
+        );
+        let mut oracle = SharedModularOracle::new(weights);
+        for &u in initial {
+            oracle.insert(u);
+        }
+        let session = DynamicSession::from_parts(
+            OverlayMetric::new(Arc::clone(&self.base)),
+            Box::new(oracle),
+            lambda,
+            initial,
+        );
+        self.push_tenant(session)
+    }
+
+    /// Number of weight overrides (`Δ_w`) currently held by `tenant`'s
+    /// overlay — the tenant's share of quality-side resident memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is unknown or evicted.
+    pub fn weight_delta_count(&self, tenant: TenantId) -> usize {
+        self.tenant(tenant).session.quality_oracle().delta_count()
+    }
+
+    /// Spills `tenant` to a plain-old-data [`TenantSnapshot`] and frees
+    /// its slot (a tombstone: other tenants' ids are untouched; this
+    /// tenant's id becomes invalid). Quarantined tenants are evictable —
+    /// the flag rides along. The snapshot captures the session's cached
+    /// floats verbatim, so [`attach`](Self::attach) restores the tenant
+    /// bit-identically (the candidate cache restarts cold — the same
+    /// documented `ScanExtent`-only divergence as
+    /// [`DynamicSession::rollback_to`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is unknown or already evicted.
+    pub fn evict(&mut self, tenant: TenantId) -> TenantSnapshot {
+        let t = match self.tenants.get_mut(tenant.index()).and_then(Option::take) {
+            Some(t) => t,
+            None => panic!("no tenant {tenant} (unknown or evicted)"),
+        };
+        let (members, in_set, gain, dispersion) = t.session.solution_raw();
+        let oracle = t.session.quality_oracle();
+        TenantSnapshot {
+            lambda: t.session.lambda(),
+            p: t.session.p(),
+            stable: t.session.is_stable(),
+            quarantined: t.quarantined,
+            active: t.session.availability_mask().to_vec(),
+            metric_deltas: t.session.metric().override_deltas(),
+            weight_deltas: oracle.weight_deltas(),
+            oracle_value: oracle.value(),
+            base_weights: Arc::clone(oracle.base()),
+            members,
+            in_set,
+            gain,
+            dispersion,
+            stats: t.stats,
+            pending: t.pending,
+            pending_ticks: t.pending_ticks,
+        }
+    }
+
+    /// Re-attaches a [`TenantSnapshot`] under a fresh [`TenantId`]
+    /// (reusing the lowest tombstoned slot when one exists). The
+    /// overlays are rebuilt by replaying the sparse deltas in their
+    /// sorted snapshot order and the cached floats are restored
+    /// verbatim, so queries answer bit-identically to the evicted
+    /// tenant. Recovery (checkpoint + replay log) re-anchors at the
+    /// restored state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot is internally inconsistent or does not
+    /// match this frontend's base metric ground set.
+    pub fn attach(&mut self, snapshot: TenantSnapshot) -> TenantId {
+        let TenantSnapshot {
+            lambda,
+            p,
+            stable,
+            quarantined,
+            members,
+            in_set,
+            gain,
+            dispersion,
+            active,
+            metric_deltas,
+            weight_deltas,
+            oracle_value,
+            base_weights,
+            stats,
+            pending,
+            pending_ticks,
+        } = snapshot;
+        let mut metric = OverlayMetric::new(Arc::clone(&self.base));
+        for (u, v, d) in metric_deltas {
+            metric.set_distance(u, v, d);
+        }
+        let oracle =
+            SharedModularOracle::from_parts(base_weights, &weight_deltas, &in_set, oracle_value);
+        let dist = SolutionState::from_raw(members, in_set, gain, dispersion);
+        let session = DynamicSession::from_restored(
+            metric,
+            Box::new(oracle),
+            lambda,
+            dist,
+            active,
+            p,
+            stable,
+        );
+        let id = self.push_tenant(session);
+        let t = match self.tenants.get_mut(id.index()).and_then(Option::as_mut) {
+            Some(t) => t,
+            None => unreachable!("push_tenant returned a live slot"),
+        };
+        t.stats = stats;
+        t.pending = pending;
+        t.pending_ticks = pending_ticks;
+        t.quarantined = quarantined;
+        id
+    }
 }
 
 impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
+    fn with_base(base: Arc<M>) -> Self {
+        Self {
+            base,
+            tenants: Vec::new(),
+            max_updates_per_query: DEFAULT_MAX_UPDATES_PER_QUERY,
+            policy: AdmissionPolicy::default(),
+            clock: None,
+            #[cfg(feature = "parallel")]
+            fanout_pool: None,
+        }
+    }
+
     fn push_tenant(&mut self, session: DynamicSession<'q, OverlayMetric<Arc<M>>, Q>) -> TenantId {
         // With quarantine enabled every tenant starts with a known-good
         // anchor, so recovery works even before the first clean flush.
@@ -413,17 +834,47 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
             .quarantine_after
             .is_some()
             .then(|| session.checkpoint());
-        self.tenants.push(Tenant {
+        let tenant = Tenant {
             session,
             pending: Vec::new(),
+            pending_ticks: Vec::new(),
             stats: TenantStats::default(),
             checkpoint,
             replay_log: Vec::new(),
             flushes_since_checkpoint: 0,
             consecutive_rejects: 0,
             quarantined: false,
-        });
-        self.tenants.len() - 1
+            rate: None,
+            last_rejection: None,
+        };
+        // Reuse the lowest tombstone so eviction does not leak slots.
+        if let Some(idx) = self.tenants.iter().position(Option::is_none) {
+            self.tenants[idx] = Some(tenant);
+            TenantId(idx)
+        } else {
+            self.tenants.push(Some(tenant));
+            TenantId(self.tenants.len() - 1)
+        }
+    }
+
+    /// Panicking lookup: every by-id entry point funnels through here so
+    /// unknown and evicted tenants fail with one message.
+    fn tenant(&self, tenant: TenantId) -> &Tenant<'q, M, Q> {
+        match self.tenants.get(tenant.index()).and_then(Option::as_ref) {
+            Some(t) => t,
+            None => panic!("no tenant {tenant} (unknown or evicted)"),
+        }
+    }
+
+    fn tenant_mut(&mut self, tenant: TenantId) -> &mut Tenant<'q, M, Q> {
+        match self
+            .tenants
+            .get_mut(tenant.index())
+            .and_then(Option::as_mut)
+        {
+            Some(t) => t,
+            None => panic!("no tenant {tenant} (unknown or evicted)"),
+        }
     }
 
     /// The shared base metric.
@@ -431,9 +882,43 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
         &self.base
     }
 
-    /// Number of tenant sessions.
+    /// Number of live (non-evicted) tenant sessions.
     pub fn tenant_count(&self) -> usize {
-        self.tenants.len()
+        self.tenants.iter().flatten().count()
+    }
+
+    /// Handles of all live tenants, ascending.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|_| TenantId(i)))
+            .collect()
+    }
+
+    /// Live, unquarantined tenants with queued work — the "ready" set a
+    /// [`drain_all`](Self::drain_all) flush cycle serves.
+    fn ready_ids(&self) -> Vec<TenantId> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|t| (i, t)))
+            .filter(|(_, t)| !t.quarantined && !t.pending.is_empty())
+            .map(|(i, _)| TenantId(i))
+            .collect()
+    }
+
+    /// Injects the [`Clock`] the admission layer's staleness SLO and
+    /// token-bucket refill are measured against (builder style). The
+    /// frontend never reads a wall clock itself.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock + Send + Sync>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Current tick of the injected clock (0 when none is configured).
+    fn now(&self) -> u64 {
+        self.clock.as_ref().map_or(0, |c| c.now_ticks())
     }
 
     /// Caps the stabilization swaps spent per query (builder style;
@@ -451,7 +936,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
     pub fn with_admission_policy(mut self, policy: AdmissionPolicy) -> Self {
         self.policy = policy;
         if policy.quarantine_after.is_some() {
-            for t in &mut self.tenants {
+            for t in self.tenants.iter_mut().flatten() {
                 if t.checkpoint.is_none() {
                     t.checkpoint = Some(t.session.checkpoint());
                 }
@@ -486,7 +971,8 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::UnknownTenant`], [`SubmitError::Quarantined`], or
+    /// [`SubmitError::UnknownTenant`], [`SubmitError::Quarantined`],
+    /// [`SubmitError::RateLimited`] (token bucket empty), or
     /// [`SubmitError::QueueFull`] (the queue drains at the tenant's next
     /// query). Malformed perturbation *contents* are not checked here —
     /// they are validated (and rejected batch-at-a-time, with rollback)
@@ -496,13 +982,19 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
         tenant: TenantId,
         perturbation: SessionPerturbation,
     ) -> Result<(), SubmitError> {
-        let Some(t) = self.tenants.get_mut(tenant) else {
+        let now = self.now();
+        let policy = self.policy;
+        let Some(t) = self
+            .tenants
+            .get_mut(tenant.index())
+            .and_then(Option::as_mut)
+        else {
             return Err(SubmitError::UnknownTenant { tenant });
         };
         if t.quarantined {
             return Err(SubmitError::Quarantined { tenant });
         }
-        if let Some(max_pending) = self.policy.max_pending {
+        if let Some(max_pending) = policy.max_pending {
             if t.pending.len() >= max_pending {
                 return Err(SubmitError::QueueFull {
                     tenant,
@@ -510,14 +1002,43 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
                 });
             }
         }
+        // After the queue check so a backpressured submit does not also
+        // burn a token.
+        if let Some(bucket) = policy.rate_limit {
+            let rate = t.rate.get_or_insert(RateState {
+                tokens: bucket.capacity,
+                last_refill: now,
+            });
+            // checked_div doubles as the ticks_per_token == 0 guard
+            // (a zero-period bucket never refills past its burst).
+            let minted = now
+                .saturating_sub(rate.last_refill)
+                .checked_div(bucket.ticks_per_token)
+                .unwrap_or(0);
+            if minted > 0 {
+                let minted32 = u32::try_from(minted).unwrap_or(bucket.capacity);
+                rate.tokens = rate.tokens.saturating_add(minted32).min(bucket.capacity);
+                rate.last_refill += minted * bucket.ticks_per_token;
+            }
+            if rate.tokens == 0 {
+                return Err(SubmitError::RateLimited { tenant });
+            }
+            rate.tokens -= 1;
+        }
         t.pending.push(perturbation);
+        t.pending_ticks.push(now);
         Ok(())
     }
 
     /// `true` when `tenant` is quarantined (consecutive rejected flushes
-    /// reached [`AdmissionPolicy::quarantine_after`]).
+    /// reached [`AdmissionPolicy::quarantine_after`], or its queue blew
+    /// the [`AdmissionPolicy::max_staleness_ticks`] SLO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is unknown or evicted.
     pub fn is_quarantined(&self, tenant: TenantId) -> bool {
-        self.tenants[tenant].quarantined
+        self.tenant(tenant).quarantined
     }
 
     /// Lifts `tenant`'s quarantine: drops whatever is still queued,
@@ -533,9 +1054,10 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
     /// Panics if `tenant` is out of range.
     pub fn recover(&mut self, tenant: TenantId) -> bool {
         let max_updates = self.max_updates_per_query;
-        let t = &mut self.tenants[tenant];
+        let t = self.tenant_mut(tenant);
         let restored = Self::restore_last_known_good(t, max_updates);
         t.pending.clear();
+        t.pending_ticks.clear();
         t.stats.staleness = 0;
         t.quarantined = false;
         t.consecutive_rejects = 0;
@@ -555,7 +1077,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
         for batch in &t.replay_log {
             // The batch validated when it first flushed, so the
             // unvalidated replay applies the identical mutations.
-            let report = t.session.apply_batch(batch);
+            let report = t.session.ingest_unchecked(batch);
             let swaps = usize::from(report.outcome.swap.is_some());
             t.session
                 .update_until_stable(max_updates.saturating_sub(swaps));
@@ -565,45 +1087,126 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
 
     /// Number of queued (unflushed) perturbations for `tenant`.
     pub fn pending(&self, tenant: TenantId) -> usize {
-        self.tenants[tenant].pending.len()
+        self.tenant(tenant).pending.len()
     }
 
     /// The tenant's maintained solution, without flushing its queue.
     pub fn solution(&self, tenant: TenantId) -> &[ElementId] {
-        self.tenants[tenant].session.solution()
+        self.tenant(tenant).session.solution()
     }
 
     /// The tenant's session (read access; perturb through
     /// [`submit`](Self::submit) so coalescing stays intact).
     pub fn session(&self, tenant: TenantId) -> &DynamicSession<'q, OverlayMetric<Arc<M>>, Q> {
-        &self.tenants[tenant].session
+        &self.tenant(tenant).session
     }
 
     /// Cumulative counters for `tenant`.
     pub fn stats(&self, tenant: TenantId) -> TenantStats {
-        self.tenants[tenant].stats
+        self.tenant(tenant).stats
+    }
+
+    /// The audit channel: `tenant`'s most recently rejected flush batch
+    /// and its typed error, or `None` if no flush was ever rejected.
+    /// Survives successful flushes and recovery; overwritten by the
+    /// next rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is unknown or evicted.
+    pub fn last_rejection(&self, tenant: TenantId) -> Option<&RejectionAudit> {
+        self.tenant(tenant).last_rejection.as_ref()
     }
 
     /// Flushes (up to [`AdmissionPolicy::max_flush_per_query`] of)
     /// `tenant`'s queued perturbations as one coalesced, *validated*
-    /// [`DynamicSession::try_apply_batch`], stabilizes, and answers with
-    /// the maintained solution.
+    /// [`DynamicSession::ingest`], stabilizes, and answers with the
+    /// maintained solution.
     ///
-    /// A rejected batch is discarded whole — the session rolls back
-    /// bit-for-bit and the response carries the typed error in
-    /// [`QueryResponse::rejected`]; a quarantined tenant answers from
-    /// its last good state without flushing. No request content can
-    /// panic this entry point.
+    /// A rejected batch is kept on the audit channel
+    /// ([`last_rejection`](Self::last_rejection)) but discarded from the
+    /// session — it rolls back bit-for-bit and the response carries the
+    /// typed error in [`QueryResponse::rejected`]; a quarantined tenant
+    /// answers from its last good state without flushing. No request
+    /// content can panic this entry point.
     ///
     /// # Panics
     ///
-    /// Panics if `tenant` is out of range.
+    /// Panics if `tenant` is unknown or evicted.
     pub fn query(&mut self, tenant: TenantId) -> QueryResponse {
         let max_updates = self.max_updates_per_query;
         let policy = self.policy;
-        let t = &mut self.tenants[tenant];
-        let flush = Self::flush_pending(t, policy, |session, batch| session.try_apply_batch(batch));
+        let now = self.now();
+        let t = self.tenant_mut(tenant);
+        Self::query_tenant(t, tenant, policy, max_updates, now)
+    }
+
+    /// The whole per-tenant query body — staleness check, coalesced
+    /// flush, stabilize, respond. Both the serial entry points and the
+    /// `parallel`-feature fan-out jobs run exactly this function, which
+    /// is what makes the fan-out bit-identical to the serial loop by
+    /// construction.
+    fn query_tenant(
+        t: &mut Tenant<'q, M, Q>,
+        tenant: TenantId,
+        policy: AdmissionPolicy,
+        max_updates: usize,
+        now: u64,
+    ) -> QueryResponse {
+        Self::quarantine_if_stale(t, policy, now);
+        let flush = Self::flush_pending(t, policy, |session, batch| session.ingest(batch));
         Self::respond(t, tenant, flush, max_updates, policy)
+    }
+
+    /// Enforces [`AdmissionPolicy::max_staleness_ticks`]: a queue whose
+    /// oldest entry has lagged past the SLO can no longer be served in
+    /// time — drop it and quarantine. The session state is the last
+    /// good flush, so unlike poison quarantine nothing rolls back.
+    fn quarantine_if_stale(t: &mut Tenant<'q, M, Q>, policy: AdmissionPolicy, now: u64) {
+        let Some(limit) = policy.max_staleness_ticks else {
+            return;
+        };
+        if t.quarantined {
+            return;
+        }
+        let Some(&oldest) = t.pending_ticks.first() else {
+            return;
+        };
+        if now.saturating_sub(oldest) > limit {
+            t.quarantined = true;
+            t.pending.clear();
+            t.pending_ticks.clear();
+        }
+    }
+
+    /// Answers a set of *distinct* tenants in request order — the
+    /// serial fan-out/join reference the `parallel`-feature
+    /// `query_many_parallel` is pinned against.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate handles (two jobs would race on one tenant)
+    /// or on unknown/evicted tenants.
+    pub fn query_many(&mut self, tenants: &[TenantId]) -> Vec<QueryResponse> {
+        Self::assert_distinct(tenants);
+        tenants.iter().map(|&t| self.query(t)).collect()
+    }
+
+    /// One flush cycle over the ready set (live, unquarantined tenants
+    /// with queued work), ascending by id: each ready tenant gets one
+    /// [`query`](Self::query). Tenants with empty queues are skipped —
+    /// a pure read costs nothing through this path.
+    pub fn drain_all(&mut self) -> Vec<QueryResponse> {
+        let ready = self.ready_ids();
+        self.query_many(&ready)
+    }
+
+    fn assert_distinct(tenants: &[TenantId]) {
+        let mut seen: Vec<usize> = tenants.iter().map(|t| t.index()).collect();
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            assert!(w[0] != w[1], "duplicate tenant {} in fan-out", w[0]);
+        }
     }
 
     /// Runs a tagged request stream in order, answering every
@@ -629,10 +1232,9 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
 
     /// Drains the admission-bounded front of the pending queue through
     /// `apply` (a validating, all-or-nothing batch application). A
-    /// quarantined tenant flushes nothing. Returns the successful report
-    /// (with the flushed batch, for the recovery replay log) or the
-    /// rejection; `(None, None)` when there was nothing to flush.
-    #[allow(clippy::type_complexity)]
+    /// quarantined tenant flushes nothing. The drained batch rides in
+    /// the returned [`FlushAttempt`] either way — into the recovery
+    /// replay log on success, onto the audit channel on rejection.
     fn flush_pending(
         t: &mut Tenant<'q, M, Q>,
         policy: AdmissionPolicy,
@@ -640,23 +1242,21 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
             &mut DynamicSession<'q, OverlayMetric<Arc<M>>, Q>,
             &[SessionPerturbation],
         ) -> Result<BatchReport, SessionError>,
-    ) -> (
-        Option<(BatchReport, Vec<SessionPerturbation>)>,
-        Option<SessionError>,
-    ) {
+    ) -> FlushAttempt {
         if t.quarantined || t.pending.is_empty() {
-            return (None, None);
+            return FlushAttempt::Idle;
         }
         let take = policy
             .max_flush_per_query
             .map_or(t.pending.len(), |cap| cap.min(t.pending.len()));
         if take == 0 {
-            return (None, None);
+            return FlushAttempt::Idle;
         }
         let batch: Vec<SessionPerturbation> = t.pending.drain(..take).collect();
+        t.pending_ticks.drain(..take);
         match apply(&mut t.session, &batch) {
-            Ok(report) => (Some((report, batch)), None),
-            Err(error) => (None, Some(error)),
+            Ok(report) => FlushAttempt::Applied(report, batch),
+            Err(error) => FlushAttempt::Rejected(error, batch),
         }
     }
 
@@ -665,40 +1265,49 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
     fn respond(
         t: &mut Tenant<'q, M, Q>,
         tenant: TenantId,
-        flush: (
-            Option<(BatchReport, Vec<SessionPerturbation>)>,
-            Option<SessionError>,
-        ),
+        flush: FlushAttempt,
         max_updates: usize,
         policy: AdmissionPolicy,
     ) -> QueryResponse {
-        let (report, rejected) = flush;
         let mut swaps = 0usize;
         let mut flushed = 0usize;
-        if let Some((report, _)) = &report {
-            flushed = report.ingested;
-            if report.outcome.swap.is_some() {
-                swaps += 1;
+        let mut rejected = None;
+        let mut applied_batch = None;
+        match flush {
+            FlushAttempt::Idle => {}
+            FlushAttempt::Applied(report, batch) => {
+                flushed = report.ingested;
+                if report.outcome.swap.is_some() {
+                    swaps += 1;
+                }
+                t.stats.batches += 1;
+                t.stats.perturbations += flushed;
+                t.consecutive_rejects = 0;
+                applied_batch = Some(batch);
             }
-            t.stats.batches += 1;
-            t.stats.perturbations += flushed;
-            t.consecutive_rejects = 0;
-        }
-        if rejected.is_some() {
-            // The batch was discarded and the session rolled back by
-            // `try_apply_batch`; track the failure streak.
-            t.stats.rejected += 1;
-            t.consecutive_rejects += 1;
-            if let Some(threshold) = policy.quarantine_after {
-                if t.consecutive_rejects >= threshold {
-                    t.quarantined = true;
-                    // The rest of the queue came from the same source as
-                    // the poison — drop it, and re-anchor on the last
-                    // known-good state (checkpoint plus the logged
-                    // since-checkpoint tail; the rejection rollback
-                    // already restored it, this is the defensive path).
-                    t.pending.clear();
-                    Self::restore_last_known_good(t, max_updates);
+            FlushAttempt::Rejected(error, batch) => {
+                // The batch was discarded and the session rolled back by
+                // `ingest`; keep the evidence and track the streak.
+                t.stats.rejected += 1;
+                t.consecutive_rejects += 1;
+                t.last_rejection = Some(RejectionAudit {
+                    batch,
+                    error: error.clone(),
+                });
+                rejected = Some(error);
+                if let Some(threshold) = policy.quarantine_after {
+                    if t.consecutive_rejects >= threshold {
+                        t.quarantined = true;
+                        // The rest of the queue came from the same source
+                        // as the poison — drop it, and re-anchor on the
+                        // last known-good state (checkpoint plus the
+                        // logged since-checkpoint tail; the rejection
+                        // rollback already restored it, this is the
+                        // defensive path).
+                        t.pending.clear();
+                        t.pending_ticks.clear();
+                        Self::restore_last_known_good(t, max_updates);
+                    }
                 }
             }
         }
@@ -706,7 +1315,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
             .session
             .update_until_stable(max_updates.saturating_sub(swaps));
         if rejected.is_none() && policy.quarantine_after.is_some() {
-            if let Some((_, batch)) = report {
+            if let Some(batch) = applied_batch {
                 // Known-good, stabilized state. Refresh the recovery
                 // anchor only every `checkpoint_every` successful
                 // flushes (the snapshot clones the full session state —
@@ -738,29 +1347,142 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
 }
 
 #[cfg(feature = "parallel")]
+impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ServingFrontend<'q, M, Q> {
+    /// Routes every *existing* tenant session's parallel scans and the
+    /// fan-out scheduler through an explicit [`crate::pool::ScanPool`]
+    /// (builder style): one persistent worker set serves all tenants.
+    /// Results are bit-identical for any pool.
+    pub fn with_scan_pool(mut self, pool: Arc<crate::pool::ScanPool>) -> Self {
+        for t in self.tenants.iter_mut().flatten() {
+            t.session.set_scan_pool(Arc::clone(&pool));
+        }
+        self.fanout_pool = Some(pool);
+        self
+    }
+}
+
+#[cfg(feature = "parallel")]
 impl<'q, M: Metric + Send + Sync> SyncServingFrontend<'q, M> {
-    /// [`ServingFrontend::query`] with the flush and stabilization
-    /// running the session's thread-parallel scans (bit-identical
-    /// responses — chunking is scheduling only; validation and rollback
-    /// semantics are identical to the serial path).
+    /// [`ServingFrontend::query`] with the flush running the session's
+    /// thread-parallel scans (bit-identical responses — chunking is
+    /// scheduling only; validation and rollback semantics are identical
+    /// to the serial path).
     pub fn query_parallel(&mut self, tenant: TenantId) -> QueryResponse {
         let max_updates = self.max_updates_per_query;
         let policy = self.policy;
-        let t = &mut self.tenants[tenant];
+        let now = self.now();
+        let t = self.tenant_mut(tenant);
+        Self::quarantine_if_stale(t, policy, now);
         let flush = Self::flush_pending(t, policy, |session, batch| {
             session.try_apply_batch_parallel(batch)
         });
         Self::respond(t, tenant, flush, max_updates, policy)
     }
+}
 
-    /// Routes every tenant session's parallel scans through an explicit
-    /// [`crate::pool::ScanPool`] (builder style): one persistent worker
-    /// set serves all tenants. Results are bit-identical for any pool.
-    pub fn with_scan_pool(mut self, pool: Arc<crate::pool::ScanPool>) -> Self {
-        for t in &mut self.tenants {
-            t.session.set_scan_pool(Arc::clone(&pool));
+#[cfg(feature = "parallel")]
+impl<'q, M, Q> ServingFrontend<'q, M, Q>
+where
+    M: Metric + Send + Sync,
+    Q: IncrementalOracle + Send + Sync + ?Sized,
+{
+    /// Fan-out/join [`ServingFrontend::query_many`]: the requested
+    /// (distinct) tenants are partitioned into independent jobs on the
+    /// configured [`crate::pool::ScanPool`] (the
+    /// [`with_scan_pool`](Self::with_scan_pool) pool, falling back to
+    /// the process-global one) and the responses are joined in request
+    /// order. Each job runs the *identical serial* per-tenant flush +
+    /// stabilize body ([`ServingFrontend::query`]), so responses are
+    /// bit-identical to the serial loop — the pool decides which thread
+    /// serves a tenant, never what it computes. Jobs never submit scan
+    /// work back to the fan-out pool (that would deadlock a pool with
+    /// no work-stealing while blocked), so per-tenant scans inside the
+    /// jobs stay serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate handles or unknown/evicted tenants, and
+    /// propagates any tenant-job panic after the join (same latch
+    /// discipline as the pooled scans).
+    pub fn query_many_parallel(&mut self, tenants: &[TenantId]) -> Vec<QueryResponse> {
+        let max_updates = self.max_updates_per_query;
+        let policy = self.policy;
+        let now = self.now();
+        let mut slots: Vec<Option<QueryResponse>> = Vec::with_capacity(tenants.len());
+        slots.resize_with(tenants.len(), || None);
+        {
+            let cells = Self::disjoint_tenants_mut(&mut self.tenants, tenants);
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = cells
+                .into_iter()
+                .zip(slots.iter_mut())
+                .map(|((_, id, t), slot)| {
+                    Box::new(move || {
+                        *slot = Some(Self::query_tenant(t, id, policy, max_updates, now));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            let pool = self
+                .fanout_pool
+                .as_deref()
+                .unwrap_or_else(|| crate::pool::ScanPool::global());
+            pool.run_jobs(jobs);
         }
-        self
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Some(response) => response,
+                None => panic!("fan-out job dropped its response"),
+            })
+            .collect()
+    }
+
+    /// Fan-out/join [`ServingFrontend::drain_all`]: one parallel flush
+    /// cycle over the ready set, joined in ascending id order.
+    pub fn drain_all_parallel(&mut self) -> Vec<QueryResponse> {
+        let ready = self.ready_ids();
+        self.query_many_parallel(&ready)
+    }
+
+    /// Splits the slot vector into disjoint `&mut` borrows of the
+    /// requested tenants (sorted-walk `split_at_mut`), returned in
+    /// request order as `(request position, id, tenant)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate, unknown or evicted tenants.
+    #[allow(clippy::type_complexity)]
+    fn disjoint_tenants_mut<'a>(
+        tenants: &'a mut [Option<Tenant<'q, M, Q>>],
+        ids: &[TenantId],
+    ) -> Vec<(usize, TenantId, &'a mut Tenant<'q, M, Q>)> {
+        let mut order: Vec<(usize, usize)> = ids
+            .iter()
+            .enumerate()
+            .map(|(pos, id)| (id.index(), pos))
+            .collect();
+        order.sort_unstable();
+        for w in order.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate tenant {} in fan-out", w[0].0);
+        }
+        let mut out: Vec<(usize, TenantId, &'a mut Tenant<'q, M, Q>)> =
+            Vec::with_capacity(order.len());
+        let mut rest = tenants;
+        let mut base = 0usize;
+        for (idx, pos) in order {
+            assert!(
+                idx < base + rest.len(),
+                "no tenant {idx} (unknown or evicted)"
+            );
+            let (head, tail) = rest.split_at_mut(idx - base + 1);
+            match head[idx - base].as_mut() {
+                Some(t) => out.push((pos, TenantId::from_index(idx), t)),
+                None => panic!("no tenant {idx} (unknown or evicted)"),
+            }
+            rest = tail;
+            base = idx + 1;
+        }
+        out.sort_unstable_by_key(|&(pos, _, _)| pos);
+        out
     }
 }
 
@@ -791,7 +1513,7 @@ mod tests {
         let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
         let init = greedy_b(&problem, 5, GreedyBConfig::default());
         let mut frontend = ServingFrontend::new(Arc::clone(&base));
-        let t = frontend.add_tenant(&quality, 0.3, &init);
+        let t = frontend.register_tenant(&quality, 0.3, &init);
 
         frontend.submit(
             t,
@@ -827,8 +1549,8 @@ mod tests {
         let original = base.distance(1, 5);
 
         let mut frontend = ServingFrontend::new(Arc::clone(&base));
-        let a = frontend.add_tenant(&quality, 0.25, &init);
-        let b = frontend.add_tenant(&quality, 0.25, &init);
+        let a = frontend.register_tenant(&quality, 0.25, &init);
+        let b = frontend.register_tenant(&quality, 0.25, &init);
 
         // Conflicting rewrites of the same pair.
         frontend.submit(
@@ -861,8 +1583,8 @@ mod tests {
         let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.4);
         let init = greedy_b(&problem, 3, GreedyBConfig::default());
         let mut frontend = ServingFrontend::new(Arc::clone(&base));
-        let a = frontend.add_tenant(&quality, 0.4, &init);
-        let b = frontend.add_tenant(&quality, 1.0, &init);
+        let a = frontend.register_tenant(&quality, 0.4, &init);
+        let b = frontend.register_tenant(&quality, 1.0, &init);
 
         let responses = frontend.process([
             ServingRequest::Perturb {
@@ -904,10 +1626,9 @@ mod tests {
             ServingFrontend::new(Arc::clone(&base)).with_admission_policy(AdmissionPolicy {
                 max_flush_per_query: Some(3),
                 max_pending: Some(10),
-                quarantine_after: None,
-                checkpoint_every: 1,
+                ..AdmissionPolicy::default()
             });
-        let t = frontend.add_tenant(&quality, 0.3, &init);
+        let t = frontend.register_tenant(&quality, 0.3, &init);
         for i in 0..10u32 {
             frontend
                 .try_submit(
@@ -950,7 +1671,7 @@ mod tests {
         // The spread-out answer matches an unbounded frontend fed the
         // same stream.
         let mut unbounded = ServingFrontend::new(Arc::clone(&base));
-        let u = unbounded.add_tenant(&quality, 0.3, &init);
+        let u = unbounded.register_tenant(&quality, 0.3, &init);
         for i in 0..10u32 {
             unbounded.submit(
                 u,
@@ -972,17 +1693,15 @@ mod tests {
         let init = greedy_b(&problem, 5, GreedyBConfig::default());
         let mut frontend =
             ServingFrontend::new(Arc::clone(&base)).with_admission_policy(AdmissionPolicy {
-                max_flush_per_query: None,
-                max_pending: None,
                 quarantine_after: Some(2),
-                checkpoint_every: 1,
+                ..AdmissionPolicy::default()
             });
-        let poisoner = frontend.add_tenant(&quality, 0.3, &init);
-        let healthy = frontend.add_tenant(&quality, 0.3, &init);
+        let poisoner = frontend.register_tenant(&quality, 0.3, &init);
+        let healthy = frontend.register_tenant(&quality, 0.3, &init);
         // Mirror of the healthy tenant in a frontend that never sees the
         // poisoner: its answers must be bit-identical throughout.
         let mut mirror_frontend = ServingFrontend::new(Arc::clone(&base));
-        let mirror = mirror_frontend.add_tenant(&quality, 0.3, &init);
+        let mirror = mirror_frontend.register_tenant(&quality, 0.3, &init);
 
         // A good flush establishes the checkpoint.
         frontend.submit(
@@ -1058,11 +1777,12 @@ mod tests {
         assert_eq!(back.flushed, 1);
 
         // Unknown tenants are an error, not a panic, through try_submit.
+        let ghost = TenantId::from_index(99);
         assert_eq!(
             frontend
-                .try_submit(99, SessionPerturbation::SetWeight { u: 0, value: 1.0 })
+                .try_submit(ghost, SessionPerturbation::SetWeight { u: 0, value: 1.0 })
                 .unwrap_err(),
-            SubmitError::UnknownTenant { tenant: 99 }
+            SubmitError::UnknownTenant { tenant: ghost }
         );
     }
 
@@ -1078,17 +1798,16 @@ mod tests {
         let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
         let init = greedy_b(&problem, 5, GreedyBConfig::default());
         let policy_every = |checkpoint_every: usize| AdmissionPolicy {
-            max_flush_per_query: None,
-            max_pending: None,
             quarantine_after: Some(2),
             checkpoint_every,
+            ..AdmissionPolicy::default()
         };
         let mut per_flush =
             ServingFrontend::new(Arc::clone(&base)).with_admission_policy(policy_every(1));
-        let a = per_flush.add_tenant(&quality, 0.3, &init);
+        let a = per_flush.register_tenant(&quality, 0.3, &init);
         let mut periodic =
             ServingFrontend::new(Arc::clone(&base)).with_admission_policy(policy_every(3));
-        let b = periodic.add_tenant(&quality, 0.3, &init);
+        let b = periodic.register_tenant(&quality, 0.3, &init);
 
         // Five good flushes: the cadence-3 frontend refreshes its anchor
         // at flush 3 and holds flushes 4–5 in the replay log, so the
@@ -1153,7 +1872,7 @@ mod tests {
                 max_pending: Some(1),
                 ..AdmissionPolicy::default()
             });
-        let t = frontend.add_tenant(&quality, 0.3, &[0, 1]);
+        let t = frontend.register_tenant(&quality, 0.3, &[0, 1]);
         frontend.submit(t, SessionPerturbation::SetWeight { u: 0, value: 1.0 });
         frontend.submit(t, SessionPerturbation::SetWeight { u: 1, value: 1.0 });
     }
@@ -1166,9 +1885,9 @@ mod tests {
         let init = greedy_b(&problem, 6, GreedyBConfig::default());
 
         let mut serial = ServingFrontend::new(Arc::clone(&base));
-        let ts = serial.add_tenant(&quality, 0.3, &init);
+        let ts = serial.register_tenant(&quality, 0.3, &init);
         let mut par = SyncServingFrontend::new_sync(Arc::clone(&base));
-        let tp = par.add_tenant_sync(&quality, 0.3, &init);
+        let tp = par.register_tenant_sync(&quality, 0.3, &init);
         // A forced pool chunks every scan even at this test size.
         let mut par = par.with_scan_pool(Arc::new(crate::pool::ScanPool::new(4)));
 
@@ -1180,6 +1899,461 @@ mod tests {
             assert_eq!(rs.solution, rp.solution);
             assert_eq!(rs.objective, rp.objective);
             assert_eq!(rs.flushed, rp.flushed);
+        }
+    }
+
+    #[test]
+    fn typed_tenant_ids_round_trip_and_display() {
+        let t = TenantId::from_index(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t.to_string(), "7");
+        assert_eq!(t, TenantId::from_index(7));
+        assert!(TenantId::from_index(1) < TenantId::from_index(2));
+    }
+
+    #[test]
+    fn query_many_matches_individual_queries_and_drain_all_hits_ready_set() {
+        let (base, quality) = base_and_quality(24);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 5, GreedyBConfig::default());
+
+        let mut fan = ServingFrontend::new(Arc::clone(&base));
+        let mut one = ServingFrontend::new(Arc::clone(&base));
+        let fa = fan.register_tenant(&quality, 0.3, &init);
+        let fb = fan.register_tenant(&quality, 0.9, &init);
+        let fc = fan.register_tenant(&quality, 1.4, &init);
+        let oa = one.register_tenant(&quality, 0.3, &init);
+        let ob = one.register_tenant(&quality, 0.9, &init);
+        let oc = one.register_tenant(&quality, 1.4, &init);
+
+        for (u, v, value) in [(0u32, 7u32, 3.0), (4, 12, 0.2)] {
+            for t in [fa, fb] {
+                fan.submit(t, SessionPerturbation::SetDistance { u, v, value });
+            }
+            for t in [oa, ob] {
+                one.submit(t, SessionPerturbation::SetDistance { u, v, value });
+            }
+        }
+        // Fan-out in request order ≡ the serial loop, bit for bit.
+        let joined = fan.query_many(&[fb, fa, fc]);
+        let serial = [one.query(ob), one.query(oa), one.query(oc)];
+        assert_eq!(joined.len(), 3);
+        for (j, s) in joined.iter().zip(serial.iter()) {
+            assert_eq!(j.solution, s.solution);
+            assert_eq!(j.objective.to_bits(), s.objective.to_bits());
+            assert_eq!(j.flushed, s.flushed);
+            assert_eq!(j.swaps, s.swaps);
+        }
+        assert_eq!(joined[0].tenant, fb);
+        assert_eq!(joined[1].tenant, fa);
+
+        // drain_all serves only tenants with queued work.
+        fan.submit(fc, SessionPerturbation::SetWeight { u: 3, value: 2.0 });
+        let drained = fan.drain_all();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].tenant, fc);
+        assert_eq!(drained[0].flushed, 1);
+        assert!(fan.drain_all().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tenant")]
+    fn query_many_rejects_duplicate_handles() {
+        let (base, quality) = base_and_quality(8);
+        let mut frontend = ServingFrontend::new(Arc::clone(&base));
+        let t = frontend.register_tenant(&quality, 0.3, &[0, 1]);
+        frontend.query_many(&[t, t]);
+    }
+
+    struct FakeClock(std::sync::atomic::AtomicU64);
+
+    impl FakeClock {
+        fn arc(start: u64) -> Arc<Self> {
+            Arc::new(FakeClock(std::sync::atomic::AtomicU64::new(start)))
+        }
+
+        fn set(&self, ticks: u64) {
+            self.0.store(ticks, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    impl Clock for FakeClock {
+        fn now_ticks(&self) -> u64 {
+            self.0.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn stale_queues_quarantine_under_injected_clock() {
+        let (base, quality) = base_and_quality(20);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 4, GreedyBConfig::default());
+        let clock = FakeClock::arc(0);
+        let mut frontend = ServingFrontend::new(Arc::clone(&base))
+            .with_clock(clock.clone())
+            .with_admission_policy(AdmissionPolicy {
+                max_staleness_ticks: Some(10),
+                ..AdmissionPolicy::default()
+            });
+        let t = frontend.register_tenant(&quality, 0.3, &init);
+
+        // Within the SLO the flush happens normally.
+        frontend.submit(
+            t,
+            SessionPerturbation::SetDistance {
+                u: 0,
+                v: 9,
+                value: 2.5,
+            },
+        );
+        clock.set(5);
+        let ok = frontend.query(t);
+        assert_eq!(ok.flushed, 1);
+        assert!(!frontend.is_quarantined(t));
+
+        // A queue whose oldest entry lags past the budget is dropped and
+        // the tenant quarantined — served state stays the last good one.
+        frontend.submit(
+            t,
+            SessionPerturbation::SetDistance {
+                u: 1,
+                v: 7,
+                value: 4.0,
+            },
+        );
+        clock.set(30);
+        let stale = frontend.query(t);
+        assert_eq!(stale.flushed, 0);
+        assert!(stale.rejected.is_none());
+        assert_eq!(stale.solution, ok.solution);
+        assert!(frontend.is_quarantined(t));
+        assert_eq!(frontend.pending(t), 0);
+        assert!(matches!(
+            frontend.try_submit(t, SessionPerturbation::SetWeight { u: 0, value: 1.0 }),
+            Err(SubmitError::Quarantined { .. })
+        ));
+
+        // Recovery re-opens the tenant (no checkpoint is maintained
+        // without quarantine_after; the session was never corrupted).
+        assert!(!frontend.recover(t));
+        assert!(!frontend.is_quarantined(t));
+        frontend.submit(t, SessionPerturbation::SetWeight { u: 2, value: 2.0 });
+        clock.set(31);
+        assert_eq!(frontend.query(t).flushed, 1);
+    }
+
+    #[test]
+    fn token_bucket_rate_limits_and_refills_by_ticks() {
+        let (base, quality) = base_and_quality(12);
+        let clock = FakeClock::arc(0);
+        let mut frontend = ServingFrontend::new(Arc::clone(&base))
+            .with_clock(clock.clone())
+            .with_admission_policy(AdmissionPolicy {
+                rate_limit: Some(TokenBucket {
+                    capacity: 2,
+                    ticks_per_token: 5,
+                }),
+                ..AdmissionPolicy::default()
+            });
+        let t = frontend.register_tenant(&quality, 0.3, &[0, 1, 2]);
+        let w = |u: u32| SessionPerturbation::SetWeight { u, value: 2.0 };
+
+        // Burst up to capacity, then limited.
+        assert!(frontend.try_submit(t, w(0)).is_ok());
+        assert!(frontend.try_submit(t, w(1)).is_ok());
+        assert_eq!(
+            frontend.try_submit(t, w(2)).unwrap_err(),
+            SubmitError::RateLimited { tenant: t }
+        );
+        // 5 ticks mint exactly one token.
+        clock.set(5);
+        assert!(frontend.try_submit(t, w(2)).is_ok());
+        assert!(matches!(
+            frontend.try_submit(t, w(3)),
+            Err(SubmitError::RateLimited { .. })
+        ));
+        // A long idle stretch refills to capacity, not beyond.
+        clock.set(1000);
+        assert!(frontend.try_submit(t, w(3)).is_ok());
+        assert!(frontend.try_submit(t, w(4)).is_ok());
+        assert!(matches!(
+            frontend.try_submit(t, w(5)),
+            Err(SubmitError::RateLimited { .. })
+        ));
+        assert_eq!(frontend.pending(t), 5);
+        assert_eq!(frontend.query(t).flushed, 5);
+    }
+
+    #[test]
+    fn rejected_batches_land_on_the_audit_channel() {
+        let (base, quality) = base_and_quality(16);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 4, GreedyBConfig::default());
+        let mut frontend = ServingFrontend::new(Arc::clone(&base));
+        let t = frontend.register_tenant(&quality, 0.3, &init);
+        assert!(frontend.last_rejection(t).is_none());
+
+        let poison = SessionPerturbation::SetDistance {
+            u: 1,
+            v: 2,
+            value: f64::NAN,
+        };
+        let rider = SessionPerturbation::SetWeight { u: 3, value: 2.0 };
+        frontend.submit(t, rider);
+        frontend.submit(t, poison);
+        let response = frontend.query(t);
+        let error = response.rejected.clone().expect("poisoned flush rejects");
+
+        // The audit entry holds the exact drained batch + typed error.
+        // (NaN != NaN, so the poisoned entry is matched structurally.)
+        let assert_audit = |audit: &RejectionAudit| {
+            assert_eq!(audit.batch.len(), 2);
+            assert_eq!(audit.batch[0], rider);
+            assert!(matches!(
+                audit.batch[1],
+                SessionPerturbation::SetDistance { u: 1, v: 2, value } if value.is_nan()
+            ));
+        };
+        let audit = frontend.last_rejection(t).expect("audit entry recorded");
+        assert_audit(audit);
+        assert_eq!(audit.error.to_string(), error.to_string());
+        assert!(matches!(
+            audit.error,
+            SessionError::Rejected { index: 1, .. }
+        ));
+
+        // A later good flush leaves the evidence in place.
+        frontend.submit(t, rider);
+        assert!(frontend.query(t).rejected.is_none());
+        let audit = frontend.last_rejection(t).expect("audit entry survives");
+        assert_audit(audit);
+    }
+
+    fn shared_weights(quality: &ModularFunction) -> Arc<[f64]> {
+        quality.weights().to_vec().into()
+    }
+
+    #[test]
+    fn shared_overlay_tenants_match_owned_oracle_tenants_bitwise() {
+        let (base, quality) = base_and_quality(24);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 5, GreedyBConfig::default());
+        let weights = shared_weights(&quality);
+
+        let mut owned = ServingFrontend::new(Arc::clone(&base));
+        let to = owned.register_tenant(&quality, 0.3, &init);
+        let mut shared = SharedServingFrontend::new_shared(Arc::clone(&base));
+        let ts = shared.register_tenant_shared(Arc::clone(&weights), 0.3, &init);
+
+        let stream = [
+            SessionPerturbation::SetWeight { u: 3, value: 4.0 },
+            SessionPerturbation::SetDistance {
+                u: 0,
+                v: 7,
+                value: 3.0,
+            },
+            SessionPerturbation::SetWeight { u: 9, value: 0.05 },
+            SessionPerturbation::SetDistance {
+                u: 4,
+                v: 12,
+                value: 0.2,
+            },
+            SessionPerturbation::SetWeight { u: 3, value: 1.5 },
+        ];
+        for chunk in stream.chunks(2) {
+            for &p in chunk {
+                owned.submit(to, p);
+                shared.submit(ts, p);
+            }
+            let ro = owned.query(to);
+            let rs = shared.query(ts);
+            assert_eq!(ro.solution, rs.solution);
+            assert_eq!(ro.objective.to_bits(), rs.objective.to_bits());
+            assert_eq!(ro.swaps, rs.swaps);
+        }
+        // Only the two distinct overridden weights are resident.
+        assert_eq!(shared.weight_delta_count(ts), 2);
+    }
+
+    #[test]
+    fn evict_attach_round_trip_is_bit_identical() {
+        let (base, quality) = base_and_quality(24);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 5, GreedyBConfig::default());
+        let weights = shared_weights(&quality);
+
+        let mut spilled = SharedServingFrontend::new_shared(Arc::clone(&base));
+        let mut resident = SharedServingFrontend::new_shared(Arc::clone(&base));
+        let a = spilled.register_tenant_shared(Arc::clone(&weights), 0.3, &init);
+        let keeper = spilled.register_tenant_shared(Arc::clone(&weights), 0.9, &init);
+        let b = resident.register_tenant_shared(Arc::clone(&weights), 0.3, &init);
+
+        let warmup = [
+            SessionPerturbation::SetWeight { u: 3, value: 4.0 },
+            SessionPerturbation::SetDistance {
+                u: 0,
+                v: 7,
+                value: 3.0,
+            },
+            SessionPerturbation::Depart { u: init[0] },
+        ];
+        for &p in &warmup {
+            spilled.submit(a, p);
+            resident.submit(b, p);
+        }
+        let before = spilled.query(a);
+        let mirror = resident.query(b);
+        assert_eq!(before.solution, mirror.solution);
+
+        // Leave one perturbation queued across the eviction.
+        let queued = SessionPerturbation::SetWeight { u: 11, value: 2.5 };
+        spilled.submit(a, queued);
+        resident.submit(b, queued);
+
+        let snapshot = spilled.evict(a);
+        assert_eq!(spilled.tenant_count(), 1);
+        assert_eq!(snapshot.pending, vec![queued]);
+        assert_eq!(snapshot.weight_deltas.len(), 1);
+        // The keeper's handle survives its neighbor's eviction.
+        assert_eq!(spilled.pending(keeper), 0);
+
+        let a2 = spilled.attach(snapshot);
+        assert_eq!(a2, a, "tombstoned slot is reused");
+        assert_eq!(spilled.stats(a2).queries, 1);
+        assert_eq!(spilled.pending(a2), 1);
+
+        // Post-attach traffic is bit-identical to the never-evicted twin.
+        let after = spilled.query(a2);
+        let mirror = resident.query(b);
+        assert_eq!(after.solution, mirror.solution);
+        assert_eq!(after.objective.to_bits(), mirror.objective.to_bits());
+        assert_eq!(after.flushed, mirror.flushed);
+        for (u, v, value) in [(2u32, 9u32, 0.4), (5, 13, 6.0)] {
+            let p = SessionPerturbation::SetDistance { u, v, value };
+            spilled.submit(a2, p);
+            resident.submit(b, p);
+            let ra = spilled.query(a2);
+            let rb = resident.query(b);
+            assert_eq!(ra.solution, rb.solution);
+            assert_eq!(ra.objective.to_bits(), rb.objective.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no tenant 0")]
+    fn evicted_handles_panic_on_use() {
+        let (base, quality) = base_and_quality(8);
+        let weights = shared_weights(&quality);
+        let mut frontend = SharedServingFrontend::new_shared(Arc::clone(&base));
+        let t = frontend.register_tenant_shared(weights, 0.3, &[0, 1]);
+        let _ = frontend.evict(t);
+        let _ = frontend.query(t);
+    }
+
+    #[test]
+    fn quarantined_tenants_are_evictable_and_reattach_quarantined() {
+        let (base, quality) = base_and_quality(16);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 4, GreedyBConfig::default());
+        let weights = shared_weights(&quality);
+        let mut frontend = SharedServingFrontend::new_shared(Arc::clone(&base))
+            .with_admission_policy(AdmissionPolicy {
+                quarantine_after: Some(1),
+                ..AdmissionPolicy::default()
+            });
+        let t = frontend.register_tenant_shared(weights, 0.3, &init);
+        frontend.submit(
+            t,
+            SessionPerturbation::SetDistance {
+                u: 0,
+                v: 1,
+                value: f64::NAN,
+            },
+        );
+        assert!(frontend.query(t).rejected.is_some());
+        assert!(frontend.is_quarantined(t));
+
+        let snapshot = frontend.evict(t);
+        assert!(snapshot.quarantined);
+        let t = frontend.attach(snapshot);
+        assert!(frontend.is_quarantined(t));
+        assert!(matches!(
+            frontend.try_submit(t, SessionPerturbation::SetWeight { u: 0, value: 1.0 }),
+            Err(SubmitError::Quarantined { .. })
+        ));
+        frontend.recover(t);
+        assert!(!frontend.is_quarantined(t));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_add_tenant_forwards_to_register_tenant() {
+        let (base, quality) = base_and_quality(12);
+        let mut old = ServingFrontend::new(Arc::clone(&base));
+        let mut new = ServingFrontend::new(Arc::clone(&base));
+        let to = old.add_tenant(&quality, 0.3, &[0, 1, 2]);
+        let tn = new.register_tenant(&quality, 0.3, &[0, 1, 2]);
+        assert_eq!(to, tn);
+        let ro = old.query(to);
+        let rn = new.query(tn);
+        assert_eq!(ro.solution, rn.solution);
+        assert_eq!(ro.objective.to_bits(), rn.objective.to_bits());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn fan_out_join_matches_serial_loop_with_forced_pool() {
+        let (base, quality) = base_and_quality(40);
+        let problem = DiversificationProblem::new(Arc::clone(&base), &quality, 0.3);
+        let init = greedy_b(&problem, 6, GreedyBConfig::default());
+
+        let mut serial = ServingFrontend::new(Arc::clone(&base));
+        let mut par = SyncServingFrontend::new_sync(Arc::clone(&base));
+        let lambdas = [0.2, 0.3, 0.9, 1.5];
+        let st: Vec<_> = lambdas
+            .iter()
+            .map(|&l| serial.register_tenant(&quality, l, &init))
+            .collect();
+        let pt: Vec<_> = lambdas
+            .iter()
+            .map(|&l| par.register_tenant_sync(&quality, l, &init))
+            .collect();
+        let mut par = par.with_scan_pool(Arc::new(crate::pool::ScanPool::new(4)));
+
+        for round in 0..3u32 {
+            for (i, (&ts, &tp)) in st.iter().zip(pt.iter()).enumerate() {
+                let p = SessionPerturbation::SetDistance {
+                    u: round * 4 + i as u32,
+                    v: 20 + round * 4 + i as u32,
+                    value: 0.3 + f64::from(round) * 0.7,
+                };
+                serial.submit(ts, p);
+                par.submit(tp, p);
+            }
+            let rs = serial.query_many(&st);
+            let rp = par.query_many_parallel(&pt);
+            assert_eq!(rs.len(), rp.len());
+            for (a, b) in rs.iter().zip(rp.iter()) {
+                assert_eq!(a.solution, b.solution);
+                assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+                assert_eq!(a.flushed, b.flushed);
+                assert_eq!(a.swaps, b.swaps);
+            }
+        }
+        // drain_all ≡ drain_all_parallel on the same stream.
+        for (&ts, &tp) in st.iter().zip(pt.iter()).take(2) {
+            let p = SessionPerturbation::SetWeight { u: 5, value: 3.0 };
+            serial.submit(ts, p);
+            par.submit(tp, p);
+        }
+        let rs = serial.drain_all();
+        let rp = par.drain_all_parallel();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.len(), rp.len());
+        for (a, b) in rs.iter().zip(rp.iter()) {
+            assert_eq!(a.tenant, b.tenant);
+            assert_eq!(a.solution, b.solution);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
         }
     }
 }

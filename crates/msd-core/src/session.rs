@@ -81,10 +81,12 @@
 //! cache dirt tracking as matrix perturbations.
 //!
 //! Bursts of perturbations (Figure 1's redraw workload) go through
-//! [`DynamicSession::apply_batch`]: every perturbation is repaired in
+//! [`DynamicSession::ingest`]: every perturbation is repaired in
 //! O(Δ) as above, the scan scopes are accumulated across the whole
 //! batch, and **at most one** swap scan runs over their union — skipped
-//! entirely when every perturbation in the batch is provably irrelevant:
+//! entirely when every perturbation in the batch is provably irrelevant.
+//! The [`Validation`] knob on the [`Batch`] picks between the strict
+//! all-or-nothing contract (default) and the legacy trusting one:
 //!
 //! ```
 //! use msd_core::{greedy_b, DiversificationProblem, DynamicSession, GreedyBConfig,
@@ -106,7 +108,7 @@
 //!     SessionPerturbation::SetDistance { u: 0, v: 4, value: 1.9 },
 //!     SessionPerturbation::SetDistance { u: 1, v: 3, value: 1.1 },
 //! ];
-//! let report = session.apply_batch(&burst);
+//! let report = session.ingest(burst).expect("well-formed burst");
 //! assert_eq!(report.ingested, 3);
 //! // Read the maintained solution once the burst is stabilized.
 //! session.update_until_stable(16);
@@ -143,8 +145,8 @@
 //!
 //! // Perturbations flow through the same O(Δ) repairs; every swap the
 //! // exchange scan commits keeps the solution independent.
-//! session.apply(SessionPerturbation::SetWeight { u: 1, value: 2.5 });
-//! session.apply(SessionPerturbation::Depart { u: 4 });
+//! session.ingest(SessionPerturbation::SetWeight { u: 1, value: 2.5 }).unwrap();
+//! session.ingest(SessionPerturbation::Depart { u: 4 }).unwrap();
 //! assert!(matroid.is_independent(session.solution()));
 //! assert_eq!(session.solution().len(), 3);
 //! ```
@@ -510,6 +512,103 @@ pub struct BatchReport {
     pub scan: ScanExtent,
     /// Number of perturbations ingested (`perturbations.len()`).
     pub ingested: usize,
+}
+
+/// Input-validation regime of one [`DynamicSession::ingest`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Validation {
+    /// Check the whole batch up front and reject it with a typed
+    /// [`SessionError`] before anything commits — all-or-nothing over
+    /// untrusted input (the old `try_apply_batch` contract). The default.
+    #[default]
+    Strict,
+    /// Skip validation: malformed perturbations **panic** mid-batch, and
+    /// arrivals of resident / departures of non-resident elements are
+    /// silently ignored — the old `apply_batch` contract, for trusted
+    /// pre-validated streams that cannot afford the extra pass.
+    Legacy,
+}
+
+/// One coalesced unit of ingestion: the perturbations plus the
+/// [`Validation`] regime to ingest them under.
+///
+/// [`DynamicSession::ingest`] takes `impl Into<Batch>`, and plain
+/// perturbation containers convert with the strict default — pass a
+/// `Vec`, slice, array, or single [`SessionPerturbation`] directly, or
+/// build a [`Batch`] explicitly to choose [`Validation::Legacy`]:
+///
+/// ```
+/// use msd_core::{Batch, SessionPerturbation, Validation};
+///
+/// let fast = Batch::new(vec![SessionPerturbation::SetWeight { u: 0, value: 2.0 }])
+///     .with_validation(Validation::Legacy);
+/// assert_eq!(fast.validation(), Validation::Legacy);
+/// assert_eq!(Batch::from(fast.perturbations()).validation(), Validation::Strict);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Batch {
+    perturbations: Vec<SessionPerturbation>,
+    validation: Validation,
+}
+
+impl Batch {
+    /// A batch under the default [`Validation::Strict`] regime.
+    pub fn new(perturbations: Vec<SessionPerturbation>) -> Self {
+        Self {
+            perturbations,
+            validation: Validation::default(),
+        }
+    }
+
+    /// Selects the validation regime (builder style).
+    pub fn with_validation(mut self, validation: Validation) -> Self {
+        self.validation = validation;
+        self
+    }
+
+    /// The batch's validation regime.
+    pub fn validation(&self) -> Validation {
+        self.validation
+    }
+
+    /// The perturbations, in ingestion order.
+    pub fn perturbations(&self) -> &[SessionPerturbation] {
+        &self.perturbations
+    }
+
+    /// Number of perturbations.
+    pub fn len(&self) -> usize {
+        self.perturbations.len()
+    }
+
+    /// `true` for the empty (no-op) batch.
+    pub fn is_empty(&self) -> bool {
+        self.perturbations.is_empty()
+    }
+}
+
+impl From<Vec<SessionPerturbation>> for Batch {
+    fn from(perturbations: Vec<SessionPerturbation>) -> Self {
+        Self::new(perturbations)
+    }
+}
+
+impl From<&[SessionPerturbation]> for Batch {
+    fn from(perturbations: &[SessionPerturbation]) -> Self {
+        Self::new(perturbations.to_vec())
+    }
+}
+
+impl From<SessionPerturbation> for Batch {
+    fn from(perturbation: SessionPerturbation) -> Self {
+        Self::new(vec![perturbation])
+    }
+}
+
+impl<const N: usize> From<[SessionPerturbation; N]> for Batch {
+    fn from(perturbations: [SessionPerturbation; N]) -> Self {
+        Self::new(perturbations.to_vec())
+    }
 }
 
 /// A bit-exact snapshot of a [`DynamicSession`]'s mutable state: the
@@ -988,6 +1087,72 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
             scan_pool: None,
             _quality_fn: std::marker::PhantomData,
         }
+    }
+
+    /// Reassembles a session from raw evicted state — the serving layer's
+    /// tenant re-attach hook. Unlike [`DynamicSession::from_parts`] the
+    /// cached floats (`dist`'s gain vector and dispersion, the oracle's
+    /// running value) arrive verbatim inside `dist`/`quality` and are
+    /// **not** re-accumulated, preserving bit-identity with the evicted
+    /// session. The candidate cache starts cold (same documented
+    /// [`ScanExtent`]-only divergence as
+    /// [`DynamicSession::rollback_to`]); the constraint policy resets to
+    /// [`ConstraintPolicy::Cardinality`], the only policy the serving
+    /// layer runs.
+    pub(crate) fn from_restored(
+        metric: M,
+        quality: Box<Q>,
+        lambda: f64,
+        dist: SolutionState,
+        active: Vec<bool>,
+        p: usize,
+        stable: bool,
+    ) -> Self {
+        assert_eq!(
+            metric.len(),
+            quality.ground_size(),
+            "metric and quality oracle must share a ground set"
+        );
+        assert_eq!(
+            active.len(),
+            metric.len(),
+            "availability mask must cover the ground set"
+        );
+        assert_eq!(
+            dist.ground_size(),
+            metric.len(),
+            "solution state must cover the ground set"
+        );
+        Self {
+            active,
+            p,
+            cache: CandidateCache::new(DEFAULT_CANDIDATE_CAPACITY, metric.len()),
+            constraint: ConstraintPolicy::Cardinality,
+            metric,
+            lambda,
+            dist,
+            quality,
+            stable,
+            #[cfg(feature = "parallel")]
+            scan_pool: None,
+            _quality_fn: std::marker::PhantomData,
+        }
+    }
+
+    /// Raw solution-state export (members, mask, gain cache, dispersion)
+    /// for tenant eviction snapshots.
+    pub(crate) fn solution_raw(&self) -> (Vec<ElementId>, Vec<bool>, Vec<f64>, f64) {
+        self.dist.raw_parts()
+    }
+
+    /// The availability mask (`active[u]` ⟺ `u` has not departed).
+    pub(crate) fn availability_mask(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// The session's quality oracle (eviction reads its concrete state).
+    pub(crate) fn quality_oracle(&self) -> &Q {
+        &self.quality
     }
 
     /// Sets the per-member capacity `K` of the bounded best-swap
@@ -1941,6 +2106,80 @@ impl<'q, M: Metric + Clone, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M,
 }
 
 impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q, M, Q> {
+    /// The unified matrix-perturbation entry point: ingests one coalesced
+    /// [`Batch`] — every perturbation repaired in O(Δ), in order, with the
+    /// scan scopes of the direction analysis accumulating across the batch
+    /// and at most **one** swap scan over the union scope (see
+    /// [`ScanExtent`]). Run [`DynamicSession::update_until_stable`]
+    /// afterwards to restore single-swap optimality before reading the
+    /// solution. An empty batch is a no-op.
+    ///
+    /// This subsumes the deprecated `apply` / `try_apply` / `apply_batch`
+    /// / `try_apply_batch` matrix: the [`Validation`] knob on the batch
+    /// selects between the strict transactional contract (default — the
+    /// whole batch is checked up front and either every perturbation
+    /// ingests or none does) and the legacy trusting contract (no
+    /// validation pass; malformed input panics). Anything that converts
+    /// into a [`Batch`] is accepted — a `Vec`, slice, array, or single
+    /// [`SessionPerturbation`], all defaulting to [`Validation::Strict`].
+    ///
+    /// # Errors
+    ///
+    /// Under [`Validation::Strict`], [`SessionError::Rejected`] carrying
+    /// the offending index and typed [`PerturbationError`]; the session
+    /// state is bit-identical to the pre-call state. Under
+    /// [`Validation::Legacy`] this never returns `Err`.
+    ///
+    /// # Panics
+    ///
+    /// Under [`Validation::Legacy`] only: out-of-range elements, invalid
+    /// weights/distances, or a [`SessionPerturbation::SetWeight`] when
+    /// the quality oracle has no modular weight data.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use msd_core::{greedy_b, DiversificationProblem, DynamicSession, GreedyBConfig};
+    /// use msd_core::SessionPerturbation::{Depart, SetDistance, SetWeight};
+    /// use msd_metric::DistanceMatrix;
+    /// use msd_submodular::ModularFunction;
+    ///
+    /// let metric = DistanceMatrix::from_fn(6, |u, v| 1.0 + f64::from(u + v) * 0.1);
+    /// let quality = ModularFunction::new(vec![0.6, 0.5, 0.4, 0.3, 0.2, 0.1]);
+    /// let problem = DiversificationProblem::new(metric, quality, 0.5);
+    /// let init = greedy_b(&problem, 3, GreedyBConfig::default());
+    /// let mut session = DynamicSession::new(&problem, &init);
+    ///
+    /// let report = session
+    ///     .ingest(vec![
+    ///         SetWeight { u: 2, value: 3.0 },
+    ///         SetDistance { u: 0, v: 1, value: 0.4 },
+    ///         Depart { u: init[0] },
+    ///     ])
+    ///     .expect("well-formed batch");
+    /// assert_eq!(report.ingested, 3);
+    /// session.update_until_stable(16);
+    /// assert!(session.is_stable());
+    /// ```
+    pub fn ingest(&mut self, batch: impl Into<Batch>) -> Result<BatchReport, SessionError> {
+        let batch = batch.into();
+        match batch.validation() {
+            Validation::Strict => self.validate_batch(batch.perturbations())?,
+            Validation::Legacy => {}
+        }
+        Ok(self.ingest_unchecked(batch.perturbations()))
+    }
+
+    /// The trusting ingestion core shared by [`DynamicSession::ingest`],
+    /// the deprecated forwarders, and the crate-internal drivers (sharded
+    /// engine, serving replay) whose input is already validated.
+    pub(crate) fn ingest_unchecked(
+        &mut self,
+        perturbations: &[SessionPerturbation],
+    ) -> BatchReport {
+        self.apply_batch_via(perturbations, Self::scan_full_collect)
+    }
+
     /// Applies one perturbation — O(Δ) cache repair, then one oblivious
     /// single-swap update over the repaired caches (skipped or narrowed
     /// when local optimality provably survives; see [`ScanExtent`]).
@@ -1950,8 +2189,12 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
     /// Panics on out-of-range elements, invalid weights/distances, or a
     /// [`SessionPerturbation::SetWeight`] when the quality oracle has no
     /// modular weight data.
+    #[deprecated(
+        since = "0.11.0",
+        note = "use `ingest` with a single perturbation (wrap in `Batch` + `Validation::Legacy` for the old trusting contract)"
+    )]
     pub fn apply(&mut self, perturbation: SessionPerturbation) -> UpdateReport {
-        let report = self.apply_batch(std::slice::from_ref(&perturbation));
+        let report = self.ingest_unchecked(std::slice::from_ref(&perturbation));
         UpdateReport {
             outcome: report.outcome,
             refill: report.refills.last().copied(),
@@ -1976,8 +2219,12 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
     /// # Panics
     ///
     /// As [`DynamicSession::apply`], per ingested perturbation.
+    #[deprecated(
+        since = "0.11.0",
+        note = "use `ingest` (wrap in `Batch` + `Validation::Legacy` for the old trusting contract)"
+    )]
     pub fn apply_batch(&mut self, perturbations: &[SessionPerturbation]) -> BatchReport {
-        self.apply_batch_via(perturbations, Self::scan_full_collect)
+        self.ingest_unchecked(perturbations)
     }
 
     /// Validating [`DynamicSession::apply`]: rejects a malformed
@@ -1992,11 +2239,12 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
     /// non-resident elements. (The panicking [`DynamicSession::apply`]
     /// silently ignores the latter two; an untrusted stream containing
     /// them is malformed, so the validating path rejects.)
+    #[deprecated(since = "0.11.0", note = "use `ingest` (strict by default)")]
     pub fn try_apply(
         &mut self,
         perturbation: SessionPerturbation,
     ) -> Result<UpdateReport, PerturbationError> {
-        match self.try_apply_batch(std::slice::from_ref(&perturbation)) {
+        match self.ingest(std::slice::from_ref(&perturbation)) {
             Ok(report) => Ok(UpdateReport {
                 outcome: report.outcome,
                 refill: report.refills.last().copied(),
@@ -2048,7 +2296,7 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
     ///
     /// let before = (session.solution().to_vec(), session.objective());
     /// let err = session
-    ///     .try_apply_batch(&[
+    ///     .ingest(vec![
     ///         SessionPerturbation::SetDistance { u: 0, v: 1, value: 1.7 }, // valid
     ///         SessionPerturbation::SetDistance { u: 2, v: 3, value: f64::NAN },
     ///     ])
@@ -2060,12 +2308,12 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
     /// // All-or-nothing: the valid first entry did not commit either.
     /// assert_eq!((session.solution().to_vec(), session.objective()), before);
     /// ```
+    #[deprecated(since = "0.11.0", note = "use `ingest` (strict by default)")]
     pub fn try_apply_batch(
         &mut self,
         perturbations: &[SessionPerturbation],
     ) -> Result<BatchReport, SessionError> {
-        self.validate_batch(perturbations)?;
-        Ok(self.apply_batch(perturbations))
+        self.ingest(perturbations)
     }
 
     fn validate_batch(&self, perturbations: &[SessionPerturbation]) -> Result<(), SessionError> {
@@ -2098,7 +2346,7 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
         let mut refills = Vec::new();
         let mut pending = PendingScan::default();
         for &p in perturbations {
-            self.ingest(p, &mut pending);
+            self.ingest_one(p, &mut pending);
         }
         self.refill_shortfall(&pending, &mut refills);
         self.finish_batch(pending, refills, perturbations.len(), full_scan)
@@ -2111,7 +2359,7 @@ impl<'q, M: PerturbableMetric, Q: IncrementalOracle + ?Sized> DynamicSession<'q,
     /// Candidate-cache dirt (non-uniform single-column changes) is
     /// recorded even for optimality-preserving perturbations — the rank
     /// tables must stay honest for later cached scans.
-    fn ingest(&mut self, perturbation: SessionPerturbation, pending: &mut PendingScan) {
+    fn ingest_one(&mut self, perturbation: SessionPerturbation, pending: &mut PendingScan) {
         match perturbation {
             SessionPerturbation::SetWeight { u, value } => self.ingest_weight(u, value, pending),
             SessionPerturbation::SetDistance { u, v, value } => {
@@ -2552,6 +2800,9 @@ impl<'q, M: Metric + Sync> SyncDynamicSession<'q, M> {
 }
 
 #[cfg(test)]
+// The suite deliberately keeps exercising the deprecated `apply` family:
+// the forwarders must stay bit-identical to `ingest` until removal.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::dynamic::oblivious_update_step;

@@ -592,7 +592,7 @@ impl<'q, M: Metric, Q: IncrementalOracle + ?Sized> ShardedEngine<'q, M, Q> {
     /// [`DynamicSession::apply_batch`].
     pub fn apply_batch(&mut self, perturbations: &[SessionPerturbation]) -> ShardedReport {
         self.ingest(perturbations, &mut |session, batch| {
-            session.apply_batch(batch)
+            session.ingest_unchecked(batch)
         })
     }
 

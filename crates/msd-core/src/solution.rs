@@ -159,6 +159,51 @@ impl SolutionState {
     pub(crate) fn add_dispersion(&mut self, delta: f64) {
         self.dispersion += delta;
     }
+
+    /// Exports the raw fields — member order, membership mask, the cached
+    /// gain vector and dispersion — for the serving layer's tenant
+    /// eviction snapshots.
+    pub(crate) fn raw_parts(&self) -> (Vec<ElementId>, Vec<bool>, Vec<f64>, f64) {
+        (
+            self.members.clone(),
+            self.in_set.clone(),
+            self.gain.clone(),
+            self.dispersion,
+        )
+    }
+
+    /// Rebuilds a state from raw exported fields **without**
+    /// re-accumulating the cached floats — re-inserting members would
+    /// re-derive `gain`/`dispersion` through a different accumulation
+    /// history, breaking the bit-identity contract of evict → attach.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the field lengths disagree or the mask does not match
+    /// the member list.
+    pub(crate) fn from_raw(
+        members: Vec<ElementId>,
+        in_set: Vec<bool>,
+        gain: Vec<f64>,
+        dispersion: f64,
+    ) -> Self {
+        assert_eq!(in_set.len(), gain.len(), "mask/gain length mismatch");
+        assert_eq!(
+            members.len(),
+            in_set.iter().filter(|&&b| b).count(),
+            "membership mask and member list out of sync"
+        );
+        assert!(
+            members.iter().all(|&u| in_set[u as usize]),
+            "membership mask and member list out of sync"
+        );
+        Self {
+            members,
+            in_set,
+            gain,
+            dispersion,
+        }
+    }
 }
 
 #[cfg(test)]

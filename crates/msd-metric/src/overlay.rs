@@ -95,6 +95,22 @@ impl<M: Metric> OverlayMetric<M> {
         self.overrides.iter().map(|(&pair, &d)| (pair, d))
     }
 
+    /// The overlay deltas sorted by `(u, v)` key — the deterministic
+    /// plain-old-data export behind tenant eviction snapshots in
+    /// `msd-core`: replaying the returned triples through
+    /// [`set_distance`](PerturbableMetric::set_distance) in order rebuilds
+    /// an overlay with identical reads *and* identical sorted partner
+    /// lists, so row sweeps on the re-attached tenant stay bit-identical.
+    pub fn override_deltas(&self) -> Vec<(ElementId, ElementId, f64)> {
+        let mut out: Vec<(ElementId, ElementId, f64)> = self
+            .overrides
+            .iter()
+            .map(|(&(u, v), &d)| (u, v, d))
+            .collect();
+        out.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        out
+    }
+
     /// Drops every override, reverting to the base metric.
     pub fn clear_overrides(&mut self) {
         self.overrides.clear();

@@ -58,7 +58,7 @@ use crate::{ElementId, SetFunction, ZeroFunction};
 pub struct OracleState(Box<dyn Any + Send + Sync>);
 
 impl OracleState {
-    fn new<T: Any + Send + Sync>(payload: T) -> Self {
+    pub(crate) fn new<T: Any + Send + Sync>(payload: T) -> Self {
         Self(Box::new(payload))
     }
 
@@ -66,7 +66,7 @@ impl OracleState {
     ///
     /// Panics when the payload is not a `T` — the snapshot was produced
     /// by a different oracle type, a checkpoint/session pairing bug.
-    fn downcast<T: Any>(&self) -> &T {
+    pub(crate) fn downcast<T: Any>(&self) -> &T {
         self.0
             .downcast_ref::<T>()
             .expect("oracle state snapshot does not match this oracle type")
@@ -256,24 +256,24 @@ pub trait IncrementalOracle {
 
 /// Shared membership bookkeeping for the oracle implementations.
 #[derive(Debug, Clone)]
-struct Membership {
-    in_set: Vec<bool>,
-    size: usize,
+pub(crate) struct Membership {
+    pub(crate) in_set: Vec<bool>,
+    pub(crate) size: usize,
 }
 
 impl Membership {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Self {
             in_set: vec![false; n],
             size: 0,
         }
     }
 
-    fn contains(&self, u: ElementId) -> bool {
+    pub(crate) fn contains(&self, u: ElementId) -> bool {
         self.in_set[u as usize]
     }
 
-    fn insert(&mut self, u: ElementId) {
+    pub(crate) fn insert(&mut self, u: ElementId) {
         assert!(
             !self.in_set[u as usize],
             "element {u} already in oracle set"
@@ -282,7 +282,7 @@ impl Membership {
         self.size += 1;
     }
 
-    fn remove(&mut self, u: ElementId) {
+    pub(crate) fn remove(&mut self, u: ElementId) {
         assert!(self.in_set[u as usize], "element {u} not in oracle set");
         self.in_set[u as usize] = false;
         self.size -= 1;

@@ -33,6 +33,7 @@ pub mod mixture;
 pub mod modular;
 pub mod restricted;
 pub mod saturated;
+pub mod shared;
 
 pub use coverage::CoverageFunction;
 pub use facility::FacilityLocationFunction;
@@ -45,6 +46,7 @@ pub use mixture::MixtureFunction;
 pub use modular::ModularFunction;
 pub use restricted::RestrictedOracle;
 pub use saturated::{ConcaveOverModular, ConcaveShape};
+pub use shared::{SharedModularOracle, WeightOverlay};
 
 /// Identifier of a ground-set element (shared with `msd-metric`).
 pub type ElementId = u32;

@@ -54,7 +54,7 @@ fn main() {
     for &lambda in &[0.1, 0.3, 1.0] {
         let problem = DiversificationProblem::new(Arc::clone(&base), &quality, lambda);
         let init = greedy_b(&problem, P, GreedyBConfig::default());
-        tenants.push((frontend.add_tenant(&quality, lambda, &init), lambda));
+        tenants.push((frontend.register_tenant(&quality, lambda, &init), lambda));
     }
 
     let probe = (3u32, 7u32);

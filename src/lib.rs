@@ -61,15 +61,15 @@ pub mod prelude {
         distributed_greedy, exact_max_diversification, greedy_a, greedy_b, hassin_edge_greedy,
         hassin_matching, knapsack_diversify, local_search_matroid, local_search_refine,
         max_sum_dispersion_greedy, mmr_select, oblivious_update_step_knapsack,
-        oblivious_update_step_matroid, stream_diversify, AdmissionPolicy, BatchReport,
-        CompactStreamingSession, ConstraintPolicy, DistributedConfig, DistributedResult,
+        oblivious_update_step_matroid, stream_diversify, AdmissionPolicy, Batch, BatchReport,
+        Clock, CompactStreamingSession, ConstraintPolicy, DistributedConfig, DistributedResult,
         DiversificationProblem, DynamicInstance, DynamicSession, ElementId, GraphBatchError,
         GraphPerturbation, GreedyAConfig, GreedyBConfig, KnapsackConfig, LocalSearchConfig,
         MergeStats, MmrConfig, PartitionScheme, Perturbation, PerturbationError, PotentialState,
-        QueryResponse, ScanExtent, ServingFrontend, ServingRequest, SessionCheckpoint,
-        SessionError, SessionPerturbation, ShardedConfig, ShardedEngine, ShardedReport,
-        StreamingDiversifier, StreamingSession, SubmitError, SyncServingFrontend, TenantId,
-        TenantStats,
+        QueryResponse, RejectionAudit, ScanExtent, ServingFrontend, ServingRequest,
+        SessionCheckpoint, SessionError, SessionPerturbation, ShardedConfig, ShardedEngine,
+        ShardedReport, SharedServingFrontend, StreamingDiversifier, StreamingSession, SubmitError,
+        SyncServingFrontend, TenantId, TenantSnapshot, TenantStats, TokenBucket, Validation,
     };
     pub use msd_matroid::{
         GraphicMatroid, LaminarMatroid, Matroid, PartitionMatroid, TransversalMatroid,
@@ -82,7 +82,8 @@ pub mod prelude {
     };
     pub use msd_submodular::{
         ConcaveOverModular, ConcaveShape, CoverageFunction, FacilityLocationFunction,
-        LogDetFunction, MixtureFunction, ModularFunction, SetFunction,
+        LogDetFunction, MixtureFunction, ModularFunction, SetFunction, SharedModularOracle,
+        WeightOverlay,
     };
 }
 
